@@ -1,0 +1,42 @@
+// Ablation (paper §6 future work): alternative integer codes for the
+// position and length streams — Simple9 and PForDelta against the paper's
+// vbyte/u32/zlib combinations. Prints compression and decode speed for
+// every coding on the GOV2-like corpus with a "1.0" dictionary.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rlz.h"
+
+int main() {
+  using namespace rlz;
+  const Corpus& corpus = bench::Gov2Crawl();
+  const Collection& collection = corpus.collection;
+  bench::PrintTableTitle(
+      "Ablation: factor-stream codecs (paper codings + S9/PFD extensions)",
+      collection);
+  const bench::AccessPatterns patterns = bench::MakePatterns(corpus);
+
+  std::shared_ptr<const Dictionary> dict = DictionaryBuilder::BuildSampled(
+      collection.data(), static_cast<size_t>(0.01 * collection.size_bytes()),
+      1024);
+  Factorizer factorizer(dict.get());
+  std::vector<std::vector<Factor>> factors(collection.num_docs());
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    factorizer.Factorize(collection.doc(i), &factors[i]);
+  }
+
+  bench::PrintRlzHeader();
+  for (const char* name : {"ZZ", "ZV", "UZ", "UV",  // the paper's four
+                           "US", "UP", "PV", "PZ", "PS", "PP"}) {
+    const auto coding = PairCoding::FromName(name);
+    auto archive =
+        RlzArchive::BuildFromFactors(dict, factors, coding.value());
+    const bench::Measurement m =
+        bench::MeasureArchive(*archive, collection, patterns);
+    bench::PrintRlzRow("1.0", name, m);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation (paper §2.2): grammar compression. Measures Re-Pair's
+// compression and — the paper's point — its construction cost against
+// gzipx/lzmax on growing block sizes. Expected shape: competitive or
+// better compression on repetitive blocks, with construction time orders
+// of magnitude above the LZ family and growing super-linearly, "limiting
+// their application to smaller collections".
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "grammar/repair.h"
+#include "util/timer.h"
+#include "zip/gzipx.h"
+#include "zip/lzmax.h"
+
+int main() {
+  using namespace rlz;
+  const Collection& collection = bench::Gov2Crawl().collection;
+  bench::PrintTableTitle("Ablation: Re-Pair grammar compression (§2.2)",
+                         collection);
+
+  std::printf("%-10s %-10s %9s %14s %14s\n", "Alg.", "Block", "Enc.(%)",
+              "Comp(MB/s)", "Decomp(MB/s)");
+
+  const RepairCompressor repair;
+  const GzipxCompressor gzipx;
+  const LzmaxCompressor lzmax;
+  const Compressor* compressors[] = {&gzipx, &lzmax, &repair};
+
+  for (const size_t block : {16u << 10, 64u << 10, 256u << 10}) {
+    const std::string input(collection.data().substr(0, block));
+    for (const Compressor* compressor : compressors) {
+      std::string compressed;
+      Timer compress_timer;
+      compressor->Compress(input, &compressed);
+      const double compress_s = compress_timer.ElapsedSeconds();
+
+      std::string output;
+      Timer decompress_timer;
+      const Status s = compressor->Decompress(compressed, &output);
+      const double decompress_s = decompress_timer.ElapsedSeconds();
+      RLZ_CHECK(s.ok() && output == input) << compressor->name();
+
+      std::printf("%-10s %-10zu %9.2f %14.2f %14.2f\n",
+                  compressor->name().c_str(), block >> 10,
+                  100.0 * compressed.size() / input.size(),
+                  input.size() / 1048576.0 / compress_s,
+                  input.size() / 1048576.0 / decompress_s);
+    }
+  }
+  return 0;
+}

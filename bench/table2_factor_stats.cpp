@@ -1,0 +1,12 @@
+// Reproduces Table 2: average factor length and unused dictionary
+// percentage for varied dictionary and sample sizes on the GOV2-like
+// corpus.
+
+#include "bench_common.h"
+
+int main() {
+  rlz::bench::RunFactorStatsTable(
+      "Table 2: RLZ factor statistics on gov2s (GOV2 stand-in)",
+      rlz::bench::Gov2Crawl());
+  return 0;
+}

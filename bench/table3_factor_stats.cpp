@@ -1,0 +1,12 @@
+// Reproduces Table 3: average factor length and unused dictionary
+// percentage for varied dictionary and sample sizes on the Wikipedia-like
+// corpus.
+
+#include "bench_common.h"
+
+int main() {
+  rlz::bench::RunFactorStatsTable(
+      "Table 3: RLZ factor statistics on wikis (Wikipedia stand-in)",
+      rlz::bench::WikiCrawl());
+  return 0;
+}

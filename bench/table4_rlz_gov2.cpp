@@ -1,0 +1,12 @@
+// Reproduces Table 4: RLZ compression and retrieval speed on the GOV2-like
+// corpus in natural crawl order, for every dictionary size x pos-len
+// coding combination.
+
+#include "bench_common.h"
+
+int main() {
+  rlz::bench::RunRlzTable(
+      "Table 4: RLZ retrieval on gov2s, crawl order (GOV2 stand-in)",
+      rlz::bench::Gov2Crawl());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Table 6: ASCII and blocked gzipx/lzmax baselines on the
+// GOV2-like corpus in crawl order, across block sizes.
+
+#include "bench_common.h"
+
+int main() {
+  rlz::bench::RunBaselineTable(
+      "Table 6: baselines on gov2s, crawl order (GOV2 stand-in)",
+      rlz::bench::Gov2Crawl());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 7: ASCII and blocked gzipx/lzmax baselines on the
+// URL-sorted GOV2-like corpus. Blocked methods gain compression from URL
+// locality (Ferragina & Manzini's observation, §3.5).
+
+#include "bench_common.h"
+
+int main() {
+  rlz::bench::RunBaselineTable(
+      "Table 7: baselines on gov2s, URL-sorted (GOV2 stand-in)",
+      rlz::bench::Gov2Url());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Table 8: RLZ compression and retrieval speed on the
+// Wikipedia-like corpus.
+
+#include "bench_common.h"
+
+int main() {
+  rlz::bench::RunRlzTable(
+      "Table 8: RLZ retrieval on wikis (Wikipedia stand-in)",
+      rlz::bench::WikiCrawl());
+  return 0;
+}

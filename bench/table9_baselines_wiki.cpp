@@ -1,0 +1,11 @@
+// Reproduces Table 9: ASCII and blocked gzipx/lzmax baselines on the
+// Wikipedia-like corpus.
+
+#include "bench_common.h"
+
+int main() {
+  rlz::bench::RunBaselineTable(
+      "Table 9: baselines on wikis (Wikipedia stand-in)",
+      rlz::bench::WikiCrawl());
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Command-line front end for the rlz library — builds archives on disk,
+// retrieves documents, and verifies archives against their source
+// collections.
+//
+//   rlz_tool gen <collection.rcol> [bytes] [web|wiki] [seed]
+//   rlz_tool build <collection.rcol> <archive.rlza> [dict_bytes] [coding]
+//   rlz_tool info <archive.rlza>
+//   rlz_tool get <archive.rlza> <doc_id>
+//   rlz_tool verify <collection.rcol> <archive.rlza>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/rlz.h"
+#include "corpus/generator.h"
+
+namespace {
+
+using namespace rlz;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rlz_tool gen <collection.rcol> [bytes] [web|wiki] [seed]\n"
+      "  rlz_tool build <collection.rcol> <archive.rlza> [dict_bytes] "
+      "[coding]\n"
+      "  rlz_tool info <archive.rlza>\n"
+      "  rlz_tool get <archive.rlza> <doc_id>\n"
+      "  rlz_tool verify <collection.rcol> <archive.rlza>\n");
+  return 2;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  CorpusOptions options;
+  options.target_bytes = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                  : 8ull << 20;
+  if (argc > 2 && std::strcmp(argv[2], "wiki") == 0) {
+    options.style = CorpusStyle::kWiki;
+  }
+  if (argc > 3) options.seed = std::strtoull(argv[3], nullptr, 10);
+  const Corpus corpus = GenerateCorpus(options);
+  const Status s = corpus.collection.Save(argv[0]);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu docs, %zu bytes\n", argv[0],
+              corpus.collection.num_docs(), corpus.collection.size_bytes());
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto collection = Collection::Load(argv[0]);
+  if (!collection.ok()) return Fail(collection.status());
+
+  RlzOptions options;
+  options.dict_bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                : collection->size_bytes() / 100;
+  if (argc > 3) {
+    auto coding = PairCoding::FromName(argv[3]);
+    if (!coding.ok()) return Fail(coding.status());
+    options.coding = *coding;
+  }
+  RlzBuildInfo info;
+  auto archive = CompressCollection(*collection, options, &info);
+  const Status s = archive->Save(argv[1]);
+  if (!s.ok()) return Fail(s);
+  std::printf(
+      "wrote %s: %zu docs, coding %s, dict %zu bytes, %.2f%% of input, "
+      "avg factor %.1f\n",
+      argv[1], archive->num_docs(), options.coding.name().c_str(),
+      archive->dictionary().size(),
+      100.0 * archive->stored_bytes() / collection->size_bytes(),
+      info.stats.avg_factor_length());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto archive = RlzArchive::Load(argv[0]);
+  if (!archive.ok()) return Fail(archive.status());
+  std::printf("archive:   %s\n", argv[0]);
+  std::printf("docs:      %zu\n", (*archive)->num_docs());
+  std::printf("coding:    %s\n", (*archive)->coder().coding().name().c_str());
+  std::printf("dict:      %zu bytes\n", (*archive)->dictionary().size());
+  std::printf("payload:   %llu bytes\n",
+              static_cast<unsigned long long>((*archive)->payload_bytes()));
+  std::printf("stored:    %llu bytes\n",
+              static_cast<unsigned long long>((*archive)->stored_bytes()));
+  return 0;
+}
+
+int CmdGet(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto archive = RlzArchive::Load(argv[0]);
+  if (!archive.ok()) return Fail(archive.status());
+  std::string doc;
+  const Status s =
+      (*archive)->Get(std::strtoull(argv[1], nullptr, 10), &doc);
+  if (!s.ok()) return Fail(s);
+  std::fwrite(doc.data(), 1, doc.size(), stdout);
+  return 0;
+}
+
+int CmdVerify(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto collection = Collection::Load(argv[0]);
+  if (!collection.ok()) return Fail(collection.status());
+  auto archive = RlzArchive::Load(argv[1]);
+  if (!archive.ok()) return Fail(archive.status());
+  if ((*archive)->num_docs() != collection->num_docs()) {
+    std::fprintf(stderr, "doc count mismatch: %zu vs %zu\n",
+                 (*archive)->num_docs(), collection->num_docs());
+    return 1;
+  }
+  std::string doc;
+  for (size_t i = 0; i < collection->num_docs(); ++i) {
+    const Status s = (*archive)->Get(i, &doc);
+    if (!s.ok()) return Fail(s);
+    if (doc != collection->doc(i)) {
+      std::fprintf(stderr, "doc %zu differs\n", i);
+      return 1;
+    }
+  }
+  std::printf("ok: %zu docs verified\n", collection->num_docs());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
+  if (cmd == "build") return CmdBuild(argc - 2, argv + 2);
+  if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
+  if (cmd == "get") return CmdGet(argc - 2, argv + 2);
+  if (cmd == "verify") return CmdVerify(argc - 2, argv + 2);
+  return Usage();
+}

@@ -1,0 +1,116 @@
+// Snippet-server scenario: the motivating application of the paper's
+// introduction — a search engine that must fetch result documents from a
+// compressed store to build query-biased snippets. Builds an inverted
+// index and an RLZ archive over a synthetic crawl, runs keyword queries,
+// retrieves the top documents from the archive, and prints snippets around
+// the first query-term hit.
+//
+//   ./build/examples/snippet_server [query terms...]
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/rlz.h"
+#include "corpus/generator.h"
+#include "search/inverted_index.h"
+#include "search/query_log.h"
+#include "search/tokenizer.h"
+
+namespace {
+
+// Strips tags and squeezes whitespace for display.
+std::string Plain(std::string_view html) {
+  std::string out;
+  bool in_tag = false;
+  bool last_space = true;
+  for (char c : html) {
+    if (c == '<') in_tag = true;
+    if (!in_tag) {
+      const bool space = std::isspace(static_cast<unsigned char>(c));
+      if (!space) {
+        out.push_back(c);
+        last_space = false;
+      } else if (!last_space) {
+        out.push_back(' ');
+        last_space = true;
+      }
+    }
+    if (c == '>') in_tag = false;
+  }
+  return out;
+}
+
+// Query-biased snippet: locate the term with a cheap range probe, then
+// decode only a window around the hit via RlzArchive::GetRange — the
+// random-access pattern the paper's introduction motivates.
+std::string MakeSnippet(const rlz::RlzArchive& archive, uint32_t doc_id,
+                        std::string_view doc, const std::string& term) {
+  std::string lower(doc);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  const size_t pos = lower.find(term);
+  std::string window;
+  if (pos == std::string::npos) {
+    if (!archive.GetRange(doc_id, 0, 400, &window).ok()) return "";
+  } else {
+    const size_t start = pos < 150 ? 0 : pos - 150;
+    if (!archive.GetRange(doc_id, start, 400, &window).ok()) return "";
+  }
+  return "..." + Plain(window).substr(0, 120) + "...";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlz::CorpusOptions corpus_options;
+  corpus_options.target_bytes = 8 << 20;
+  corpus_options.seed = 99;
+  const rlz::Corpus corpus = rlz::GenerateCorpus(corpus_options);
+  const rlz::Collection& collection = corpus.collection;
+
+  std::printf("indexing %zu docs...\n", collection.num_docs());
+  const rlz::InvertedIndex index = rlz::InvertedIndex::Build(collection);
+
+  std::printf("compressing with rlz...\n");
+  rlz::RlzOptions options;
+  options.dict_bytes = collection.size_bytes() / 100;
+  auto archive = rlz::CompressCollection(collection, options);
+  std::printf("store: %.2f%% of %zu bytes\n",
+              100.0 * archive->stored_bytes() / collection.size_bytes(),
+              collection.size_bytes());
+
+  // Queries: from argv, or sample a few from the collection vocabulary.
+  std::vector<std::vector<std::string>> queries;
+  if (argc > 1) {
+    std::vector<std::string> q;
+    for (int i = 1; i < argc; ++i) q.push_back(argv[i]);
+    queries.push_back(q);
+  } else {
+    rlz::QueryLogOptions qopts;
+    qopts.num_queries = 3;
+    qopts.seed = 5;
+    queries = rlz::GenerateQueries(index, qopts);
+  }
+
+  std::string doc;
+  for (const auto& query : queries) {
+    std::string qstr;
+    for (const auto& t : query) qstr += t + " ";
+    std::printf("\nquery: %s\n", qstr.c_str());
+    const auto hits = index.Query(query, 3);
+    for (const auto& hit : hits) {
+      const rlz::Status s = archive->Get(hit.doc, &doc);
+      if (!s.ok()) {
+        std::fprintf(stderr, "retrieval failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("  [%u] %s (score %.2f)\n      %s\n", hit.doc,
+                  corpus.urls[hit.doc].c_str(), hit.score,
+                  MakeSnippet(*archive, hit.doc, doc, query[0]).c_str());
+    }
+  }
+  return 0;
+}

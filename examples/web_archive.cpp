@@ -1,0 +1,80 @@
+// Web-archive scenario: compress a synthetic web crawl with RLZ and with
+// the blocked baselines, then compare storage footprint and random-access
+// retrieval under the simulated-disk model — a miniature of the paper's
+// evaluation.
+//
+//   ./build/examples/web_archive [target_mb]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/rlz.h"
+#include "corpus/generator.h"
+#include "io/sim_disk.h"
+#include "semistatic/semistatic_archive.h"
+#include "store/ascii_archive.h"
+#include "store/blocked_archive.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace {
+
+void Report(const rlz::Archive& archive, const rlz::Collection& collection,
+            rlz::Rng& rng) {
+  rlz::SimDisk disk;
+  rlz::Timer timer;
+  std::string doc;
+  constexpr int kRequests = 500;
+  for (int i = 0; i < kRequests; ++i) {
+    const size_t id = rng.Uniform(collection.num_docs());
+    const rlz::Status s = archive.Get(id, &doc, &disk);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", archive.name().c_str(),
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const double seconds = timer.ElapsedSeconds() + disk.total_seconds();
+  std::printf("%-12s %8.2f%% %10.0f docs/s (random access, simulated disk)\n",
+              archive.name().c_str(),
+              100.0 * archive.stored_bytes() / collection.size_bytes(),
+              kRequests / seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t target_mb = argc > 1 ? std::atoi(argv[1]) : 8;
+  rlz::CorpusOptions corpus_options;
+  corpus_options.target_bytes = target_mb << 20;
+  corpus_options.seed = 2011;
+  const rlz::Corpus corpus = rlz::GenerateCorpus(corpus_options);
+  const rlz::Collection& collection = corpus.collection;
+  std::printf("synthetic crawl: %.1f MB, %zu docs\n",
+              collection.size_bytes() / 1048576.0, collection.num_docs());
+
+  rlz::Rng rng(7);
+
+  rlz::RlzOptions rlz_options;
+  rlz_options.dict_bytes = collection.size_bytes() / 100;  // 1%
+  auto rlz_archive = rlz::CompressCollection(collection, rlz_options);
+  Report(*rlz_archive, collection, rng);
+
+  const rlz::AsciiArchive ascii(collection);
+  Report(ascii, collection, rng);
+
+  for (const uint64_t block : {uint64_t{0}, uint64_t{64} << 10}) {
+    const rlz::BlockedArchive gz(
+        collection, rlz::GetCompressor(rlz::CompressorId::kGzipx), block);
+    Report(gz, collection, rng);
+    const rlz::BlockedArchive lz(
+        collection, rlz::GetCompressor(rlz::CompressorId::kLzmax), block);
+    Report(lz, collection, rng);
+  }
+
+  auto etdc =
+      rlz::SemiStaticArchive::Build(collection, rlz::SemiStaticScheme::kEtdc);
+  Report(*etdc, collection, rng);
+  return 0;
+}

@@ -1,0 +1,344 @@
+#include "codecs/int_codecs.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/bitio.h"
+
+namespace rlz {
+
+const char* IntCodecName(IntCodecId id) {
+  switch (id) {
+    case IntCodecId::kU32:
+      return "U";
+    case IntCodecId::kVByte:
+      return "V";
+    case IntCodecId::kSimple9:
+      return "S9";
+    case IntCodecId::kPForDelta:
+      return "PFD";
+  }
+  return "?";
+}
+
+StatusOr<IntCodecId> IntCodecFromName(std::string_view name) {
+  if (name == "U") return IntCodecId::kU32;
+  if (name == "V") return IntCodecId::kVByte;
+  if (name == "S9") return IntCodecId::kSimple9;
+  if (name == "PFD") return IntCodecId::kPForDelta;
+  return Status::InvalidArgument("unknown int codec: " + std::string(name));
+}
+
+const IntCodec* GetIntCodec(IntCodecId id) {
+  static const U32Codec* u32 = new U32Codec();
+  static const VByteCodec* vbyte = new VByteCodec();
+  static const Simple9Codec* s9 = new Simple9Codec();
+  static const PForDeltaCodec* pfd = new PForDeltaCodec();
+  switch (id) {
+    case IntCodecId::kU32:
+      return u32;
+    case IntCodecId::kVByte:
+      return vbyte;
+    case IntCodecId::kSimple9:
+      return s9;
+    case IntCodecId::kPForDelta:
+      return pfd;
+  }
+  RLZ_CHECK(false) << "invalid codec id " << static_cast<int>(id);
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// U32
+// ---------------------------------------------------------------------------
+
+void U32Codec::Encode(const std::vector<uint32_t>& values,
+                      std::string* out) const {
+  out->reserve(out->size() + values.size() * 4);
+  for (uint32_t v : values) {
+    out->push_back(static_cast<char>(v & 0xFF));
+    out->push_back(static_cast<char>((v >> 8) & 0xFF));
+    out->push_back(static_cast<char>((v >> 16) & 0xFF));
+    out->push_back(static_cast<char>((v >> 24) & 0xFF));
+  }
+}
+
+Status U32Codec::Decode(std::string_view in, size_t count,
+                        std::vector<uint32_t>* values,
+                        size_t* consumed) const {
+  if (in.size() < count * 4) {
+    return Status::Corruption("u32 stream truncated");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in.data());
+  values->reserve(values->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t v = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+    values->push_back(v);
+    p += 4;
+  }
+  *consumed = count * 4;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// VByte
+// ---------------------------------------------------------------------------
+
+void VByteCodec::Put(uint32_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Status VByteCodec::Get(std::string_view in, size_t* pos, uint32_t* v) {
+  uint32_t result = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= in.size()) return Status::Corruption("vbyte truncated");
+    if (shift > 28) return Status::Corruption("vbyte overlong");
+    const uint8_t byte = static_cast<uint8_t>(in[(*pos)++]);
+    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = result;
+  return Status::OK();
+}
+
+void VByteCodec::Encode(const std::vector<uint32_t>& values,
+                        std::string* out) const {
+  for (uint32_t v : values) Put(v, out);
+}
+
+Status VByteCodec::Decode(std::string_view in, size_t count,
+                          std::vector<uint32_t>* values,
+                          size_t* consumed) const {
+  size_t pos = 0;
+  values->reserve(values->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    RLZ_RETURN_IF_ERROR(Get(in, &pos, &v));
+    values->push_back(v);
+  }
+  *consumed = pos;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Simple9
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// (count, bits) per selector; count*bits <= 28.
+constexpr std::array<std::pair<int, int>, 9> kS9Configs = {{
+    {28, 1},
+    {14, 2},
+    {9, 3},
+    {7, 4},
+    {5, 5},
+    {4, 7},
+    {3, 9},
+    {2, 14},
+    {1, 28},
+}};
+
+constexpr uint32_t kS9Escape = 9;  // selector for one full 32-bit value
+
+void PutWordLE(uint32_t w, std::string* out) {
+  out->push_back(static_cast<char>(w & 0xFF));
+  out->push_back(static_cast<char>((w >> 8) & 0xFF));
+  out->push_back(static_cast<char>((w >> 16) & 0xFF));
+  out->push_back(static_cast<char>((w >> 24) & 0xFF));
+}
+
+Status GetWordLE(std::string_view in, size_t* pos, uint32_t* w) {
+  if (*pos + 4 > in.size()) return Status::Corruption("simple9 truncated");
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in.data()) + *pos;
+  *w = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  *pos += 4;
+  return Status::OK();
+}
+
+}  // namespace
+
+void Simple9Codec::Encode(const std::vector<uint32_t>& values,
+                          std::string* out) const {
+  size_t i = 0;
+  const size_t n = values.size();
+  while (i < n) {
+    if (values[i] >= (1U << 28)) {
+      // Escape: selector 9, then a full word.
+      PutWordLE(kS9Escape << 28, out);
+      PutWordLE(values[i], out);
+      ++i;
+      continue;
+    }
+    // Pick the densest selector whose values all fit.
+    for (uint32_t sel = 0; sel < kS9Configs.size(); ++sel) {
+      const auto [count, bits] = kS9Configs[sel];
+      const size_t take = std::min(static_cast<size_t>(count), n - i);
+      bool fits = take == static_cast<size_t>(count) ||
+                  sel + 1 == kS9Configs.size();
+      // A partially filled word is only allowed with the last-resort
+      // selector that still fits all remaining values; otherwise try to
+      // fill the word completely.
+      const uint32_t limit = (bits >= 32) ? ~0U : ((1U << bits) - 1);
+      for (size_t k = 0; k < take && fits; ++k) {
+        if (values[i + k] > limit) fits = false;
+      }
+      if (!fits) continue;
+      // Check full count fits when available; if fewer values remain, pad
+      // with zeros (decoder knows the true count).
+      uint32_t word = sel << 28;
+      for (size_t k = 0; k < take; ++k) {
+        word |= values[i + k] << (k * bits);
+      }
+      PutWordLE(word, out);
+      i += take;
+      break;
+    }
+  }
+}
+
+Status Simple9Codec::Decode(std::string_view in, size_t count,
+                            std::vector<uint32_t>* values,
+                            size_t* consumed) const {
+  size_t pos = 0;
+  size_t produced = 0;
+  values->reserve(values->size() + count);
+  while (produced < count) {
+    uint32_t word = 0;
+    RLZ_RETURN_IF_ERROR(GetWordLE(in, &pos, &word));
+    const uint32_t sel = word >> 28;
+    if (sel == kS9Escape) {
+      uint32_t v = 0;
+      RLZ_RETURN_IF_ERROR(GetWordLE(in, &pos, &v));
+      values->push_back(v);
+      ++produced;
+      continue;
+    }
+    if (sel >= kS9Configs.size()) {
+      return Status::Corruption("simple9 bad selector");
+    }
+    const auto [cnt, bits] = kS9Configs[sel];
+    const uint32_t mask = (bits >= 32) ? ~0U : ((1U << bits) - 1);
+    const size_t take =
+        std::min(static_cast<size_t>(cnt), count - produced);
+    for (size_t k = 0; k < take; ++k) {
+      values->push_back((word >> (k * bits)) & mask);
+    }
+    produced += take;
+  }
+  *consumed = pos;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PForDelta
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int BitsFor(uint32_t v) {
+  int b = 0;
+  while (v) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+}
+
+}  // namespace
+
+void PForDeltaCodec::Encode(const std::vector<uint32_t>& values,
+                            std::string* out) const {
+  const size_t n = values.size();
+  for (size_t start = 0; start < n || (n == 0 && start == 0);
+       start += kBlockSize) {
+    if (n == 0) break;
+    const size_t len = std::min(kBlockSize, n - start);
+    // Choose width b covering ~90% of values in this block.
+    std::array<uint32_t, kBlockSize> tmp{};
+    for (size_t i = 0; i < len; ++i) tmp[i] = values[start + i];
+    std::array<uint32_t, kBlockSize> sorted = tmp;
+    std::sort(sorted.begin(), sorted.begin() + len);
+    const size_t idx90 = (len * 9) / 10 == 0 ? len - 1 : (len * 9) / 10 - 1;
+    int b = BitsFor(sorted[idx90]);
+    if (b == 0) b = 1;
+    if (b > 32) b = 32;
+
+    // Exceptions: values that don't fit in b bits; store their slot index
+    // and full value after the packed block.
+    std::vector<uint8_t> exc_idx;
+    std::vector<uint32_t> exc_val;
+    const uint32_t limit = (b >= 32) ? ~0U : ((1U << b) - 1);
+    for (size_t i = 0; i < len; ++i) {
+      if (tmp[i] > limit) {
+        exc_idx.push_back(static_cast<uint8_t>(i));
+        exc_val.push_back(tmp[i]);
+      }
+    }
+
+    // Block header: width (1 byte), exception count (1 byte).
+    out->push_back(static_cast<char>(b));
+    out->push_back(static_cast<char>(exc_idx.size()));
+
+    BitWriter bw(out);
+    for (size_t i = 0; i < len; ++i) {
+      bw.WriteBits(tmp[i] & limit, b);
+    }
+    bw.Finish();
+
+    for (size_t e = 0; e < exc_idx.size(); ++e) {
+      out->push_back(static_cast<char>(exc_idx[e]));
+      VByteCodec::Put(exc_val[e], out);
+    }
+  }
+}
+
+Status PForDeltaCodec::Decode(std::string_view in, size_t count,
+                              std::vector<uint32_t>* values,
+                              size_t* consumed) const {
+  size_t pos = 0;
+  size_t produced = 0;
+  values->reserve(values->size() + count);
+  while (produced < count) {
+    if (pos + 2 > in.size()) return Status::Corruption("pfd truncated header");
+    const int b = static_cast<uint8_t>(in[pos]);
+    const size_t num_exc = static_cast<uint8_t>(in[pos + 1]);
+    pos += 2;
+    if (b < 1 || b > 32) return Status::Corruption("pfd bad width");
+    const size_t len = std::min(kBlockSize, count - produced);
+    const size_t packed_bytes = (len * b + 7) / 8;
+    if (pos + packed_bytes > in.size()) {
+      return Status::Corruption("pfd truncated block");
+    }
+    BitReader br(reinterpret_cast<const uint8_t*>(in.data()) + pos,
+                 packed_bytes);
+    const size_t base = values->size();
+    for (size_t i = 0; i < len; ++i) {
+      values->push_back(static_cast<uint32_t>(br.ReadBits(b)));
+    }
+    pos += packed_bytes;
+    for (size_t e = 0; e < num_exc; ++e) {
+      if (pos >= in.size()) return Status::Corruption("pfd truncated exc");
+      const size_t idx = static_cast<uint8_t>(in[pos++]);
+      if (idx >= len) return Status::Corruption("pfd bad exception index");
+      uint32_t v = 0;
+      RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &v));
+      (*values)[base + idx] = v;
+    }
+    produced += len;
+  }
+  *consumed = pos;
+  return Status::OK();
+}
+
+}  // namespace rlz

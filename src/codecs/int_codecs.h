@@ -1,0 +1,115 @@
+#ifndef RLZ_CODECS_INT_CODECS_H_
+#define RLZ_CODECS_INT_CODECS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rlz {
+
+/// Identifier for an integer-stream codec. kVByte and kU32 are the paper's
+/// "V" and "U" codes (§3.4); kSimple9 and kPForDelta are the codecs the
+/// paper names as future work (§6, refs [1] and [36]).
+enum class IntCodecId : uint8_t {
+  kU32 = 0,
+  kVByte = 1,
+  kSimple9 = 2,
+  kPForDelta = 3,
+};
+
+/// Returns the short name used in tables ("U", "V", "S9", "PFD").
+const char* IntCodecName(IntCodecId id);
+
+/// Parses a short name; returns InvalidArgument on unknown names.
+StatusOr<IntCodecId> IntCodecFromName(std::string_view name);
+
+/// Stateless codec for a stream of uint32 values. Implementations append
+/// to `out` on encode and append decoded values to `values` on decode.
+/// Decode must be given the exact value count written by Encode (callers
+/// store counts in their own headers), and returns Corruption if the buffer
+/// is truncated or malformed.
+class IntCodec {
+ public:
+  virtual ~IntCodec() = default;
+
+  virtual IntCodecId id() const = 0;
+
+  /// Appends an encoding of `values` to `out`.
+  virtual void Encode(const std::vector<uint32_t>& values,
+                      std::string* out) const = 0;
+
+  /// Decodes exactly `count` values from `in`, appending them to `values`.
+  /// On success sets `*consumed` to the number of bytes read from `in`.
+  virtual Status Decode(std::string_view in, size_t count,
+                        std::vector<uint32_t>* values,
+                        size_t* consumed) const = 0;
+};
+
+/// Returns the singleton codec instance for `id`. Never null.
+const IntCodec* GetIntCodec(IntCodecId id);
+
+/// Little-endian fixed-width 4-bytes-per-value code — the paper's "U".
+class U32Codec final : public IntCodec {
+ public:
+  IntCodecId id() const override { return IntCodecId::kU32; }
+  void Encode(const std::vector<uint32_t>& values,
+              std::string* out) const override;
+  Status Decode(std::string_view in, size_t count,
+                std::vector<uint32_t>* values,
+                size_t* consumed) const override;
+};
+
+/// Variable-byte code (7 data bits per byte, high bit = continuation) —
+/// the paper's "V". Values below 128 take one byte, which §3.4 observes
+/// covers the bulk of factor lengths.
+class VByteCodec final : public IntCodec {
+ public:
+  IntCodecId id() const override { return IntCodecId::kVByte; }
+  void Encode(const std::vector<uint32_t>& values,
+              std::string* out) const override;
+  Status Decode(std::string_view in, size_t count,
+                std::vector<uint32_t>* values,
+                size_t* consumed) const override;
+
+  /// Appends one value (shared with other modules that vbyte small headers).
+  static void Put(uint32_t v, std::string* out);
+
+  /// Reads one value from in[*pos..); advances *pos. Returns Corruption on
+  /// truncated input.
+  static Status Get(std::string_view in, size_t* pos, uint32_t* v);
+};
+
+/// Simple-9: packs as many values as possible into each 32-bit word using
+/// 9 selector configurations (Anh & Moffat, 2005). Values must fit in 28
+/// bits; larger values fall back to an escape word.
+class Simple9Codec final : public IntCodec {
+ public:
+  IntCodecId id() const override { return IntCodecId::kSimple9; }
+  void Encode(const std::vector<uint32_t>& values,
+              std::string* out) const override;
+  Status Decode(std::string_view in, size_t count,
+                std::vector<uint32_t>* values,
+                size_t* consumed) const override;
+};
+
+/// PForDelta (Zukowski et al., 2006): blocks of 128 values bit-packed at a
+/// width `b` chosen so ~90% of values fit; the rest are patched exceptions
+/// stored verbatim after the block.
+class PForDeltaCodec final : public IntCodec {
+ public:
+  IntCodecId id() const override { return IntCodecId::kPForDelta; }
+  void Encode(const std::vector<uint32_t>& values,
+              std::string* out) const override;
+  Status Decode(std::string_view in, size_t count,
+                std::vector<uint32_t>* values,
+                size_t* consumed) const override;
+
+  static constexpr size_t kBlockSize = 128;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_CODECS_INT_CODECS_H_

@@ -1,0 +1,23 @@
+#include "core/archive_builder.h"
+
+#include "util/logging.h"
+
+namespace rlz {
+
+RlzArchiveBuilder::RlzArchiveBuilder(std::shared_ptr<const Dictionary> dict,
+                                     PairCoding coding, bool track_coverage)
+    : archive_(RlzArchive::NewEmpty(std::move(dict), coding)),
+      factorizer_(&archive_->dictionary(), track_coverage) {}
+
+void RlzArchiveBuilder::Add(std::string_view doc) {
+  scratch_.clear();
+  factorizer_.Factorize(doc, &scratch_);
+  archive_->AppendEncodedDoc(scratch_);
+}
+
+std::unique_ptr<RlzArchive> RlzArchiveBuilder::Finish() && {
+  RLZ_CHECK(archive_ != nullptr) << "Finish() called twice";
+  return std::move(archive_);
+}
+
+}  // namespace rlz

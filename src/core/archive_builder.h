@@ -1,0 +1,44 @@
+#ifndef RLZ_CORE_ARCHIVE_BUILDER_H_
+#define RLZ_CORE_ARCHIVE_BUILDER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/rlz_archive.h"
+
+namespace rlz {
+
+/// Incremental archive construction for the §3.6 dynamic setting:
+/// documents are appended one at a time (factorized and encoded
+/// immediately), without materializing a Collection. Compression is
+/// identical to RlzArchive::Build over the same documents.
+///
+///   RlzArchiveBuilder builder(dict, kZV);
+///   while (crawler.HasNext()) builder.Add(crawler.Next());
+///   auto archive = std::move(builder).Finish();
+class RlzArchiveBuilder {
+ public:
+  RlzArchiveBuilder(std::shared_ptr<const Dictionary> dict, PairCoding coding,
+                    bool track_coverage = false);
+
+  /// Factorizes and encodes one document at the next document id.
+  void Add(std::string_view doc);
+
+  size_t num_docs() const { return archive_->num_docs(); }
+  const FactorStats& stats() const { return factorizer_.stats(); }
+  double UnusedDictionaryFraction() const {
+    return factorizer_.UnusedFraction();
+  }
+
+  /// Finalizes and returns the archive. The builder is consumed.
+  std::unique_ptr<RlzArchive> Finish() &&;
+
+ private:
+  std::unique_ptr<RlzArchive> archive_;
+  Factorizer factorizer_;
+  std::vector<Factor> scratch_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_CORE_ARCHIVE_BUILDER_H_

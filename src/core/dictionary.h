@@ -1,0 +1,77 @@
+#ifndef RLZ_CORE_DICTIONARY_H_
+#define RLZ_CORE_DICTIONARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "suffix/matcher.h"
+#include "util/status.h"
+
+namespace rlz {
+
+/// An RLZ dictionary: the sampled text plus its suffix array wrapped in a
+/// SuffixMatcher. Immutable once built; memory-resident by design (this is
+/// the property that makes RLZ random access fast, §3.1).
+class Dictionary {
+ public:
+  /// Builds the suffix array for `text`. `text` is copied.
+  explicit Dictionary(std::string text);
+
+  std::string_view text() const { return text_; }
+  size_t size() const { return text_.size(); }
+  const SuffixMatcher& matcher() const { return *matcher_; }
+
+  /// Serialized form: the raw text (the suffix array is rebuilt on load;
+  /// it is derived data).
+  Status Save(const std::string& path) const;
+  static StatusOr<std::unique_ptr<Dictionary>> Load(const std::string& path);
+
+ private:
+  std::string text_;
+  std::unique_ptr<SuffixMatcher> matcher_;
+};
+
+/// Dictionary construction strategies from §3.3 and §3.6 of the paper.
+class DictionaryBuilder {
+ public:
+  /// §3.3: concatenates m/s samples of `sample_bytes` each, taken at evenly
+  /// spaced positions across `collection`, for a total of ~`dict_bytes`.
+  /// If the collection is smaller than `dict_bytes` the whole collection
+  /// becomes the dictionary.
+  static std::unique_ptr<Dictionary> BuildSampled(std::string_view collection,
+                                                  size_t dict_bytes,
+                                                  size_t sample_bytes);
+
+  /// Table 10: samples only the first `prefix_fraction` of the collection
+  /// (simulating a dictionary built before later documents arrived).
+  static std::unique_ptr<Dictionary> BuildFromPrefix(
+      std::string_view collection, double prefix_fraction, size_t dict_bytes,
+      size_t sample_bytes);
+
+  /// §3.6 ("if there is no constraint on memory"): extends `base` with
+  /// evenly spaced samples of `new_data`, keeping the original text (and
+  /// thus every already-encoded factor offset) intact, and rebuilds the
+  /// suffix array. Old encodings stay valid; new documents factorize
+  /// against the grown dictionary.
+  static std::unique_ptr<Dictionary> AppendSamples(const Dictionary& base,
+                                                   std::string_view new_data,
+                                                   size_t add_bytes,
+                                                   size_t sample_bytes);
+
+  /// §6 (future work): removes dictionary intervals that `used` marks as
+  /// never referenced by any factor, then refills the freed space with
+  /// fresh samples taken at offset `refill_phase` (pass a different phase
+  /// per pass for multi-pass pruning). `used` has one flag per dictionary
+  /// byte. Returns a dictionary of at most the original size.
+  static std::unique_ptr<Dictionary> BuildPruned(
+      std::string_view collection, const Dictionary& dict,
+      const std::vector<bool>& used, size_t sample_bytes,
+      size_t refill_phase = 1);
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_CORE_DICTIONARY_H_

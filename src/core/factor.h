@@ -1,0 +1,27 @@
+#ifndef RLZ_CORE_FACTOR_H_
+#define RLZ_CORE_FACTOR_H_
+
+#include <cstdint>
+
+namespace rlz {
+
+/// One RLZ factor (pj, lj) as defined in §3 of the paper: if `len > 0` the
+/// factor is the dictionary substring d[pos .. pos+len-1]; if `len == 0`
+/// the factor is the single literal character `pos` (a byte that does not
+/// occur in the dictionary).
+struct Factor {
+  uint32_t pos = 0;
+  uint32_t len = 0;
+
+  bool is_literal() const { return len == 0; }
+  /// Number of text characters this factor produces.
+  uint32_t text_length() const { return len == 0 ? 1 : len; }
+
+  bool operator==(const Factor& other) const {
+    return pos == other.pos && len == other.len;
+  }
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_CORE_FACTOR_H_

@@ -1,0 +1,286 @@
+#include "core/factor_coder.h"
+
+#include <algorithm>
+
+#include "codecs/int_codecs.h"
+#include "zip/gzipx.h"
+
+namespace rlz {
+namespace {
+
+// The "Z best compression" coder the paper applies to per-document factor
+// streams.
+const GzipxCompressor& StreamCompressor() {
+  static const GzipxCompressor* gz = new GzipxCompressor(
+      GzipxOptions{.max_chain = 512, .nice_length = 258, .lazy = true});
+  return *gz;
+}
+
+void AppendZStream(const std::string& raw, std::string* out) {
+  std::string z;
+  StreamCompressor().Compress(raw, &z);
+  VByteCodec::Put(static_cast<uint32_t>(z.size()), out);
+  out->append(z);
+}
+
+Status ReadZStream(std::string_view in, size_t* pos, std::string* raw) {
+  uint32_t zsize = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, pos, &zsize));
+  if (*pos + zsize > in.size()) {
+    return Status::Corruption("factor coder: truncated z-stream");
+  }
+  RLZ_RETURN_IF_ERROR(
+      StreamCompressor().Decompress(in.substr(*pos, zsize), raw));
+  *pos += zsize;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string PairCoding::name() const {
+  std::string n;
+  switch (pos) {
+    case PosCoding::kU32:
+      n += "U";
+      break;
+    case PosCoding::kZlib:
+      n += "Z";
+      break;
+    case PosCoding::kPFD:
+      n += "P";
+      break;
+  }
+  switch (len) {
+    case LenCoding::kVByte:
+      n += "V";
+      break;
+    case LenCoding::kZlib:
+      n += "Z";
+      break;
+    case LenCoding::kS9:
+      n += "S";
+      break;
+    case LenCoding::kPFD:
+      n += "P";
+      break;
+  }
+  return n;
+}
+
+StatusOr<PairCoding> PairCoding::FromName(std::string_view name) {
+  if (name.size() != 2) {
+    return Status::InvalidArgument("pair coding name must be 2 chars");
+  }
+  PairCoding c;
+  switch (name[0]) {
+    case 'U':
+      c.pos = PosCoding::kU32;
+      break;
+    case 'Z':
+      c.pos = PosCoding::kZlib;
+      break;
+    case 'P':
+      c.pos = PosCoding::kPFD;
+      break;
+    default:
+      return Status::InvalidArgument("bad position code");
+  }
+  switch (name[1]) {
+    case 'V':
+      c.len = LenCoding::kVByte;
+      break;
+    case 'Z':
+      c.len = LenCoding::kZlib;
+      break;
+    case 'S':
+      c.len = LenCoding::kS9;
+      break;
+    case 'P':
+      c.len = LenCoding::kPFD;
+      break;
+    default:
+      return Status::InvalidArgument("bad length code");
+  }
+  return c;
+}
+
+void FactorCoder::EncodeDoc(const std::vector<Factor>& factors,
+                            std::string* out) const {
+  VByteCodec::Put(static_cast<uint32_t>(factors.size()), out);
+
+  std::vector<uint32_t> positions;
+  std::vector<uint32_t> lengths;
+  positions.reserve(factors.size());
+  lengths.reserve(factors.size());
+  for (const Factor& f : factors) {
+    positions.push_back(f.pos);
+    lengths.push_back(f.len);
+  }
+
+  switch (coding_.pos) {
+    case PosCoding::kU32:
+      GetIntCodec(IntCodecId::kU32)->Encode(positions, out);
+      break;
+    case PosCoding::kZlib: {
+      std::string raw;
+      GetIntCodec(IntCodecId::kU32)->Encode(positions, &raw);
+      AppendZStream(raw, out);
+      break;
+    }
+    case PosCoding::kPFD:
+      GetIntCodec(IntCodecId::kPForDelta)->Encode(positions, out);
+      break;
+  }
+
+  switch (coding_.len) {
+    case LenCoding::kVByte:
+      GetIntCodec(IntCodecId::kVByte)->Encode(lengths, out);
+      break;
+    case LenCoding::kZlib: {
+      std::string raw;
+      GetIntCodec(IntCodecId::kVByte)->Encode(lengths, &raw);
+      AppendZStream(raw, out);
+      break;
+    }
+    case LenCoding::kS9:
+      GetIntCodec(IntCodecId::kSimple9)->Encode(lengths, out);
+      break;
+    case LenCoding::kPFD:
+      GetIntCodec(IntCodecId::kPForDelta)->Encode(lengths, out);
+      break;
+  }
+}
+
+Status FactorCoder::DecodeStreams(std::string_view in,
+                                  std::vector<uint32_t>* positions,
+                                  std::vector<uint32_t>* lengths,
+                                  size_t* consumed) const {
+  size_t pos = 0;
+  uint32_t count = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &count));
+  // Plausibility bound against corrupt headers: even z-coded streams of
+  // degenerate factor lists stay far above 1 byte per 4096 factors.
+  if (static_cast<uint64_t>(count) > in.size() * 4096ull + 64) {
+    return Status::Corruption("factor coder: implausible factor count");
+  }
+
+  size_t used = 0;
+  switch (coding_.pos) {
+    case PosCoding::kU32:
+      RLZ_RETURN_IF_ERROR(GetIntCodec(IntCodecId::kU32)
+                              ->Decode(in.substr(pos), count, positions,
+                                       &used));
+      pos += used;
+      break;
+    case PosCoding::kZlib: {
+      std::string raw;
+      RLZ_RETURN_IF_ERROR(ReadZStream(in, &pos, &raw));
+      RLZ_RETURN_IF_ERROR(
+          GetIntCodec(IntCodecId::kU32)->Decode(raw, count, positions, &used));
+      break;
+    }
+    case PosCoding::kPFD:
+      RLZ_RETURN_IF_ERROR(GetIntCodec(IntCodecId::kPForDelta)
+                              ->Decode(in.substr(pos), count, positions,
+                                       &used));
+      pos += used;
+      break;
+  }
+
+  switch (coding_.len) {
+    case LenCoding::kVByte:
+      RLZ_RETURN_IF_ERROR(GetIntCodec(IntCodecId::kVByte)
+                              ->Decode(in.substr(pos), count, lengths, &used));
+      pos += used;
+      break;
+    case LenCoding::kZlib: {
+      std::string raw;
+      RLZ_RETURN_IF_ERROR(ReadZStream(in, &pos, &raw));
+      RLZ_RETURN_IF_ERROR(GetIntCodec(IntCodecId::kVByte)
+                              ->Decode(raw, count, lengths, &used));
+      break;
+    }
+    case LenCoding::kS9:
+      RLZ_RETURN_IF_ERROR(GetIntCodec(IntCodecId::kSimple9)
+                              ->Decode(in.substr(pos), count, lengths, &used));
+      pos += used;
+      break;
+    case LenCoding::kPFD:
+      RLZ_RETURN_IF_ERROR(GetIntCodec(IntCodecId::kPForDelta)
+                              ->Decode(in.substr(pos), count, lengths, &used));
+      pos += used;
+      break;
+  }
+
+  if (consumed != nullptr) *consumed = pos;
+  return Status::OK();
+}
+
+Status FactorCoder::DecodeFactors(std::string_view in,
+                                  std::vector<Factor>* factors,
+                                  size_t* consumed) const {
+  std::vector<uint32_t> positions;
+  std::vector<uint32_t> lengths;
+  RLZ_RETURN_IF_ERROR(DecodeStreams(in, &positions, &lengths, consumed));
+  factors->reserve(factors->size() + positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    factors->push_back(Factor{positions[i], lengths[i]});
+  }
+  return Status::OK();
+}
+
+Status FactorCoder::DecodeRange(std::string_view in, const Dictionary& dict,
+                                size_t offset, size_t length,
+                                std::string* text) const {
+  std::vector<uint32_t> positions;
+  std::vector<uint32_t> lengths;
+  RLZ_RETURN_IF_ERROR(DecodeStreams(in, &positions, &lengths, nullptr));
+  const std::string_view d = dict.text();
+  size_t produced = 0;  // text cursor over the virtual decoded document
+  const size_t end = offset + length;
+  for (size_t i = 0; i < positions.size() && produced < end; ++i) {
+    const size_t flen = lengths[i] == 0 ? 1 : lengths[i];
+    const size_t fstart = produced;
+    produced += flen;
+    if (produced <= offset) continue;  // factor entirely before the range
+    if (lengths[i] == 0) {
+      if (positions[i] > 0xFF) {
+        return Status::Corruption("factor coder: literal out of range");
+      }
+      text->push_back(static_cast<char>(positions[i]));
+      continue;
+    }
+    if (static_cast<size_t>(positions[i]) + lengths[i] > d.size()) {
+      return Status::Corruption("factor coder: factor outside dictionary");
+    }
+    // Clip the factor to the requested range.
+    const size_t from = offset > fstart ? offset - fstart : 0;
+    const size_t to = std::min<size_t>(flen, end - fstart);
+    text->append(d.substr(positions[i] + from, to - from));
+  }
+  return Status::OK();
+}
+
+Status FactorCoder::DecodeDoc(std::string_view in, const Dictionary& dict,
+                              std::string* text) const {
+  std::vector<uint32_t> positions;
+  std::vector<uint32_t> lengths;
+  RLZ_RETURN_IF_ERROR(DecodeStreams(in, &positions, &lengths, nullptr));
+  const std::string_view d = dict.text();
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (lengths[i] == 0) {
+      if (positions[i] > 0xFF) {
+        return Status::Corruption("factor coder: literal out of range");
+      }
+      text->push_back(static_cast<char>(positions[i]));
+    } else {
+      if (static_cast<size_t>(positions[i]) + lengths[i] > d.size()) {
+        return Status::Corruption("factor coder: factor outside dictionary");
+      }
+      text->append(d.substr(positions[i], lengths[i]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rlz

@@ -1,0 +1,91 @@
+#ifndef RLZ_CORE_FACTOR_CODER_H_
+#define RLZ_CORE_FACTOR_CODER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dictionary.h"
+#include "core/factor.h"
+#include "util/status.h"
+
+namespace rlz {
+
+/// Position-stream codes (§3.4). "Z" applies the general-purpose gzipx
+/// compressor to the U32-encoded positions of one document, exploiting the
+/// within-document skew the paper observed; "U" stores raw 32-bit words.
+/// kPFD is an extension codec from the paper's future-work list.
+enum class PosCoding : uint8_t {
+  kU32 = 0,    // "U"
+  kZlib = 1,   // "Z"
+  kPFD = 2,    // "PFD" (extension)
+};
+
+/// Length-stream codes. "V" is vbyte (the paper's default, Fig. 3
+/// motivates it); "Z" compresses the vbyte stream with gzipx; kS9/kPFD are
+/// the future-work codecs (§6).
+enum class LenCoding : uint8_t {
+  kVByte = 0,  // "V"
+  kZlib = 1,   // "Z"
+  kS9 = 2,     // "S9" (extension)
+  kPFD = 3,    // "PFD" (extension)
+};
+
+/// A position–length coding pair, named as in the paper's tables: first
+/// letter = positions, second = lengths (e.g. "ZV" = zlib positions, vbyte
+/// lengths).
+struct PairCoding {
+  PosCoding pos = PosCoding::kZlib;
+  LenCoding len = LenCoding::kVByte;
+
+  std::string name() const;
+  static StatusOr<PairCoding> FromName(std::string_view name);
+};
+
+/// The four combinations evaluated in Tables 4/5/8.
+inline constexpr PairCoding kZZ{PosCoding::kZlib, LenCoding::kZlib};
+inline constexpr PairCoding kZV{PosCoding::kZlib, LenCoding::kVByte};
+inline constexpr PairCoding kUZ{PosCoding::kU32, LenCoding::kZlib};
+inline constexpr PairCoding kUV{PosCoding::kU32, LenCoding::kVByte};
+
+/// Encodes one document's factor list into a byte string and back. The
+/// per-document layout is
+///   vbyte(num_factors) | positions stream | lengths stream
+/// with gzipx streams length-prefixed. Positions and lengths are grouped
+/// per document and coded separately, as §3.4 prescribes.
+class FactorCoder {
+ public:
+  explicit FactorCoder(PairCoding coding) : coding_(coding) {}
+
+  PairCoding coding() const { return coding_; }
+
+  /// Appends the encoded form of `factors` to `out`.
+  void EncodeDoc(const std::vector<Factor>& factors, std::string* out) const;
+
+  /// Decodes an encoded document back to factors. `in` must begin at the
+  /// encoding; trailing bytes are ignored. Sets `*consumed` if non-null.
+  Status DecodeFactors(std::string_view in, std::vector<Factor>* factors,
+                       size_t* consumed = nullptr) const;
+
+  /// Decodes an encoded document straight to text via `dict` (Fig. 2).
+  Status DecodeDoc(std::string_view in, const Dictionary& dict,
+                   std::string* text) const;
+
+  /// Decodes only text[offset, offset+length) of the document, skipping
+  /// factors before the range and stopping after it — snippet extraction
+  /// without materializing the whole document. If the range extends past
+  /// the end of the document the available suffix is returned.
+  Status DecodeRange(std::string_view in, const Dictionary& dict,
+                     size_t offset, size_t length, std::string* text) const;
+
+ private:
+  Status DecodeStreams(std::string_view in, std::vector<uint32_t>* positions,
+                       std::vector<uint32_t>* lengths,
+                       size_t* consumed) const;
+
+  PairCoding coding_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_CORE_FACTOR_CODER_H_

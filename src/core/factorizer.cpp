@@ -1,0 +1,65 @@
+#include "core/factorizer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rlz {
+
+Factorizer::Factorizer(const Dictionary* dict, bool track_coverage)
+    : dict_(dict), track_coverage_(track_coverage) {
+  RLZ_CHECK(dict != nullptr);
+  if (track_coverage_) coverage_.assign(dict_->size(), false);
+}
+
+void Factorizer::Factorize(std::string_view doc, std::vector<Factor>* out) {
+  const SuffixMatcher& matcher = dict_->matcher();
+  size_t i = 0;
+  while (i < doc.size()) {
+    const Match m = matcher.LongestMatch(doc.substr(i));
+    Factor f;
+    if (m.len == 0) {
+      // Character absent from the dictionary: emit a literal.
+      f.pos = static_cast<uint8_t>(doc[i]);
+      f.len = 0;
+      i += 1;
+    } else {
+      f.pos = static_cast<uint32_t>(m.pos);
+      f.len = static_cast<uint32_t>(m.len);
+      i += m.len;
+      if (track_coverage_) {
+        std::fill(coverage_.begin() + m.pos, coverage_.begin() + m.pos + m.len,
+                  true);
+      }
+    }
+    out->push_back(f);
+    ++stats_.num_factors;
+    if (f.len == 0) ++stats_.num_literals;
+  }
+  stats_.text_bytes += doc.size();
+}
+
+Status Factorizer::Decode(const std::vector<Factor>& factors,
+                          const Dictionary& dict, std::string* out) {
+  const std::string_view d = dict.text();
+  for (const Factor& f : factors) {
+    if (f.len == 0) {
+      if (f.pos > 0xFF) return Status::Corruption("literal out of range");
+      out->push_back(static_cast<char>(f.pos));
+    } else {
+      if (static_cast<size_t>(f.pos) + f.len > d.size()) {
+        return Status::Corruption("factor outside dictionary");
+      }
+      out->append(d.substr(f.pos, f.len));
+    }
+  }
+  return Status::OK();
+}
+
+double Factorizer::UnusedFraction() const {
+  if (coverage_.empty()) return 0.0;
+  const size_t used = std::count(coverage_.begin(), coverage_.end(), true);
+  return 1.0 - static_cast<double>(used) / coverage_.size();
+}
+
+}  // namespace rlz

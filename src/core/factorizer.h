@@ -1,0 +1,66 @@
+#ifndef RLZ_CORE_FACTORIZER_H_
+#define RLZ_CORE_FACTORIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dictionary.h"
+#include "core/factor.h"
+
+namespace rlz {
+
+/// Statistics accumulated across factorized documents (Tables 2 and 3).
+struct FactorStats {
+  uint64_t num_factors = 0;
+  uint64_t num_literals = 0;
+  uint64_t text_bytes = 0;
+
+  /// Average characters produced per factor ("Avg.Fact." in Tables 2/3).
+  double avg_factor_length() const {
+    return num_factors == 0
+               ? 0.0
+               : static_cast<double>(text_bytes) /
+                     static_cast<double>(num_factors);
+  }
+};
+
+/// Greedy RLZ parser: Fig. 1 of the paper. Each call to Factorize parses
+/// one document into the fewest greedy factors relative to the dictionary.
+/// Thread-compatible: const, no mutable state; coverage tracking is
+/// per-instance and optional.
+class Factorizer {
+ public:
+  /// If `track_coverage` is true, a per-dictionary-byte usage bitmap is
+  /// maintained (the "Unused %" column of Tables 2/3 and the input to
+  /// DictionaryBuilder::BuildPruned).
+  explicit Factorizer(const Dictionary* dict, bool track_coverage = false);
+
+  /// Parses `doc` and appends factors to `out`. Updates stats/coverage.
+  void Factorize(std::string_view doc, std::vector<Factor>* out);
+
+  /// Expands `factors` back into text, appending to `out`. This is the
+  /// paper's Fig. 2 decoding algorithm. Returns Corruption if a factor
+  /// lies outside the dictionary.
+  static Status Decode(const std::vector<Factor>& factors,
+                       const Dictionary& dict, std::string* out);
+
+  const FactorStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FactorStats(); }
+
+  /// Coverage bitmap (empty if tracking is disabled).
+  const std::vector<bool>& coverage() const { return coverage_; }
+
+  /// Fraction of dictionary bytes never used by any factor so far.
+  double UnusedFraction() const;
+
+ private:
+  const Dictionary* dict_;
+  FactorStats stats_;
+  std::vector<bool> coverage_;
+  bool track_coverage_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_CORE_FACTORIZER_H_

@@ -1,0 +1,16 @@
+#include "core/rlz.h"
+
+namespace rlz {
+
+std::unique_ptr<RlzArchive> CompressCollection(const Collection& collection,
+                                               const RlzOptions& options,
+                                               RlzBuildInfo* info) {
+  std::shared_ptr<const Dictionary> dict = DictionaryBuilder::BuildSampled(
+      collection.data(), options.dict_bytes, options.sample_bytes);
+  RlzBuildOptions build;
+  build.coding = options.coding;
+  build.track_coverage = options.track_coverage;
+  return RlzArchive::Build(collection, std::move(dict), build, info);
+}
+
+}  // namespace rlz

@@ -1,0 +1,46 @@
+#ifndef RLZ_CORE_RLZ_H_
+#define RLZ_CORE_RLZ_H_
+
+/// \file
+/// Umbrella header for the rlz library's public API.
+///
+/// Typical usage (see examples/quickstart.cpp):
+///
+///   rlz::Collection collection = ...;                 // your documents
+///   auto archive = rlz::CompressCollection(
+///       collection, {.dict_bytes = 1 << 20, .sample_bytes = 1024,
+///                    .coding = rlz::kZV});
+///   std::string doc;
+///   RLZ_CHECK(archive->Get(42, &doc).ok());           // random access
+
+#include <memory>
+
+#include "core/dictionary.h"
+#include "core/factor.h"
+#include "core/factor_coder.h"
+#include "core/factorizer.h"
+#include "core/rlz_archive.h"
+#include "corpus/collection.h"
+
+namespace rlz {
+
+/// One-call compression options.
+struct RlzOptions {
+  /// Total dictionary size (§3.1: "dictated by the user and/or the
+  /// available memory").
+  size_t dict_bytes = 1 << 20;
+  /// Sample size for dictionary generation (the paper's default is 1 KB).
+  size_t sample_bytes = 1024;
+  PairCoding coding = kZV;
+  bool track_coverage = false;
+};
+
+/// Builds a sampled dictionary over `collection` and encodes every document
+/// against it — steps 1–3 of §3.1 in one call.
+std::unique_ptr<RlzArchive> CompressCollection(const Collection& collection,
+                                               const RlzOptions& options = {},
+                                               RlzBuildInfo* info = nullptr);
+
+}  // namespace rlz
+
+#endif  // RLZ_CORE_RLZ_H_

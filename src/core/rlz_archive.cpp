@@ -1,0 +1,221 @@
+#include "core/rlz_archive.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "codecs/int_codecs.h"
+#include "io/file.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace rlz {
+namespace {
+constexpr char kArchiveMagic[4] = {'R', 'L', 'Z', 'A'};
+constexpr uint8_t kArchiveVersion = 1;
+}  // namespace
+
+std::unique_ptr<RlzArchive> RlzArchive::Build(
+    const Collection& collection, std::shared_ptr<const Dictionary> dict,
+    const RlzBuildOptions& options, RlzBuildInfo* info) {
+  RLZ_CHECK(dict != nullptr);
+  std::unique_ptr<RlzArchive> archive(
+      new RlzArchive(std::move(dict), options.coding));
+
+  const size_t ndocs = collection.num_docs();
+  const int num_threads = std::max(
+      1, std::min<int>(options.num_threads, static_cast<int>(ndocs)));
+
+  // Per-worker output: an encoded payload chunk plus per-doc sizes for a
+  // contiguous range of documents. The dictionary and its suffix array are
+  // immutable, so workers share them without synchronization; assembling
+  // chunks in range order makes the archive bit-identical for any thread
+  // count.
+  struct Chunk {
+    std::string payload;
+    std::vector<uint64_t> doc_sizes;
+    FactorStats stats;
+    std::vector<bool> coverage;
+  };
+  std::vector<Chunk> chunks(num_threads);
+
+  auto run_range = [&](size_t begin, size_t end, Chunk* chunk) {
+    Factorizer factorizer(&archive->dictionary(), options.track_coverage);
+    const FactorCoder& coder = archive->coder_;
+    std::vector<Factor> factors;
+    chunk->doc_sizes.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      factors.clear();
+      factorizer.Factorize(collection.doc(i), &factors);
+      const size_t before = chunk->payload.size();
+      coder.EncodeDoc(factors, &chunk->payload);
+      chunk->doc_sizes.push_back(chunk->payload.size() - before);
+    }
+    chunk->stats = factorizer.stats();
+    if (options.track_coverage) chunk->coverage = factorizer.coverage();
+  };
+
+  if (num_threads == 1) {
+    run_range(0, ndocs, &chunks[0]);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    const size_t per = (ndocs + num_threads - 1) / num_threads;
+    for (int t = 0; t < num_threads; ++t) {
+      const size_t begin = std::min(ndocs, per * static_cast<size_t>(t));
+      const size_t end = std::min(ndocs, begin + per);
+      workers.emplace_back(run_range, begin, end, &chunks[t]);
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  FactorStats total_stats;
+  std::vector<bool> total_coverage;
+  if (options.track_coverage) {
+    total_coverage.assign(archive->dictionary().size(), false);
+  }
+  for (const Chunk& chunk : chunks) {
+    archive->payload_.append(chunk.payload);
+    for (uint64_t size : chunk.doc_sizes) archive->map_.Add(size);
+    total_stats.num_factors += chunk.stats.num_factors;
+    total_stats.num_literals += chunk.stats.num_literals;
+    total_stats.text_bytes += chunk.stats.text_bytes;
+    if (options.track_coverage) {
+      for (size_t i = 0; i < chunk.coverage.size(); ++i) {
+        if (chunk.coverage[i]) total_coverage[i] = true;
+      }
+    }
+  }
+
+  if (info != nullptr) {
+    info->stats = total_stats;
+    if (options.track_coverage) {
+      const size_t used = static_cast<size_t>(std::count(
+          total_coverage.begin(), total_coverage.end(), true));
+      info->unused_dictionary_fraction =
+          total_coverage.empty()
+              ? 0.0
+              : 1.0 - static_cast<double>(used) / total_coverage.size();
+      info->coverage = std::move(total_coverage);
+    }
+  }
+  return archive;
+}
+
+std::unique_ptr<RlzArchive> RlzArchive::BuildFromFactors(
+    std::shared_ptr<const Dictionary> dict,
+    const std::vector<std::vector<Factor>>& docs, PairCoding coding) {
+  RLZ_CHECK(dict != nullptr);
+  std::unique_ptr<RlzArchive> archive(
+      new RlzArchive(std::move(dict), coding));
+  for (const std::vector<Factor>& factors : docs) {
+    const size_t before = archive->payload_.size();
+    archive->coder_.EncodeDoc(factors, &archive->payload_);
+    archive->map_.Add(archive->payload_.size() - before);
+  }
+  return archive;
+}
+
+Status RlzArchive::Save(const std::string& path) const {
+  std::string out;
+  out.append(kArchiveMagic, 4);
+  out.push_back(static_cast<char>(kArchiveVersion));
+  out.push_back(static_cast<char>(coder_.coding().pos));
+  out.push_back(static_cast<char>(coder_.coding().len));
+  VByteCodec::Put(static_cast<uint32_t>(dict_->size()), &out);
+  out.append(dict_->text());
+  VByteCodec::Put(static_cast<uint32_t>(num_docs()), &out);
+  for (size_t i = 0; i < num_docs(); ++i) {
+    VByteCodec::Put(static_cast<uint32_t>(map_.size(i)), &out);
+  }
+  out.append(payload_);
+  const uint32_t crc = Crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  return WriteFile(path, out);
+}
+
+StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::Load(
+    const std::string& path) {
+  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  if (raw.size() < 11 ||
+      std::string_view(raw.data(), 4) != std::string_view(kArchiveMagic, 4)) {
+    return Status::Corruption("rlz archive: bad magic in " + path);
+  }
+  uint32_t want_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    want_crc |= static_cast<uint32_t>(
+                    static_cast<uint8_t>(raw[raw.size() - 4 + i]))
+                << (8 * i);
+  }
+  if (Crc32(raw.data(), raw.size() - 4) != want_crc) {
+    return Status::Corruption("rlz archive: checksum mismatch in " + path);
+  }
+  size_t pos = 4;
+  const uint8_t version = static_cast<uint8_t>(raw[pos++]);
+  if (version != kArchiveVersion) {
+    return Status::Corruption("rlz archive: unsupported version");
+  }
+  PairCoding coding;
+  coding.pos = static_cast<PosCoding>(static_cast<uint8_t>(raw[pos++]));
+  coding.len = static_cast<LenCoding>(static_cast<uint8_t>(raw[pos++]));
+  // Re-validate through the name round-trip (rejects invalid enum bytes).
+  {
+    const std::string name = coding.name();
+    auto parsed = PairCoding::FromName(name);
+    if (!parsed.ok() || parsed->pos != coding.pos ||
+        parsed->len != coding.len) {
+      return Status::Corruption("rlz archive: invalid coding bytes");
+    }
+  }
+
+  uint32_t dict_size = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &dict_size));
+  if (pos + dict_size > raw.size() - 4) {
+    return Status::Corruption("rlz archive: truncated dictionary");
+  }
+  auto dict = std::make_shared<const Dictionary>(raw.substr(pos, dict_size));
+  pos += dict_size;
+
+  uint32_t ndocs = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &ndocs));
+  std::unique_ptr<RlzArchive> archive(
+      new RlzArchive(std::move(dict), coding));
+  uint64_t payload_size = 0;
+  std::vector<uint32_t> sizes(ndocs);
+  for (uint32_t i = 0; i < ndocs; ++i) {
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &sizes[i]));
+    payload_size += sizes[i];
+  }
+  if (raw.size() - 4 - pos != payload_size) {
+    return Status::Corruption("rlz archive: payload size mismatch");
+  }
+  for (uint32_t i = 0; i < ndocs; ++i) archive->map_.Add(sizes[i]);
+  archive->payload_ = raw.substr(pos, payload_size);
+  return archive;
+}
+
+Status RlzArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
+  if (id >= num_docs()) return Status::OutOfRange("rlz archive: bad doc id");
+  doc->clear();
+  const uint64_t off = map_.offset(id);
+  const uint64_t size = map_.size(id);
+  // Only this document's factor stream is read from disk; the dictionary
+  // is memory-resident and free (§3.1).
+  if (disk != nullptr) disk->Read(off, size);
+  return coder_.DecodeDoc(std::string_view(payload_).substr(off, size),
+                          *dict_, doc);
+}
+
+Status RlzArchive::GetRange(size_t id, size_t offset, size_t length,
+                            std::string* text, SimDisk* disk) const {
+  if (id >= num_docs()) return Status::OutOfRange("rlz archive: bad doc id");
+  text->clear();
+  const uint64_t off = map_.offset(id);
+  const uint64_t size = map_.size(id);
+  if (disk != nullptr) disk->Read(off, size);
+  return coder_.DecodeRange(std::string_view(payload_).substr(off, size),
+                            *dict_, offset, length, text);
+}
+
+}  // namespace rlz

@@ -1,0 +1,116 @@
+#ifndef RLZ_CORE_RLZ_ARCHIVE_H_
+#define RLZ_CORE_RLZ_ARCHIVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dictionary.h"
+#include "core/factor_coder.h"
+#include "core/factorizer.h"
+#include "corpus/collection.h"
+#include "store/archive.h"
+#include "store/doc_map.h"
+
+namespace rlz {
+
+/// Build-time knobs for RlzArchive::Build.
+struct RlzBuildOptions {
+  PairCoding coding = kZV;
+  /// Track per-byte dictionary usage while encoding (needed for the
+  /// Unused % statistic and for dictionary pruning; small CPU overhead).
+  bool track_coverage = false;
+  /// Worker threads for factorization+encoding. Documents are partitioned
+  /// into contiguous ranges; output is bit-identical for any thread count
+  /// (the dictionary is immutable and factorization is per-document).
+  int num_threads = 1;
+};
+
+/// Build-time results that the evaluation tables report.
+struct RlzBuildInfo {
+  FactorStats stats;
+  double unused_dictionary_fraction = 0.0;  // valid if track_coverage
+  std::vector<bool> coverage;               // valid if track_coverage
+};
+
+/// The rlz document store (§3.1): an in-memory dictionary plus one encoded
+/// factor stream per document and a document map. Random access decodes
+/// only the requested document against the memory-resident dictionary.
+class RlzArchive final : public Archive {
+ public:
+  /// Factorizes every document of `collection` against `dict` and encodes
+  /// the factor streams with `options.coding`. `dict` is shared (it may be
+  /// reused across archives with different codings). If `info` is non-null
+  /// it receives the build statistics.
+  static std::unique_ptr<RlzArchive> Build(const Collection& collection,
+                                           std::shared_ptr<const Dictionary> dict,
+                                           const RlzBuildOptions& options = {},
+                                           RlzBuildInfo* info = nullptr);
+
+  /// Encodes precomputed per-document factor lists (one vector per
+  /// document, as produced by Factorizer). Lets callers factorize once and
+  /// encode under several codings — how the evaluation builds its
+  /// ZZ/ZV/UZ/UV rows from a single parsing pass.
+  static std::unique_ptr<RlzArchive> BuildFromFactors(
+      std::shared_ptr<const Dictionary> dict,
+      const std::vector<std::vector<Factor>>& docs, PairCoding coding);
+
+  std::string name() const override { return "rlz-" + coder_.coding().name(); }
+  size_t num_docs() const override { return map_.num_docs(); }
+  Status Get(size_t id, std::string* doc,
+             SimDisk* disk = nullptr) const override;
+
+  /// Decodes only bytes [offset, offset+length) of document `id` — the
+  /// snippet-generation fast path (§1): factor streams are skipped, not
+  /// expanded, outside the range. Clamps to the document end.
+  Status GetRange(size_t id, size_t offset, size_t length, std::string* text,
+                  SimDisk* disk = nullptr) const;
+
+  /// Encoded payload + document map + dictionary text (the dictionary is
+  /// part of the stored output, as in the paper's Enc. % figures).
+  uint64_t stored_bytes() const override {
+    return payload_.size() + map_.serialized_bytes() + dict_->size();
+  }
+
+  const Dictionary& dictionary() const { return *dict_; }
+  const FactorCoder& coder() const { return coder_; }
+  uint64_t payload_bytes() const { return payload_.size(); }
+
+  /// Serializes the archive (dictionary text, coding, document map,
+  /// payload) to one file, CRC-protected. The suffix array is derived data
+  /// and rebuilt on load.
+  Status Save(const std::string& path) const;
+
+  /// Opens an archive written by Save. Rebuilds the dictionary's suffix
+  /// array; returns Corruption on format or checksum errors.
+  static StatusOr<std::unique_ptr<RlzArchive>> Load(const std::string& path);
+
+ private:
+  friend class RlzArchiveBuilder;
+
+  RlzArchive(std::shared_ptr<const Dictionary> dict, PairCoding coding)
+      : dict_(std::move(dict)), coder_(coding) {}
+
+  /// For RlzArchiveBuilder: an archive with no documents yet.
+  static std::unique_ptr<RlzArchive> NewEmpty(
+      std::shared_ptr<const Dictionary> dict, PairCoding coding) {
+    return std::unique_ptr<RlzArchive>(
+        new RlzArchive(std::move(dict), coding));
+  }
+
+  /// For RlzArchiveBuilder: encodes `factors` as the next document.
+  void AppendEncodedDoc(const std::vector<Factor>& factors) {
+    const size_t before = payload_.size();
+    coder_.EncodeDoc(factors, &payload_);
+    map_.Add(payload_.size() - before);
+  }
+
+  std::shared_ptr<const Dictionary> dict_;
+  FactorCoder coder_;
+  std::string payload_;
+  DocMap map_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_CORE_RLZ_ARCHIVE_H_

@@ -1,0 +1,50 @@
+#include "corpus/collection.h"
+
+#include "codecs/int_codecs.h"
+#include "io/file.h"
+
+namespace rlz {
+namespace {
+constexpr char kMagic[4] = {'R', 'C', 'O', '1'};
+}  // namespace
+
+Status Collection::Save(const std::string& path) const {
+  std::string out;
+  out.append(kMagic, 4);
+  VByteCodec::Put(static_cast<uint32_t>(num_docs()), &out);
+  for (size_t i = 0; i < num_docs(); ++i) {
+    VByteCodec::Put(static_cast<uint32_t>(doc_size(i)), &out);
+  }
+  out.append(data_);
+  return WriteFile(path, out);
+}
+
+StatusOr<Collection> Collection::Load(const std::string& path) {
+  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  if (raw.size() < 4 || std::string_view(raw.data(), 4) !=
+                            std::string_view(kMagic, 4)) {
+    return Status::Corruption("collection: bad magic in " + path);
+  }
+  size_t pos = 4;
+  uint32_t ndocs = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &ndocs));
+  std::vector<uint32_t> sizes(ndocs);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < ndocs; ++i) {
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &sizes[i]));
+    total += sizes[i];
+  }
+  if (raw.size() - pos != total) {
+    return Status::Corruption("collection: size mismatch in " + path);
+  }
+  Collection c;
+  c.Reserve(total, ndocs);
+  size_t off = pos;
+  for (uint32_t i = 0; i < ndocs; ++i) {
+    c.Append(std::string_view(raw).substr(off, sizes[i]));
+    off += sizes[i];
+  }
+  return c;
+}
+
+}  // namespace rlz

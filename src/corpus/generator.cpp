@@ -1,0 +1,326 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace rlz {
+namespace {
+
+// Number of globally shared boilerplate fragments (CSS/JS/footer chunks
+// that appear verbatim on every host — the "global repetition" that
+// block-local compressors cannot reach but dictionary sampling can).
+constexpr int kNumGlobalFragments = 48;
+
+std::string MakeWord(Rng& rng) {
+  static const char* kSyllables[] = {"ba", "co", "da", "el", "fi", "go", "ha",
+                                     "in", "jo", "ka", "lu", "ma", "ne", "or",
+                                     "pa", "qu", "ri", "sa", "te", "um", "ve",
+                                     "wa", "xe", "yo", "za", "th", "st", "er"};
+  const int ns = 1 + static_cast<int>(rng.Uniform(4));
+  std::string w;
+  for (int i = 0; i < ns; ++i) {
+    w += kSyllables[rng.Uniform(std::size(kSyllables))];
+  }
+  return w;
+}
+
+std::vector<std::string> MakeVocabulary(Rng& rng, size_t size) {
+  std::vector<std::string> vocab;
+  vocab.reserve(size);
+  for (size_t i = 0; i < size; ++i) vocab.push_back(MakeWord(rng));
+  return vocab;
+}
+
+// A sentence of Zipf-distributed words.
+std::string MakeSentence(Rng& rng, const ZipfSampler& zipf,
+                         const std::vector<std::string>& vocab,
+                         size_t num_words) {
+  std::string s;
+  for (size_t i = 0; i < num_words; ++i) {
+    s += vocab[zipf.Sample(rng)];
+    s += (i + 1 == num_words) ? ". " : " ";
+  }
+  return s;
+}
+
+// A paragraph of Zipf-distributed words wrapped in <p> tags.
+std::string MakeParagraph(Rng& rng, const ZipfSampler& zipf,
+                          const std::vector<std::string>& vocab,
+                          size_t num_words) {
+  std::string p = "<p>";
+  p += MakeSentence(rng, zipf, vocab, num_words);
+  p += "</p>\n";
+  return p;
+}
+
+// Natural-language text repeats phrases and whole sentences across
+// documents (quotes, stock phrasing, syndicated snippets). The bank is the
+// global pool those repeats come from; Zipf selection over it makes popular
+// sentences ubiquitous — the long-range redundancy that gives RLZ its long
+// factors on real crawls.
+constexpr size_t kSentenceBankSize = 1500;
+
+std::vector<std::string> MakeSentenceBank(Rng& rng, const ZipfSampler& zipf,
+                                          const std::vector<std::string>& vocab) {
+  std::vector<std::string> bank;
+  bank.reserve(kSentenceBankSize);
+  for (size_t i = 0; i < kSentenceBankSize; ++i) {
+    bank.push_back(
+        MakeSentence(rng, zipf, vocab, 8 + rng.Uniform(14)));
+  }
+  return bank;
+}
+
+std::vector<std::string> MakeGlobalFragments(
+    Rng& rng, const ZipfSampler& zipf, const std::vector<std::string>& vocab) {
+  std::vector<std::string> frags;
+  frags.reserve(kNumGlobalFragments);
+  for (int i = 0; i < kNumGlobalFragments; ++i) {
+    std::string f;
+    switch (i % 4) {
+      case 0: {  // CSS-like block
+        f = "<style type=\"text/css\">\n";
+        const int rules = 4 + static_cast<int>(rng.Uniform(8));
+        for (int r = 0; r < rules; ++r) {
+          f += "." + vocab[zipf.Sample(rng)] +
+               " { margin: " + std::to_string(rng.Uniform(32)) +
+               "px; padding: " + std::to_string(rng.Uniform(16)) +
+               "px; color: #" + std::to_string(100000 + rng.Uniform(899999)) +
+               "; }\n";
+        }
+        f += "</style>\n";
+        break;
+      }
+      case 1: {  // JS-like block
+        f = "<script type=\"text/javascript\">function " +
+            vocab[zipf.Sample(rng)] + "() { var " + vocab[zipf.Sample(rng)] +
+            " = document.getElementById('" + vocab[zipf.Sample(rng)] +
+            "'); if (" + vocab[zipf.Sample(rng)] +
+            ") { return true; } return false; }</script>\n";
+        break;
+      }
+      case 2: {  // standard footer / disclaimer text
+        f = "<div class=\"footer\">";
+        f += MakeParagraph(rng, zipf, vocab, 30 + rng.Uniform(30));
+        f += "</div>\n";
+        break;
+      }
+      default: {  // meta/header boilerplate
+        f = "<meta name=\"" + vocab[zipf.Sample(rng)] + "\" content=\"" +
+            vocab[zipf.Sample(rng)] + " " + vocab[zipf.Sample(rng)] +
+            "\" />\n<link rel=\"stylesheet\" href=\"/static/" +
+            vocab[zipf.Sample(rng)] + ".css\" />\n";
+        break;
+      }
+    }
+    frags.push_back(std::move(f));
+  }
+  return frags;
+}
+
+struct HostTemplate {
+  std::string name;    // e.g. www.lumate.gov
+  std::string header;  // shared prefix of every page on the host
+  std::string footer;  // shared suffix
+  int mirror_of = -1;  // index of mirrored host, or -1
+};
+
+}  // namespace
+
+Corpus GenerateCorpus(const CorpusOptions& options, DocOrder order) {
+  Rng rng(options.seed);
+
+  const bool wiki = options.style == CorpusStyle::kWiki;
+  const size_t avg_doc =
+      options.avg_doc_bytes != 0 ? options.avg_doc_bytes
+                                 : (wiki ? 45 * 1024 : 18 * 1024);
+  const size_t num_docs = std::max<size_t>(1, options.target_bytes / avg_doc);
+  size_t num_hosts = options.num_hosts;
+  if (num_hosts == 0) {
+    // Web crawls have many small sites; wiki snapshots few "projects".
+    num_hosts = std::max<size_t>(4, wiki ? num_docs / 400 : num_docs / 24);
+  }
+
+  const std::vector<std::string> vocab = MakeVocabulary(rng, options.vocab_size);
+  const ZipfSampler zipf(vocab.size(), options.zipf_theta);
+  const std::vector<std::string> global_frags =
+      MakeGlobalFragments(rng, zipf, vocab);
+  const std::vector<std::string> sentence_bank =
+      MakeSentenceBank(rng, zipf, vocab);
+  const ZipfSampler sentence_zipf(sentence_bank.size(), 1.0);
+
+  // Build host templates. Mirrors copy another host's template and later
+  // its page bodies, but advertise a different hostname.
+  std::vector<HostTemplate> hosts(num_hosts);
+  for (size_t h = 0; h < num_hosts; ++h) {
+    HostTemplate& host = hosts[h];
+    host.name = (wiki ? "en.wikipedia.org/wiki/" : "www.") +
+                vocab[rng.Uniform(vocab.size())] +
+                vocab[rng.Uniform(vocab.size())] + (wiki ? "" : ".gov");
+    if (!wiki && h > 0 && rng.Bernoulli(options.mirror_fraction)) {
+      host.mirror_of = static_cast<int>(rng.Uniform(h));
+      host.header = hosts[host.mirror_of].header;
+      host.footer = hosts[host.mirror_of].footer;
+      continue;
+    }
+    std::string& hdr = host.header;
+    hdr = "<!DOCTYPE html>\n<html>\n<head>\n<title>" + host.name +
+          " :: " + vocab[zipf.Sample(rng)] + "</title>\n";
+    // Every host carries the universal fragments (shared CSS framework /
+    // analytics snippet — the strongest form of global redundancy), plus a
+    // random subset of the remaining pool.
+    hdr += global_frags[0];
+    hdr += global_frags[1];
+    const int nfrags = 3 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < nfrags; ++i) {
+      hdr += global_frags[rng.Uniform(global_frags.size())];
+    }
+    hdr += "</head>\n<body>\n<div class=\"nav\">";
+    const int nav_links = 6 + static_cast<int>(rng.Uniform(10));
+    for (int i = 0; i < nav_links; ++i) {
+      hdr += "<a href=\"/" + vocab[zipf.Sample(rng)] + "/" +
+             vocab[zipf.Sample(rng)] + ".html\">" + vocab[zipf.Sample(rng)] +
+             "</a> | ";
+    }
+    hdr += "</div>\n";
+
+    host.footer = "<div class=\"bottom\">";
+    host.footer += global_frags[rng.Uniform(global_frags.size())];
+    host.footer += "</div>\n</body>\n</html>\n";
+  }
+
+  // Assign each document to a host, skewed so that a few hosts are large
+  // (as in real crawls). Mirrors get the same number of pages as their
+  // originals by construction of the assignment pass below.
+  const ZipfSampler host_zipf(num_hosts, 0.8);
+  std::vector<int> doc_host(num_docs);
+  for (size_t d = 0; d < num_docs; ++d) {
+    doc_host[d] = static_cast<int>(host_zipf.Sample(rng));
+  }
+
+  // Generate page bodies. Pages of a mirror host reuse the body of the
+  // corresponding page of the original host (identical content, different
+  // URL), so we generate originals on demand and cache per (host, page#).
+  Corpus corpus;
+  corpus.collection.Reserve(options.target_bytes + options.target_bytes / 8,
+                            num_docs);
+  corpus.urls.reserve(num_docs);
+
+  std::vector<int> pages_on_host(num_hosts, 0);
+  // body cache for mirrored hosts: originals keyed by (host, page#).
+  std::vector<std::vector<std::string>> body_cache(num_hosts);
+
+  auto make_body = [&](int host_idx, Rng& r) {
+    const HostTemplate& host = hosts[host_idx];
+    std::string body;
+    const double spread = 0.3 + 1.4 * r.NextDouble();
+    const size_t target =
+        static_cast<size_t>(static_cast<double>(avg_doc) * spread);
+    const size_t overhead = host.header.size() + host.footer.size();
+    std::vector<std::string> paragraphs;
+    body += wiki ? "<h1>" + vocab[zipf.Sample(r)] + " " +
+                       vocab[zipf.Sample(r)] + "</h1>\n"
+                 : "";
+    if (wiki) {
+      // Infobox: a global fragment with a few substituted values — template
+      // reuse across articles.
+      body += "<table class=\"infobox\"><tr><td>" + vocab[zipf.Sample(r)] +
+              "</td><td>" + std::to_string(r.Uniform(2000)) +
+              "</td></tr><tr><td>population</td><td>" +
+              std::to_string(r.Uniform(10000000)) + "</td></tr></table>\n";
+    }
+    while (body.size() + overhead < target) {
+      // Intra-document repetition: occasionally repeat an earlier
+      // paragraph verbatim (drives the §3.4 observation that positions
+      // within a document are locally skewed).
+      if (!paragraphs.empty() && r.Bernoulli(0.12)) {
+        body += paragraphs[r.Uniform(paragraphs.size())];
+        continue;
+      }
+      if (wiki && r.Bernoulli(0.15)) {
+        body += "<h2>" + vocab[zipf.Sample(r)] + "</h2>\n";
+      }
+      // Paragraphs splice material mostly from the global bank (shared
+      // across all documents): usually a run of consecutive bank sentences
+      // (syndicated/boilerplate chunks repeat as multi-sentence blocks on
+      // real pages), sometimes single popular sentences, occasionally
+      // fresh text.
+      std::string p = "<p>";
+      const int num_sentences = 3 + static_cast<int>(r.Uniform(6));
+      for (int s = 0; s < num_sentences;) {
+        const double dice = r.NextDouble();
+        if (dice < 0.60) {
+          // Run of consecutive bank sentences starting at a skewed index.
+          const size_t start = sentence_zipf.Sample(r);
+          const size_t run = 2 + r.Uniform(5);
+          for (size_t k = 0; k < run && start + k < sentence_bank.size();
+               ++k) {
+            p += sentence_bank[start + k];
+          }
+          s += static_cast<int>(run);
+        } else if (dice < 0.90) {
+          p += sentence_bank[sentence_zipf.Sample(r)];
+          ++s;
+        } else {
+          p += MakeSentence(r, zipf, vocab, 8 + r.Uniform(14));
+          ++s;
+        }
+      }
+      p += "</p>\n";
+      body += p;
+      paragraphs.push_back(std::move(p));
+    }
+    return body;
+  };
+
+  for (size_t d = 0; d < num_docs; ++d) {
+    const int h = doc_host[d];
+    const HostTemplate& host = hosts[h];
+    const int page_no = pages_on_host[h]++;
+    std::string body;
+    if (host.mirror_of >= 0) {
+      // Mirror: reuse (or lazily create) the original host's page body.
+      auto& cache = body_cache[host.mirror_of];
+      while (static_cast<int>(cache.size()) <= page_no) {
+        cache.push_back(make_body(host.mirror_of, rng));
+      }
+      body = cache[page_no];
+    } else {
+      auto& cache = body_cache[h];
+      while (static_cast<int>(cache.size()) <= page_no) {
+        cache.push_back(make_body(h, rng));
+      }
+      body = cache[page_no];
+    }
+    std::string doc = host.header;
+    doc += body;
+    doc += host.footer;
+    corpus.urls.push_back("http://" + host.name + "/page" +
+                          std::to_string(page_no) + ".html");
+    corpus.collection.Append(doc);
+  }
+
+  if (order == DocOrder::kUrl) return SortByUrl(corpus);
+  return corpus;
+}
+
+Corpus SortByUrl(const Corpus& corpus) {
+  std::vector<size_t> idx(corpus.urls.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return corpus.urls[a] < corpus.urls[b];
+  });
+  Corpus out;
+  out.collection.Reserve(corpus.collection.size_bytes(),
+                         corpus.collection.num_docs());
+  out.urls.reserve(corpus.urls.size());
+  for (size_t i : idx) {
+    out.collection.Append(corpus.collection.doc(i));
+    out.urls.push_back(corpus.urls[i]);
+  }
+  return out;
+}
+
+}  // namespace rlz

@@ -1,0 +1,65 @@
+#ifndef RLZ_CORPUS_GENERATOR_H_
+#define RLZ_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/collection.h"
+
+namespace rlz {
+
+/// Corpus flavours modelled on the paper's two test collections (§4).
+enum class CorpusStyle {
+  kWeb,   ///< GOV2-like crawl: many hosts, heavy per-host boilerplate,
+          ///< mirrored sites, ~18 KB average documents.
+  kWiki,  ///< Wikipedia-like: fewer "projects", article templates and
+          ///< infoboxes, ~45 KB average documents, no mirrors.
+};
+
+/// Serialization orders used in the evaluation.
+enum class DocOrder {
+  kCrawl,  ///< natural crawl order: pages of different hosts interleaved
+  kUrl,    ///< sorted by URL (Ferragina & Manzini's locality trick, §3.5)
+};
+
+struct CorpusOptions {
+  uint64_t seed = 20110613;
+  /// Approximate total collection size in bytes.
+  size_t target_bytes = 64ull << 20;
+  CorpusStyle style = CorpusStyle::kWeb;
+  /// 0 = style default (18 KB web / 45 KB wiki, the paper's averages).
+  size_t avg_doc_bytes = 0;
+  /// 0 = style default (scales with target size).
+  size_t num_hosts = 0;
+  /// Fraction of hosts that mirror another host's content under different
+  /// URLs (web style only) — the failure mode of URL sorting called out in
+  /// §3.5.
+  double mirror_fraction = 0.06;
+  size_t vocab_size = 30000;
+  double zipf_theta = 1.0;
+};
+
+/// A generated collection plus its per-document URLs (needed for URL
+/// sorting and by the search substrate).
+struct Corpus {
+  Collection collection;
+  std::vector<std::string> urls;  // parallel to collection docs
+};
+
+/// Generates a deterministic synthetic web collection with the redundancy
+/// structure RLZ exploits: global boilerplate shared across hosts,
+/// host-level templates, Zipfian body text, intra-document repetition, and
+/// (web style) mirrored hosts. Documents are emitted in `order`.
+///
+/// Substitute for GOV2/ClueWeb-Wikipedia; see DESIGN.md §4 for the
+/// behaviour-preservation argument.
+Corpus GenerateCorpus(const CorpusOptions& options,
+                      DocOrder order = DocOrder::kCrawl);
+
+/// Re-serializes `corpus` with documents sorted by URL. Stable for ties.
+Corpus SortByUrl(const Corpus& corpus);
+
+}  // namespace rlz
+
+#endif  // RLZ_CORPUS_GENERATOR_H_

@@ -1,0 +1,163 @@
+#include "grammar/repair.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "codecs/int_codecs.h"
+#include "util/logging.h"
+#include "zip/gzipx.h"
+
+namespace rlz {
+namespace {
+
+constexpr uint8_t kMagic = 0xC9;
+constexpr uint32_t kFirstNonterminal = 256;
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// One replacement round: rewrites every non-overlapping occurrence of
+// (a, b) with `fresh`, in place. Returns the new length.
+size_t ReplacePair(std::vector<uint32_t>* seq, uint32_t a, uint32_t b,
+                   uint32_t fresh) {
+  std::vector<uint32_t>& s = *seq;
+  size_t write = 0;
+  size_t read = 0;
+  while (read < s.size()) {
+    if (read + 1 < s.size() && s[read] == a && s[read + 1] == b) {
+      s[write++] = fresh;
+      read += 2;
+    } else {
+      s[write++] = s[read++];
+    }
+  }
+  s.resize(write);
+  return write;
+}
+
+}  // namespace
+
+RepairCompressor::RepairCompressor(RepairOptions options)
+    : options_(options) {
+  RLZ_CHECK(options_.min_pair_frequency >= 2);
+}
+
+void RepairCompressor::Compress(std::string_view in, std::string* out) const {
+  // Phase 1: build the grammar.
+  std::vector<uint32_t> seq(in.begin(), in.end());
+  for (auto& v : seq) v &= 0xFF;
+  std::vector<std::pair<uint32_t, uint32_t>> rules;
+
+  std::unordered_map<uint64_t, uint32_t> pair_counts;
+  while (rules.size() < options_.max_rules && seq.size() >= 2) {
+    // Count adjacent pairs (skipping self-overlap: "aaa" has one "aa").
+    pair_counts.clear();
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      const uint64_t key = PairKey(seq[i], seq[i + 1]);
+      ++pair_counts[key];
+      // Avoid double-counting overlapping identical pairs (aaa -> 1x aa).
+      if (i + 2 < seq.size() && seq[i] == seq[i + 1] &&
+          seq[i + 1] == seq[i + 2]) {
+        ++i;
+      }
+    }
+    uint64_t best_key = 0;
+    uint32_t best_count = 0;
+    for (const auto& [key, count] : pair_counts) {
+      if (count > best_count ||
+          (count == best_count && key < best_key)) {
+        best_count = count;
+        best_key = key;
+      }
+    }
+    if (best_count < options_.min_pair_frequency) break;
+    const uint32_t a = static_cast<uint32_t>(best_key >> 32);
+    const uint32_t b = static_cast<uint32_t>(best_key & 0xFFFFFFFF);
+    const uint32_t fresh =
+        kFirstNonterminal + static_cast<uint32_t>(rules.size());
+    rules.emplace_back(a, b);
+    ReplacePair(&seq, a, b, fresh);
+  }
+
+  // Phase 2: serialize (rules as deltas against the nonterminal space,
+  // sequence as vbyte ids) and entropy-code with gzipx.
+  std::string raw;
+  VByteCodec::Put(static_cast<uint32_t>(in.size()), &raw);
+  VByteCodec::Put(static_cast<uint32_t>(rules.size()), &raw);
+  for (const auto& [a, b] : rules) {
+    VByteCodec::Put(a, &raw);
+    VByteCodec::Put(b, &raw);
+  }
+  VByteCodec::Put(static_cast<uint32_t>(seq.size()), &raw);
+  for (uint32_t v : seq) VByteCodec::Put(v, &raw);
+
+  out->push_back(static_cast<char>(kMagic));
+  GzipxCompressor().Compress(raw, out);
+}
+
+Status RepairCompressor::Decompress(std::string_view in,
+                                    std::string* out) const {
+  if (in.empty() || static_cast<uint8_t>(in[0]) != kMagic) {
+    return Status::Corruption("repair: bad magic");
+  }
+  std::string raw;
+  RLZ_RETURN_IF_ERROR(GzipxCompressor().Decompress(in.substr(1), &raw));
+
+  size_t pos = 0;
+  uint32_t total = 0;
+  uint32_t num_rules = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &total));
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &num_rules));
+  if (num_rules > options_.max_rules) {
+    return Status::Corruption("repair: too many rules");
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> rules(num_rules);
+  for (auto& [a, b] : rules) {
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &a));
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &b));
+  }
+  uint32_t seq_len = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &seq_len));
+  if (static_cast<uint64_t>(seq_len) > raw.size() - pos + 1) {
+    return Status::Corruption("repair: implausible sequence length");
+  }
+
+  const size_t out_base = out->size();
+  out->reserve(out_base + total);
+  // Iterative expansion with an explicit stack.
+  std::vector<uint32_t> stack;
+  for (uint32_t i = 0; i < seq_len; ++i) {
+    uint32_t sym = 0;
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &sym));
+    stack.push_back(sym);
+    while (!stack.empty()) {
+      const uint32_t s = stack.back();
+      stack.pop_back();
+      if (s < kFirstNonterminal) {
+        if (out->size() - out_base >= total) {
+          return Status::Corruption("repair: output overrun");
+        }
+        out->push_back(static_cast<char>(s));
+        continue;
+      }
+      const uint32_t rule = s - kFirstNonterminal;
+      if (rule >= rules.size()) {
+        return Status::Corruption("repair: undefined nonterminal");
+      }
+      // A rule's components are always older symbols, so expansion
+      // terminates; guard the stack anyway against adversarial input.
+      if (rules[rule].first >= s || rules[rule].second >= s) {
+        return Status::Corruption("repair: non-monotone rule");
+      }
+      stack.push_back(rules[rule].second);
+      stack.push_back(rules[rule].first);
+    }
+  }
+  if (out->size() - out_base != total) {
+    return Status::Corruption("repair: size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace rlz

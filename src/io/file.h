@@ -1,0 +1,19 @@
+#ifndef RLZ_IO_FILE_H_
+#define RLZ_IO_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace rlz {
+
+/// Reads an entire file into a string.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+/// Writes `data` to `path`, truncating any existing file.
+Status WriteFile(const std::string& path, std::string_view data);
+
+}  // namespace rlz
+
+#endif  // RLZ_IO_FILE_H_

@@ -1,0 +1,84 @@
+#include "search/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "search/tokenizer.h"
+
+namespace rlz {
+
+InvertedIndex InvertedIndex::Build(const Collection& collection) {
+  InvertedIndex index;
+  index.doc_lengths_.resize(collection.num_docs(), 0);
+
+  std::unordered_map<std::string, uint32_t> doc_tf;
+  uint64_t total_terms = 0;
+  for (size_t d = 0; d < collection.num_docs(); ++d) {
+    doc_tf.clear();
+    const std::vector<std::string> terms = Tokenize(collection.doc(d));
+    for (const std::string& t : terms) ++doc_tf[t];
+    index.doc_lengths_[d] = static_cast<uint32_t>(terms.size());
+    total_terms += terms.size();
+    for (const auto& [term, tf] : doc_tf) {
+      index.postings_[term].push_back(
+          {static_cast<uint32_t>(d), tf});
+      index.term_frequency_[term] += tf;
+    }
+  }
+  index.avg_doc_length_ =
+      collection.num_docs() == 0
+          ? 0.0
+          : static_cast<double>(total_terms) / collection.num_docs();
+  return index;
+}
+
+size_t InvertedIndex::DocFrequency(const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+std::vector<SearchHit> InvertedIndex::Query(
+    const std::vector<std::string>& terms, size_t k) const {
+  std::unordered_map<uint32_t, double> scores;
+  const double n = static_cast<double>(num_docs());
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const auto& list = it->second;
+    const double df = static_cast<double>(list.size());
+    // BM25 idf with the usual +1 to keep scores positive.
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const Posting& p : list) {
+      const double tf = static_cast<double>(p.tf);
+      const double dl = static_cast<double>(doc_lengths_[p.doc]);
+      const double denom =
+          tf + kBm25K1 * (1.0 - kBm25B + kBm25B * dl / avg_doc_length_);
+      scores[p.doc] += idf * tf * (kBm25K1 + 1.0) / denom;
+    }
+  }
+
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) hits.push_back({doc, score});
+  const size_t top = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + top, hits.end(),
+                    [](const SearchHit& a, const SearchHit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  hits.resize(top);
+  return hits;
+}
+
+std::vector<std::pair<std::string, uint64_t>> InvertedIndex::TermsByFrequency()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> terms(term_frequency_.begin(),
+                                                      term_frequency_.end());
+  std::sort(terms.begin(), terms.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return terms;
+}
+
+}  // namespace rlz

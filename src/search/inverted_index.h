@@ -1,0 +1,59 @@
+#ifndef RLZ_SEARCH_INVERTED_INDEX_H_
+#define RLZ_SEARCH_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/collection.h"
+
+namespace rlz {
+
+/// A ranked document hit.
+struct SearchHit {
+  uint32_t doc = 0;
+  double score = 0.0;
+};
+
+/// In-memory inverted index with BM25 ranking — the repository's stand-in
+/// for the Zettair engine the paper uses to produce its query-log access
+/// pattern (§4 "Method"). Index construction is single-pass; postings are
+/// (doc, term-frequency) lists ordered by doc id.
+class InvertedIndex {
+ public:
+  /// Indexes every document of `collection`.
+  static InvertedIndex Build(const Collection& collection);
+
+  /// BM25 top-k disjunctive query.
+  std::vector<SearchHit> Query(const std::vector<std::string>& terms,
+                               size_t k) const;
+
+  size_t num_docs() const { return doc_lengths_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Document frequency of `term` (0 if absent).
+  size_t DocFrequency(const std::string& term) const;
+
+  /// Collection frequency of every term, for query sampling. Sorted by
+  /// descending frequency.
+  std::vector<std::pair<std::string, uint64_t>> TermsByFrequency() const;
+
+  static constexpr double kBm25K1 = 0.9;
+  static constexpr double kBm25B = 0.4;
+
+ private:
+  struct Posting {
+    uint32_t doc;
+    uint32_t tf;
+  };
+
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<std::string, uint64_t> term_frequency_;
+  std::vector<uint32_t> doc_lengths_;  // in terms
+  double avg_doc_length_ = 0.0;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_SEARCH_INVERTED_INDEX_H_

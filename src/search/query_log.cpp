@@ -1,0 +1,58 @@
+#include "search/query_log.h"
+
+#include <algorithm>
+
+namespace rlz {
+
+std::vector<std::vector<std::string>> GenerateQueries(
+    const InvertedIndex& index, const QueryLogOptions& options) {
+  Rng rng(options.seed);
+  const auto by_freq = index.TermsByFrequency();
+  // Skip the stop-word head, keep the next `vocab_pool` terms.
+  const size_t begin = std::min(options.skip_head, by_freq.size());
+  const size_t end = std::min(begin + options.vocab_pool, by_freq.size());
+  if (begin >= end) return {};
+  const ZipfSampler zipf(end - begin, options.zipf_theta);
+
+  std::vector<std::vector<std::string>> queries;
+  queries.reserve(options.num_queries);
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    const size_t nterms = rng.Range(options.terms_per_query_min,
+                                    options.terms_per_query_max);
+    std::vector<std::string> query;
+    query.reserve(nterms);
+    for (size_t t = 0; t < nterms; ++t) {
+      query.push_back(by_freq[begin + zipf.Sample(rng)].first);
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+std::vector<uint32_t> BuildQueryLogPattern(
+    const InvertedIndex& index,
+    const std::vector<std::vector<std::string>>& queries,
+    const QueryLogOptions& options) {
+  std::vector<uint32_t> pattern;
+  pattern.reserve(options.cap);
+  for (const auto& query : queries) {
+    if (pattern.size() >= options.cap) break;
+    for (const SearchHit& hit : index.Query(query, options.top_k)) {
+      if (pattern.size() >= options.cap) break;
+      pattern.push_back(hit.doc);
+    }
+  }
+  return pattern;
+}
+
+std::vector<uint32_t> BuildSequentialPattern(size_t num_docs, size_t count) {
+  std::vector<uint32_t> pattern;
+  if (num_docs == 0) return pattern;
+  pattern.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pattern.push_back(static_cast<uint32_t>(i % num_docs));
+  }
+  return pattern;
+}
+
+}  // namespace rlz

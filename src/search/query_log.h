@@ -1,0 +1,48 @@
+#ifndef RLZ_SEARCH_QUERY_LOG_H_
+#define RLZ_SEARCH_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "search/inverted_index.h"
+#include "util/random.h"
+
+namespace rlz {
+
+/// Options matching the paper's query-log methodology (§4 "Method"): run
+/// queries through a search engine, take the top 20 document ids of each,
+/// concatenate, cap at 100 000 requests.
+struct QueryLogOptions {
+  size_t num_queries = 5000;
+  size_t terms_per_query_min = 1;
+  size_t terms_per_query_max = 4;
+  size_t top_k = 20;
+  size_t cap = 100000;
+  /// Queries sample terms Zipf-style from the collection vocabulary,
+  /// restricted to the `vocab_pool` most frequent terms (stop-word head
+  /// excluded via `skip_head`).
+  size_t vocab_pool = 8000;
+  size_t skip_head = 50;
+  double zipf_theta = 0.9;
+  uint64_t seed = 42;
+};
+
+/// Generates random keyword queries over the index vocabulary.
+std::vector<std::vector<std::string>> GenerateQueries(
+    const InvertedIndex& index, const QueryLogOptions& options);
+
+/// Runs `queries` through `index` and concatenates the top-k doc ids of
+/// each, capped — the paper's query-log document access pattern.
+std::vector<uint32_t> BuildQueryLogPattern(
+    const InvertedIndex& index,
+    const std::vector<std::vector<std::string>>& queries,
+    const QueryLogOptions& options);
+
+/// The paper's other access pattern: `count` sequential document ids
+/// (wrapping around if count > num_docs).
+std::vector<uint32_t> BuildSequentialPattern(size_t num_docs, size_t count);
+
+}  // namespace rlz
+
+#endif  // RLZ_SEARCH_QUERY_LOG_H_

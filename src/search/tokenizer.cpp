@@ -1,0 +1,42 @@
+#include "search/tokenizer.h"
+
+#include <cctype>
+
+namespace rlz {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> terms;
+  std::string cur;
+  bool in_tag = false;
+  for (char ch : text) {
+    if (ch == '<') {
+      in_tag = true;
+      if (!cur.empty()) {
+        terms.push_back(cur);
+        cur.clear();
+      }
+      continue;
+    }
+    if (ch == '>') {
+      in_tag = false;
+      continue;
+    }
+    if (in_tag) continue;
+    const unsigned char uc = static_cast<unsigned char>(ch);
+    if (std::isalnum(uc)) {
+      cur.push_back(static_cast<char>(std::tolower(uc)));
+      // Guard against pathological unbroken runs.
+      if (cur.size() >= 64) {
+        terms.push_back(cur);
+        cur.clear();
+      }
+    } else if (!cur.empty()) {
+      terms.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) terms.push_back(cur);
+  return terms;
+}
+
+}  // namespace rlz

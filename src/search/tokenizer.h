@@ -1,0 +1,17 @@
+#ifndef RLZ_SEARCH_TOKENIZER_H_
+#define RLZ_SEARCH_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlz {
+
+/// Splits text into lowercase alphanumeric terms, skipping markup and
+/// punctuation. Minimal web tokenizer: tags (<...>) are dropped entirely so
+/// boilerplate markup does not dominate the vocabulary.
+std::vector<std::string> Tokenize(std::string_view text);
+
+}  // namespace rlz
+
+#endif  // RLZ_SEARCH_TOKENIZER_H_

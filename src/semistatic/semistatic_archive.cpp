@@ -1,0 +1,92 @@
+#include "semistatic/semistatic_archive.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rlz {
+
+SemiStaticArchive::SemiStaticArchive(WordVocabulary vocab,
+                                     SemiStaticScheme scheme)
+    : vocab_(std::move(vocab)), scheme_(scheme) {
+  if (scheme_ == SemiStaticScheme::kEtdc) {
+    coder_ = std::make_unique<EtdcCoder>();
+  } else {
+    std::vector<uint64_t> freqs(vocab_.size());
+    for (uint32_t r = 0; r < vocab_.size(); ++r) {
+      freqs[r] = vocab_.Frequency(r);
+    }
+    coder_ = std::make_unique<PlainHuffmanCoder>(freqs);
+  }
+}
+
+std::unique_ptr<SemiStaticArchive> SemiStaticArchive::Build(
+    const Collection& collection, SemiStaticScheme scheme) {
+  // Pass 1: vocabulary over the whole collection.
+  std::vector<std::string_view> docs;
+  docs.reserve(collection.num_docs());
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    docs.push_back(collection.doc(i));
+  }
+  WordVocabulary vocab = WordVocabulary::Build(docs);
+
+  std::unique_ptr<SemiStaticArchive> archive(
+      new SemiStaticArchive(std::move(vocab), scheme));
+
+  // Pass 2: code every token of every document.
+  for (std::string_view doc : docs) {
+    const size_t before = archive->payload_.size();
+    for (std::string_view token : SplitWordsAndSeparators(doc)) {
+      auto rank = archive->vocab_.Rank(token);
+      RLZ_CHECK(rank.ok()) << "token missing from its own vocabulary";
+      archive->coder_->Encode(*rank, &archive->payload_);
+    }
+    archive->map_.Add(archive->payload_.size() - before);
+  }
+  return archive;
+}
+
+std::string SemiStaticArchive::name() const {
+  return scheme_ == SemiStaticScheme::kEtdc ? "etdc" : "plainhuff";
+}
+
+Status SemiStaticArchive::Get(size_t id, std::string* doc,
+                              SimDisk* disk) const {
+  if (id >= num_docs()) {
+    return Status::OutOfRange("semistatic archive: bad doc id");
+  }
+  doc->clear();
+  const uint64_t off = map_.offset(id);
+  const uint64_t size = map_.size(id);
+  if (disk != nullptr) disk->Read(off, size);
+  const std::string_view codes = std::string_view(payload_).substr(off, size);
+  size_t pos = 0;
+  while (pos < codes.size()) {
+    uint32_t rank = 0;
+    RLZ_RETURN_IF_ERROR(coder_->Decode(codes, &pos, &rank));
+    if (rank >= vocab_.size()) {
+      return Status::Corruption("semistatic archive: rank out of range");
+    }
+    doc->append(vocab_.Token(rank));
+  }
+  return Status::OK();
+}
+
+uint64_t SemiStaticArchive::stored_bytes() const {
+  // Serialized vocabulary: vbyte(len) + bytes per token, in rank order
+  // (frequencies are not needed to decode ETDC; PH additionally stores
+  // code lengths, ~1 byte per token).
+  uint64_t vocab_bytes = 0;
+  for (uint32_t r = 0; r < vocab_.size(); ++r) {
+    uint64_t len = vocab_.Token(r).size();
+    do {
+      ++vocab_bytes;
+      len >>= 7;
+    } while (len != 0);
+    vocab_bytes += vocab_.Token(r).size();
+  }
+  if (scheme_ == SemiStaticScheme::kPlainHuffman) vocab_bytes += vocab_.size();
+  return payload_.size() + map_.serialized_bytes() + vocab_bytes;
+}
+
+}  // namespace rlz

@@ -1,0 +1,61 @@
+#ifndef RLZ_SEMISTATIC_SEMISTATIC_ARCHIVE_H_
+#define RLZ_SEMISTATIC_SEMISTATIC_ARCHIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "corpus/collection.h"
+#include "semistatic/token_coder.h"
+#include "semistatic/word_model.h"
+#include "store/archive.h"
+#include "store/doc_map.h"
+
+namespace rlz {
+
+/// Which §2.1 coder backs the archive.
+enum class SemiStaticScheme : uint8_t {
+  kPlainHuffman = 0,  // de Moura et al.'s byte-oriented PH
+  kEtdc = 1,          // Brisaboa et al.'s End-Tagged Dense Code
+};
+
+/// A semi-static word-based document store — the related-work family the
+/// paper compares against conceptually in §2.1. Two passes: build the
+/// ranked vocabulary over the whole collection, then code every token of
+/// every document. Documents are independently decodable (semi-static
+/// codes need no per-block adaptive state), so random access reads only
+/// the document's own codes — but overall compression is bounded by the
+/// zero-order word entropy (~20% on clean text, worse on markup-heavy
+/// collections), which is exactly the limitation §2.1 ends on.
+class SemiStaticArchive final : public Archive {
+ public:
+  static std::unique_ptr<SemiStaticArchive> Build(const Collection& collection,
+                                                  SemiStaticScheme scheme);
+
+  std::string name() const override;
+  size_t num_docs() const override { return map_.num_docs(); }
+  Status Get(size_t id, std::string* doc,
+             SimDisk* disk = nullptr) const override;
+
+  /// Payload + document map + serialized vocabulary (token bytes with
+  /// vbyte length prefixes — what a disk-resident system stores).
+  uint64_t stored_bytes() const override;
+
+  const WordVocabulary& vocabulary() const { return vocab_; }
+
+  /// In-memory footprint of the decode-time model — the §2.1 scalability
+  /// problem (the paper's ClueWeb vocabulary was 13 GB uncompressed).
+  uint64_t model_memory_bytes() const { return vocab_.memory_bytes(); }
+
+ private:
+  SemiStaticArchive(WordVocabulary vocab, SemiStaticScheme scheme);
+
+  WordVocabulary vocab_;
+  SemiStaticScheme scheme_;
+  std::unique_ptr<TokenCoder> coder_;
+  std::string payload_;
+  DocMap map_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_SEMISTATIC_SEMISTATIC_ARCHIVE_H_

@@ -1,0 +1,203 @@
+#include "semistatic/token_coder.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace rlz {
+namespace {
+
+// Cumulative counts of ETDC codewords shorter than k bytes.
+constexpr uint64_t kEtdcBase1 = 0;
+constexpr uint64_t kEtdcBase2 = 128;
+constexpr uint64_t kEtdcBase3 = 128 + 128ull * 128;
+constexpr uint64_t kEtdcBase4 = 128 + 128ull * 128 + 128ull * 128 * 128;
+
+}  // namespace
+
+void EtdcCoder::Encode(uint32_t rank, std::string* out) const {
+  uint64_t r = rank;
+  if (r < kEtdcBase2) {
+    out->push_back(static_cast<char>(r + 128));
+    return;
+  }
+  if (r < kEtdcBase3) {
+    r -= kEtdcBase2;
+    out->push_back(static_cast<char>(r >> 7));
+    out->push_back(static_cast<char>((r & 0x7F) + 128));
+    return;
+  }
+  if (r < kEtdcBase4) {
+    r -= kEtdcBase3;
+    out->push_back(static_cast<char>(r >> 14));
+    out->push_back(static_cast<char>((r >> 7) & 0x7F));
+    out->push_back(static_cast<char>((r & 0x7F) + 128));
+    return;
+  }
+  r -= kEtdcBase4;
+  out->push_back(static_cast<char>(r >> 21));
+  out->push_back(static_cast<char>((r >> 14) & 0x7F));
+  out->push_back(static_cast<char>((r >> 7) & 0x7F));
+  out->push_back(static_cast<char>((r & 0x7F) + 128));
+}
+
+Status EtdcCoder::Decode(std::string_view in, size_t* pos,
+                         uint32_t* rank) const {
+  uint64_t value = 0;
+  size_t len = 0;
+  while (true) {
+    if (*pos >= in.size()) return Status::Corruption("etdc: truncated code");
+    if (++len > 4) return Status::Corruption("etdc: overlong code");
+    const uint8_t byte = static_cast<uint8_t>(in[(*pos)++]);
+    if (byte >= 128) {
+      value = (value << 7) | (byte - 128);
+      break;
+    }
+    value = (value << 7) | byte;
+  }
+  static constexpr uint64_t kBases[] = {kEtdcBase1, kEtdcBase2, kEtdcBase3,
+                                        kEtdcBase4};
+  value += kBases[len - 1];
+  if (value > 0xFFFFFFFFull) return Status::Corruption("etdc: rank overflow");
+  *rank = static_cast<uint32_t>(value);
+  return Status::OK();
+}
+
+size_t EtdcCoder::CodeLength(uint32_t rank) const {
+  if (rank < kEtdcBase2) return 1;
+  if (rank < kEtdcBase3) return 2;
+  if (rank < kEtdcBase4) return 3;
+  return 4;
+}
+
+PlainHuffmanCoder::PlainHuffmanCoder(const std::vector<uint64_t>& freqs) {
+  const size_t n = freqs.size();
+  codes_.resize(n);
+  if (n == 0) return;
+
+  // 256-ary Huffman: pad with zero-frequency dummies so every merge is
+  // full, i.e. (num_leaves - 1) % 255 == 0.
+  struct Node {
+    uint64_t freq;
+    uint32_t value;  // kLeafBase+rank for leaves, tree_ index otherwise
+    std::vector<uint32_t> children;  // values, for internal nodes
+  };
+  std::vector<Node> nodes;
+  using QEntry = std::pair<uint64_t, uint32_t>;  // (freq, nodes index)
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+  for (uint32_t r = 0; r < n; ++r) {
+    nodes.push_back({freqs[r], kLeafBase + r, {}});
+    pq.emplace(freqs[r], static_cast<uint32_t>(nodes.size() - 1));
+  }
+  size_t dummies = 0;
+  if (n > 1) {
+    dummies = (255 - ((n - 1) % 255)) % 255;
+  }
+  for (size_t d = 0; d < dummies; ++d) {
+    nodes.push_back({0, kInvalid, {}});
+    pq.emplace(0, static_cast<uint32_t>(nodes.size() - 1));
+  }
+
+  if (n == 1) {
+    tree_.emplace_back();
+    tree_[0].fill(kInvalid);
+    tree_[0][0] = kLeafBase + 0;
+    codes_[0] = std::string(1, '\0');
+    return;
+  }
+
+  while (pq.size() > 1) {
+    Node merged{0, 0, {}};
+    const size_t take = std::min<size_t>(256, pq.size());
+    merged.children.reserve(take);
+    for (size_t k = 0; k < take; ++k) {
+      const auto [f, idx] = pq.top();
+      pq.pop();
+      merged.freq += f;
+      merged.children.push_back(idx);
+    }
+    nodes.push_back(std::move(merged));
+    pq.emplace(nodes.back().freq, static_cast<uint32_t>(nodes.size() - 1));
+  }
+
+  // DFS from the root assigning byte labels and building the decode table.
+  const uint32_t root = pq.top().second;
+  std::vector<std::pair<uint32_t, std::string>> stack;  // (nodes idx, code)
+  stack.emplace_back(root, "");
+  while (!stack.empty()) {
+    auto [idx, code] = std::move(stack.back());
+    stack.pop_back();
+    Node& node = nodes[idx];
+    if (node.children.empty()) {
+      if (node.value == kInvalid) continue;  // dummy
+      RLZ_CHECK(node.value >= kLeafBase);
+      codes_[node.value - kLeafBase] = code;
+      continue;
+    }
+    const uint32_t table_idx = static_cast<uint32_t>(tree_.size());
+    tree_.emplace_back();
+    tree_.back().fill(kInvalid);
+    node.value = table_idx;
+    // Record this internal node in its parent's slot: we instead resolve
+    // children after their tables exist, so process children first and
+    // patch below. Simpler: push children, then patch once all are
+    // processed — handled by a second pass below.
+    for (size_t b = 0; b < node.children.size(); ++b) {
+      stack.emplace_back(node.children[b],
+                         code + static_cast<char>(static_cast<uint8_t>(b)));
+    }
+  }
+  // Second pass: fill decode tables now that every internal node has a
+  // table index in node.value.
+  for (const Node& node : nodes) {
+    if (node.children.empty()) continue;
+    auto& row = tree_[node.value];
+    for (size_t b = 0; b < node.children.size(); ++b) {
+      const Node& child = nodes[node.children[b]];
+      if (child.children.empty()) {
+        row[b] = child.value;  // leaf (or kInvalid dummy)
+      } else {
+        row[b] = child.value;  // internal table index
+      }
+    }
+  }
+  // Root must be table 0 for decoding; DFS visits the root first, so it is.
+  RLZ_CHECK(nodes[root].value == 0);
+}
+
+void PlainHuffmanCoder::Encode(uint32_t rank, std::string* out) const {
+  RLZ_DCHECK_LT(rank, codes_.size());
+  out->append(codes_[rank]);
+}
+
+Status PlainHuffmanCoder::Decode(std::string_view in, size_t* pos,
+                                 uint32_t* rank) const {
+  uint32_t node = 0;
+  while (true) {
+    if (*pos >= in.size()) {
+      return Status::Corruption("plain huffman: truncated code");
+    }
+    if (node >= tree_.size()) {
+      return Status::Corruption("plain huffman: bad state");
+    }
+    const uint8_t byte = static_cast<uint8_t>(in[(*pos)++]);
+    const uint32_t next = tree_[node][byte];
+    if (next == kInvalid) {
+      return Status::Corruption("plain huffman: invalid codeword");
+    }
+    if (next >= kLeafBase) {
+      *rank = next - kLeafBase;
+      return Status::OK();
+    }
+    node = next;
+  }
+}
+
+size_t PlainHuffmanCoder::CodeLength(uint32_t rank) const {
+  RLZ_DCHECK_LT(rank, codes_.size());
+  return codes_[rank].size();
+}
+
+}  // namespace rlz

@@ -1,0 +1,77 @@
+#ifndef RLZ_SEMISTATIC_TOKEN_CODER_H_
+#define RLZ_SEMISTATIC_TOKEN_CODER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rlz {
+
+/// Byte-oriented codes for frequency-ranked token ids — the §2.1
+/// semi-static coders. Both operate on ranks (0 = most frequent) and emit
+/// whole bytes, which is what makes decoding fast compared to bit-oriented
+/// Huffman (de Moura et al. 2000).
+class TokenCoder {
+ public:
+  virtual ~TokenCoder() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Appends the codeword for `rank` to `out`.
+  virtual void Encode(uint32_t rank, std::string* out) const = 0;
+
+  /// Decodes one codeword from in[*pos..), advancing *pos. Returns
+  /// Corruption on malformed input.
+  virtual Status Decode(std::string_view in, size_t* pos,
+                        uint32_t* rank) const = 0;
+
+  /// Codeword length in bytes for `rank` (for size accounting).
+  virtual size_t CodeLength(uint32_t rank) const = 0;
+};
+
+/// End-Tagged Dense Code (Brisaboa et al.): bytes < 128 continue a
+/// codeword, bytes >= 128 terminate it. Codes are assigned densely by
+/// rank, so no code table is needed — only the ranked vocabulary. The
+/// end-tag makes the code self-synchronizing (enables direct compressed
+/// search, §2.1).
+class EtdcCoder final : public TokenCoder {
+ public:
+  std::string name() const override { return "ETDC"; }
+  void Encode(uint32_t rank, std::string* out) const override;
+  Status Decode(std::string_view in, size_t* pos,
+                uint32_t* rank) const override;
+  size_t CodeLength(uint32_t rank) const override;
+};
+
+/// Plain Huffman over a 256-ary tree (de Moura et al.'s PH): optimal
+/// byte-oriented code for the given rank frequencies. Needs the frequency
+/// profile at construction and a code table at run time (unlike ETDC).
+class PlainHuffmanCoder final : public TokenCoder {
+ public:
+  /// `freqs[rank]` is the collection frequency of rank `rank`.
+  explicit PlainHuffmanCoder(const std::vector<uint64_t>& freqs);
+
+  std::string name() const override { return "PlainHuffman"; }
+  void Encode(uint32_t rank, std::string* out) const override;
+  Status Decode(std::string_view in, size_t* pos,
+                uint32_t* rank) const override;
+  size_t CodeLength(uint32_t rank) const override;
+
+ private:
+  // Decode tree: node -> child[byte]. Values >= kLeafBase are leaves
+  // (rank = value - kLeafBase); kInvalid marks unused slots.
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+  static constexpr uint32_t kLeafBase = 0x80000000u;
+
+  std::vector<std::string> codes_;              // rank -> byte string
+  std::vector<std::array<uint32_t, 256>> tree_; // internal nodes
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_SEMISTATIC_TOKEN_CODER_H_

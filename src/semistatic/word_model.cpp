@@ -1,0 +1,89 @@
+#include "semistatic/word_model.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rlz {
+namespace {
+
+bool IsWordByte(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<std::string_view> SplitWordsAndSeparators(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  bool expect_word = false;  // stream starts with a separator token
+  while (i < text.size()) {
+    size_t j = i;
+    if (expect_word) {
+      while (j < text.size() && IsWordByte(text[j])) ++j;
+    } else {
+      while (j < text.size() && !IsWordByte(text[j])) ++j;
+    }
+    tokens.push_back(text.substr(i, j - i));  // may be empty (leading word)
+    expect_word = !expect_word;
+    i = j;
+  }
+  return tokens;
+}
+
+WordVocabulary WordVocabulary::Build(
+    const std::vector<std::string_view>& docs) {
+  // Pass 1: frequencies.
+  std::unordered_map<std::string, uint64_t> counts;
+  for (std::string_view doc : docs) {
+    for (std::string_view token : SplitWordsAndSeparators(doc)) {
+      ++counts[std::string(token)];
+    }
+  }
+  // Rank by descending frequency (ties by token for determinism).
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  entries.reserve(counts.size());
+  for (auto& [token, freq] : counts) entries.emplace_back(token, freq);
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  WordVocabulary vocab;
+  vocab.tokens_.reserve(entries.size());
+  vocab.freqs_.reserve(entries.size());
+  for (auto& [token, freq] : entries) {
+    vocab.tokens_.push_back(std::move(token));
+    vocab.freqs_.push_back(freq);
+  }
+  vocab.rank_.reserve(vocab.tokens_.size());
+  for (uint32_t r = 0; r < vocab.tokens_.size(); ++r) {
+    vocab.rank_.emplace(vocab.tokens_[r], r);
+  }
+  return vocab;
+}
+
+StatusOr<uint32_t> WordVocabulary::Rank(std::string_view token) const {
+  auto it = rank_.find(token);
+  if (it == rank_.end()) {
+    return Status::NotFound("token not in vocabulary");
+  }
+  return it->second;
+}
+
+uint64_t WordVocabulary::memory_bytes() const {
+  uint64_t bytes = 0;
+  for (const std::string& t : tokens_) {
+    bytes += t.size() + sizeof(std::string) + sizeof(uint64_t) +
+             /* hash-map entry approximation */ 32;
+  }
+  return bytes;
+}
+
+double WordVocabulary::singleton_fraction() const {
+  if (freqs_.empty()) return 0.0;
+  const size_t singles =
+      std::count(freqs_.begin(), freqs_.end(), uint64_t{1});
+  return static_cast<double>(singles) / freqs_.size();
+}
+
+}  // namespace rlz

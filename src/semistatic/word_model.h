@@ -1,0 +1,70 @@
+#ifndef RLZ_SEMISTATIC_WORD_MODEL_H_
+#define RLZ_SEMISTATIC_WORD_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rlz {
+
+/// Splits text into a strictly alternating sequence of "words" (alnum
+/// runs) and "separators" (everything else), the classic word-based model
+/// of the §2.1 semi-static compressors (de Moura et al.). The first token
+/// is always a separator (possibly empty), so decoding can reconstruct the
+/// byte stream exactly: sep word sep word ... sep.
+std::vector<std::string_view> SplitWordsAndSeparators(std::string_view text);
+
+/// A frequency-ranked vocabulary over word and separator tokens of a
+/// collection. Rank 0 is the most frequent token. Words and separators
+/// share one id space (the "spaceless-ish" simplification keeps the coder
+/// single-alphabet; separators are tokens like any other).
+class WordVocabulary {
+ public:
+  // Move-only: the rank index holds views into the token storage, which
+  // stays valid across moves but not copies.
+  WordVocabulary(WordVocabulary&&) = default;
+  WordVocabulary& operator=(WordVocabulary&&) = default;
+  WordVocabulary(const WordVocabulary&) = delete;
+  WordVocabulary& operator=(const WordVocabulary&) = delete;
+
+  /// Two-pass build, first pass of any semi-static scheme: counts token
+  /// frequencies across the whole collection, then assigns ranks by
+  /// descending frequency.
+  static WordVocabulary Build(const std::vector<std::string_view>& docs);
+
+  /// Token id (== frequency rank) for `token`; NotFound for unseen tokens
+  /// (cannot happen for text the vocabulary was built from).
+  StatusOr<uint32_t> Rank(std::string_view token) const;
+
+  std::string_view Token(uint32_t rank) const {
+    RLZ_CHECK_LT(rank, tokens_.size());
+    return tokens_[rank];
+  }
+
+  uint64_t Frequency(uint32_t rank) const { return freqs_[rank]; }
+  size_t size() const { return tokens_.size(); }
+
+  /// Bytes a decoder must hold resident: all token strings plus per-token
+  /// bookkeeping. This is the §2.1 scalability cost the paper calls out
+  /// (13 GB vocabulary on ClueWeb Category A).
+  uint64_t memory_bytes() const;
+
+  /// Fraction of tokens that occur exactly once (the paper observed ~50%
+  /// of the ClueWeb lexicon were once-only non-words).
+  double singleton_fraction() const;
+
+ private:
+  WordVocabulary() = default;
+
+  std::vector<std::string> tokens_;  // rank -> token
+  std::vector<uint64_t> freqs_;      // rank -> collection frequency
+  std::unordered_map<std::string_view, uint32_t> rank_;  // views into tokens_
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_SEMISTATIC_WORD_MODEL_H_

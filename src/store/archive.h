@@ -1,0 +1,43 @@
+#ifndef RLZ_STORE_ARCHIVE_H_
+#define RLZ_STORE_ARCHIVE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/sim_disk.h"
+#include "util/status.h"
+
+namespace rlz {
+
+/// A compressed document store supporting random access by document id —
+/// the interface every system in the paper's evaluation implements
+/// (raw ASCII, blocked zlib/lzma, and RLZ).
+///
+/// Archives keep their encoded payload in memory but charge every payload
+/// read to the optional SimDisk, which models the disk-resident deployment
+/// the paper measures (compressed collections larger than RAM, caches
+/// dropped; see DESIGN.md §4). Memory-resident structures — the document
+/// map and, for RLZ, the dictionary — are never charged, matching the
+/// paper's setup.
+class Archive {
+ public:
+  virtual ~Archive() = default;
+
+  /// Identifier used in benchmark tables (e.g. "rlz-ZV", "gzipx-64K").
+  virtual std::string name() const = 0;
+
+  virtual size_t num_docs() const = 0;
+
+  /// Retrieves document `id` into `*doc` (cleared first). Charges simulated
+  /// I/O to `disk` if non-null.
+  virtual Status Get(size_t id, std::string* doc,
+                     SimDisk* disk = nullptr) const = 0;
+
+  /// Total encoded size in bytes, including the document map and any
+  /// dictionary — the numerator of the paper's "Enc. %" columns.
+  virtual uint64_t stored_bytes() const = 0;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_STORE_ARCHIVE_H_

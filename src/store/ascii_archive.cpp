@@ -1,0 +1,25 @@
+#include "store/ascii_archive.h"
+
+namespace rlz {
+
+AsciiArchive::AsciiArchive(const Collection& collection) {
+  payload_.reserve(collection.size_bytes());
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    payload_.append(collection.doc(i));
+    map_.Add(collection.doc_size(i));
+  }
+}
+
+Status AsciiArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
+  if (id >= num_docs()) {
+    return Status::OutOfRange("ascii archive: bad doc id");
+  }
+  doc->clear();
+  const uint64_t off = map_.offset(id);
+  const uint64_t size = map_.size(id);
+  if (disk != nullptr) disk->Read(off, size);
+  doc->append(payload_, off, size);
+  return Status::OK();
+}
+
+}  // namespace rlz

@@ -1,0 +1,33 @@
+#ifndef RLZ_STORE_ASCII_ARCHIVE_H_
+#define RLZ_STORE_ASCII_ARCHIVE_H_
+
+#include <string>
+
+#include "corpus/collection.h"
+#include "store/archive.h"
+#include "store/doc_map.h"
+
+namespace rlz {
+
+/// The paper's first baseline: "a raw concatenation of uncompressed
+/// documents with a map specifying offsets to each document location".
+class AsciiArchive final : public Archive {
+ public:
+  explicit AsciiArchive(const Collection& collection);
+
+  std::string name() const override { return "ascii"; }
+  size_t num_docs() const override { return map_.num_docs(); }
+  Status Get(size_t id, std::string* doc,
+             SimDisk* disk = nullptr) const override;
+  uint64_t stored_bytes() const override {
+    return payload_.size() + map_.serialized_bytes();
+  }
+
+ private:
+  std::string payload_;
+  DocMap map_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_STORE_ASCII_ARCHIVE_H_

@@ -1,0 +1,93 @@
+#include "store/blocked_archive.h"
+
+#include "util/logging.h"
+
+namespace rlz {
+
+BlockedArchive::BlockedArchive(const Collection& collection,
+                               const Compressor* compressor,
+                               uint64_t block_bytes)
+    : compressor_(compressor), block_bytes_(block_bytes) {
+  RLZ_CHECK(compressor != nullptr);
+  docs_.reserve(collection.num_docs());
+
+  std::string block_text;
+  std::vector<size_t> block_doc_sizes;
+  auto flush = [&]() {
+    if (block_text.empty()) return;
+    const uint64_t start = payload_.size();
+    compressor_->Compress(block_text, &payload_);
+    blocks_.push_back({start, payload_.size() - start});
+    block_text.clear();
+    block_doc_sizes.clear();
+  };
+
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    const std::string_view doc = collection.doc(i);
+    docs_.push_back({static_cast<uint32_t>(blocks_.size()),
+                     static_cast<uint32_t>(block_text.size()),
+                     static_cast<uint32_t>(doc.size())});
+    block_text.append(doc);
+    // One doc per block when block_bytes_ == 0; otherwise close the block
+    // once it reaches the target uncompressed size.
+    if (block_bytes_ == 0 || block_text.size() >= block_bytes_) flush();
+  }
+  flush();
+}
+
+std::string BlockedArchive::name() const {
+  std::string n = compressor_->name();
+  n += "-";
+  if (block_bytes_ == 0) {
+    n += "1doc";
+  } else if (block_bytes_ % (1024 * 1024) == 0) {
+    n += std::to_string(block_bytes_ / (1024 * 1024)) + "M";
+  } else {
+    n += std::to_string(block_bytes_ / 1024) + "K";
+  }
+  return n;
+}
+
+Status BlockedArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
+  if (id >= docs_.size()) {
+    return Status::OutOfRange("blocked archive: bad doc id");
+  }
+  const DocInfo& d = docs_[id];
+  const BlockInfo& b = blocks_[d.block];
+  if (cached_block_ != static_cast<int64_t>(d.block)) {
+    // The whole compressed block must be read and decompressed to reach
+    // the document (adaptive dictionaries decode from the block start,
+    // §2.2).
+    if (disk != nullptr) disk->Read(b.payload_offset, b.payload_size);
+    cached_text_.clear();
+    cached_block_ = -1;
+    RLZ_RETURN_IF_ERROR(compressor_->Decompress(
+        std::string_view(payload_).substr(b.payload_offset, b.payload_size),
+        &cached_text_));
+    cached_block_ = static_cast<int64_t>(d.block);
+  }
+  if (static_cast<uint64_t>(d.offset) + d.size > cached_text_.size()) {
+    return Status::Corruption("blocked archive: doc extent outside block");
+  }
+  doc->assign(cached_text_, d.offset, d.size);
+  return Status::OK();
+}
+
+uint64_t BlockedArchive::stored_bytes() const {
+  // Payload plus a vbyte-style directory: per block (offset delta) and per
+  // doc (block id delta, offset, size).
+  uint64_t meta = 0;
+  auto vbyte_len = [](uint64_t v) {
+    uint64_t n = 0;
+    do {
+      ++n;
+      v >>= 7;
+    } while (v != 0);
+    return n;
+  };
+  for (const BlockInfo& b : blocks_) meta += vbyte_len(b.payload_size);
+  for (const DocInfo& d : docs_) meta += 1 + vbyte_len(d.offset) + vbyte_len(d.size);
+  return payload_.size() + meta;
+}
+
+}  // namespace rlz

@@ -1,0 +1,66 @@
+#ifndef RLZ_STORE_BLOCKED_ARCHIVE_H_
+#define RLZ_STORE_BLOCKED_ARCHIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/collection.h"
+#include "store/archive.h"
+#include "zip/compressor.h"
+
+namespace rlz {
+
+/// The Lucene/Indri-style baseline (§2.2): documents are grouped into
+/// fixed-size blocks and each block is compressed independently with a
+/// general-purpose compressor. Retrieving a document reads and decompresses
+/// its whole containing block — the compression/retrieval-speed trade-off
+/// RLZ is designed to escape.
+///
+/// A one-block decode cache is kept (as any real blocked store does):
+/// consecutive requests into the same block decompress it once. This is
+/// what makes sequential scans of large-block archives viable (the paper's
+/// sequential column) while random query-log access still pays a full
+/// block decompression per request. The cache makes Get non-thread-safe.
+class BlockedArchive final : public Archive {
+ public:
+  /// `block_bytes == 0` places one document per block (the paper's
+  /// "0.0MB" rows). Otherwise documents are appended to a block until it
+  /// reaches `block_bytes` of uncompressed text. `compressor` must outlive
+  /// the archive.
+  BlockedArchive(const Collection& collection, const Compressor* compressor,
+                 uint64_t block_bytes);
+
+  std::string name() const override;
+  size_t num_docs() const override { return docs_.size(); }
+  Status Get(size_t id, std::string* doc,
+             SimDisk* disk = nullptr) const override;
+  uint64_t stored_bytes() const override;
+
+  size_t num_blocks() const { return blocks_.size(); }
+  uint64_t block_bytes() const { return block_bytes_; }
+
+ private:
+  struct BlockInfo {
+    uint64_t payload_offset;  // start of compressed block in payload_
+    uint64_t payload_size;    // compressed size
+  };
+  struct DocInfo {
+    uint32_t block;         // containing block
+    uint32_t offset;        // uncompressed offset within the block
+    uint32_t size;          // uncompressed size
+  };
+
+  const Compressor* compressor_;
+  uint64_t block_bytes_;
+  std::string payload_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<DocInfo> docs_;
+  // One-block decode cache (see class comment).
+  mutable int64_t cached_block_ = -1;
+  mutable std::string cached_text_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_STORE_BLOCKED_ARCHIVE_H_

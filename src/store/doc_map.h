@@ -1,0 +1,53 @@
+#ifndef RLZ_STORE_DOC_MAP_H_
+#define RLZ_STORE_DOC_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rlz {
+
+/// Maps document ids to byte extents in an encoded payload — the
+/// "document map which provides the position on disk of each encoded file"
+/// (§3.1 step 3). Held in memory; its serialized size (delta-vbyte) is
+/// charged to the archive's stored_bytes.
+class DocMap {
+ public:
+  DocMap() { offsets_.push_back(0); }
+
+  /// Appends a document of `encoded_size` bytes at the current end.
+  void Add(uint64_t encoded_size) {
+    offsets_.push_back(offsets_.back() + encoded_size);
+  }
+
+  size_t num_docs() const { return offsets_.size() - 1; }
+
+  uint64_t offset(size_t id) const {
+    RLZ_DCHECK_LT(id, num_docs());
+    return offsets_[id];
+  }
+  uint64_t size(size_t id) const { return offsets_[id + 1] - offsets_[id]; }
+  uint64_t total_bytes() const { return offsets_.back(); }
+
+  /// Size of the delta-vbyte serialization (what a disk-resident system
+  /// would store); counted into every archive's stored_bytes.
+  uint64_t serialized_bytes() const {
+    uint64_t bytes = 0;
+    for (size_t i = 0; i < num_docs(); ++i) {
+      uint64_t delta = size(i);
+      do {
+        ++bytes;
+        delta >>= 7;
+      } while (delta != 0);
+    }
+    return bytes;
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // num_docs()+1, offsets_[0] == 0
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_STORE_DOC_MAP_H_

@@ -1,0 +1,71 @@
+#include "suffix/lcp.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rlz {
+
+std::vector<int32_t> BuildLcpArray(std::string_view text,
+                                   const std::vector<int32_t>& sa) {
+  const int32_t n = static_cast<int32_t>(text.size());
+  RLZ_CHECK_EQ(sa.size(), text.size());
+  std::vector<int32_t> lcp(n, 0);
+  if (n == 0) return lcp;
+
+  // rank[i] = position of suffix i in the SA.
+  std::vector<int32_t> rank(n);
+  for (int32_t i = 0; i < n; ++i) rank[sa[i]] = i;
+
+  int32_t h = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    if (rank[i] == 0) {
+      h = 0;
+      continue;
+    }
+    const int32_t j = sa[rank[i] - 1];
+    while (i + h < n && j + h < n && text[i + h] == text[j + h]) ++h;
+    lcp[rank[i]] = h;
+    if (h > 0) --h;
+  }
+  return lcp;
+}
+
+std::vector<int32_t> BuildLcpArrayNaive(std::string_view text,
+                                        const std::vector<int32_t>& sa) {
+  std::vector<int32_t> lcp(sa.size(), 0);
+  for (size_t i = 1; i < sa.size(); ++i) {
+    const std::string_view a = text.substr(sa[i - 1]);
+    const std::string_view b = text.substr(sa[i]);
+    int32_t l = 0;
+    while (static_cast<size_t>(l) < std::min(a.size(), b.size()) &&
+           a[l] == b[l]) {
+      ++l;
+    }
+    lcp[i] = l;
+  }
+  return lcp;
+}
+
+RepeatStats ComputeRepeatStats(std::string_view text,
+                               const std::vector<int32_t>& sa,
+                               int32_t threshold) {
+  RepeatStats stats;
+  if (text.empty()) return stats;
+  const std::vector<int32_t> lcp = BuildLcpArray(text, sa);
+  const int32_t n = static_cast<int32_t>(text.size());
+  int64_t sum = 0;
+  int64_t repeated = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    sum += lcp[i];
+    stats.max_lcp = std::max(stats.max_lcp, lcp[i]);
+    const int32_t best =
+        std::max(lcp[i], i + 1 < n ? lcp[i + 1] : 0);
+    if (best >= threshold) ++repeated;
+  }
+  stats.mean_lcp = static_cast<double>(sum) / n;
+  stats.repeat_fraction = static_cast<double>(repeated) / n;
+  return stats;
+}
+
+}  // namespace rlz

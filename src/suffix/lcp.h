@@ -1,0 +1,40 @@
+#ifndef RLZ_SUFFIX_LCP_H_
+#define RLZ_SUFFIX_LCP_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rlz {
+
+/// Builds the LCP array of `text` from its suffix array with Kasai's
+/// algorithm (O(n)). lcp[i] is the length of the longest common prefix of
+/// the suffixes at SA[i-1] and SA[i]; lcp[0] == 0.
+std::vector<int32_t> BuildLcpArray(std::string_view text,
+                                   const std::vector<int32_t>& sa);
+
+/// Quadratic reference implementation (test oracle).
+std::vector<int32_t> BuildLcpArrayNaive(std::string_view text,
+                                        const std::vector<int32_t>& sa);
+
+/// Self-redundancy statistics of a text, computed from its LCP array —
+/// used to quantify the §6 observation that sampled dictionaries still
+/// contain internal duplication that pruning can reclaim.
+struct RepeatStats {
+  double mean_lcp = 0.0;
+  int32_t max_lcp = 0;
+  /// Fraction of suffixes whose longest repeat elsewhere in the text is at
+  /// least `threshold` bytes (threshold chosen by the caller).
+  double repeat_fraction = 0.0;
+};
+
+/// Computes RepeatStats for `text`. A suffix counts as repeated when
+/// max(lcp[i], lcp[i+1]) >= threshold — i.e. it shares a prefix of at
+/// least `threshold` bytes with a neighbouring suffix in SA order.
+RepeatStats ComputeRepeatStats(std::string_view text,
+                               const std::vector<int32_t>& sa,
+                               int32_t threshold);
+
+}  // namespace rlz
+
+#endif  // RLZ_SUFFIX_LCP_H_

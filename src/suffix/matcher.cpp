@@ -1,0 +1,134 @@
+#include "suffix/matcher.h"
+
+#include <algorithm>
+
+#include "suffix/suffix_array.h"
+#include "util/logging.h"
+
+namespace rlz {
+
+SuffixMatcher::SuffixMatcher(std::string_view text, std::vector<int32_t> sa,
+                             bool build_jump_table)
+    : text_(text), sa_(std::move(sa)) {
+  if (sa_.empty() && !text_.empty()) {
+    sa_ = BuildSuffixArray(text_);
+  }
+  RLZ_CHECK_EQ(sa_.size(), text_.size());
+  if (build_jump_table && text_.size() >= 2) {
+    jump_lo_.assign(65536, 0);
+    jump_hi_.assign(65536, 0);
+    // One pass over the SA: suffixes with equal 2-byte prefixes are
+    // contiguous, so record each run. Suffixes of length 1 sort at the
+    // start of their first-byte group and are excluded from the table
+    // (Refine handles them via the slow path).
+    size_t i = 0;
+    const size_t n = sa_.size();
+    while (i < n) {
+      const size_t start = i;
+      const size_t p = static_cast<size_t>(sa_[i]);
+      if (p + 1 >= text_.size()) {
+        ++i;
+        continue;
+      }
+      const uint32_t key = (static_cast<uint8_t>(text_[p]) << 8) |
+                           static_cast<uint8_t>(text_[p + 1]);
+      while (i < n) {
+        const size_t q = static_cast<size_t>(sa_[i]);
+        if (q + 1 >= text_.size()) break;
+        const uint32_t k2 = (static_cast<uint8_t>(text_[q]) << 8) |
+                            static_cast<uint8_t>(text_[q + 1]);
+        if (k2 != key) break;
+        ++i;
+      }
+      jump_lo_[key] = static_cast<int32_t>(start);
+      jump_hi_[key] = static_cast<int32_t>(i);
+    }
+    has_jump_ = true;
+  }
+}
+
+bool SuffixMatcher::Refine(int32_t* lb, int32_t* rb, int32_t offset,
+                           uint8_t c) const {
+  if (*lb > *rb) return false;
+  const int target = c;
+  // Lower bound: first index in [lb, rb] with CharAt >= target.
+  int32_t lo = *lb;
+  int32_t hi = *rb + 1;
+  while (lo < hi) {
+    const int32_t mid = lo + (hi - lo) / 2;
+    if (CharAt(mid, offset) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const int32_t new_lb = lo;
+  if (new_lb > *rb || CharAt(new_lb, offset) != target) return false;
+  // Upper bound: first index with CharAt > target.
+  hi = *rb + 1;
+  while (lo < hi) {
+    const int32_t mid = lo + (hi - lo) / 2;
+    if (CharAt(mid, offset) <= target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *lb = new_lb;
+  *rb = lo - 1;
+  return true;
+}
+
+Match SuffixMatcher::LongestMatch(std::string_view pattern) const {
+  Match m;
+  if (pattern.empty() || text_.empty()) return m;
+
+  int32_t lb = 0;
+  int32_t rb = static_cast<int32_t>(sa_.size()) - 1;
+  int32_t j = 0;
+  const int32_t plen = static_cast<int32_t>(pattern.size());
+
+  // Jump-start: resolve the first two characters with one table lookup.
+  if (has_jump_ && plen >= 2) {
+    const uint32_t key =
+        (static_cast<uint8_t>(pattern[0]) << 8) |
+        static_cast<uint8_t>(pattern[1]);
+    if (jump_lo_[key] < jump_hi_[key]) {
+      lb = jump_lo_[key];
+      rb = jump_hi_[key] - 1;
+      j = 2;
+    } else {
+      // No 2-char match; fall back to a single Refine for 1 char.
+      if (!Refine(&lb, &rb, 0, static_cast<uint8_t>(pattern[0]))) return m;
+      m.pos = sa_[lb];
+      m.len = 1;
+      return m;
+    }
+  }
+
+  while (j < plen) {
+    if (lb == rb) {
+      // Single candidate: extend by direct comparison (the fast path the
+      // paper's Factor function takes once the interval is unique).
+      const size_t start = static_cast<size_t>(sa_[lb]);
+      while (j < plen && start + j < text_.size() &&
+             text_[start + j] == pattern[j]) {
+        ++j;
+      }
+      break;
+    }
+    int32_t nlb = lb;
+    int32_t nrb = rb;
+    if (!Refine(&nlb, &nrb, j, static_cast<uint8_t>(pattern[j]))) break;
+    lb = nlb;
+    rb = nrb;
+    ++j;
+  }
+
+  if (j == 0) return m;
+  m.pos = sa_[lb];
+  m.len = j;
+  return m;
+}
+
+}  // namespace rlz

@@ -1,0 +1,177 @@
+#include "suffix/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace rlz {
+namespace {
+
+void GetCounts(const int32_t* s, int32_t n, int32_t k,
+               std::vector<int32_t>* cnt) {
+  cnt->assign(k, 0);
+  for (int32_t i = 0; i < n; ++i) ++(*cnt)[s[i]];
+}
+
+// bkt[c] = start (end=false) or one-past-end (end=true) of bucket c.
+void GetBuckets(const std::vector<int32_t>& cnt, std::vector<int32_t>* bkt,
+                bool end) {
+  bkt->resize(cnt.size());
+  int32_t sum = 0;
+  for (size_t c = 0; c < cnt.size(); ++c) {
+    sum += cnt[c];
+    (*bkt)[c] = end ? sum : sum - cnt[c];
+  }
+}
+
+// Induces L-suffixes left-to-right, then S-suffixes right-to-left, from the
+// already-placed entries in sa (LMS positions or -1).
+void Induce(const int32_t* s, int32_t* sa, int32_t n, int32_t k,
+            const std::vector<bool>& is_s) {
+  std::vector<int32_t> cnt;
+  std::vector<int32_t> bkt;
+  GetCounts(s, n, k, &cnt);
+
+  GetBuckets(cnt, &bkt, /*end=*/false);
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t j = sa[i] - 1;
+    if (sa[i] > 0 && !is_s[j]) sa[bkt[s[j]]++] = j;
+  }
+
+  GetBuckets(cnt, &bkt, /*end=*/true);
+  for (int32_t i = n - 1; i >= 0; --i) {
+    const int32_t j = sa[i] - 1;
+    if (sa[i] > 0 && is_s[j]) sa[--bkt[s[j]]] = j;
+  }
+}
+
+// Core SA-IS over an integer alphabet [0, k). s[n-1] must be a unique
+// smallest sentinel (value 0).
+void SaIs(const int32_t* s, int32_t* sa, int32_t n, int32_t k) {
+  RLZ_DCHECK(n > 0 && s[n - 1] == 0);
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+
+  // Classify suffixes: is_s[i] == true iff suffix i is S-type.
+  std::vector<bool> is_s(n);
+  is_s[n - 1] = true;
+  for (int32_t i = n - 2; i >= 0; --i) {
+    is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+  }
+  auto is_lms = [&](int32_t i) { return i > 0 && is_s[i] && !is_s[i - 1]; };
+
+  std::vector<int32_t> cnt;
+  std::vector<int32_t> bkt;
+  GetCounts(s, n, k, &cnt);
+
+  // Stage 1: sort LMS substrings by one round of induced sorting.
+  std::fill(sa, sa + n, -1);
+  GetBuckets(cnt, &bkt, /*end=*/true);
+  for (int32_t i = 1; i < n; ++i) {
+    if (is_lms(i)) sa[--bkt[s[i]]] = i;
+  }
+  Induce(s, sa, n, k, is_s);
+
+  // Compact the sorted LMS positions into sa[0..n1).
+  int32_t n1 = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    if (is_lms(sa[i])) sa[n1++] = sa[i];
+  }
+
+  // Name each LMS substring; identical substrings get equal names.
+  std::fill(sa + n1, sa + n, -1);
+  int32_t name = 0;
+  int32_t prev = -1;
+  for (int32_t i = 0; i < n1; ++i) {
+    const int32_t pos = sa[i];
+    bool diff = false;
+    for (int32_t d = 0; d < n; ++d) {
+      if (prev == -1 || s[pos + d] != s[prev + d] ||
+          is_s[pos + d] != is_s[prev + d]) {
+        diff = true;
+        break;
+      }
+      if (d > 0 && (is_lms(pos + d) || is_lms(prev + d))) break;
+    }
+    if (diff) {
+      ++name;
+      prev = pos;
+    }
+    sa[n1 + pos / 2] = name - 1;
+  }
+  for (int32_t i = n - 1, j = n - 1; i >= n1; --i) {
+    if (sa[i] >= 0) sa[j--] = sa[i];
+  }
+
+  // Stage 2: order the LMS suffixes, recursing if names are not unique.
+  int32_t* sa1 = sa;
+  int32_t* s1 = sa + n - n1;
+  if (name < n1) {
+    SaIs(s1, sa1, n1, name);
+  } else {
+    for (int32_t i = 0; i < n1; ++i) sa1[s1[i]] = i;
+  }
+
+  // Stage 3: induce the full order from the sorted LMS suffixes.
+  for (int32_t i = 1, j = 0; i < n; ++i) {
+    if (is_lms(i)) s1[j++] = i;
+  }
+  for (int32_t i = 0; i < n1; ++i) sa1[i] = s1[sa1[i]];
+  std::fill(sa + n1, sa + n, -1);
+  GetBuckets(cnt, &bkt, /*end=*/true);
+  for (int32_t i = n1 - 1; i >= 0; --i) {
+    const int32_t j = sa[i];
+    sa[i] = -1;
+    sa[--bkt[s[j]]] = j;
+  }
+  Induce(s, sa, n, k, is_s);
+}
+
+}  // namespace
+
+std::vector<int32_t> BuildSuffixArray(std::string_view text) {
+  const size_t n = text.size();
+  RLZ_CHECK_LE(n, static_cast<size_t>(INT32_MAX) - 1)
+      << "text too large for int32 suffix array";
+  if (n == 0) return {};
+  // Shift the byte alphabet by one and append a unique 0 sentinel so the
+  // core algorithm never has to special-case text containing NUL bytes.
+  std::vector<int32_t> s(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<int32_t>(static_cast<uint8_t>(text[i])) + 1;
+  }
+  s[n] = 0;
+  std::vector<int32_t> sa(n + 1);
+  SaIs(s.data(), sa.data(), static_cast<int32_t>(n + 1), 257);
+  // sa[0] is the sentinel suffix; drop it.
+  return std::vector<int32_t>(sa.begin() + 1, sa.end());
+}
+
+std::vector<int32_t> BuildSuffixArrayNaive(std::string_view text) {
+  std::vector<int32_t> sa(text.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](int32_t a, int32_t b) {
+    return text.substr(a) < text.substr(b);
+  });
+  return sa;
+}
+
+bool IsValidSuffixArray(std::string_view text,
+                        const std::vector<int32_t>& sa) {
+  const size_t n = text.size();
+  if (sa.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (int32_t p : sa) {
+    if (p < 0 || static_cast<size_t>(p) >= n || seen[p]) return false;
+    seen[p] = true;
+  }
+  for (size_t i = 1; i < n; ++i) {
+    if (text.substr(sa[i - 1]) >= text.substr(sa[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace rlz

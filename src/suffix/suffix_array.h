@@ -1,0 +1,25 @@
+#ifndef RLZ_SUFFIX_SUFFIX_ARRAY_H_
+#define RLZ_SUFFIX_SUFFIX_ARRAY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rlz {
+
+/// Builds the suffix array of `text` with the SA-IS algorithm (Nong, Zhang,
+/// Chan 2009): O(n) time, O(n) extra words. Replaces divsufsort/sdsl, which
+/// this repository does not depend on. Texts are limited to int32 sizes
+/// (dictionaries in this system are far below 2 GB; see DESIGN.md §5).
+std::vector<int32_t> BuildSuffixArray(std::string_view text);
+
+/// O(n^2 log n) reference construction used as a test oracle only.
+std::vector<int32_t> BuildSuffixArrayNaive(std::string_view text);
+
+/// Checks that `sa` is a permutation of [0, n) in strict suffix order.
+/// O(n^2) worst case; test/debug use only.
+bool IsValidSuffixArray(std::string_view text, const std::vector<int32_t>& sa);
+
+}  // namespace rlz
+
+#endif  // RLZ_SUFFIX_SUFFIX_ARRAY_H_

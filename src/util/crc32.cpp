@@ -1,0 +1,32 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace rlz {
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace rlz

@@ -1,0 +1,20 @@
+#ifndef RLZ_UTIL_CRC32_H_
+#define RLZ_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rlz {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip checksum). Used to validate
+/// archive blocks and compressed streams on read.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace rlz
+
+#endif  // RLZ_UTIL_CRC32_H_

@@ -1,0 +1,87 @@
+#ifndef RLZ_UTIL_LOGGING_H_
+#define RLZ_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace rlz {
+namespace internal_logging {
+
+/// Accumulates a message and aborts the process when destroyed. Used by the
+/// RLZ_CHECK family for invariant violations (programming errors, never
+/// data-dependent failures — those return Status).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+/// Turns a streamed FatalLogMessage expression into void so it can sit in
+/// the false branch of the ternary in RLZ_CHECK (operator& binds looser
+/// than operator<<).
+class Voidify {
+ public:
+  void operator&(const FatalLogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace rlz
+
+/// Aborts with a message if `cond` is false. Supports streaming extra
+/// context: RLZ_CHECK(x > 0) << "got " << x;  For invariants only.
+#define RLZ_CHECK(cond)                               \
+  (cond) ? (void)0                                    \
+         : ::rlz::internal_logging::Voidify() &       \
+               ::rlz::internal_logging::FatalLogMessage(__FILE__, __LINE__, \
+                                                        #cond)
+
+#define RLZ_CHECK_OP(a, b, op)                                            \
+  ((a)op(b)) ? (void)0                                                    \
+             : ::rlz::internal_logging::Voidify() &                       \
+                   (::rlz::internal_logging::FatalLogMessage(             \
+                        __FILE__, __LINE__, #a " " #op " " #b)            \
+                    << "(" << (a) << " vs " << (b) << ") ")
+
+#define RLZ_CHECK_EQ(a, b) RLZ_CHECK_OP(a, b, ==)
+#define RLZ_CHECK_NE(a, b) RLZ_CHECK_OP(a, b, !=)
+#define RLZ_CHECK_LT(a, b) RLZ_CHECK_OP(a, b, <)
+#define RLZ_CHECK_LE(a, b) RLZ_CHECK_OP(a, b, <=)
+#define RLZ_CHECK_GT(a, b) RLZ_CHECK_OP(a, b, >)
+#define RLZ_CHECK_GE(a, b) RLZ_CHECK_OP(a, b, >=)
+
+#ifndef NDEBUG
+#define RLZ_DCHECK(cond) RLZ_CHECK(cond)
+#define RLZ_DCHECK_EQ(a, b) RLZ_CHECK_EQ(a, b)
+#define RLZ_DCHECK_LT(a, b) RLZ_CHECK_LT(a, b)
+#define RLZ_DCHECK_LE(a, b) RLZ_CHECK_LE(a, b)
+#else
+#define RLZ_DCHECK(cond) \
+  while (false) ::rlz::internal_logging::NullStream()
+#define RLZ_DCHECK_EQ(a, b) RLZ_DCHECK((a) == (b))
+#define RLZ_DCHECK_LT(a, b) RLZ_DCHECK((a) < (b))
+#define RLZ_DCHECK_LE(a, b) RLZ_DCHECK((a) <= (b))
+#endif
+
+#endif  // RLZ_UTIL_LOGGING_H_

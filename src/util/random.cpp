@@ -1,0 +1,28 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlz {
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  RLZ_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (double& v : cdf_) v *= inv;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace rlz

@@ -1,0 +1,85 @@
+#ifndef RLZ_UTIL_RANDOM_H_
+#define RLZ_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rlz {
+
+/// Deterministic xorshift128+ PRNG. All randomness in the library (corpus
+/// generation, query sampling, property tests) flows through this so that
+/// every experiment is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding avoids the all-zero state and decorrelates nearby
+    // seeds.
+    uint64_t z = seed;
+    auto split_mix = [&z]() {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      return x ^ (x >> 31);
+    };
+    s0_ = split_mix();
+    s1_ = split_mix();
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    RLZ_DCHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    RLZ_DCHECK_LE(lo, hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Samples ranks from a Zipf distribution with parameter `theta` over
+/// [0, n). Rank 0 is the most frequent. Used for natural-language word
+/// frequencies and query sampling. Precomputes the CDF once (O(n)), then
+/// samples in O(log n) by binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+
+  /// Returns a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_UTIL_RANDOM_H_

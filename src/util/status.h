@@ -1,0 +1,140 @@
+#ifndef RLZ_UTIL_STATUS_H_
+#define RLZ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace rlz {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. No exceptions cross public API
+/// boundaries in this library; fallible functions return Status or
+/// StatusOr<T>. Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// StatusOr aborts (programming error), matching absl::StatusOr semantics.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  ///   StatusOr<int> F() { if (bad) return Status::InvalidArgument("x"); ... }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    RLZ_CHECK(!std::get<Status>(rep_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    RLZ_CHECK(ok()) << "value() on error StatusOr: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    RLZ_CHECK(ok()) << "value() on error StatusOr: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    RLZ_CHECK(ok()) << "value() on error StatusOr: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define RLZ_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::rlz::Status _rlz_status = (expr);            \
+    if (!_rlz_status.ok()) return _rlz_status;     \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define RLZ_ASSIGN_OR_RETURN(lhs, expr)            \
+  RLZ_ASSIGN_OR_RETURN_IMPL(                       \
+      RLZ_STATUS_CONCAT(_rlz_statusor, __LINE__), lhs, expr)
+#define RLZ_ASSIGN_OR_RETURN_IMPL(var, lhs, expr)  \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
+#define RLZ_STATUS_CONCAT_INNER(a, b) a##b
+#define RLZ_STATUS_CONCAT(a, b) RLZ_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace rlz
+
+#endif  // RLZ_UTIL_STATUS_H_

@@ -1,0 +1,164 @@
+#include "zip/bentley_mcilroy.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "codecs/int_codecs.h"
+#include "util/logging.h"
+#include "zip/gzipx.h"
+
+namespace rlz {
+namespace {
+
+// Hash of `n` bytes at `p` (n <= 64): mix four unaligned 64-bit windows.
+uint64_t HashBlock(const uint8_t* p, int n) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  int i = 0;
+  while (i + 8 <= n) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = (h ^ w) * 0x100000001B3ULL;
+    h ^= h >> 29;
+    i += 8;
+  }
+  while (i < n) {
+    h = (h ^ p[i]) * 0x100000001B3ULL;
+    ++i;
+  }
+  return h ^ (h >> 32);
+}
+
+// Token framing: repeat { vbyte lit_len, literals, vbyte copy_len,
+// vbyte copy_dist-if-len>0 } until input is consumed; a group may have
+// lit_len == 0 or copy_len == 0.
+void EmitGroup(std::string_view literals, uint32_t copy_len,
+               uint32_t copy_dist, std::string* out) {
+  VByteCodec::Put(static_cast<uint32_t>(literals.size()), out);
+  out->append(literals);
+  VByteCodec::Put(copy_len, out);
+  if (copy_len > 0) VByteCodec::Put(copy_dist, out);
+}
+
+}  // namespace
+
+BmPreprocessor::BmPreprocessor(int block_size) : block_size_(block_size) {
+  RLZ_CHECK(block_size >= 8 && block_size <= 64);
+}
+
+void BmPreprocessor::Encode(std::string_view in, std::string* out) const {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(in.data());
+  const size_t n = in.size();
+  const int b = block_size_;
+  VByteCodec::Put(static_cast<uint32_t>(n), out);
+  if (n == 0) return;
+
+  // Fingerprints of aligned blocks seen so far: hash -> start position.
+  std::unordered_map<uint64_t, uint32_t> table;
+  table.reserve(n / b + 1);
+
+  size_t lit_start = 0;
+  size_t pos = 0;
+  size_t next_aligned = 0;  // next aligned block to fingerprint
+
+  auto insert_up_to = [&](size_t limit) {
+    while (next_aligned + b <= limit) {
+      table[HashBlock(data + next_aligned, b)] =
+          static_cast<uint32_t>(next_aligned);
+      next_aligned += b;
+    }
+  };
+
+  while (pos + b <= n) {
+    insert_up_to(pos);
+    const uint64_t h = HashBlock(data + pos, b);
+    auto it = table.find(h);
+    bool matched = false;
+    if (it != table.end()) {
+      const size_t cand = it->second;
+      if (cand + b <= pos && std::memcmp(data + cand, data + pos, b) == 0) {
+        // Verified long-range repeat: extend forward as far as possible.
+        size_t len = b;
+        while (pos + len < n && cand + len < pos &&
+               data[cand + len] == data[pos + len]) {
+          ++len;
+        }
+        EmitGroup(in.substr(lit_start, pos - lit_start),
+                  static_cast<uint32_t>(len),
+                  static_cast<uint32_t>(pos - cand), out);
+        pos += len;
+        lit_start = pos;
+        matched = true;
+      }
+    }
+    if (!matched) ++pos;
+  }
+  if (lit_start < n) {
+    EmitGroup(in.substr(lit_start), 0, 0, out);
+  }
+}
+
+Status BmPreprocessor::Decode(std::string_view in, std::string* out) const {
+  size_t pos = 0;
+  uint32_t total = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &total));
+  // Bound memory against corrupt headers (see GzipxCompressor).
+  if (static_cast<uint64_t>(total) >
+      in.size() * 4096ull + (1ull << 16)) {
+    return Status::Corruption("bmdiff: implausible uncompressed size");
+  }
+  const size_t out_base = out->size();
+  out->reserve(out_base + total);
+  while (out->size() - out_base < total) {
+    uint32_t lit_len = 0;
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &lit_len));
+    if (pos + lit_len > in.size()) {
+      return Status::Corruption("bmdiff: truncated literals");
+    }
+    if (out->size() - out_base + lit_len > total) {
+      return Status::Corruption("bmdiff: literal overrun");
+    }
+    out->append(in.substr(pos, lit_len));
+    pos += lit_len;
+    uint32_t copy_len = 0;
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &copy_len));
+    if (copy_len == 0) continue;
+    uint32_t dist = 0;
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &dist));
+    if (dist == 0 || dist > out->size() - out_base) {
+      return Status::Corruption("bmdiff: bad copy distance");
+    }
+    if (out->size() - out_base + copy_len > total) {
+      return Status::Corruption("bmdiff: copy overrun");
+    }
+    // Copies never overlap their source (cand + len <= pos at encode
+    // time), but decode defensively byte by byte anyway.
+    const size_t src = out->size() - dist;
+    for (uint32_t k = 0; k < copy_len; ++k) {
+      out->push_back((*out)[src + k]);
+    }
+  }
+  if (out->size() - out_base != total) {
+    return Status::Corruption("bmdiff: size mismatch");
+  }
+  return Status::OK();
+}
+
+BigtableCompressor::BigtableCompressor(int block_size) : pre_(block_size) {}
+
+void BigtableCompressor::Compress(std::string_view in, std::string* out) const {
+  std::string tokens;
+  pre_.Encode(in, &tokens);
+  GzipxCompressor gz;
+  gz.Compress(tokens, out);
+}
+
+Status BigtableCompressor::Decompress(std::string_view in,
+                                      std::string* out) const {
+  std::string tokens;
+  GzipxCompressor gz;
+  RLZ_RETURN_IF_ERROR(gz.Decompress(in, &tokens));
+  return pre_.Decode(tokens, out);
+}
+
+}  // namespace rlz

@@ -1,0 +1,51 @@
+#ifndef RLZ_ZIP_BENTLEY_MCILROY_H_
+#define RLZ_ZIP_BENTLEY_MCILROY_H_
+
+#include <cstdint>
+
+#include "zip/compressor.h"
+
+namespace rlz {
+
+/// Bentley & McIlroy's "data compression with long repeated strings"
+/// (J. Inf. Sci. 2001) — the preprocessing pass Google's Bigtable applies
+/// before a small-window compressor (§2.2 of the paper). Fingerprints every
+/// `block_size`-aligned block of the input; at each position the next
+/// `block_size` bytes are hashed and, on a fingerprint hit, the match is
+/// verified and extended, replacing long repeats anywhere earlier in the
+/// stream (unbounded window) with (distance, length) copies. Short-range
+/// redundancy is deliberately left for the second-pass compressor.
+class BmPreprocessor {
+ public:
+  explicit BmPreprocessor(int block_size = 32);
+
+  /// Encodes `in` as alternating literal-run / copy tokens.
+  void Encode(std::string_view in, std::string* out) const;
+
+  /// Inverts Encode. Returns Corruption on malformed token streams.
+  Status Decode(std::string_view in, std::string* out) const;
+
+  int block_size() const { return block_size_; }
+
+ private:
+  int block_size_;
+};
+
+/// The Bigtable recipe as a one-shot Compressor: a Bentley-McIlroy long-
+/// range pass followed by gzipx over the token stream ("a fast compression
+/// algorithm that looks for repetitions in a small window", §2.2).
+class BigtableCompressor final : public Compressor {
+ public:
+  explicit BigtableCompressor(int block_size = 32);
+
+  std::string name() const override { return "bmdiff"; }
+  void Compress(std::string_view in, std::string* out) const override;
+  Status Decompress(std::string_view in, std::string* out) const override;
+
+ private:
+  BmPreprocessor pre_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_ZIP_BENTLEY_MCILROY_H_

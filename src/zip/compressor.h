@@ -1,0 +1,42 @@
+#ifndef RLZ_ZIP_COMPRESSOR_H_
+#define RLZ_ZIP_COMPRESSOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace rlz {
+
+/// A one-shot block compressor. Implementations write a self-describing
+/// stream (magic + uncompressed size header) so Decompress needs no side
+/// information. Used both for the blocked-archive baselines and as the "Z"
+/// coder for RLZ factor streams.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Short name used in benchmark tables (e.g. "gzipx", "lzmax").
+  virtual std::string name() const = 0;
+
+  /// Appends a compressed representation of `in` to `out`.
+  virtual void Compress(std::string_view in, std::string* out) const = 0;
+
+  /// Decompresses a stream produced by Compress, appending to `out`.
+  /// Returns Corruption on malformed input.
+  virtual Status Decompress(std::string_view in, std::string* out) const = 0;
+};
+
+/// Compressor families available for baselines and factor-stream coding.
+enum class CompressorId : uint8_t {
+  kGzipx = 0,  ///< small-window LZ77 + Huffman (plays the role of zlib)
+  kLzmax = 1,  ///< large-window LZ + range coder (plays the role of lzma)
+};
+
+/// Returns a process-lifetime singleton for `id` at default settings.
+const Compressor* GetCompressor(CompressorId id);
+
+}  // namespace rlz
+
+#endif  // RLZ_ZIP_COMPRESSOR_H_

@@ -1,0 +1,350 @@
+#include "zip/gzipx.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "codecs/int_codecs.h"
+#include "util/bitio.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "zip/huffman.h"
+
+namespace rlz {
+namespace {
+
+constexpr uint8_t kMagic = 0xC7;
+constexpr int kHashBits = 16;
+constexpr uint32_t kHashMul = 2654435761U;
+constexpr size_t kTokensPerBlock = 1 << 15;
+
+constexpr int kNumLitLen = 286;  // 0..255 literals, 256 unused, 257..285 len
+constexpr int kNumDist = 30;
+
+// Deflate length slot tables (symbol 257 + i).
+constexpr std::array<int, 29> kLenBase = {
+    3,  4,  5,  6,  7,  8,  9,  10,  11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<int, 29> kLenExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                           1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                           4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// Deflate distance slot tables.
+constexpr std::array<int, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<int, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3, 3,
+                                            4, 4, 5,  5,  6,  6,  7,  7,  8, 8,
+                                            9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+int LengthSlot(int len) {
+  RLZ_DCHECK(len >= GzipxCompressor::kMinMatch &&
+             len <= GzipxCompressor::kMaxMatch);
+  // Linear scan over 29 slots is fine: called once per match token.
+  for (int i = 28; i >= 0; --i) {
+    if (len >= kLenBase[i]) return i;
+  }
+  return 0;
+}
+
+int DistSlot(int dist) {
+  for (int i = 29; i >= 0; --i) {
+    if (dist >= kDistBase[i]) return i;
+  }
+  return 0;
+}
+
+struct Token {
+  uint16_t len_or_lit;  // literal byte if dist == 0, else match length
+  uint16_t dist;        // 0 for literal; match distance otherwise... 16 bits
+                        // cannot hold 32768, so store dist - 1.
+};
+
+uint32_t HashAt(const uint8_t* p) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) |
+                     (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16) |
+                     (static_cast<uint32_t>(p[3]) << 24);
+  return (v * kHashMul) >> (32 - kHashBits);
+}
+
+// LZ77 tokenizer with hash chains and optional one-step lazy matching.
+void Tokenize(std::string_view in, const GzipxOptions& options,
+              std::vector<Token>* tokens) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(in.data());
+  const size_t n = in.size();
+  tokens->reserve(n / 4);
+
+  std::vector<int32_t> head(1 << kHashBits, -1);
+  std::vector<int32_t> prev(n, -1);
+
+  auto insert = [&](size_t pos) {
+    if (pos + 4 > n) return;
+    const uint32_t h = HashAt(data + pos);
+    prev[pos] = head[h];
+    head[h] = static_cast<int32_t>(pos);
+  };
+
+  auto find_match = [&](size_t pos) -> std::pair<int, int> {
+    // Returns (len, dist); len < kMinMatch means none.
+    if (pos + 4 > n) return {0, 0};
+    const uint32_t h = HashAt(data + pos);
+    int32_t cand = head[h];
+    const size_t max_len = std::min<size_t>(GzipxCompressor::kMaxMatch,
+                                            n - pos);
+    int best_len = 0;
+    int best_dist = 0;
+    int chain = options.max_chain;
+    while (cand >= 0 && chain-- > 0) {
+      const size_t dist = pos - static_cast<size_t>(cand);
+      if (dist > GzipxCompressor::kWindowSize) break;
+      // Quick reject: check the byte one past the current best.
+      if (best_len > 0 &&
+          data[cand + best_len] != data[pos + best_len]) {
+        cand = prev[cand];
+        continue;
+      }
+      size_t l = 0;
+      while (l < max_len && data[cand + l] == data[pos + l]) ++l;
+      if (static_cast<int>(l) > best_len) {
+        best_len = static_cast<int>(l);
+        best_dist = static_cast<int>(dist);
+        if (best_len >= options.nice_length ||
+            l == max_len) {
+          break;
+        }
+      }
+      cand = prev[cand];
+    }
+    return {best_len, best_dist};
+  };
+
+  size_t pos = 0;
+  while (pos < n) {
+    auto [len, dist] = find_match(pos);
+    if (len >= GzipxCompressor::kMinMatch && options.lazy && pos + 1 < n) {
+      // One-step lazy evaluation: if the next position has a strictly
+      // longer match, emit a literal here instead.
+      insert(pos);
+      auto [len2, dist2] = find_match(pos + 1);
+      if (len2 > len) {
+        tokens->push_back({static_cast<uint16_t>(data[pos]), 0});
+        ++pos;
+        len = len2;
+        dist = dist2;
+      }
+      tokens->push_back({static_cast<uint16_t>(len),
+                         static_cast<uint16_t>(dist)});
+      // Insert hash entries for the covered positions (pos itself was
+      // already inserted above).
+      for (size_t k = 1; k < static_cast<size_t>(len); ++k) {
+        insert(pos + k);
+      }
+      pos += len;
+    } else if (len >= GzipxCompressor::kMinMatch) {
+      tokens->push_back({static_cast<uint16_t>(len),
+                         static_cast<uint16_t>(dist)});
+      for (size_t k = 0; k < static_cast<size_t>(len); ++k) {
+        insert(pos + k);
+      }
+      pos += len;
+    } else {
+      insert(pos);
+      tokens->push_back({static_cast<uint16_t>(data[pos]), 0});
+      ++pos;
+    }
+  }
+}
+
+}  // namespace
+
+GzipxCompressor::GzipxCompressor(GzipxOptions options) : options_(options) {}
+
+void GzipxCompressor::Compress(std::string_view in, std::string* out) const {
+  out->push_back(static_cast<char>(kMagic));
+  VByteCodec::Put(static_cast<uint32_t>(in.size()), out);
+
+  std::vector<Token> tokens;
+  Tokenize(in, options_, &tokens);
+
+  size_t tok_i = 0;
+  size_t in_off = 0;
+  while (tok_i < tokens.size() || (in.empty() && tok_i == 0)) {
+    if (in.empty()) break;
+    const size_t tok_end = std::min(tokens.size(), tok_i + kTokensPerBlock);
+    // Uncompressed span covered by this token chunk.
+    size_t span = 0;
+    for (size_t t = tok_i; t < tok_end; ++t) {
+      span += tokens[t].dist == 0 ? 1 : tokens[t].len_or_lit;
+    }
+
+    // Huffman-encode the chunk into a scratch buffer.
+    std::string block;
+    {
+      std::vector<uint64_t> lit_freq(kNumLitLen, 0);
+      std::vector<uint64_t> dist_freq(kNumDist, 0);
+      for (size_t t = tok_i; t < tok_end; ++t) {
+        const Token& tk = tokens[t];
+        if (tk.dist == 0) {
+          ++lit_freq[tk.len_or_lit];
+        } else {
+          ++lit_freq[257 + LengthSlot(tk.len_or_lit)];
+          ++dist_freq[DistSlot(tk.dist)];
+        }
+      }
+      const std::vector<uint8_t> lit_lens = BuildHuffmanCodeLengths(lit_freq);
+      std::vector<uint8_t> dist_lens = BuildHuffmanCodeLengths(dist_freq);
+      // The decoder requires at least one distance symbol to build a table;
+      // pad with a dummy if the block is all literals.
+      if (std::all_of(dist_lens.begin(), dist_lens.end(),
+                      [](uint8_t l) { return l == 0; })) {
+        dist_lens[0] = 1;
+      }
+      HuffmanEncoder lit_enc(lit_lens);
+      HuffmanEncoder dist_enc(dist_lens);
+
+      BitWriter bw(&block);
+      for (uint8_t l : lit_lens) bw.WriteBits(l, 4);
+      for (uint8_t l : dist_lens) bw.WriteBits(l, 4);
+      for (size_t t = tok_i; t < tok_end; ++t) {
+        const Token& tk = tokens[t];
+        if (tk.dist == 0) {
+          lit_enc.Write(&bw, tk.len_or_lit);
+        } else {
+          const int ls = LengthSlot(tk.len_or_lit);
+          lit_enc.Write(&bw, 257 + ls);
+          bw.WriteBits(tk.len_or_lit - kLenBase[ls], kLenExtra[ls]);
+          const int ds = DistSlot(tk.dist);
+          dist_enc.Write(&bw, ds);
+          bw.WriteBits(tk.dist - kDistBase[ds], kDistExtra[ds]);
+        }
+      }
+      bw.Finish();
+    }
+
+    // Stored fallback for incompressible chunks.
+    VByteCodec::Put(static_cast<uint32_t>(span), out);
+    VByteCodec::Put(static_cast<uint32_t>(tok_end - tok_i), out);
+    if (block.size() >= span) {
+      out->push_back(1);  // stored
+      out->append(in.substr(in_off, span));
+    } else {
+      out->push_back(0);  // huffman
+      VByteCodec::Put(static_cast<uint32_t>(block.size()), out);
+      out->append(block);
+    }
+    in_off += span;
+    tok_i = tok_end;
+  }
+
+  const uint32_t crc = Crc32(in);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+}
+
+Status GzipxCompressor::Decompress(std::string_view in,
+                                   std::string* out) const {
+  size_t pos = 0;
+  if (in.empty() || static_cast<uint8_t>(in[0]) != kMagic) {
+    return Status::Corruption("gzipx: bad magic");
+  }
+  ++pos;
+  uint32_t total = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &total));
+  // Reject implausible expansion before reserving memory: a corrupt header
+  // must not make us allocate gigabytes (max real ratio here is ~1000:1).
+  if (static_cast<uint64_t>(total) >
+      in.size() * 1024ull + (1ull << 16)) {
+    return Status::Corruption("gzipx: implausible uncompressed size");
+  }
+
+  const size_t out_base = out->size();
+  out->reserve(out_base + total);
+
+  while (out->size() - out_base < total) {
+    uint32_t span = 0;
+    uint32_t num_tokens = 0;
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &span));
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &num_tokens));
+    if (pos >= in.size()) return Status::Corruption("gzipx: truncated block");
+    const uint8_t type = static_cast<uint8_t>(in[pos++]);
+    if (out->size() - out_base + span > total) {
+      return Status::Corruption("gzipx: block overruns stream size");
+    }
+    if (type == 1) {
+      if (pos + span > in.size()) {
+        return Status::Corruption("gzipx: truncated stored block");
+      }
+      out->append(in.substr(pos, span));
+      pos += span;
+      continue;
+    }
+    if (type != 0) return Status::Corruption("gzipx: bad block type");
+
+    uint32_t bits_size = 0;
+    RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &bits_size));
+    if (pos + bits_size > in.size()) {
+      return Status::Corruption("gzipx: truncated huffman block");
+    }
+    BitReader br(reinterpret_cast<const uint8_t*>(in.data()) + pos, bits_size);
+    pos += bits_size;
+
+    std::vector<uint8_t> lit_lens(kNumLitLen);
+    std::vector<uint8_t> dist_lens(kNumDist);
+    for (auto& l : lit_lens) l = static_cast<uint8_t>(br.ReadBits(4));
+    for (auto& l : dist_lens) l = static_cast<uint8_t>(br.ReadBits(4));
+    HuffmanDecoder lit_dec;
+    HuffmanDecoder dist_dec;
+    RLZ_RETURN_IF_ERROR(lit_dec.Init(lit_lens));
+    RLZ_RETURN_IF_ERROR(dist_dec.Init(dist_lens));
+
+    for (uint32_t t = 0; t < num_tokens; ++t) {
+      // Note: BitReader may peek past the padded end of the block while
+      // decoding the final symbols; that is benign (the token count bounds
+      // decoding and the trailing CRC catches real truncation), so
+      // overflowed() is deliberately not treated as an error here.
+      const int32_t sym = lit_dec.Decode(&br);
+      if (sym < 0 || sym == 256 || sym >= kNumLitLen) {
+        return Status::Corruption("gzipx: bad literal/length symbol");
+      }
+      if (sym < 256) {
+        out->push_back(static_cast<char>(sym));
+        continue;
+      }
+      const int ls = sym - 257;
+      const int len =
+          kLenBase[ls] + static_cast<int>(br.ReadBits(kLenExtra[ls]));
+      const int32_t dsym = dist_dec.Decode(&br);
+      if (dsym < 0 || dsym >= kNumDist) {
+        return Status::Corruption("gzipx: bad distance symbol");
+      }
+      const int dist =
+          kDistBase[dsym] + static_cast<int>(br.ReadBits(kDistExtra[dsym]));
+      if (static_cast<size_t>(dist) > out->size() - out_base) {
+        return Status::Corruption("gzipx: distance before stream start");
+      }
+      if (out->size() - out_base + len > total) {
+        return Status::Corruption("gzipx: output overrun");
+      }
+      // Byte-by-byte copy: source and destination may overlap.
+      size_t src = out->size() - dist;
+      for (int k = 0; k < len; ++k) {
+        out->push_back((*out)[src + k]);
+      }
+    }
+  }
+
+  if (pos + 4 > in.size()) return Status::Corruption("gzipx: missing crc");
+  uint32_t want = 0;
+  for (int i = 0; i < 4; ++i) {
+    want |= static_cast<uint32_t>(static_cast<uint8_t>(in[pos + i])) << (8 * i);
+  }
+  const uint32_t got =
+      Crc32(out->data() + out_base, out->size() - out_base);
+  if (want != got) return Status::Corruption("gzipx: crc mismatch");
+  return Status::OK();
+}
+
+}  // namespace rlz

@@ -1,0 +1,49 @@
+#ifndef RLZ_ZIP_GZIPX_H_
+#define RLZ_ZIP_GZIPX_H_
+
+#include <cstdint>
+
+#include "zip/compressor.h"
+
+namespace rlz {
+
+/// Options for the gzipx compressor.
+struct GzipxOptions {
+  /// Maximum hash-chain probes per position. Higher = better matches,
+  /// slower compression (zlib's "level" knob).
+  int max_chain = 128;
+  /// Matches at least this long stop the search early.
+  int nice_length = 128;
+  /// Enables one-step lazy matching (defer a match if the next position
+  /// has a longer one), as zlib does at higher levels.
+  bool lazy = true;
+};
+
+/// From-scratch DEFLATE-style compressor: LZ77 over a 32 KB sliding window
+/// with a hash-chain match finder, followed by per-block semi-static
+/// canonical Huffman coding of literal/length and distance symbols (the
+/// deflate slot tables). Own container format, not RFC 1951 compatible.
+///
+/// This is the repository's stand-in for zlib (see DESIGN.md §4): same
+/// algorithmic family and window size, so blocked-baseline behaviour
+/// (compression vs block size, decode speed) matches zlib's shape.
+class GzipxCompressor final : public Compressor {
+ public:
+  explicit GzipxCompressor(GzipxOptions options = {});
+
+  std::string name() const override { return "gzipx"; }
+  void Compress(std::string_view in, std::string* out) const override;
+  Status Decompress(std::string_view in, std::string* out) const override;
+
+  static constexpr int kWindowBits = 15;
+  static constexpr int kWindowSize = 1 << kWindowBits;  // 32 KB, as zlib
+  static constexpr int kMinMatch = 3;
+  static constexpr int kMaxMatch = 258;
+
+ private:
+  GzipxOptions options_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_ZIP_GZIPX_H_

@@ -1,0 +1,183 @@
+#include "zip/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rlz {
+namespace {
+
+uint32_t ReverseBits(uint32_t v, int nbits) {
+  uint32_t r = 0;
+  for (int i = 0; i < nbits; ++i) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildHuffmanCodeLengths(const std::vector<uint64_t>& freqs,
+                                             int max_bits) {
+  const size_t n = freqs.size();
+  std::vector<uint8_t> lengths(n, 0);
+
+  std::vector<size_t> used;
+  for (size_t s = 0; s < n; ++s) {
+    if (freqs[s] > 0) used.push_back(s);
+  }
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;
+    return lengths;
+  }
+
+  // Standard Huffman tree construction over the used symbols.
+  struct Node {
+    uint64_t freq;
+    int32_t left;   // node index or -1
+    int32_t right;  // node index, or symbol index when left == -1
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * used.size());
+  using QEntry = std::pair<uint64_t, int32_t>;  // (freq, node index)
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+  for (size_t i = 0; i < used.size(); ++i) {
+    nodes.push_back({freqs[used[i]], -1, static_cast<int32_t>(i)});
+    pq.emplace(nodes.back().freq, static_cast<int32_t>(nodes.size() - 1));
+  }
+  while (pq.size() > 1) {
+    const auto [fa, a] = pq.top();
+    pq.pop();
+    const auto [fb, b] = pq.top();
+    pq.pop();
+    nodes.push_back({fa + fb, a, b});
+    pq.emplace(fa + fb, static_cast<int32_t>(nodes.size() - 1));
+  }
+
+  // Depth-first traversal to collect raw depths per used symbol.
+  std::vector<int> depth(used.size(), 0);
+  {
+    std::vector<std::pair<int32_t, int>> stack;  // (node, depth)
+    stack.emplace_back(static_cast<int32_t>(nodes.size() - 1), 0);
+    while (!stack.empty()) {
+      const auto [idx, d] = stack.back();
+      stack.pop_back();
+      const Node& nd = nodes[idx];
+      if (nd.left == -1) {
+        depth[nd.right] = std::max(d, 1);
+      } else {
+        stack.emplace_back(nd.left, d + 1);
+        stack.emplace_back(nd.right, d + 1);
+      }
+    }
+  }
+
+  // Histogram of code lengths, clamped to max_bits.
+  std::vector<int> num_codes(max_bits + 1, 0);
+  for (int d : depth) ++num_codes[std::min(d, max_bits)];
+
+  // Kraft repair (the miniz "enforce max code size" pass): while the
+  // scaled Kraft sum exceeds 2^max_bits, demote one max-length code by
+  // splitting a shorter one.
+  uint64_t total = 0;
+  for (int i = 1; i <= max_bits; ++i) {
+    total += static_cast<uint64_t>(num_codes[i]) << (max_bits - i);
+  }
+  while (total > (1ULL << max_bits)) {
+    RLZ_CHECK(num_codes[max_bits] > 0);
+    --num_codes[max_bits];
+    for (int i = max_bits - 1; i >= 1; --i) {
+      if (num_codes[i] > 0) {
+        --num_codes[i];
+        num_codes[i + 1] += 2;
+        break;
+      }
+    }
+    --total;
+  }
+
+  // Assign lengths: most frequent symbol gets the shortest length.
+  std::vector<size_t> order(used.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return freqs[used[a]] > freqs[used[b]];
+  });
+  size_t k = 0;
+  for (int len = 1; len <= max_bits; ++len) {
+    for (int c = 0; c < num_codes[len]; ++c) {
+      RLZ_CHECK_LT(k, order.size());
+      lengths[used[order[k++]]] = static_cast<uint8_t>(len);
+    }
+  }
+  RLZ_CHECK_EQ(k, order.size());
+  return lengths;
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<uint8_t>& lengths)
+    : lengths_(lengths) {
+  const size_t n = lengths.size();
+  codes_.assign(n, 0);
+  // Canonical code assignment: codes of equal length are consecutive,
+  // ordered by symbol.
+  std::vector<int> count(kMaxHuffmanBits + 1, 0);
+  for (uint8_t l : lengths) {
+    if (l > 0) ++count[l];
+  }
+  std::vector<uint32_t> next(kMaxHuffmanBits + 2, 0);
+  uint32_t code = 0;
+  for (int l = 1; l <= kMaxHuffmanBits; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next[l] = code;
+  }
+  for (size_t s = 0; s < n; ++s) {
+    if (lengths[s] == 0) continue;
+    codes_[s] =
+        static_cast<uint16_t>(ReverseBits(next[lengths[s]]++, lengths[s]));
+  }
+}
+
+Status HuffmanDecoder::Init(const std::vector<uint8_t>& lengths) {
+  max_len_ = 0;
+  for (uint8_t l : lengths) max_len_ = std::max<int>(max_len_, l);
+  if (max_len_ == 0) {
+    return Status::Corruption("huffman: no symbols");
+  }
+  if (max_len_ > kMaxHuffmanBits) {
+    return Status::Corruption("huffman: code length too large");
+  }
+  // Validate the Kraft inequality before filling the table.
+  uint64_t kraft = 0;
+  for (uint8_t l : lengths) {
+    if (l > 0) kraft += 1ULL << (max_len_ - l);
+  }
+  if (kraft > (1ULL << max_len_)) {
+    return Status::Corruption("huffman: over-subscribed code");
+  }
+
+  table_.assign(1ULL << max_len_, kInvalidEntry);
+  std::vector<int> count(kMaxHuffmanBits + 1, 0);
+  for (uint8_t l : lengths) {
+    if (l > 0) ++count[l];
+  }
+  std::vector<uint32_t> next(kMaxHuffmanBits + 2, 0);
+  uint32_t code = 0;
+  for (int l = 1; l <= kMaxHuffmanBits; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next[l] = code;
+  }
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const int l = lengths[s];
+    if (l == 0) continue;
+    const uint32_t canon = next[l]++;
+    const uint32_t rc = ReverseBits(canon, l);
+    const uint32_t entry =
+        (static_cast<uint32_t>(s) << 4) | static_cast<uint32_t>(l - 1);
+    for (uint64_t fill = rc; fill < table_.size(); fill += 1ULL << l) {
+      table_[fill] = entry;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rlz

@@ -1,0 +1,71 @@
+#ifndef RLZ_ZIP_HUFFMAN_H_
+#define RLZ_ZIP_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/status.h"
+
+namespace rlz {
+
+/// Maximum Huffman code length supported by the encoder/decoder tables.
+inline constexpr int kMaxHuffmanBits = 15;
+
+/// Computes length-limited Huffman code lengths for `freqs` (0 for unused
+/// symbols). Uses a standard tree build followed by the zlib/miniz
+/// Kraft-repair pass to enforce `max_bits`. Symbols with nonzero frequency
+/// always receive a length in [1, max_bits]. If only one symbol is used it
+/// gets length 1.
+std::vector<uint8_t> BuildHuffmanCodeLengths(const std::vector<uint64_t>& freqs,
+                                             int max_bits = kMaxHuffmanBits);
+
+/// Canonical Huffman encoder: assigns canonical codes from lengths and
+/// writes bit-reversed codes through a BitWriter (LSB-first stream, the
+/// deflate convention).
+class HuffmanEncoder {
+ public:
+  /// `lengths[s]` is the code length of symbol s (0 = unused).
+  explicit HuffmanEncoder(const std::vector<uint8_t>& lengths);
+
+  void Write(BitWriter* bw, uint32_t symbol) const {
+    RLZ_DCHECK_LT(symbol, codes_.size());
+    RLZ_DCHECK(lengths_[symbol] > 0);
+    bw->WriteBits(codes_[symbol], lengths_[symbol]);
+  }
+
+  uint8_t length(uint32_t symbol) const { return lengths_[symbol]; }
+
+ private:
+  std::vector<uint16_t> codes_;  // bit-reversed canonical codes
+  std::vector<uint8_t> lengths_;
+};
+
+/// Table-driven canonical Huffman decoder (single-level table of
+/// 2^max_len entries).
+class HuffmanDecoder {
+ public:
+  /// Builds the decode table. Returns Corruption if the lengths do not
+  /// describe a prefix-complete (or under-full) code.
+  Status Init(const std::vector<uint8_t>& lengths);
+
+  /// Decodes one symbol. Returns a negative value on malformed input.
+  int32_t Decode(BitReader* br) const {
+    const uint32_t window =
+        static_cast<uint32_t>(br->PeekBits(max_len_));
+    const uint32_t entry = table_[window];
+    const int len = static_cast<int>(entry & 0xF) + 1;
+    if (entry == kInvalidEntry) return -1;
+    br->SkipBits(len);
+    return static_cast<int32_t>(entry >> 4);
+  }
+
+ private:
+  static constexpr uint32_t kInvalidEntry = 0xFFFFFFFFU;
+  std::vector<uint32_t> table_;  // (symbol << 4) | (len - 1)
+  int max_len_ = 0;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_ZIP_HUFFMAN_H_

@@ -1,0 +1,308 @@
+#include "zip/lzmax.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "codecs/int_codecs.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "zip/gzipx.h"
+#include "zip/range_coder.h"
+
+namespace rlz {
+namespace {
+
+constexpr uint8_t kMagic = 0xC8;
+constexpr int kHashBits = 17;
+constexpr uint32_t kHashMul = 2654435761U;
+constexpr int kNumStates = 3;  // 0 = after literal, 1 = after match, 2 = rep
+constexpr int kNumLitContexts = 8;  // previous byte >> 5
+constexpr int kNumSlots = 64;
+
+// LZMA-style length coder: choice bits select one of three bit trees:
+// low (len-2 in [0,8)), mid ([8,16)), high ([16,272)).
+struct LenCoder {
+  BitProb choice = kProbInit;
+  BitProb choice2 = kProbInit;
+  std::array<BitProb, 8> low;
+  std::array<BitProb, 8> mid;
+  std::array<BitProb, 256> high;
+
+  LenCoder() {
+    low.fill(kProbInit);
+    mid.fill(kProbInit);
+    high.fill(kProbInit);
+  }
+
+  void Encode(RangeEncoder* rc, uint32_t len) {
+    RLZ_DCHECK(len >= LzmaxCompressor::kMinMatch &&
+               len <= LzmaxCompressor::kMaxMatch);
+    uint32_t v = len - LzmaxCompressor::kMinMatch;
+    if (v < 8) {
+      rc->EncodeBit(&choice, 0);
+      EncodeBitTree(rc, low.data(), 3, v);
+    } else if (v < 16) {
+      rc->EncodeBit(&choice, 1);
+      rc->EncodeBit(&choice2, 0);
+      EncodeBitTree(rc, mid.data(), 3, v - 8);
+    } else {
+      rc->EncodeBit(&choice, 1);
+      rc->EncodeBit(&choice2, 1);
+      EncodeBitTree(rc, high.data(), 8, v - 16);
+    }
+  }
+
+  uint32_t Decode(RangeDecoder* rc) {
+    if (rc->DecodeBit(&choice) == 0) {
+      return LzmaxCompressor::kMinMatch + DecodeBitTree(rc, low.data(), 3);
+    }
+    if (rc->DecodeBit(&choice2) == 0) {
+      return LzmaxCompressor::kMinMatch + 8 + DecodeBitTree(rc, mid.data(), 3);
+    }
+    return LzmaxCompressor::kMinMatch + 16 + DecodeBitTree(rc, high.data(), 8);
+  }
+};
+
+// Position-slot distance coder over dval = dist - 1 (LZMA scheme, with
+// direct bits instead of the align tree for slots >= 4).
+struct DistCoder {
+  std::array<BitProb, kNumSlots> slot_probs;
+
+  DistCoder() { slot_probs.fill(kProbInit); }
+
+  static int SlotFor(uint32_t dval) {
+    if (dval < 4) return static_cast<int>(dval);
+    int bits = 31 - __builtin_clz(dval);  // index of highest set bit
+    return 2 * bits + static_cast<int>((dval >> (bits - 1)) & 1);
+  }
+
+  void Encode(RangeEncoder* rc, uint32_t dist) {
+    const uint32_t dval = dist - 1;
+    const int slot = SlotFor(dval);
+    EncodeBitTree(rc, slot_probs.data(), 6, static_cast<uint32_t>(slot));
+    if (slot >= 4) {
+      const int direct = (slot >> 1) - 1;
+      rc->EncodeDirect(dval & ((1U << direct) - 1), direct);
+    }
+  }
+
+  uint32_t Decode(RangeDecoder* rc) {
+    const uint32_t slot = DecodeBitTree(rc, slot_probs.data(), 6);
+    if (slot < 4) return slot + 1;
+    const int direct = static_cast<int>(slot >> 1) - 1;
+    const uint32_t base = (2 | (slot & 1)) << direct;
+    return base + rc->DecodeDirect(direct) + 1;
+  }
+};
+
+struct Model {
+  std::array<BitProb, kNumStates> is_match;
+  std::array<BitProb, kNumStates> is_rep;
+  std::array<std::array<BitProb, 256>, kNumLitContexts> lit;
+  LenCoder match_len;
+  LenCoder rep_len;
+  DistCoder dist;
+
+  Model() {
+    is_match.fill(kProbInit);
+    is_rep.fill(kProbInit);
+    for (auto& ctx : lit) ctx.fill(kProbInit);
+  }
+};
+
+uint32_t Hash4(const uint8_t* p) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) |
+                     (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16) |
+                     (static_cast<uint32_t>(p[3]) << 24);
+  return (v * kHashMul) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+LzmaxCompressor::LzmaxCompressor(LzmaxOptions options) : options_(options) {}
+
+void LzmaxCompressor::Compress(std::string_view in, std::string* out) const {
+  out->push_back(static_cast<char>(kMagic));
+  VByteCodec::Put(static_cast<uint32_t>(in.size()), out);
+
+  Model model;
+  RangeEncoder rc(out);
+
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(in.data());
+  const size_t n = in.size();
+
+  std::vector<int32_t> head(1 << kHashBits, -1);
+  std::vector<int32_t> prev(n, -1);
+
+  auto insert = [&](size_t pos) {
+    if (pos + 4 > n) return;
+    const uint32_t h = Hash4(data + pos);
+    prev[pos] = head[h];
+    head[h] = static_cast<int32_t>(pos);
+  };
+
+  auto find_match = [&](size_t pos) -> std::pair<int, uint32_t> {
+    if (pos + 4 > n) return {0, 0};
+    const size_t max_len = std::min<size_t>(kMaxMatch, n - pos);
+    int32_t cand = head[Hash4(data + pos)];
+    int best_len = 0;
+    uint32_t best_dist = 0;
+    int chain = options_.max_chain;
+    while (cand >= 0 && chain-- > 0) {
+      const size_t dist = pos - static_cast<size_t>(cand);
+      if (dist > options_.dict_size) break;
+      if (best_len == 0 || data[cand + best_len] == data[pos + best_len]) {
+        size_t l = 0;
+        while (l < max_len && data[cand + l] == data[pos + l]) ++l;
+        if (static_cast<int>(l) > best_len) {
+          best_len = static_cast<int>(l);
+          best_dist = static_cast<uint32_t>(dist);
+          if (best_len >= options_.nice_length || l == max_len) break;
+        }
+      }
+      cand = prev[cand];
+    }
+    return {best_len, best_dist};
+  };
+
+  int state = 0;
+  uint32_t rep0 = 1;
+  size_t pos = 0;
+  while (pos < n) {
+    // Repeat-distance match at rep0.
+    int rep_len = 0;
+    if (rep0 <= pos) {
+      const size_t max_len = std::min<size_t>(kMaxMatch, n - pos);
+      const uint8_t* src = data + pos - rep0;
+      size_t l = 0;
+      while (l < max_len && src[l] == data[pos + l]) ++l;
+      rep_len = static_cast<int>(l);
+    }
+
+    auto [new_len, new_dist] = find_match(pos);
+    if (new_len < kMinNewMatch) new_len = 0;
+
+    // Prefer the rep match unless the fresh match is clearly longer
+    // (a new distance costs far more bits than a rep flag).
+    const bool use_rep = rep_len >= kMinMatch && rep_len + 2 >= new_len;
+    const bool use_new = !use_rep && new_len >= kMinNewMatch;
+
+    if (use_rep || use_new) {
+      const int len = use_rep ? rep_len : new_len;
+      rc.EncodeBit(&model.is_match[state], 1);
+      if (use_rep) {
+        rc.EncodeBit(&model.is_rep[state], 1);
+        model.rep_len.Encode(&rc, static_cast<uint32_t>(len));
+        state = 2;
+      } else {
+        rc.EncodeBit(&model.is_rep[state], 0);
+        model.match_len.Encode(&rc, static_cast<uint32_t>(len));
+        model.dist.Encode(&rc, new_dist);
+        rep0 = new_dist;
+        state = 1;
+      }
+      for (size_t k = 0; k < static_cast<size_t>(len); ++k) insert(pos + k);
+      pos += len;
+    } else {
+      rc.EncodeBit(&model.is_match[state], 0);
+      const int ctx = pos > 0 ? data[pos - 1] >> 5 : 0;
+      EncodeBitTree(&rc, model.lit[ctx].data(), 8, data[pos]);
+      state = 0;
+      insert(pos);
+      ++pos;
+    }
+  }
+  rc.Flush();
+
+  const uint32_t crc = Crc32(in);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+}
+
+Status LzmaxCompressor::Decompress(std::string_view in,
+                                   std::string* out) const {
+  size_t pos = 0;
+  if (in.empty() || static_cast<uint8_t>(in[0]) != kMagic) {
+    return Status::Corruption("lzmax: bad magic");
+  }
+  ++pos;
+  uint32_t total = 0;
+  RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &total));
+  if (in.size() < pos + 4) return Status::Corruption("lzmax: truncated");
+  // Bound memory against corrupt headers (see gzipx).
+  if (static_cast<uint64_t>(total) >
+      in.size() * 4096ull + (1ull << 16)) {
+    return Status::Corruption("lzmax: implausible uncompressed size");
+  }
+
+  const std::string_view payload = in.substr(pos, in.size() - pos - 4);
+  Model model;
+  RangeDecoder rc(payload);
+
+  const size_t out_base = out->size();
+  out->reserve(out_base + total);
+
+  int state = 0;
+  uint32_t rep0 = 1;
+  // The range decoder may legitimately read a byte or two past the flushed
+  // payload near the end of the stream; real truncation is caught by the
+  // trailing CRC (or the bounds checks below), so overflow is not an error.
+  while (out->size() - out_base < total) {
+    if (rc.DecodeBit(&model.is_match[state]) == 0) {
+      const size_t cur = out->size();
+      const int ctx =
+          cur > out_base ? static_cast<uint8_t>((*out)[cur - 1]) >> 5 : 0;
+      out->push_back(static_cast<char>(
+          DecodeBitTree(&rc, model.lit[ctx].data(), 8)));
+      state = 0;
+      continue;
+    }
+    uint32_t len;
+    if (rc.DecodeBit(&model.is_rep[state]) == 1) {
+      len = model.rep_len.Decode(&rc);
+      state = 2;
+    } else {
+      len = model.match_len.Decode(&rc);
+      rep0 = model.dist.Decode(&rc);
+      state = 1;
+    }
+    if (rep0 == 0 || rep0 > out->size() - out_base) {
+      return Status::Corruption("lzmax: distance out of range");
+    }
+    if (out->size() - out_base + len > total) {
+      return Status::Corruption("lzmax: output overrun");
+    }
+    size_t src = out->size() - rep0;
+    for (uint32_t k = 0; k < len; ++k) {
+      out->push_back((*out)[src + k]);
+    }
+  }
+
+  uint32_t want = 0;
+  const size_t crc_off = in.size() - 4;
+  for (int i = 0; i < 4; ++i) {
+    want |=
+        static_cast<uint32_t>(static_cast<uint8_t>(in[crc_off + i])) << (8 * i);
+  }
+  const uint32_t got = Crc32(out->data() + out_base, out->size() - out_base);
+  if (want != got) return Status::Corruption("lzmax: crc mismatch");
+  return Status::OK();
+}
+
+const Compressor* GetCompressor(CompressorId id) {
+  static const GzipxCompressor* gzipx = new GzipxCompressor();
+  static const LzmaxCompressor* lzmax = new LzmaxCompressor();
+  switch (id) {
+    case CompressorId::kGzipx:
+      return gzipx;
+    case CompressorId::kLzmax:
+      return lzmax;
+  }
+  RLZ_CHECK(false) << "invalid compressor id";
+  return nullptr;
+}
+
+}  // namespace rlz

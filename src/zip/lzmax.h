@@ -1,0 +1,47 @@
+#ifndef RLZ_ZIP_LZMAX_H_
+#define RLZ_ZIP_LZMAX_H_
+
+#include <cstdint>
+
+#include "zip/compressor.h"
+
+namespace rlz {
+
+/// Options for the lzmax compressor.
+struct LzmaxOptions {
+  /// Maximum match distance. Unlike gzipx's fixed 32 KB window, lzmax can
+  /// reference the entire buffer seen so far (the property that makes
+  /// lzma-with-big-blocks so strong in the paper's Tables 6/7/9).
+  uint32_t dict_size = 1u << 26;  // 64 MB
+  int max_chain = 256;
+  int nice_length = 128;
+};
+
+/// From-scratch LZMA-family compressor: large-window LZ parsing (hash-chain
+/// match finder plus repeat-distance matches) entropy-coded with an adaptive
+/// binary range coder. Context modelling follows LZMA in miniature:
+/// state-conditioned match/literal switch, previous-byte literal contexts,
+/// low/mid/high length trees, and position-slot distance coding.
+///
+/// Stand-in for lzma in the paper's baselines (DESIGN.md §4): same family,
+/// so it compresses markedly better than gzipx and decodes markedly slower,
+/// preserving the shape of the paper's baseline comparison.
+class LzmaxCompressor final : public Compressor {
+ public:
+  explicit LzmaxCompressor(LzmaxOptions options = {});
+
+  std::string name() const override { return "lzmax"; }
+  void Compress(std::string_view in, std::string* out) const override;
+  Status Decompress(std::string_view in, std::string* out) const override;
+
+  static constexpr int kMinMatch = 2;       // rep matches may be this short
+  static constexpr int kMinNewMatch = 4;    // hash-found matches
+  static constexpr int kMaxMatch = 273;     // LZMA's length-coder ceiling
+
+ private:
+  LzmaxOptions options_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_ZIP_LZMAX_H_

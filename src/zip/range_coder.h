@@ -1,0 +1,168 @@
+#ifndef RLZ_ZIP_RANGE_CODER_H_
+#define RLZ_ZIP_RANGE_CODER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/logging.h"
+
+namespace rlz {
+
+/// Probability of a zero bit, in 1/2048 units (the LZMA convention).
+using BitProb = uint16_t;
+inline constexpr BitProb kProbInit = 1024;
+inline constexpr int kProbBits = 11;
+inline constexpr int kProbMoveBits = 5;
+
+/// Binary adaptive range encoder (LZMA-style carry-propagating
+/// implementation). Bits are coded against adaptive probabilities that the
+/// coder updates in place.
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(std::string* out) : out_(out) {}
+
+  void EncodeBit(BitProb* prob, int bit) {
+    const uint32_t bound = (range_ >> kProbBits) * *prob;
+    if (bit == 0) {
+      range_ = bound;
+      *prob += (static_cast<BitProb>(1 << kProbBits) - *prob) >> kProbMoveBits;
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      *prob -= *prob >> kProbMoveBits;
+    }
+    while (range_ < (1U << 24)) {
+      range_ <<= 8;
+      ShiftLow();
+    }
+  }
+
+  /// Encodes `nbits` bits of `value` (MSB first) at probability 1/2.
+  void EncodeDirect(uint32_t value, int nbits) {
+    for (int i = nbits - 1; i >= 0; --i) {
+      range_ >>= 1;
+      if ((value >> i) & 1) low_ += range_;
+      while (range_ < (1U << 24)) {
+        range_ <<= 8;
+        ShiftLow();
+      }
+    }
+  }
+
+  /// Must be called exactly once; emits the final 5 bytes.
+  void Flush() {
+    for (int i = 0; i < 5; ++i) ShiftLow();
+  }
+
+ private:
+  void ShiftLow() {
+    if (static_cast<uint32_t>(low_) < 0xFF000000U || (low_ >> 32) != 0) {
+      const uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+      uint8_t byte = cache_;
+      do {
+        out_->push_back(static_cast<char>(byte + carry));
+        byte = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00FFFFFFULL) << 8;
+  }
+
+  std::string* out_;
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFU;
+  uint8_t cache_ = 0;
+  int64_t cache_size_ = 1;
+};
+
+/// Matching decoder. Reading past the end yields zero bytes and sets
+/// overflowed(); callers detect corruption via stream-size bookkeeping and
+/// checksums.
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(std::string_view in) : in_(in) {
+    // The first output byte of the encoder is always 0 (initial cache).
+    ReadByte();
+    for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | ReadByte();
+  }
+
+  int DecodeBit(BitProb* prob) {
+    const uint32_t bound = (range_ >> kProbBits) * *prob;
+    int bit;
+    if (code_ < bound) {
+      range_ = bound;
+      *prob += (static_cast<BitProb>(1 << kProbBits) - *prob) >> kProbMoveBits;
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      *prob -= *prob >> kProbMoveBits;
+      bit = 1;
+    }
+    while (range_ < (1U << 24)) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | ReadByte();
+    }
+    return bit;
+  }
+
+  uint32_t DecodeDirect(int nbits) {
+    uint32_t v = 0;
+    for (int i = 0; i < nbits; ++i) {
+      range_ >>= 1;
+      int bit = 0;
+      if (code_ >= range_) {
+        code_ -= range_;
+        bit = 1;
+      }
+      v = (v << 1) | bit;
+      while (range_ < (1U << 24)) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | ReadByte();
+      }
+    }
+    return v;
+  }
+
+  bool overflowed() const { return overflowed_; }
+  size_t bytes_consumed() const { return pos_; }
+
+ private:
+  uint8_t ReadByte() {
+    if (pos_ < in_.size()) return static_cast<uint8_t>(in_[pos_++]);
+    overflowed_ = true;
+    return 0;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  uint32_t range_ = 0xFFFFFFFFU;
+  uint32_t code_ = 0;
+  bool overflowed_ = false;
+};
+
+/// Bit-tree coder over 2^nbits symbols, MSB first (LZMA convention).
+/// `probs` must hold 1 << nbits entries.
+inline void EncodeBitTree(RangeEncoder* rc, BitProb* probs, int nbits,
+                          uint32_t symbol) {
+  uint32_t m = 1;
+  for (int i = nbits - 1; i >= 0; --i) {
+    const int b = (symbol >> i) & 1;
+    rc->EncodeBit(&probs[m], b);
+    m = (m << 1) | b;
+  }
+}
+
+inline uint32_t DecodeBitTree(RangeDecoder* rc, BitProb* probs, int nbits) {
+  uint32_t m = 1;
+  for (int i = 0; i < nbits; ++i) {
+    m = (m << 1) | rc->DecodeBit(&probs[m]);
+  }
+  return m - (1U << nbits);
+}
+
+}  // namespace rlz
+
+#endif  // RLZ_ZIP_RANGE_CODER_H_

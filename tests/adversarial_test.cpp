@@ -1,0 +1,152 @@
+// Adversarial inputs for the core pipeline: degenerate dictionaries,
+// binary documents, pathological repetition, and full-alphabet coverage.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rlz.h"
+#include "util/random.h"
+
+namespace rlz {
+namespace {
+
+std::string AllBytes() {
+  std::string s(256, '\0');
+  for (int i = 0; i < 256; ++i) s[i] = static_cast<char>(i);
+  return s;
+}
+
+TEST(AdversarialTest, FullAlphabetDictionaryNeverEmitsLiterals) {
+  // If every byte occurs in the dictionary, the factorization contains no
+  // literal factors (case 2 of the §3 definition never triggers).
+  Dictionary dict(AllBytes());
+  Factorizer factorizer(&dict);
+  Rng rng(1);
+  std::string doc(5000, '\0');
+  for (auto& c : doc) c = static_cast<char>(rng.Uniform(256));
+  std::vector<Factor> factors;
+  factorizer.Factorize(doc, &factors);
+  EXPECT_EQ(factorizer.stats().num_literals, 0u);
+  std::string decoded;
+  ASSERT_TRUE(Factorizer::Decode(factors, dict, &decoded).ok());
+  EXPECT_EQ(decoded, doc);
+}
+
+TEST(AdversarialTest, SingleByteDictionary) {
+  Dictionary dict("a");
+  Factorizer factorizer(&dict);
+  std::vector<Factor> factors;
+  factorizer.Factorize("aaabaa", &factors);
+  std::string decoded;
+  ASSERT_TRUE(Factorizer::Decode(factors, dict, &decoded).ok());
+  EXPECT_EQ(decoded, "aaabaa");
+  // "aaa" cannot be one factor (dict has one 'a'), so: a,a,a,'b',a,a.
+  EXPECT_EQ(factors.size(), 6u);
+}
+
+TEST(AdversarialTest, PeriodicDictionaryLongMatches) {
+  std::string period;
+  for (int i = 0; i < 1000; ++i) period += "ab";
+  Dictionary dict(period);
+  Factorizer factorizer(&dict);
+  std::vector<Factor> factors;
+  std::string doc;
+  for (int i = 0; i < 900; ++i) doc += "ab";
+  factorizer.Factorize(doc, &factors);
+  ASSERT_EQ(factors.size(), 1u);
+  EXPECT_EQ(factors[0].len, doc.size());
+}
+
+TEST(AdversarialTest, DocIsDictionaryReversed) {
+  Rng rng(2);
+  std::string text(2000, '\0');
+  for (auto& c : text) c = static_cast<char>('a' + rng.Uniform(26));
+  Dictionary dict(text);
+  Factorizer factorizer(&dict);
+  std::string reversed(text.rbegin(), text.rend());
+  std::vector<Factor> factors;
+  factorizer.Factorize(reversed, &factors);
+  std::string decoded;
+  ASSERT_TRUE(Factorizer::Decode(factors, dict, &decoded).ok());
+  EXPECT_EQ(decoded, reversed);
+}
+
+TEST(AdversarialTest, BinaryDocumentsThroughFullPipeline) {
+  Rng rng(3);
+  Collection c;
+  for (int d = 0; d < 20; ++d) {
+    std::string doc(500 + rng.Uniform(2000), '\0');
+    for (auto& ch : doc) ch = static_cast<char>(rng.Uniform(256));
+    c.Append(doc);
+  }
+  for (const char* coding : {"ZZ", "ZV", "UZ", "UV"}) {
+    RlzOptions options;
+    options.dict_bytes = 4 << 10;
+    options.sample_bytes = 256;
+    options.coding = *PairCoding::FromName(coding);
+    auto archive = CompressCollection(c, options);
+    std::string doc;
+    for (size_t i = 0; i < c.num_docs(); ++i) {
+      ASSERT_TRUE(archive->Get(i, &doc).ok()) << coding << " doc " << i;
+      ASSERT_EQ(doc, c.doc(i)) << coding << " doc " << i;
+    }
+  }
+}
+
+TEST(AdversarialTest, HugeSingleDocument) {
+  // One 2 MB document, tiny dictionary: stresses long factor streams and
+  // 32-bit length handling.
+  Rng rng(4);
+  std::string doc;
+  std::string unit = "segment ";
+  for (int i = 0; i < 40; ++i) {
+    unit.push_back(static_cast<char>('a' + rng.Uniform(26)));
+  }
+  while (doc.size() < (2u << 20)) {
+    doc += unit;
+    if (rng.Bernoulli(0.05)) doc += std::to_string(rng.Next());
+  }
+  Collection c;
+  c.Append(doc);
+  RlzOptions options;
+  options.dict_bytes = 8 << 10;
+  auto archive = CompressCollection(c, options);
+  std::string out;
+  ASSERT_TRUE(archive->Get(0, &out).ok());
+  EXPECT_EQ(out, doc);
+  EXPECT_LT(archive->payload_bytes(), doc.size() / 4);
+}
+
+TEST(AdversarialTest, ManyTinyDocuments) {
+  Collection c;
+  for (int i = 0; i < 3000; ++i) {
+    c.Append(i % 3 == 0 ? "" : "d" + std::to_string(i % 10));
+  }
+  RlzOptions options;
+  options.dict_bytes = 1 << 10;
+  options.sample_bytes = 64;
+  auto archive = CompressCollection(c, options);
+  std::string doc;
+  for (size_t i = 0; i < c.num_docs(); i += 97) {
+    ASSERT_TRUE(archive->Get(i, &doc).ok());
+    ASSERT_EQ(doc, c.doc(i));
+  }
+}
+
+TEST(AdversarialTest, DictionaryLargerThanCollection) {
+  Collection c;
+  c.Append("small collection");
+  RlzOptions options;
+  options.dict_bytes = 1 << 20;  // bigger than the data
+  auto archive = CompressCollection(c, options);
+  // Whole collection becomes the dictionary; every doc is one factor.
+  EXPECT_EQ(archive->dictionary().size(), c.size_bytes());
+  std::string doc;
+  ASSERT_TRUE(archive->Get(0, &doc).ok());
+  EXPECT_EQ(doc, "small collection");
+}
+
+}  // namespace
+}  // namespace rlz

@@ -1,0 +1,147 @@
+// On-disk archive format: save/load round trips and corruption injection.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rlz.h"
+#include "corpus/generator.h"
+#include "io/file.h"
+#include "util/random.h"
+
+namespace rlz {
+namespace {
+
+class ArchiveIoTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusOptions options;
+    options.target_bytes = 1 << 20;
+    options.seed = 91;
+    collection_ = new Collection(GenerateCorpus(options).collection);
+  }
+  static void TearDownTestSuite() {
+    delete collection_;
+    collection_ = nullptr;
+  }
+
+  std::string TempPath(const std::string& tag) const {
+    return ::testing::TempDir() + "/rlza_" + tag + "_" + GetParam() + ".bin";
+  }
+
+  std::unique_ptr<RlzArchive> BuildArchive() const {
+    RlzOptions options;
+    options.dict_bytes = 32 << 10;
+    options.coding = *PairCoding::FromName(GetParam());
+    return CompressCollection(*collection_, options);
+  }
+
+  static const Collection* collection_;
+};
+
+const Collection* ArchiveIoTest::collection_ = nullptr;
+
+TEST_P(ArchiveIoTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("roundtrip");
+  auto archive = BuildArchive();
+  ASSERT_TRUE(archive->Save(path).ok());
+
+  auto loaded = RlzArchive::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_docs(), archive->num_docs());
+  EXPECT_EQ((*loaded)->coder().coding().name(), GetParam());
+  EXPECT_EQ((*loaded)->dictionary().text(), archive->dictionary().text());
+  EXPECT_EQ((*loaded)->stored_bytes(), archive->stored_bytes());
+
+  std::string a;
+  std::string b;
+  for (size_t i = 0; i < archive->num_docs(); i += 3) {
+    ASSERT_TRUE(archive->Get(i, &a).ok());
+    ASSERT_TRUE((*loaded)->Get(i, &b).ok());
+    ASSERT_EQ(a, b) << "doc " << i;
+    ASSERT_EQ(a, collection_->doc(i)) << "doc " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(ArchiveIoTest, AnySingleByteFlipIsDetected) {
+  const std::string path = TempPath("flip");
+  auto archive = BuildArchive();
+  ASSERT_TRUE(archive->Save(path).ok());
+  auto raw = ReadFile(path);
+  ASSERT_TRUE(raw.ok());
+
+  Rng rng(17);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::string corrupt = *raw;
+    corrupt[rng.Uniform(corrupt.size())] ^=
+        static_cast<char>(1 + rng.Uniform(255));
+    if (corrupt == *raw) continue;  // xor produced the same byte
+    ASSERT_TRUE(WriteFile(path, corrupt).ok());
+    auto loaded = RlzArchive::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "flip trial " << trial << " undetected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(ArchiveIoTest, TruncationIsDetected) {
+  const std::string path = TempPath("trunc");
+  auto archive = BuildArchive();
+  ASSERT_TRUE(archive->Save(path).ok());
+  auto raw = ReadFile(path);
+  ASSERT_TRUE(raw.ok());
+  for (const double frac : {0.1, 0.5, 0.9, 0.99}) {
+    const size_t keep = static_cast<size_t>(raw->size() * frac);
+    ASSERT_TRUE(WriteFile(path, std::string_view(*raw).substr(0, keep)).ok());
+    EXPECT_FALSE(RlzArchive::Load(path).ok()) << "kept " << frac;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(ArchiveIoTest, EmptyAndGarbageFiles) {
+  const std::string path = TempPath("garbage");
+  ASSERT_TRUE(WriteFile(path, "").ok());
+  EXPECT_FALSE(RlzArchive::Load(path).ok());
+  ASSERT_TRUE(WriteFile(path, "RLZAnot really an archive at all").ok());
+  EXPECT_FALSE(RlzArchive::Load(path).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(RlzArchive::Load(path).status().code(), StatusCode::kIOError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codings, ArchiveIoTest,
+                         ::testing::Values("ZZ", "ZV", "UZ", "UV"),
+                         [](const auto& info) { return info.param; });
+
+TEST(ArchiveIoEdgeTest, EmptyCollection) {
+  Collection empty;
+  auto archive = CompressCollection(empty, {});
+  const std::string path = ::testing::TempDir() + "/rlza_empty.bin";
+  ASSERT_TRUE(archive->Save(path).ok());
+  auto loaded = RlzArchive::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_docs(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveIoEdgeTest, CollectionWithEmptyDocs) {
+  Collection c;
+  c.Append("");
+  c.Append("content");
+  c.Append("");
+  auto archive = CompressCollection(c, {});
+  const std::string path = ::testing::TempDir() + "/rlza_emptydocs.bin";
+  ASSERT_TRUE(archive->Save(path).ok());
+  auto loaded = RlzArchive::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  std::string doc;
+  ASSERT_TRUE((*loaded)->Get(0, &doc).ok());
+  EXPECT_EQ(doc, "");
+  ASSERT_TRUE((*loaded)->Get(1, &doc).ok());
+  EXPECT_EQ(doc, "content");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rlz

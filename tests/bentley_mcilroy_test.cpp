@@ -1,0 +1,148 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "zip/bentley_mcilroy.h"
+#include "zip/gzipx.h"
+
+namespace rlz {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.Uniform(256));
+  return s;
+}
+
+void ExpectPreRoundTrip(const BmPreprocessor& pre, const std::string& input) {
+  std::string tokens;
+  pre.Encode(input, &tokens);
+  std::string output;
+  const Status s = pre.Decode(tokens, &output);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(output, input);
+}
+
+TEST(BmPreprocessorTest, EmptyAndTiny) {
+  const BmPreprocessor pre;
+  ExpectPreRoundTrip(pre, "");
+  ExpectPreRoundTrip(pre, "x");
+  ExpectPreRoundTrip(pre, "short string");
+}
+
+TEST(BmPreprocessorTest, RandomRoundTrip) {
+  const BmPreprocessor pre;
+  Rng rng(1);
+  for (size_t n : {100u, 1000u, 65536u}) {
+    ExpectPreRoundTrip(pre, RandomBytes(rng, n));
+  }
+}
+
+TEST(BmPreprocessorTest, LongRangeDuplicateShrinks) {
+  Rng rng(2);
+  const std::string chunk = RandomBytes(rng, 50000);
+  const std::string filler = RandomBytes(rng, 200000);
+  const std::string input = chunk + filler + chunk;  // repeat 250 KB apart
+  const BmPreprocessor pre;
+  std::string tokens;
+  pre.Encode(input, &tokens);
+  // The second copy of chunk must collapse to a single (dist, len) group.
+  EXPECT_LT(tokens.size(), input.size() - chunk.size() + 1024);
+  std::string output;
+  ASSERT_TRUE(pre.Decode(tokens, &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+TEST(BmPreprocessorTest, ShortRepeatsLeftToSecondPass) {
+  // Repeats shorter than the fingerprint block are NOT replaced — by
+  // design they are the second-pass compressor's job.
+  const BmPreprocessor pre(32);
+  const std::string input = "abcabcabcabcabc";  // 5x3 bytes
+  std::string tokens;
+  pre.Encode(input, &tokens);
+  // vbyte total + one literal group (lit_len + bytes + end marker).
+  EXPECT_GE(tokens.size(), input.size());
+  std::string output;
+  ASSERT_TRUE(pre.Decode(tokens, &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+TEST(BmPreprocessorTest, BlockSizeVariants) {
+  Rng rng(3);
+  const std::string page = RandomBytes(rng, 4096);
+  std::string input;
+  for (int i = 0; i < 20; ++i) {
+    input += page;
+    input += RandomBytes(rng, 512);
+  }
+  for (int b : {8, 16, 32, 64}) {
+    const BmPreprocessor pre(b);
+    std::string tokens;
+    pre.Encode(input, &tokens);
+    EXPECT_LT(tokens.size(), input.size() / 2) << "block " << b;
+    std::string output;
+    ASSERT_TRUE(pre.Decode(tokens, &output).ok());
+    EXPECT_EQ(output, input);
+  }
+}
+
+TEST(BmPreprocessorTest, DecodeRejectsGarbage) {
+  const BmPreprocessor pre;
+  std::string output;
+  // Claims 1000 bytes of output but provides no groups.
+  std::string bad;
+  bad.push_back(static_cast<char>(0xE8));  // vbyte 1000 = E8 07
+  bad.push_back(0x07);
+  EXPECT_FALSE(pre.Decode(bad, &output).ok());
+  // Copy distance beyond what has been produced.
+  output.clear();
+  std::string bad2;
+  bad2.push_back(5);   // total = 5
+  bad2.push_back(1);   // lit_len = 1
+  bad2.push_back('a');
+  bad2.push_back(4);   // copy_len = 4
+  bad2.push_back(9);   // dist = 9 > produced 1
+  EXPECT_FALSE(pre.Decode(bad2, &output).ok());
+}
+
+TEST(BigtableCompressorTest, RoundTrip) {
+  const BigtableCompressor bt;
+  Rng rng(4);
+  const std::string page = RandomBytes(rng, 30000);
+  std::string input = page + RandomBytes(rng, 100000) + page;
+  std::string compressed;
+  bt.Compress(input, &compressed);
+  std::string output;
+  ASSERT_TRUE(bt.Decompress(compressed, &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+TEST(BigtableCompressorTest, BeatsPlainGzipxOnLongRangeRedundancy) {
+  // The Bigtable rationale (§2.2): the BM pass reaches repeats the 32 KB
+  // window cannot.
+  Rng rng(5);
+  const std::string chunk = RandomBytes(rng, 60000);
+  std::string input;
+  for (int i = 0; i < 6; ++i) {
+    input += chunk;
+    input += RandomBytes(rng, 50000);
+  }
+  std::string bt_out;
+  BigtableCompressor().Compress(input, &bt_out);
+  std::string gz_out;
+  GzipxCompressor().Compress(input, &gz_out);
+  EXPECT_LT(bt_out.size(), gz_out.size() * 0.7);
+}
+
+TEST(BigtableCompressorTest, DetectsCorruption) {
+  const BigtableCompressor bt;
+  std::string compressed;
+  bt.Compress(std::string(5000, 'w') + "unique tail", &compressed);
+  compressed[compressed.size() / 2] ^= 0x10;
+  std::string output;
+  EXPECT_FALSE(bt.Decompress(compressed, &output).ok());
+}
+
+}  // namespace
+}  // namespace rlz

@@ -1,0 +1,242 @@
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codecs/int_codecs.h"
+#include "util/random.h"
+
+namespace rlz {
+namespace {
+
+std::vector<uint32_t> RoundTrip(const IntCodec& codec,
+                                const std::vector<uint32_t>& values) {
+  std::string buf;
+  codec.Encode(values, &buf);
+  std::vector<uint32_t> out;
+  size_t consumed = 0;
+  const Status s = codec.Decode(buf, values.size(), &out, &consumed);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(consumed, buf.size());
+  return out;
+}
+
+class IntCodecRoundTripTest : public ::testing::TestWithParam<IntCodecId> {};
+
+TEST_P(IntCodecRoundTripTest, Empty) {
+  const IntCodec* codec = GetIntCodec(GetParam());
+  EXPECT_TRUE(RoundTrip(*codec, {}).empty());
+}
+
+TEST_P(IntCodecRoundTripTest, SingleValues) {
+  const IntCodec* codec = GetIntCodec(GetParam());
+  for (uint32_t v : {0u, 1u, 127u, 128u, 255u, 256u, 16383u, 16384u,
+                     (1u << 28) - 1, 1u << 28, std::numeric_limits<uint32_t>::max()}) {
+    const std::vector<uint32_t> values = {v};
+    EXPECT_EQ(RoundTrip(*codec, values), values) << "value " << v;
+  }
+}
+
+TEST_P(IntCodecRoundTripTest, AllZeros) {
+  const IntCodec* codec = GetIntCodec(GetParam());
+  const std::vector<uint32_t> values(1000, 0);
+  EXPECT_EQ(RoundTrip(*codec, values), values);
+}
+
+TEST_P(IntCodecRoundTripTest, SmallValuesBulk) {
+  const IntCodec* codec = GetIntCodec(GetParam());
+  Rng rng(1);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.Uniform(100)));
+  }
+  EXPECT_EQ(RoundTrip(*codec, values), values);
+}
+
+TEST_P(IntCodecRoundTripTest, SkewedFactorLengthDistribution) {
+  // Mimics the Fig. 3 length distribution: mostly < 100, rare large values.
+  const IntCodec* codec = GetIntCodec(GetParam());
+  Rng rng(2);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.97)) {
+      values.push_back(static_cast<uint32_t>(rng.Uniform(100)));
+    } else {
+      values.push_back(static_cast<uint32_t>(rng.Uniform(1 << 20)));
+    }
+  }
+  EXPECT_EQ(RoundTrip(*codec, values), values);
+}
+
+TEST_P(IntCodecRoundTripTest, UniformFullRange) {
+  const IntCodec* codec = GetIntCodec(GetParam());
+  Rng rng(3);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.Next()));
+  }
+  EXPECT_EQ(RoundTrip(*codec, values), values);
+}
+
+TEST_P(IntCodecRoundTripTest, BlockBoundarySizes) {
+  // Exercise counts around the PForDelta block size and Simple9 packing.
+  const IntCodec* codec = GetIntCodec(GetParam());
+  Rng rng(4);
+  for (size_t n : {1u, 2u, 27u, 28u, 29u, 127u, 128u, 129u, 255u, 256u, 257u}) {
+    std::vector<uint32_t> values;
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(static_cast<uint32_t>(rng.Uniform(1000)));
+    }
+    EXPECT_EQ(RoundTrip(*codec, values), values) << "n=" << n;
+  }
+}
+
+TEST_P(IntCodecRoundTripTest, TruncatedInputIsCorruption) {
+  const IntCodec* codec = GetIntCodec(GetParam());
+  std::vector<uint32_t> values(100, 12345);
+  std::string buf;
+  codec->Encode(values, &buf);
+  std::vector<uint32_t> out;
+  size_t consumed = 0;
+  const Status s = codec->Decode(std::string_view(buf).substr(0, buf.size() / 2),
+                                 values.size(), &out, &consumed);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, IntCodecRoundTripTest,
+                         ::testing::Values(IntCodecId::kU32, IntCodecId::kVByte,
+                                           IntCodecId::kSimple9,
+                                           IntCodecId::kPForDelta),
+                         [](const auto& info) {
+                           return std::string(IntCodecName(info.param)) ==
+                                          "PFD"
+                                      ? "PForDelta"
+                                      : std::string(IntCodecName(info.param)) ==
+                                                "S9"
+                                            ? "Simple9"
+                                            : IntCodecName(info.param);
+                         });
+
+TEST(VByteTest, EncodingSizes) {
+  const VByteCodec codec;
+  auto encoded_size = [&](uint32_t v) {
+    std::string buf;
+    codec.Encode({v}, &buf);
+    return buf.size();
+  };
+  EXPECT_EQ(encoded_size(0), 1u);
+  EXPECT_EQ(encoded_size(127), 1u);
+  EXPECT_EQ(encoded_size(128), 2u);
+  EXPECT_EQ(encoded_size(16383), 2u);
+  EXPECT_EQ(encoded_size(16384), 3u);
+  EXPECT_EQ(encoded_size(std::numeric_limits<uint32_t>::max()), 5u);
+}
+
+TEST(VByteTest, MajorityOfSmallLengthsAreOneByte) {
+  // The paper's rationale for vbyte (§3.4): most factor lengths < 100
+  // encode in a single byte.
+  const VByteCodec codec;
+  std::vector<uint32_t> values;
+  for (uint32_t v = 0; v < 100; ++v) values.push_back(v);
+  std::string buf;
+  codec.Encode(values, &buf);
+  EXPECT_EQ(buf.size(), values.size());
+}
+
+TEST(VByteTest, RejectsOverlongEncoding) {
+  // Six continuation bytes cannot be a valid u32.
+  const std::string bad = "\xFF\xFF\xFF\xFF\xFF\xFF";
+  size_t pos = 0;
+  uint32_t v = 0;
+  EXPECT_EQ(VByteCodec::Get(bad, &pos, &v).code(), StatusCode::kCorruption);
+}
+
+TEST(U32Test, FixedWidth) {
+  const U32Codec codec;
+  std::string buf;
+  codec.Encode({1, 2, 3}, &buf);
+  EXPECT_EQ(buf.size(), 12u);
+}
+
+TEST(U32Test, LittleEndianLayout) {
+  const U32Codec codec;
+  std::string buf;
+  codec.Encode({0x01020304u}, &buf);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x01);
+}
+
+TEST(Simple9Test, PacksSmallValuesDensely) {
+  const Simple9Codec codec;
+  // 28 one-bit values should fit one 32-bit word.
+  std::vector<uint32_t> values(28, 1);
+  std::string buf;
+  codec.Encode(values, &buf);
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(Simple9Test, EscapesLargeValues) {
+  const Simple9Codec codec;
+  std::vector<uint32_t> values = {1u << 28, (1u << 31) + 5};
+  std::string buf;
+  codec.Encode(values, &buf);
+  std::vector<uint32_t> out;
+  size_t consumed = 0;
+  ASSERT_TRUE(codec.Decode(buf, values.size(), &out, &consumed).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(Simple9Test, RejectsBadSelector) {
+  // Selector 10..15 (except the escape 9) is invalid.
+  std::string buf = {'\0', '\0', '\0', static_cast<char>(0xA0)};
+  const Simple9Codec codec;
+  std::vector<uint32_t> out;
+  size_t consumed = 0;
+  EXPECT_EQ(codec.Decode(buf, 5, &out, &consumed).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(PForDeltaTest, ExceptionsPatched) {
+  const PForDeltaCodec codec;
+  std::vector<uint32_t> values(128, 3);
+  values[7] = 1u << 30;   // exception
+  values[100] = 1u << 25; // exception
+  std::string buf;
+  codec.Encode(values, &buf);
+  std::vector<uint32_t> out;
+  size_t consumed = 0;
+  ASSERT_TRUE(codec.Decode(buf, values.size(), &out, &consumed).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(PForDeltaTest, CompressesSkewedBetterThanU32) {
+  Rng rng(5);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 4096; ++i) {
+    values.push_back(rng.Bernoulli(0.95)
+                         ? static_cast<uint32_t>(rng.Uniform(64))
+                         : static_cast<uint32_t>(rng.Uniform(1 << 22)));
+  }
+  std::string pfd;
+  std::string u32;
+  GetIntCodec(IntCodecId::kPForDelta)->Encode(values, &pfd);
+  GetIntCodec(IntCodecId::kU32)->Encode(values, &u32);
+  EXPECT_LT(pfd.size(), u32.size() / 2);
+}
+
+TEST(CodecNamesTest, RoundTrip) {
+  for (IntCodecId id : {IntCodecId::kU32, IntCodecId::kVByte,
+                        IntCodecId::kSimple9, IntCodecId::kPForDelta}) {
+    auto parsed = IntCodecFromName(IntCodecName(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(IntCodecFromName("bogus").ok());
+}
+
+}  // namespace
+}  // namespace rlz

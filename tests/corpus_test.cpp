@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corpus/collection.h"
+#include "corpus/generator.h"
+
+namespace rlz {
+namespace {
+
+TEST(CollectionTest, AppendAndAccess) {
+  Collection c;
+  c.Append("first doc");
+  c.Append("second");
+  c.Append("");
+  c.Append("fourth document here");
+  ASSERT_EQ(c.num_docs(), 4u);
+  EXPECT_EQ(c.doc(0), "first doc");
+  EXPECT_EQ(c.doc(1), "second");
+  EXPECT_EQ(c.doc(2), "");
+  EXPECT_EQ(c.doc(3), "fourth document here");
+  EXPECT_EQ(c.size_bytes(), 9u + 6u + 0u + 20u);
+  EXPECT_EQ(c.doc_offset(1), 9u);
+  EXPECT_EQ(c.doc_size(3), 20u);
+}
+
+TEST(CollectionTest, DataIsConcatenation) {
+  Collection c;
+  c.Append("ab");
+  c.Append("cd");
+  EXPECT_EQ(c.data(), "abcd");
+}
+
+TEST(CollectionTest, SaveLoadRoundTrip) {
+  Collection c;
+  c.Append("doc one with some text");
+  c.Append(std::string(1000, 'x'));
+  c.Append("tail");
+  const std::string path = ::testing::TempDir() + "/collection_roundtrip.bin";
+  ASSERT_TRUE(c.Save(path).ok());
+  auto loaded = Collection::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_docs(), c.num_docs());
+  for (size_t i = 0; i < c.num_docs(); ++i) {
+    EXPECT_EQ(loaded->doc(i), c.doc(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CollectionTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/collection_garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("not a collection", f);
+  fclose(f);
+  EXPECT_FALSE(Collection::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+CorpusOptions SmallWebOptions() {
+  CorpusOptions options;
+  options.target_bytes = 2 << 20;
+  options.style = CorpusStyle::kWeb;
+  options.seed = 7;
+  return options;
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const Corpus a = GenerateCorpus(SmallWebOptions());
+  const Corpus b = GenerateCorpus(SmallWebOptions());
+  ASSERT_EQ(a.collection.num_docs(), b.collection.num_docs());
+  EXPECT_EQ(a.collection.data(), b.collection.data());
+  EXPECT_EQ(a.urls, b.urls);
+}
+
+TEST(GeneratorTest, SeedChangesOutput) {
+  CorpusOptions o1 = SmallWebOptions();
+  CorpusOptions o2 = SmallWebOptions();
+  o2.seed = 8;
+  EXPECT_NE(GenerateCorpus(o1).collection.data(),
+            GenerateCorpus(o2).collection.data());
+}
+
+TEST(GeneratorTest, HitsTargetSizeApproximately) {
+  const Corpus corpus = GenerateCorpus(SmallWebOptions());
+  const double actual = static_cast<double>(corpus.collection.size_bytes());
+  const double target = 2 << 20;
+  EXPECT_GT(actual, 0.5 * target);
+  EXPECT_LT(actual, 2.0 * target);
+}
+
+TEST(GeneratorTest, AverageDocSizeNearStyleDefault) {
+  const Corpus corpus = GenerateCorpus(SmallWebOptions());
+  const double avg = corpus.collection.avg_doc_bytes();
+  EXPECT_GT(avg, 9 * 1024);   // style default is 18 KB
+  EXPECT_LT(avg, 36 * 1024);
+}
+
+TEST(GeneratorTest, UrlsParallelToDocs) {
+  const Corpus corpus = GenerateCorpus(SmallWebOptions());
+  ASSERT_EQ(corpus.urls.size(), corpus.collection.num_docs());
+  for (const std::string& url : corpus.urls) {
+    EXPECT_EQ(url.rfind("http://", 0), 0u) << url;
+  }
+}
+
+TEST(GeneratorTest, DocsLookLikeHtml) {
+  const Corpus corpus = GenerateCorpus(SmallWebOptions());
+  for (size_t i = 0; i < std::min<size_t>(10, corpus.collection.num_docs());
+       ++i) {
+    const std::string_view doc = corpus.collection.doc(i);
+    EXPECT_NE(doc.find("<html>"), std::string_view::npos);
+    EXPECT_NE(doc.find("</html>"), std::string_view::npos);
+  }
+}
+
+TEST(GeneratorTest, GlobalRedundancyExists) {
+  // Two documents from different hosts should share boilerplate fragments:
+  // find a 64-byte chunk of doc 0's header in some other host's doc.
+  const Corpus corpus = GenerateCorpus(SmallWebOptions());
+  ASSERT_GT(corpus.collection.num_docs(), 20u);
+  // Find a document with an embedded <style> fragment to use as the probe.
+  std::string_view probe;
+  size_t src = 0;
+  for (size_t i = 0; i < corpus.collection.num_docs(); ++i) {
+    const std::string_view doc = corpus.collection.doc(i);
+    const size_t p = doc.find("<style");
+    if (p != std::string_view::npos && p + 64 <= doc.size()) {
+      probe = doc.substr(p, 64);
+      src = i;
+      break;
+    }
+  }
+  ASSERT_FALSE(probe.empty());
+  auto host_of = [](const std::string& url) {
+    return url.substr(0, url.find('/', 7));
+  };
+  bool found = false;
+  for (size_t i = 0; i < corpus.collection.num_docs() && !found; ++i) {
+    if (host_of(corpus.urls[i]) == host_of(corpus.urls[src])) continue;
+    found = corpus.collection.doc(i).find(probe) != std::string_view::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GeneratorTest, UrlOrderIsSorted) {
+  const Corpus corpus = GenerateCorpus(SmallWebOptions(), DocOrder::kUrl);
+  EXPECT_TRUE(std::is_sorted(corpus.urls.begin(), corpus.urls.end()));
+}
+
+TEST(GeneratorTest, UrlSortPreservesContent) {
+  const Corpus crawl = GenerateCorpus(SmallWebOptions());
+  const Corpus sorted = SortByUrl(crawl);
+  ASSERT_EQ(sorted.collection.num_docs(), crawl.collection.num_docs());
+  EXPECT_EQ(sorted.collection.size_bytes(), crawl.collection.size_bytes());
+  // Multiset of documents must be identical.
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  for (size_t i = 0; i < crawl.collection.num_docs(); ++i) {
+    a.emplace_back(crawl.collection.doc(i));
+    b.emplace_back(sorted.collection.doc(i));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorTest, WikiStyleHasLargerDocs) {
+  CorpusOptions web = SmallWebOptions();
+  CorpusOptions wiki = SmallWebOptions();
+  wiki.style = CorpusStyle::kWiki;
+  wiki.target_bytes = 4 << 20;
+  const double web_avg = GenerateCorpus(web).collection.avg_doc_bytes();
+  const double wiki_avg = GenerateCorpus(wiki).collection.avg_doc_bytes();
+  EXPECT_GT(wiki_avg, 1.5 * web_avg);
+}
+
+TEST(GeneratorTest, MirrorsShareContentUnderDifferentUrls) {
+  CorpusOptions options = SmallWebOptions();
+  options.target_bytes = 4 << 20;
+  options.mirror_fraction = 0.5;  // force mirrors to exist
+  const Corpus corpus = GenerateCorpus(options);
+  // Look for two documents with identical bodies but different URLs.
+  bool found = false;
+  for (size_t i = 0; i < corpus.collection.num_docs() && !found; ++i) {
+    for (size_t j = i + 1; j < corpus.collection.num_docs() && !found; ++j) {
+      if (corpus.urls[i] != corpus.urls[j] &&
+          corpus.collection.doc_size(i) == corpus.collection.doc_size(j) &&
+          corpus.collection.doc(i) == corpus.collection.doc(j)) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace rlz

@@ -1,0 +1,143 @@
+// Tests for library features beyond the paper's core pipeline: range
+// decoding (snippet fast path) and multi-threaded archive construction.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rlz.h"
+#include "corpus/generator.h"
+#include "util/random.h"
+
+namespace rlz {
+namespace {
+
+class RangeDecodeTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusOptions options;
+    options.target_bytes = 1 << 20;
+    options.seed = 101;
+    collection_ = new Collection(GenerateCorpus(options).collection);
+  }
+  static void TearDownTestSuite() {
+    delete collection_;
+    collection_ = nullptr;
+  }
+  static const Collection* collection_;
+};
+
+const Collection* RangeDecodeTest::collection_ = nullptr;
+
+TEST_P(RangeDecodeTest, MatchesSubstrEverywhere) {
+  RlzOptions options;
+  options.dict_bytes = 32 << 10;
+  options.coding = *PairCoding::FromName(GetParam());
+  auto archive = CompressCollection(*collection_, options);
+
+  Rng rng(7);
+  std::string range;
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t id = rng.Uniform(collection_->num_docs());
+    const std::string_view doc = collection_->doc(id);
+    if (doc.empty()) continue;
+    const size_t offset = rng.Uniform(doc.size());
+    const size_t length = 1 + rng.Uniform(400);
+    ASSERT_TRUE(archive->GetRange(id, offset, length, &range).ok());
+    ASSERT_EQ(range, doc.substr(offset, length))
+        << "doc " << id << " [" << offset << ", +" << length << ")";
+  }
+}
+
+TEST_P(RangeDecodeTest, WholeDocAndEdges) {
+  RlzOptions options;
+  options.dict_bytes = 32 << 10;
+  options.coding = *PairCoding::FromName(GetParam());
+  auto archive = CompressCollection(*collection_, options);
+  const std::string_view doc = collection_->doc(0);
+  std::string range;
+  // Whole document.
+  ASSERT_TRUE(archive->GetRange(0, 0, doc.size(), &range).ok());
+  EXPECT_EQ(range, doc);
+  // Zero-length range.
+  ASSERT_TRUE(archive->GetRange(0, 10, 0, &range).ok());
+  EXPECT_EQ(range, "");
+  // Range past the end clamps.
+  ASSERT_TRUE(archive->GetRange(0, doc.size() - 5, 100, &range).ok());
+  EXPECT_EQ(range, doc.substr(doc.size() - 5));
+  // Offset past the end yields empty.
+  ASSERT_TRUE(archive->GetRange(0, doc.size() + 10, 10, &range).ok());
+  EXPECT_EQ(range, "");
+  // Bad id.
+  EXPECT_EQ(archive->GetRange(1u << 30, 0, 1, &range).code(),
+            StatusCode::kOutOfRange);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codings, RangeDecodeTest,
+                         ::testing::Values("ZZ", "ZV", "UZ", "UV"),
+                         [](const auto& info) { return info.param; });
+
+class ParallelBuildTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelBuildTest, BitIdenticalToSingleThread) {
+  CorpusOptions corpus_options;
+  corpus_options.target_bytes = 2 << 20;
+  corpus_options.seed = 102;
+  const Corpus corpus = GenerateCorpus(corpus_options);
+
+  std::shared_ptr<const Dictionary> dict = DictionaryBuilder::BuildSampled(
+      corpus.collection.data(), 64 << 10, 1024);
+
+  RlzBuildOptions serial;
+  serial.coding = kZV;
+  serial.track_coverage = true;
+  RlzBuildInfo serial_info;
+  auto baseline = RlzArchive::Build(corpus.collection, dict, serial,
+                                    &serial_info);
+
+  RlzBuildOptions parallel = serial;
+  parallel.num_threads = GetParam();
+  RlzBuildInfo parallel_info;
+  auto archive = RlzArchive::Build(corpus.collection, dict, parallel,
+                                   &parallel_info);
+
+  ASSERT_EQ(archive->num_docs(), baseline->num_docs());
+  EXPECT_EQ(archive->payload_bytes(), baseline->payload_bytes());
+  EXPECT_EQ(archive->stored_bytes(), baseline->stored_bytes());
+  EXPECT_EQ(parallel_info.stats.num_factors, serial_info.stats.num_factors);
+  EXPECT_EQ(parallel_info.stats.text_bytes, serial_info.stats.text_bytes);
+  EXPECT_EQ(parallel_info.coverage, serial_info.coverage);
+
+  std::string a;
+  std::string b;
+  for (size_t i = 0; i < archive->num_docs(); i += 5) {
+    ASSERT_TRUE(archive->Get(i, &a).ok());
+    ASSERT_TRUE(baseline->Get(i, &b).ok());
+    ASSERT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelBuildTest,
+                         ::testing::Values(2, 3, 8, 64),
+                         [](const auto& info) {
+                           return "Threads" + std::to_string(info.param);
+                         });
+
+TEST(ParallelBuildTest, MoreThreadsThanDocs) {
+  Collection c;
+  c.Append("just one doc");
+  c.Append("and another");
+  RlzBuildOptions options;
+  options.num_threads = 16;
+  auto dict = std::shared_ptr<const Dictionary>(
+      DictionaryBuilder::BuildSampled(c.data(), 1 << 10, 64));
+  auto archive = RlzArchive::Build(c, dict, options);
+  ASSERT_EQ(archive->num_docs(), 2u);
+  std::string doc;
+  ASSERT_TRUE(archive->Get(0, &doc).ok());
+  EXPECT_EQ(doc, "just one doc");
+}
+
+}  // namespace
+}  // namespace rlz

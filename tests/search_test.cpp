@@ -1,0 +1,177 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "search/inverted_index.h"
+#include "search/query_log.h"
+#include "search/tokenizer.h"
+
+namespace rlz {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  const auto terms = Tokenize("Hello, World! FOO bar42");
+  const std::vector<std::string> expected = {"hello", "world", "foo", "bar42"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, SkipsMarkup) {
+  const auto terms = Tokenize("<html><body class=\"x\">text <b>bold</b></body>");
+  const std::vector<std::string> expected = {"text", "bold"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... --- !!!").empty());
+  EXPECT_TRUE(Tokenize("<div><span></span></div>").empty());
+}
+
+TEST(TokenizerTest, TagSplitsAdjacentWords) {
+  const auto terms = Tokenize("alpha<br>beta");
+  const std::vector<std::string> expected = {"alpha", "beta"};
+  EXPECT_EQ(terms, expected);
+}
+
+Collection TinyCollection() {
+  Collection c;
+  c.Append("<html>apple banana cherry</html>");
+  c.Append("<html>apple apple banana</html>");
+  c.Append("<html>durian elderberry</html>");
+  c.Append("<html>apple durian durian durian</html>");
+  return c;
+}
+
+TEST(InvertedIndexTest, DocFrequencies) {
+  const auto index = InvertedIndex::Build(TinyCollection());
+  EXPECT_EQ(index.DocFrequency("apple"), 3u);
+  EXPECT_EQ(index.DocFrequency("banana"), 2u);
+  EXPECT_EQ(index.DocFrequency("durian"), 2u);
+  EXPECT_EQ(index.DocFrequency("missing"), 0u);
+  EXPECT_EQ(index.num_docs(), 4u);
+}
+
+TEST(InvertedIndexTest, QueryRanksTfHigher) {
+  const auto index = InvertedIndex::Build(TinyCollection());
+  const auto hits = index.Query({"durian"}, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  // Doc 3 has tf=3 for durian; doc 2 has tf=1.
+  EXPECT_EQ(hits[0].doc, 3u);
+  EXPECT_EQ(hits[1].doc, 2u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(InvertedIndexTest, MultiTermQueryUnionsPostings) {
+  const auto index = InvertedIndex::Build(TinyCollection());
+  const auto hits = index.Query({"cherry", "elderberry"}, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  std::vector<uint32_t> docs = {hits[0].doc, hits[1].doc};
+  std::sort(docs.begin(), docs.end());
+  EXPECT_EQ(docs, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(InvertedIndexTest, RareTermScoresAboveCommonTerm) {
+  const auto index = InvertedIndex::Build(TinyCollection());
+  // "cherry" appears once in one doc; "apple" is everywhere. A doc matching
+  // the rare term should outrank a doc matching only the common one.
+  const auto hits = index.Query({"cherry", "apple"}, 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc, 0u);  // contains both
+}
+
+TEST(InvertedIndexTest, TopKLimit) {
+  const auto index = InvertedIndex::Build(TinyCollection());
+  EXPECT_EQ(index.Query({"apple"}, 2).size(), 2u);
+  EXPECT_EQ(index.Query({"apple"}, 0).size(), 0u);
+}
+
+TEST(InvertedIndexTest, EmptyQueryReturnsNothing) {
+  const auto index = InvertedIndex::Build(TinyCollection());
+  EXPECT_TRUE(index.Query({}, 10).empty());
+  EXPECT_TRUE(index.Query({"zzzz"}, 10).empty());
+}
+
+TEST(InvertedIndexTest, TermsByFrequencySorted) {
+  const auto index = InvertedIndex::Build(TinyCollection());
+  const auto terms = index.TermsByFrequency();
+  ASSERT_FALSE(terms.empty());
+  EXPECT_EQ(terms[0].first, "apple");  // collection frequency 4
+  for (size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_GE(terms[i - 1].second, terms[i].second);
+  }
+}
+
+class QueryLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusOptions options;
+    options.target_bytes = 1 << 20;
+    options.seed = 61;
+    corpus_ = GenerateCorpus(options);
+    index_ = InvertedIndex::Build(corpus_.collection);
+  }
+  Corpus corpus_;
+  InvertedIndex index_;
+};
+
+TEST_F(QueryLogTest, GeneratesRequestedQueryCount) {
+  QueryLogOptions options;
+  options.num_queries = 100;
+  const auto queries = GenerateQueries(index_, options);
+  EXPECT_EQ(queries.size(), 100u);
+  for (const auto& q : queries) {
+    EXPECT_GE(q.size(), options.terms_per_query_min);
+    EXPECT_LE(q.size(), options.terms_per_query_max);
+  }
+}
+
+TEST_F(QueryLogTest, QueriesUseIndexedTerms) {
+  QueryLogOptions options;
+  options.num_queries = 50;
+  const auto queries = GenerateQueries(index_, options);
+  for (const auto& q : queries) {
+    for (const auto& term : q) {
+      EXPECT_GT(index_.DocFrequency(term), 0u) << term;
+    }
+  }
+}
+
+TEST_F(QueryLogTest, PatternRespectsCapAndTopK) {
+  QueryLogOptions options;
+  options.num_queries = 200;
+  options.top_k = 20;
+  options.cap = 1000;
+  const auto queries = GenerateQueries(index_, options);
+  const auto pattern = BuildQueryLogPattern(index_, queries, options);
+  EXPECT_LE(pattern.size(), options.cap);
+  EXPECT_GT(pattern.size(), 100u);  // real queries should produce hits
+  for (uint32_t doc : pattern) {
+    EXPECT_LT(doc, corpus_.collection.num_docs());
+  }
+}
+
+TEST_F(QueryLogTest, PatternIsDeterministic) {
+  QueryLogOptions options;
+  options.num_queries = 50;
+  const auto q1 = GenerateQueries(index_, options);
+  const auto q2 = GenerateQueries(index_, options);
+  EXPECT_EQ(q1, q2);
+  EXPECT_EQ(BuildQueryLogPattern(index_, q1, options),
+            BuildQueryLogPattern(index_, q2, options));
+}
+
+TEST(SequentialPatternTest, WrapsAround) {
+  const auto p = BuildSequentialPattern(3, 7);
+  const std::vector<uint32_t> expected = {0, 1, 2, 0, 1, 2, 0};
+  EXPECT_EQ(p, expected);
+}
+
+TEST(SequentialPatternTest, EmptyCollection) {
+  EXPECT_TRUE(BuildSequentialPattern(0, 5).empty());
+}
+
+}  // namespace
+}  // namespace rlz

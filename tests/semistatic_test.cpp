@@ -1,0 +1,267 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "semistatic/semistatic_archive.h"
+#include "semistatic/token_coder.h"
+#include "semistatic/word_model.h"
+#include "util/random.h"
+
+namespace rlz {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Word model
+// ---------------------------------------------------------------------------
+
+std::string Rejoin(const std::vector<std::string_view>& tokens) {
+  std::string out;
+  for (auto t : tokens) out.append(t);
+  return out;
+}
+
+TEST(WordModelTest, SplitAlternatesAndRejoins) {
+  const std::string text = "Hello, world!  This is <b>markup</b>.";
+  const auto tokens = SplitWordsAndSeparators(text);
+  EXPECT_EQ(Rejoin(tokens), text);
+  // Even positions are separators, odd are words.
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    for (char c : tokens[i]) {
+      const bool word_byte = std::isalnum(static_cast<unsigned char>(c)) != 0;
+      EXPECT_EQ(word_byte, i % 2 == 1) << "token " << i;
+    }
+  }
+}
+
+TEST(WordModelTest, LeadingWordYieldsEmptySeparator) {
+  const auto tokens = SplitWordsAndSeparators("word then more");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "");
+  EXPECT_EQ(tokens[1], "word");
+}
+
+TEST(WordModelTest, EmptyAndDegenerate) {
+  EXPECT_TRUE(SplitWordsAndSeparators("").empty());
+  EXPECT_EQ(Rejoin(SplitWordsAndSeparators("   ")), "   ");
+  EXPECT_EQ(Rejoin(SplitWordsAndSeparators("abc")), "abc");
+}
+
+TEST(WordModelTest, VocabularyRanksByFrequency) {
+  const std::string doc1 = "a a a b b c";
+  const std::string doc2 = "a b a";
+  WordVocabulary vocab = WordVocabulary::Build({doc1, doc2});
+  // "a" occurs 5 times (most frequent word); the single-space separator
+  // occurs 7 times overall and outranks it.
+  auto rank_a = vocab.Rank("a");
+  auto rank_b = vocab.Rank("b");
+  auto rank_c = vocab.Rank("c");
+  ASSERT_TRUE(rank_a.ok());
+  ASSERT_TRUE(rank_b.ok());
+  ASSERT_TRUE(rank_c.ok());
+  EXPECT_LT(*rank_a, *rank_b);
+  EXPECT_LT(*rank_b, *rank_c);
+  EXPECT_FALSE(vocab.Rank("missing").ok());
+}
+
+TEST(WordModelTest, SingletonFraction) {
+  WordVocabulary vocab = WordVocabulary::Build({"x x y z"});
+  // tokens: "", x, " ", x, " ", y, " ", z -> singletons: "", y, z of
+  // {"", x, " ", y, z}.
+  EXPECT_NEAR(vocab.singleton_fraction(), 3.0 / 5.0, 1e-9);
+  EXPECT_GT(vocab.memory_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Token coders
+// ---------------------------------------------------------------------------
+
+class TokenCoderTest : public ::testing::TestWithParam<SemiStaticScheme> {
+ protected:
+  std::unique_ptr<TokenCoder> MakeCoder(size_t vocab_size) const {
+    if (GetParam() == SemiStaticScheme::kEtdc) {
+      return std::make_unique<EtdcCoder>();
+    }
+    // Zipf-ish frequencies for PH.
+    std::vector<uint64_t> freqs(vocab_size);
+    for (size_t r = 0; r < vocab_size; ++r) {
+      freqs[r] = 1 + vocab_size * 10 / (r + 1);
+    }
+    return std::make_unique<PlainHuffmanCoder>(freqs);
+  }
+};
+
+TEST_P(TokenCoderTest, RoundTripAllRanks) {
+  constexpr size_t kVocab = 70000;  // exercises 1-, 2-, 3-byte codes
+  auto coder = MakeCoder(kVocab);
+  std::string buf;
+  for (uint32_t r = 0; r < kVocab; r += 97) coder->Encode(r, &buf);
+  size_t pos = 0;
+  for (uint32_t r = 0; r < kVocab; r += 97) {
+    uint32_t got = 0;
+    ASSERT_TRUE(coder->Decode(buf, &pos, &got).ok());
+    ASSERT_EQ(got, r);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST_P(TokenCoderTest, FrequentRanksGetShortCodes) {
+  auto coder = MakeCoder(100000);
+  EXPECT_LE(coder->CodeLength(0), coder->CodeLength(99999));
+  EXPECT_EQ(coder->CodeLength(0), 1u);
+}
+
+TEST_P(TokenCoderTest, CodeLengthMatchesEncoding) {
+  auto coder = MakeCoder(300000);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t r = static_cast<uint32_t>(rng.Uniform(300000));
+    std::string buf;
+    coder->Encode(r, &buf);
+    EXPECT_EQ(buf.size(), coder->CodeLength(r)) << "rank " << r;
+  }
+}
+
+TEST_P(TokenCoderTest, TruncatedDecodeFails) {
+  auto coder = MakeCoder(300000);
+  std::string buf;
+  coder->Encode(299999, &buf);
+  ASSERT_GT(buf.size(), 1u);
+  size_t pos = 0;
+  uint32_t rank = 0;
+  EXPECT_EQ(coder->Decode(std::string_view(buf).substr(0, buf.size() - 1),
+                          &pos, &rank)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, TokenCoderTest,
+                         ::testing::Values(SemiStaticScheme::kEtdc,
+                                           SemiStaticScheme::kPlainHuffman),
+                         [](const auto& info) {
+                           return info.param == SemiStaticScheme::kEtdc
+                                      ? "Etdc"
+                                      : "PlainHuffman";
+                         });
+
+TEST(EtdcTest, DenseCodeBoundaries) {
+  const EtdcCoder coder;
+  EXPECT_EQ(coder.CodeLength(127), 1u);
+  EXPECT_EQ(coder.CodeLength(128), 2u);
+  EXPECT_EQ(coder.CodeLength(128 + 128 * 128 - 1), 2u);
+  EXPECT_EQ(coder.CodeLength(128 + 128 * 128), 3u);
+  // Exact boundary values round-trip.
+  for (uint32_t r : {0u, 127u, 128u, 16511u, 16512u, 2113663u, 2113664u}) {
+    std::string buf;
+    coder.Encode(r, &buf);
+    size_t pos = 0;
+    uint32_t got = 0;
+    ASSERT_TRUE(coder.Decode(buf, &pos, &got).ok());
+    EXPECT_EQ(got, r);
+  }
+}
+
+TEST(EtdcTest, CodesAreByteMonotonicInLength) {
+  // Denser (lower) ranks never get longer codes — the defining property of
+  // a dense code.
+  const EtdcCoder coder;
+  size_t prev = 1;
+  for (uint32_t r = 0; r < 3000000; r += 1009) {
+    const size_t len = coder.CodeLength(r);
+    EXPECT_GE(len, prev);
+    prev = len;
+  }
+}
+
+TEST(PlainHuffmanTest, OptimalityBeatsOrEqualsEtdcWeighted) {
+  // PH is the optimal byte-oriented code, so its weighted length is <=
+  // ETDC's for any frequency profile.
+  Rng rng(2);
+  std::vector<uint64_t> freqs(5000);
+  for (auto& f : freqs) f = 1 + rng.Uniform(10000);
+  std::sort(freqs.rbegin(), freqs.rend());
+  const PlainHuffmanCoder ph(freqs);
+  const EtdcCoder etdc;
+  uint64_t ph_bytes = 0;
+  uint64_t etdc_bytes = 0;
+  for (uint32_t r = 0; r < freqs.size(); ++r) {
+    ph_bytes += freqs[r] * ph.CodeLength(r);
+    etdc_bytes += freqs[r] * etdc.CodeLength(r);
+  }
+  EXPECT_LE(ph_bytes, etdc_bytes);
+}
+
+TEST(PlainHuffmanTest, SingleSymbolVocabulary) {
+  const PlainHuffmanCoder ph({42});
+  std::string buf;
+  ph.Encode(0, &buf);
+  EXPECT_EQ(buf.size(), 1u);
+  size_t pos = 0;
+  uint32_t rank = 1;
+  ASSERT_TRUE(ph.Decode(buf, &pos, &rank).ok());
+  EXPECT_EQ(rank, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Archive
+// ---------------------------------------------------------------------------
+
+class SemiStaticArchiveTest
+    : public ::testing::TestWithParam<SemiStaticScheme> {};
+
+TEST_P(SemiStaticArchiveTest, RoundTripsEveryDocument) {
+  CorpusOptions options;
+  options.target_bytes = 1 << 20;
+  options.seed = 81;
+  const Corpus corpus = GenerateCorpus(options);
+  auto archive = SemiStaticArchive::Build(corpus.collection, GetParam());
+  ASSERT_EQ(archive->num_docs(), corpus.collection.num_docs());
+  std::string doc;
+  for (size_t i = 0; i < archive->num_docs(); ++i) {
+    ASSERT_TRUE(archive->Get(i, &doc, nullptr).ok()) << i;
+    ASSERT_EQ(doc, corpus.collection.doc(i)) << i;
+  }
+}
+
+TEST_P(SemiStaticArchiveTest, CompressesButNotAsWellAsRlzWould) {
+  CorpusOptions options;
+  options.target_bytes = 1 << 20;
+  options.seed = 82;
+  const Corpus corpus = GenerateCorpus(options);
+  auto archive = SemiStaticArchive::Build(corpus.collection, GetParam());
+  const double pct = 100.0 * archive->stored_bytes() /
+                     corpus.collection.size_bytes();
+  // §2.1: semi-static word codes reach ~20-40% but cannot exploit global
+  // repetition. Must compress (<70%) but stay well above RLZ's 10-15%.
+  EXPECT_LT(pct, 70.0);
+  EXPECT_GT(pct, 15.0);
+}
+
+TEST_P(SemiStaticArchiveTest, OutOfRangeGet) {
+  Collection c;
+  c.Append("one doc only");
+  auto archive = SemiStaticArchive::Build(c, GetParam());
+  std::string doc;
+  EXPECT_EQ(archive->Get(3, &doc, nullptr).code(), StatusCode::kOutOfRange);
+}
+
+TEST_P(SemiStaticArchiveTest, ModelMemoryReported) {
+  Collection c;
+  c.Append("alpha beta gamma alpha");
+  auto archive = SemiStaticArchive::Build(c, GetParam());
+  EXPECT_GT(archive->model_memory_bytes(), 0u);
+  EXPECT_GT(archive->vocabulary().size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SemiStaticArchiveTest,
+                         ::testing::Values(SemiStaticScheme::kEtdc,
+                                           SemiStaticScheme::kPlainHuffman),
+                         [](const auto& info) {
+                           return info.param == SemiStaticScheme::kEtdc
+                                      ? "Etdc"
+                                      : "PlainHuffman";
+                         });
+
+}  // namespace
+}  // namespace rlz

@@ -1,0 +1,194 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "io/sim_disk.h"
+#include "store/ascii_archive.h"
+#include "store/blocked_archive.h"
+#include "store/doc_map.h"
+
+namespace rlz {
+namespace {
+
+Collection SmallCollection() {
+  CorpusOptions options;
+  options.target_bytes = 1 << 20;
+  options.seed = 51;
+  return GenerateCorpus(options).collection;
+}
+
+TEST(DocMapTest, OffsetsAndSizes) {
+  DocMap map;
+  map.Add(10);
+  map.Add(0);
+  map.Add(25);
+  EXPECT_EQ(map.num_docs(), 3u);
+  EXPECT_EQ(map.offset(0), 0u);
+  EXPECT_EQ(map.offset(1), 10u);
+  EXPECT_EQ(map.offset(2), 10u);
+  EXPECT_EQ(map.size(0), 10u);
+  EXPECT_EQ(map.size(1), 0u);
+  EXPECT_EQ(map.size(2), 25u);
+  EXPECT_EQ(map.total_bytes(), 35u);
+}
+
+TEST(DocMapTest, SerializedBytesIsVByteSum) {
+  DocMap map;
+  map.Add(5);     // 1 byte
+  map.Add(1000);  // 2 bytes
+  map.Add(0);     // 1 byte
+  EXPECT_EQ(map.serialized_bytes(), 4u);
+}
+
+TEST(AsciiArchiveTest, RoundTrip) {
+  const Collection collection = SmallCollection();
+  AsciiArchive archive(collection);
+  ASSERT_EQ(archive.num_docs(), collection.num_docs());
+  std::string doc;
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    ASSERT_TRUE(archive.Get(i, &doc, nullptr).ok());
+    ASSERT_EQ(doc, collection.doc(i));
+  }
+  EXPECT_GE(archive.stored_bytes(), collection.size_bytes());
+}
+
+TEST(AsciiArchiveTest, OutOfRange) {
+  const Collection collection = SmallCollection();
+  AsciiArchive archive(collection);
+  std::string doc;
+  EXPECT_EQ(archive.Get(collection.num_docs(), &doc, nullptr).code(),
+            StatusCode::kOutOfRange);
+}
+
+class BlockedArchiveTest
+    : public ::testing::TestWithParam<std::pair<CompressorId, uint64_t>> {};
+
+TEST_P(BlockedArchiveTest, RoundTripAllDocs) {
+  const auto [compressor_id, block_bytes] = GetParam();
+  const Collection collection = SmallCollection();
+  BlockedArchive archive(collection, GetCompressor(compressor_id),
+                         block_bytes);
+  ASSERT_EQ(archive.num_docs(), collection.num_docs());
+  std::string doc;
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    ASSERT_TRUE(archive.Get(i, &doc, nullptr).ok()) << "doc " << i;
+    ASSERT_EQ(doc, collection.doc(i)) << "doc " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BlockedArchiveTest,
+    ::testing::Values(std::pair{CompressorId::kGzipx, uint64_t{0}},
+                      std::pair{CompressorId::kGzipx, uint64_t{16 << 10}},
+                      std::pair{CompressorId::kGzipx, uint64_t{128 << 10}},
+                      std::pair{CompressorId::kLzmax, uint64_t{0}},
+                      std::pair{CompressorId::kLzmax, uint64_t{64 << 10}}),
+    [](const auto& info) {
+      std::string name = info.param.first == CompressorId::kGzipx ? "Gzipx"
+                                                                  : "Lzmax";
+      name += info.param.second == 0
+                  ? "OneDocPerBlock"
+                  : "Block" + std::to_string(info.param.second >> 10) + "K";
+      return name;
+    });
+
+TEST(BlockedArchiveTest, OneDocPerBlockHasOneBlockPerDoc) {
+  const Collection collection = SmallCollection();
+  BlockedArchive archive(collection, GetCompressor(CompressorId::kGzipx), 0);
+  EXPECT_EQ(archive.num_blocks(), collection.num_docs());
+}
+
+TEST(BlockedArchiveTest, LargerBlocksCompressBetter) {
+  const Collection collection = SmallCollection();
+  BlockedArchive single(collection, GetCompressor(CompressorId::kGzipx), 0);
+  BlockedArchive big(collection, GetCompressor(CompressorId::kGzipx),
+                     128 << 10);
+  EXPECT_LT(big.stored_bytes(), single.stored_bytes());
+  EXPECT_LT(big.num_blocks(), single.num_blocks());
+}
+
+TEST(BlockedArchiveTest, NamesEncodeConfiguration) {
+  const Collection collection = SmallCollection();
+  EXPECT_EQ(
+      BlockedArchive(collection, GetCompressor(CompressorId::kGzipx), 0).name(),
+      "gzipx-1doc");
+  EXPECT_EQ(BlockedArchive(collection, GetCompressor(CompressorId::kLzmax),
+                           1 << 20)
+                .name(),
+            "lzmax-1M");
+  EXPECT_EQ(BlockedArchive(collection, GetCompressor(CompressorId::kGzipx),
+                           64 << 10)
+                .name(),
+            "gzipx-64K");
+}
+
+TEST(SimDiskTest, SeekChargedOnRandomAccess) {
+  SimDiskOptions options;
+  options.seek_ms = 10.0;
+  options.bandwidth_mb_per_s = 1024.0 / 1.048576;  // ~1 GB/s to isolate seeks
+  SimDisk disk(options);
+  disk.Read(0, 1000);
+  disk.Read(500 << 20, 1000);  // far away: seek
+  EXPECT_EQ(disk.seeks(), 2u);
+  EXPECT_GT(disk.total_seconds(), 0.019);
+}
+
+TEST(SimDiskTest, SequentialReadsSkipSeek) {
+  SimDisk disk;
+  disk.Read(0, 4096);
+  disk.Read(4096, 4096);
+  disk.Read(8192, 4096);
+  EXPECT_EQ(disk.seeks(), 1u);
+}
+
+TEST(SimDiskTest, BackwardReadIsASeek) {
+  SimDisk disk;
+  disk.Read(1 << 20, 4096);
+  disk.Read(0, 4096);
+  EXPECT_EQ(disk.seeks(), 2u);
+}
+
+TEST(SimDiskTest, BandwidthAccounted) {
+  SimDiskOptions options;
+  options.seek_ms = 0.0;
+  options.bandwidth_mb_per_s = 100.0;
+  SimDisk disk(options);
+  disk.Read(0, 100 * 1024 * 1024);
+  EXPECT_NEAR(disk.total_seconds(), 1.0, 1e-6);
+  EXPECT_EQ(disk.total_bytes(), 100ull * 1024 * 1024);
+}
+
+TEST(SimDiskTest, ResetClearsState) {
+  SimDisk disk;
+  disk.Read(0, 1000);
+  disk.Reset();
+  EXPECT_EQ(disk.total_seconds(), 0.0);
+  EXPECT_EQ(disk.seeks(), 0u);
+  EXPECT_EQ(disk.total_bytes(), 0u);
+}
+
+TEST(BlockedArchiveTest, DiskChargesWholeBlockForOneDoc) {
+  const Collection collection = SmallCollection();
+  BlockedArchive archive(collection, GetCompressor(CompressorId::kGzipx),
+                         256 << 10);
+  SimDisk disk;
+  std::string doc;
+  ASSERT_TRUE(archive.Get(0, &doc, &disk).ok());
+  // The read must cover the compressed block, which at 256 KB uncompressed
+  // is far larger than any single encoded document.
+  EXPECT_GT(disk.total_bytes(), 10u * 1024);
+}
+
+TEST(AsciiArchiveTest, DiskChargesOnlyDocBytes) {
+  const Collection collection = SmallCollection();
+  AsciiArchive archive(collection);
+  SimDisk disk;
+  std::string doc;
+  ASSERT_TRUE(archive.Get(3, &doc, &disk).ok());
+  EXPECT_EQ(disk.total_bytes(), collection.doc_size(3));
+}
+
+}  // namespace
+}  // namespace rlz

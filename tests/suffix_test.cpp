@@ -1,0 +1,220 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "suffix/matcher.h"
+#include "suffix/suffix_array.h"
+#include "util/random.h"
+
+namespace rlz {
+namespace {
+
+std::string RandomString(Rng& rng, size_t len, int alphabet) {
+  std::string s(len, '\0');
+  for (auto& c : s) {
+    c = static_cast<char>('a' + rng.Uniform(alphabet));
+  }
+  return s;
+}
+
+TEST(SuffixArrayTest, EmptyAndSingle) {
+  EXPECT_TRUE(BuildSuffixArray("").empty());
+  EXPECT_EQ(BuildSuffixArray("x"), std::vector<int32_t>{0});
+}
+
+TEST(SuffixArrayTest, Banana) {
+  // banana: suffixes sorted = a(5), ana(3), anana(1), banana(0), na(4), nana(2)
+  const std::vector<int32_t> expected = {5, 3, 1, 0, 4, 2};
+  EXPECT_EQ(BuildSuffixArray("banana"), expected);
+}
+
+TEST(SuffixArrayTest, PaperDictionaryExample) {
+  // Table 1 of the paper: d = cabbaabba. Sorted suffixes are
+  // a, aabba, abba, abbaabba, ba, baabba, bba, bbaabba, cabbaabba,
+  // i.e. 1-based start positions 9 5 6 2 8 4 7 3 1 (the paper's printed
+  // "SA" row is the inverse permutation — rank by text position).
+  const std::vector<int32_t> expected = {8, 4, 5, 1, 7, 3, 6, 2, 0};
+  EXPECT_EQ(BuildSuffixArray("cabbaabba"), expected);
+}
+
+TEST(SuffixArrayTest, AllEqualCharacters) {
+  const std::string s(500, 'z');
+  const auto sa = BuildSuffixArray(s);
+  ASSERT_TRUE(IsValidSuffixArray(s, sa));
+  // Shortest suffix first.
+  EXPECT_EQ(sa.front(), 499);
+  EXPECT_EQ(sa.back(), 0);
+}
+
+TEST(SuffixArrayTest, ContainsNulBytes) {
+  std::string s = "ab";
+  s.push_back('\0');
+  s += "ab";
+  s.push_back('\0');
+  s += "c";
+  const auto sa = BuildSuffixArray(s);
+  EXPECT_TRUE(IsValidSuffixArray(s, sa));
+}
+
+TEST(SuffixArrayTest, FullByteAlphabet) {
+  Rng rng(99);
+  std::string s(2000, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.Uniform(256));
+  const auto sa = BuildSuffixArray(s);
+  EXPECT_TRUE(IsValidSuffixArray(s, sa));
+}
+
+struct SaCase {
+  const char* name;
+  size_t len;
+  int alphabet;
+};
+
+class SuffixArrayMatchesNaiveTest : public ::testing::TestWithParam<SaCase> {};
+
+TEST_P(SuffixArrayMatchesNaiveTest, MatchesNaive) {
+  const SaCase& c = GetParam();
+  Rng rng(static_cast<uint64_t>(c.len * 31 + c.alphabet));
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::string s = RandomString(rng, c.len, c.alphabet);
+    EXPECT_EQ(BuildSuffixArray(s), BuildSuffixArrayNaive(s))
+        << "case " << c.name << " iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SuffixArrayMatchesNaiveTest,
+    ::testing::Values(SaCase{"tiny_binary", 10, 2},
+                      SaCase{"small_binary", 100, 2},
+                      SaCase{"small_dna", 200, 4},
+                      SaCase{"medium_english", 1000, 26},
+                      SaCase{"repetitive", 800, 3},
+                      SaCase{"large_binary", 3000, 2}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(SuffixArrayTest, PeriodicStrings) {
+  for (const char* pat : {"ab", "abc", "aab", "abab"}) {
+    std::string s;
+    while (s.size() < 400) s += pat;
+    const auto sa = BuildSuffixArray(s);
+    EXPECT_TRUE(IsValidSuffixArray(s, sa)) << pat;
+  }
+}
+
+TEST(MatcherTest, PaperRefineExample) {
+  // Table 1, step by step: searching x = bbaancabb in d = cabbaabba.
+  // Paper bounds are 1-based; ours are 0-based (subtract 1).
+  const std::string d = "cabbaabba";
+  SuffixMatcher matcher(d);
+  int32_t lb = 0;
+  int32_t rb = 8;
+  ASSERT_TRUE(matcher.Refine(&lb, &rb, 0, 'b'));
+  EXPECT_EQ(lb, 4);  // paper: 5
+  EXPECT_EQ(rb, 7);  // paper: 8
+  ASSERT_TRUE(matcher.Refine(&lb, &rb, 1, 'b'));
+  EXPECT_EQ(lb, 6);  // paper: 7
+  EXPECT_EQ(rb, 7);  // paper: 8
+  // Both "bba" and "bbaabba" match prefix "bba" (the paper's trace narrows
+  // to a single suffix here already; the interval semantics keep both).
+  ASSERT_TRUE(matcher.Refine(&lb, &rb, 2, 'a'));
+  EXPECT_EQ(lb, 6);
+  EXPECT_EQ(rb, 7);
+  // Fourth character: suffix "bba" is exhausted, only "bbaabba" survives —
+  // the paper's (8, 8), 0-based (7, 7).
+  ASSERT_TRUE(matcher.Refine(&lb, &rb, 3, 'a'));
+  EXPECT_EQ(lb, 7);
+  EXPECT_EQ(rb, 7);
+  // Fifth character 'n' does not occur: refinement fails.
+  int32_t lb2 = lb;
+  int32_t rb2 = rb;
+  EXPECT_FALSE(matcher.Refine(&lb2, &rb2, 4, 'n'));
+  // The surviving suffix is d[3..] = "baabba"... SA[7] = 2 (paper SA[8]=3).
+  EXPECT_EQ(matcher.sa()[lb], 2);
+}
+
+TEST(MatcherTest, PaperLongestMatches) {
+  const std::string d = "cabbaabba";
+  SuffixMatcher matcher(d);
+  // First factor of x = bbaancabb: "bbaa" at paper offset 3 (0-based 2).
+  Match m = matcher.LongestMatch("bbaancabb");
+  EXPECT_EQ(m.len, 4);
+  EXPECT_EQ(d.substr(m.pos, m.len), "bbaa");
+  // 'n' does not occur at all.
+  m = matcher.LongestMatch("ncabb");
+  EXPECT_EQ(m.len, 0);
+  // Final factor "cabb" at paper offset 1 (0-based 0).
+  m = matcher.LongestMatch("cabb");
+  EXPECT_EQ(m.len, 4);
+  EXPECT_EQ(m.pos, 0);
+}
+
+Match NaiveLongestMatch(std::string_view text, std::string_view pattern) {
+  Match best;
+  for (size_t start = 0; start < text.size(); ++start) {
+    size_t l = 0;
+    while (l < pattern.size() && start + l < text.size() &&
+           text[start + l] == pattern[l]) {
+      ++l;
+    }
+    if (static_cast<int32_t>(l) > best.len) {
+      best.len = static_cast<int32_t>(l);
+      best.pos = static_cast<int32_t>(start);
+    }
+  }
+  return best;
+}
+
+class MatcherPropertyTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MatcherPropertyTest, LongestMatchMatchesNaive) {
+  const bool jump_table = GetParam();
+  Rng rng(4242);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::string text = RandomString(rng, 300, 3);
+    SuffixMatcher matcher(text, {}, jump_table);
+    for (int q = 0; q < 40; ++q) {
+      std::string pattern = RandomString(rng, 1 + rng.Uniform(20), 3);
+      // Half the queries are substrings of the text (guaranteed matches).
+      if (q % 2 == 0 && text.size() > 10) {
+        const size_t start = rng.Uniform(text.size() - 5);
+        pattern = text.substr(start, 1 + rng.Uniform(10));
+      }
+      const Match got = matcher.LongestMatch(pattern);
+      const Match want = NaiveLongestMatch(text, pattern);
+      ASSERT_EQ(got.len, want.len) << "pattern " << pattern;
+      if (got.len > 0) {
+        // Any position with the same match length is acceptable.
+        EXPECT_EQ(text.substr(got.pos, got.len), pattern.substr(0, got.len));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(JumpTable, MatcherPropertyTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "WithJumpTable" : "PureBinarySearch";
+                         });
+
+TEST(MatcherTest, MatchAcrossFullText) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  SuffixMatcher matcher(text);
+  const Match m = matcher.LongestMatch(text);
+  EXPECT_EQ(m.len, static_cast<int32_t>(text.size()));
+  EXPECT_EQ(m.pos, 0);
+}
+
+TEST(MatcherTest, EmptyPattern) {
+  SuffixMatcher matcher("abc");
+  const Match m = matcher.LongestMatch("");
+  EXPECT_EQ(m.len, 0);
+}
+
+TEST(MatcherTest, SingleCharText) {
+  SuffixMatcher matcher("a");
+  EXPECT_EQ(matcher.LongestMatch("aaa").len, 1);
+  EXPECT_EQ(matcher.LongestMatch("b").len, 0);
+}
+
+}  // namespace
+}  // namespace rlz

@@ -1,0 +1,212 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bitio.h"
+#include "util/crc32.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rlz {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad flag");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad flag");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad flag");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status UsesMacros(int v, int* out) {
+  RLZ_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  RLZ_RETURN_IF_ERROR(Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusOrTest, Macros) {
+  int out = 0;
+  EXPECT_TRUE(UsesMacros(5, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UsesMacros(-2, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, HeadIsMoreFrequentThanTail) {
+  Rng rng(11);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(counts[0], 20 * std::max(1, counts[900]));
+}
+
+TEST(ZipfTest, CoversRange) {
+  Rng rng(13);
+  ZipfSampler zipf(5, 1.0);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(BitIoTest, SingleBits) {
+  std::string buf;
+  BitWriter bw(&buf);
+  for (int i = 0; i < 20; ++i) bw.WriteBits(i & 1, 1);
+  bw.Finish();
+  BitReader br(buf);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(br.ReadBits(1), (i & 1u));
+  EXPECT_FALSE(br.overflowed());
+}
+
+TEST(BitIoTest, MixedWidthRoundTrip) {
+  Rng rng(17);
+  std::vector<std::pair<uint64_t, int>> fields;
+  for (int i = 0; i < 2000; ++i) {
+    const int nbits = 1 + static_cast<int>(rng.Uniform(57));
+    const uint64_t mask = (nbits == 64) ? ~0ULL : ((1ULL << nbits) - 1);
+    fields.emplace_back(rng.Next() & mask, nbits);
+  }
+  std::string buf;
+  BitWriter bw(&buf);
+  for (auto [v, n] : fields) bw.WriteBits(v, n);
+  bw.Finish();
+  BitReader br(buf);
+  for (auto [v, n] : fields) EXPECT_EQ(br.ReadBits(n), v);
+  EXPECT_FALSE(br.overflowed());
+}
+
+TEST(BitIoTest, PeekAndSkip) {
+  std::string buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0b1011, 4);
+  bw.WriteBits(0b110, 3);
+  bw.Finish();
+  BitReader br(buf);
+  EXPECT_EQ(br.PeekBits(4), 0b1011u);
+  EXPECT_EQ(br.PeekBits(4), 0b1011u);  // peek does not consume
+  br.SkipBits(4);
+  EXPECT_EQ(br.ReadBits(3), 0b110u);
+}
+
+TEST(BitIoTest, OverflowFlag) {
+  std::string buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0xFF, 8);
+  bw.Finish();
+  BitReader br(buf);
+  br.ReadBits(8);
+  EXPECT_FALSE(br.overflowed());
+  br.ReadBits(8);
+  EXPECT_TRUE(br.overflowed());
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard IEEE CRC-32 test vector.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+}
+
+TEST(Crc32Test, SeedChaining) {
+  const std::string data = "hello, world";
+  const uint32_t whole = Crc32(data);
+  const uint32_t part = Crc32(data.substr(5), Crc32(data.substr(0, 5)));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(1024, 'a');
+  const uint32_t before = Crc32(data);
+  data[512] ^= 1;
+  EXPECT_NE(before, Crc32(data));
+}
+
+}  // namespace
+}  // namespace rlz
