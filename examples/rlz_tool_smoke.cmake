@@ -1,0 +1,34 @@
+# Drives the rlz_tool CLI end-to-end: generate a corpus, build an archive,
+# inspect it, fetch a document, and verify every document round-trips.
+# Invoked by ctest (see examples/CMakeLists.txt) as:
+#   cmake -DRLZ_TOOL=<path> -DWORK_DIR=<dir> -P rlz_tool_smoke.cmake
+
+if(NOT RLZ_TOOL OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DRLZ_TOOL=<rlz_tool> -DWORK_DIR=<dir> -P rlz_tool_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(corpus "${WORK_DIR}/corpus.bin")
+set(archive "${WORK_DIR}/archive.rlza")
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (exit ${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+run_step("${RLZ_TOOL}" gen "${corpus}" 2097152)
+run_step("${RLZ_TOOL}" build "${corpus}" "${archive}" 65536 ZV)
+run_step("${RLZ_TOOL}" info "${archive}")
+run_step("${RLZ_TOOL}" get "${archive}" 0)
+run_step("${RLZ_TOOL}" verify "${corpus}" "${archive}")
+
+# Bad usage must fail loudly, not exit 0.
+execute_process(COMMAND "${RLZ_TOOL}" RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "rlz_tool with no arguments should exit nonzero")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")

@@ -115,7 +115,32 @@ std::unique_ptr<RlzArchive> RlzArchive::BuildFromFactors(
   return archive;
 }
 
+Status RlzArchive::CheckFormatLimits(uint64_t dict_bytes, uint64_t num_docs,
+                                     uint64_t max_doc_bytes) {
+  if (dict_bytes > kMaxFormatValue) {
+    return Status::InvalidArgument(
+        "rlz archive: dictionary exceeds the v1 format's 32-bit size field");
+  }
+  if (num_docs > kMaxFormatValue) {
+    return Status::InvalidArgument(
+        "rlz archive: document count exceeds the v1 format's 32-bit field");
+  }
+  if (max_doc_bytes > kMaxFormatValue) {
+    return Status::InvalidArgument(
+        "rlz archive: an encoded document exceeds the v1 format's 32-bit "
+        "size field");
+  }
+  return Status::OK();
+}
+
 Status RlzArchive::Save(const std::string& path) const {
+  uint64_t max_doc_bytes = 0;
+  for (size_t i = 0; i < num_docs(); ++i) {
+    max_doc_bytes = std::max<uint64_t>(max_doc_bytes, map_.size(i));
+  }
+  RLZ_RETURN_IF_ERROR(
+      CheckFormatLimits(dict_->size(), num_docs(), max_doc_bytes));
+
   std::string out;
   out.append(kArchiveMagic, 4);
   out.push_back(static_cast<char>(kArchiveVersion));
@@ -169,9 +194,16 @@ StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::Load(
     }
   }
 
+  // Everything before the 4-byte CRC trailer is header + payload; the
+  // size-11 check above guarantees payload_end >= pos here. All subsequent
+  // reads must stay below payload_end — vbyte reads are bounds-checked
+  // against the full buffer, so without these explicit checks a truncated
+  // size table would silently consume the CRC trailer.
+  const size_t payload_end = raw.size() - 4;
+
   uint32_t dict_size = 0;
   RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &dict_size));
-  if (pos + dict_size > raw.size() - 4) {
+  if (pos > payload_end || dict_size > payload_end - pos) {
     return Status::Corruption("rlz archive: truncated dictionary");
   }
   auto dict = std::make_shared<const Dictionary>(raw.substr(pos, dict_size));
@@ -179,6 +211,12 @@ StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::Load(
 
   uint32_t ndocs = 0;
   RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &ndocs));
+  // Each size-table entry occupies at least one byte, so ndocs can never
+  // exceed the bytes left before the trailer; checking before the
+  // allocation below keeps a crafted count from forcing a huge allocation.
+  if (pos > payload_end || ndocs > payload_end - pos) {
+    return Status::Corruption("rlz archive: document count exceeds file");
+  }
   std::unique_ptr<RlzArchive> archive(
       new RlzArchive(std::move(dict), coding));
   uint64_t payload_size = 0;
@@ -187,7 +225,10 @@ StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::Load(
     RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &sizes[i]));
     payload_size += sizes[i];
   }
-  if (raw.size() - 4 - pos != payload_size) {
+  if (pos > payload_end) {
+    return Status::Corruption("rlz archive: truncated size table");
+  }
+  if (payload_end - pos != payload_size) {
     return Status::Corruption("rlz archive: payload size mismatch");
   }
   for (uint32_t i = 0; i < ndocs; ++i) archive->map_.Add(sizes[i]);

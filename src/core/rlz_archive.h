@@ -76,9 +76,22 @@ class RlzArchive final : public Archive {
   const FactorCoder& coder() const { return coder_; }
   uint64_t payload_bytes() const { return payload_.size(); }
 
+  /// The v1 file format stores the dictionary size, document count, and
+  /// per-document payload sizes as 32-bit vbytes.
+  static constexpr uint64_t kMaxFormatValue = 0xFFFFFFFFull;
+
+  /// Rejects archives the v1 format cannot represent: a dictionary, document
+  /// count, or single encoded document of more than kMaxFormatValue bytes
+  /// would otherwise be truncated to 32 bits on Save and round-trip corrupt
+  /// under a valid CRC. Save applies this; exposed so tests can exercise the
+  /// guard without allocating 4 GiB.
+  static Status CheckFormatLimits(uint64_t dict_bytes, uint64_t num_docs,
+                                  uint64_t max_doc_bytes);
+
   /// Serializes the archive (dictionary text, coding, document map,
   /// payload) to one file, CRC-protected. The suffix array is derived data
-  /// and rebuilt on load.
+  /// and rebuilt on load. Returns InvalidArgument if the archive exceeds
+  /// the format limits (see CheckFormatLimits).
   Status Save(const std::string& path) const;
 
   /// Opens an archive written by Save. Rebuilds the dictionary's suffix

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include "codecs/int_codecs.h"
 #include "core/rlz.h"
 #include "corpus/generator.h"
 #include "io/file.h"
+#include "util/crc32.h"
 #include "util/random.h"
 
 namespace rlz {
@@ -122,6 +124,144 @@ TEST(ArchiveIoEdgeTest, EmptyCollection) {
   auto loaded = RlzArchive::Load(path);
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ((*loaded)->num_docs(), 0u);
+  std::remove(path.c_str());
+}
+
+// The v1 format stores the dictionary size, document count, and per-doc
+// payload sizes as 32-bit vbytes; Save must refuse anything larger instead
+// of truncating it under a valid CRC. The guard is tested directly so no
+// 4 GiB allocations are needed.
+TEST(ArchiveFormatLimitsTest, AcceptsSizesUpToTheLimit) {
+  EXPECT_TRUE(RlzArchive::CheckFormatLimits(0, 0, 0).ok());
+  EXPECT_TRUE(RlzArchive::CheckFormatLimits(RlzArchive::kMaxFormatValue,
+                                            RlzArchive::kMaxFormatValue,
+                                            RlzArchive::kMaxFormatValue)
+                  .ok());
+}
+
+TEST(ArchiveFormatLimitsTest, RejectsOversizedDictionary) {
+  const Status s =
+      RlzArchive::CheckFormatLimits(RlzArchive::kMaxFormatValue + 1, 0, 0);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+}
+
+TEST(ArchiveFormatLimitsTest, RejectsOversizedDocCount) {
+  const Status s =
+      RlzArchive::CheckFormatLimits(0, RlzArchive::kMaxFormatValue + 1, 0);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+}
+
+TEST(ArchiveFormatLimitsTest, RejectsOversizedEncodedDoc) {
+  const Status s =
+      RlzArchive::CheckFormatLimits(0, 0, RlzArchive::kMaxFormatValue + 1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+}
+
+// Wraps `header_and_payload` in the v1 container: magic, version, a valid
+// ZV coding pair, and a correct CRC trailer — so Load gets past the
+// checksum and must reject the malformed header on its own.
+std::string CraftArchive(const std::string& header_and_payload) {
+  std::string out;
+  out.append("RLZA", 4);
+  out.push_back(1);  // kArchiveVersion
+  out.push_back(1);  // PosCoding::kZlib  ("Z")
+  out.push_back(0);  // LenCoding::kVByte ("V")
+  out.append(header_and_payload);
+  const uint32_t crc = Crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+TEST(ArchiveIoEdgeTest, TruncationAtEveryPrefixIsDetected) {
+  Collection c;
+  c.Append("the quick brown fox jumps over the lazy dog");
+  c.Append("the quick brown fox naps under the shady log");
+  c.Append("an entirely different document about archives");
+  RlzOptions options;
+  options.dict_bytes = 256;
+  auto archive = CompressCollection(c, options);
+
+  const std::string path = ::testing::TempDir() + "/rlza_every_prefix.bin";
+  ASSERT_TRUE(archive->Save(path).ok());
+  auto raw = ReadFile(path);
+  ASSERT_TRUE(raw.ok());
+
+  for (size_t keep = 0; keep < raw->size(); ++keep) {
+    ASSERT_TRUE(WriteFile(path, std::string_view(*raw).substr(0, keep)).ok());
+    auto loaded = RlzArchive::Load(path);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << keep << " bytes undetected";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+        << "prefix of " << keep << " bytes: " << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveIoEdgeTest, SizeTableRunningIntoTrailerIsCorruption) {
+  // One document whose size vbyte never terminates inside the body: the
+  // two continuation bytes make the read spill into the CRC trailer (the
+  // trailer's third byte, 0x4a, terminates it past payload_end), so the
+  // header must be rejected even though the checksum is valid.
+  std::string body;
+  VByteCodec::Put(0, &body);  // dictionary: empty
+  VByteCodec::Put(1, &body);  // num_docs
+  body.push_back(static_cast<char>(0x80));  // size[0]: unterminated vbyte
+  body.push_back(static_cast<char>(0x80));
+  const std::string path = ::testing::TempDir() + "/rlza_short_table.bin";
+  ASSERT_TRUE(WriteFile(path, CraftArchive(body)).ok());
+  auto loaded = RlzArchive::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().ToString().find("truncated size table"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveIoEdgeTest, HugeDocCountIsRejectedBeforeAllocating) {
+  // A crafted count must be rejected by comparing against the bytes left in
+  // the file, not by attempting a ~16 GiB size-table allocation.
+  std::string body;
+  VByteCodec::Put(0, &body);           // dictionary: empty
+  VByteCodec::Put(0xFFFFFFFFu, &body);  // num_docs
+  const std::string path = ::testing::TempDir() + "/rlza_huge_count.bin";
+  ASSERT_TRUE(WriteFile(path, CraftArchive(body)).ok());
+  auto loaded = RlzArchive::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveIoEdgeTest, PayloadSizeMismatchIsCorruption) {
+  // Size table promises 5 payload bytes but only 2 are present.
+  std::string body;
+  VByteCodec::Put(0, &body);  // dictionary: empty
+  VByteCodec::Put(1, &body);  // num_docs
+  VByteCodec::Put(5, &body);  // size[0]
+  body.append("ab");
+  const std::string path = ::testing::TempDir() + "/rlza_payload_short.bin";
+  ASSERT_TRUE(WriteFile(path, CraftArchive(body)).ok());
+  auto loaded = RlzArchive::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveIoEdgeTest, DictionaryRunningIntoTrailerIsCorruption) {
+  // Dictionary size field claims more bytes than exist before the trailer.
+  std::string body;
+  VByteCodec::Put(64, &body);  // dictionary size, but only 2 bytes follow
+  body.append("ab");
+  const std::string path = ::testing::TempDir() + "/rlza_dict_short.bin";
+  ASSERT_TRUE(WriteFile(path, CraftArchive(body)).ok());
+  auto loaded = RlzArchive::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+      << loaded.status().ToString();
   std::remove(path.c_str());
 }
 
