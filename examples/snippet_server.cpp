@@ -1,9 +1,11 @@
 // Snippet-server scenario: the motivating application of the paper's
 // introduction — a search engine that must fetch result documents from a
-// compressed store to build query-biased snippets. Builds an inverted
-// index and an RLZ archive over a synthetic crawl, runs keyword queries,
-// retrieves the top documents from the archive, and prints snippets around
-// the first query-term hit.
+// compressed store to build query-biased snippets. This version runs the
+// full serving stack (DESIGN.md §6): the collection is partitioned into a
+// ShardedStore of independent RLZ shards, and requests flow through a
+// DocService thread pool with an LRU decode cache — MultiGet fetches the
+// result page's documents concurrently, and the snippet windows use the
+// GetRange fast path. A service stats report prints at the end.
 //
 //   ./build/examples/snippet_server [query terms...]
 
@@ -13,11 +15,12 @@
 #include <string>
 #include <vector>
 
-#include "core/rlz.h"
 #include "corpus/generator.h"
 #include "search/inverted_index.h"
 #include "search/query_log.h"
 #include "search/tokenizer.h"
+#include "serve/doc_service.h"
+#include "serve/sharded_store.h"
 
 namespace {
 
@@ -43,23 +46,20 @@ std::string Plain(std::string_view html) {
   return out;
 }
 
-// Query-biased snippet: locate the term with a cheap range probe, then
-// decode only a window around the hit via RlzArchive::GetRange — the
-// random-access pattern the paper's introduction motivates.
-std::string MakeSnippet(const rlz::RlzArchive& archive, uint32_t doc_id,
+// Query-biased snippet: locate the term in the already-fetched document,
+// then pull only a window around the hit through the service's GetRange
+// path (a cache hit slices the resident copy; a miss decodes just the
+// window's factors).
+std::string MakeSnippet(rlz::DocService& service, uint32_t doc_id,
                         std::string_view doc, const std::string& term) {
   std::string lower(doc);
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   const size_t pos = lower.find(term);
-  std::string window;
-  if (pos == std::string::npos) {
-    if (!archive.GetRange(doc_id, 0, 400, &window).ok()) return "";
-  } else {
-    const size_t start = pos < 150 ? 0 : pos - 150;
-    if (!archive.GetRange(doc_id, start, 400, &window).ok()) return "";
-  }
-  return "..." + Plain(window).substr(0, 120) + "...";
+  const size_t start = (pos == std::string::npos || pos < 150) ? 0 : pos - 150;
+  rlz::GetResult window = service.GetRange(doc_id, start, 400).get();
+  if (!window.ok()) return "";
+  return "..." + Plain(*window.text).substr(0, 120) + "...";
 }
 
 }  // namespace
@@ -74,13 +74,19 @@ int main(int argc, char** argv) {
   std::printf("indexing %zu docs...\n", collection.num_docs());
   const rlz::InvertedIndex index = rlz::InvertedIndex::Build(collection);
 
-  std::printf("compressing with rlz...\n");
-  rlz::RlzOptions options;
-  options.dict_bytes = collection.size_bytes() / 100;
-  auto archive = rlz::CompressCollection(collection, options);
-  std::printf("store: %.2f%% of %zu bytes\n",
-              100.0 * archive->stored_bytes() / collection.size_bytes(),
+  rlz::ShardedStoreOptions store_options;
+  store_options.num_shards = 4;
+  store_options.dict_bytes = collection.size_bytes() / 100;
+  std::printf("compressing into %d rlz shards...\n", store_options.num_shards);
+  const auto store = rlz::ShardedStore::Build(collection, store_options);
+  std::printf("store %s: %.2f%% of %zu bytes\n", store->name().c_str(),
+              100.0 * store->stored_bytes() / collection.size_bytes(),
               collection.size_bytes());
+
+  rlz::DocServiceOptions service_options;
+  service_options.num_threads = 4;
+  service_options.cache_bytes = 16 << 20;
+  rlz::DocService service(store.get(), service_options);
 
   // Queries: from argv, or sample a few from the collection vocabulary.
   std::vector<std::vector<std::string>> queries;
@@ -95,22 +101,39 @@ int main(int argc, char** argv) {
     queries = rlz::GenerateQueries(index, qopts);
   }
 
-  std::string doc;
   for (const auto& query : queries) {
     std::string qstr;
     for (const auto& t : query) qstr += t + " ";
     std::printf("\nquery: %s\n", qstr.c_str());
     const auto hits = index.Query(query, 3);
-    for (const auto& hit : hits) {
-      const rlz::Status s = archive->Get(hit.doc, &doc);
-      if (!s.ok()) {
-        std::fprintf(stderr, "retrieval failed: %s\n", s.ToString().c_str());
+    // The whole result page is fetched as one concurrent batch.
+    std::vector<size_t> ids;
+    ids.reserve(hits.size());
+    for (const auto& hit : hits) ids.push_back(hit.doc);
+    const std::vector<rlz::GetResult> docs = service.MultiGet(ids);
+    for (size_t i = 0; i < hits.size(); ++i) {
+      if (!docs[i].ok()) {
+        std::fprintf(stderr, "retrieval failed: %s\n",
+                     docs[i].status.ToString().c_str());
         return 1;
       }
-      std::printf("  [%u] %s (score %.2f)\n      %s\n", hit.doc,
-                  corpus.urls[hit.doc].c_str(), hit.score,
-                  MakeSnippet(*archive, hit.doc, doc, query[0]).c_str());
+      std::printf("  [%u] %s (score %.2f)\n      %s\n", hits[i].doc,
+                  corpus.urls[hits[i].doc].c_str(), hits[i].score,
+                  MakeSnippet(service, hits[i].doc, *docs[i].text,
+                              query[0]).c_str());
     }
   }
+
+  const rlz::ServiceStats stats = service.Stats();
+  std::printf(
+      "\nservice: %llu requests (%llu failed), cache %.1f%% hits "
+      "(%llu entries, %.1f MB), disk %.1f ms simulated / %llu seeks\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.failures),
+      100.0 * stats.cache.hit_rate(),
+      static_cast<unsigned long long>(stats.cache.entries),
+      stats.cache.bytes / (1024.0 * 1024.0),
+      1e3 * stats.disk_seconds,
+      static_cast<unsigned long long>(stats.disk_seeks));
   return 0;
 }

@@ -64,7 +64,7 @@ class RlzArchive final : public Archive {
   /// snippet-generation fast path (§1): factor streams are skipped, not
   /// expanded, outside the range. Clamps to the document end.
   Status GetRange(size_t id, size_t offset, size_t length, std::string* text,
-                  SimDisk* disk = nullptr) const;
+                  SimDisk* disk = nullptr) const override;
 
   /// Encoded payload + document map + dictionary text (the dictionary is
   /// part of the stored output, as in the paper's Enc. % figures).
@@ -75,6 +75,9 @@ class RlzArchive final : public Archive {
   const Dictionary& dictionary() const { return *dict_; }
   const FactorCoder& coder() const { return coder_; }
   uint64_t payload_bytes() const { return payload_.size(); }
+  /// Payload extents per document — lets a router (ShardedStore) charge
+  /// simulated I/O for a shard-local read without decoding twice.
+  const DocMap& doc_map() const { return map_; }
 
   /// The v1 file format stores the dictionary size, document count, and
   /// per-document payload sizes as 32-bit vbytes.

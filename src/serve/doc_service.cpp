@@ -1,0 +1,176 @@
+#include "serve/doc_service.h"
+
+#include <algorithm>
+#include <ctime>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rlz {
+namespace {
+
+/// CPU time consumed by the calling thread, in seconds. Thread CPU time
+/// (not wall time) keeps worker accounting honest when the host has fewer
+/// cores than the pool has threads: a descheduled worker accrues nothing.
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+DocService::DocService(const Archive* archive, const DocServiceOptions& options)
+    : archive_(archive),
+      cache_(options.cache_bytes, options.cache_shards) {
+  RLZ_CHECK(archive != nullptr);
+  const int num_threads = std::max(1, options.num_threads);
+  workers_.reserve(num_threads);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>(options.disk));
+  }
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back(&DocService::WorkerLoop, this, i);
+  }
+}
+
+DocService::~DocService() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void DocService::WorkerLoop(int index) {
+  Worker* worker = workers_[index].get();
+  for (;;) {
+    std::packaged_task<GetResult(Worker*)> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+std::future<GetResult> DocService::Submit(
+    std::function<GetResult(Worker*)> fn) {
+  std::packaged_task<GetResult(Worker*)> task(std::move(fn));
+  std::future<GetResult> result = task.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++in_flight_;
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return result;
+}
+
+std::future<GetResult> DocService::Get(size_t id) {
+  return Submit([this, id](Worker* worker) { return DoGet(id, worker); });
+}
+
+std::vector<GetResult> DocService::MultiGet(const std::vector<size_t>& ids) {
+  std::vector<std::future<GetResult>> futures;
+  futures.reserve(ids.size());
+  for (size_t id : ids) futures.push_back(Get(id));
+  std::vector<GetResult> results;
+  results.reserve(ids.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+std::future<GetResult> DocService::GetRange(size_t id, size_t offset,
+                                            size_t length) {
+  return Submit([this, id, offset, length](Worker* worker) {
+    return DoGetRange(id, offset, length, worker);
+  });
+}
+
+GetResult DocService::DoGet(size_t id, Worker* worker) {
+  const double cpu_start = ThreadCpuSeconds();
+  GetResult result;
+  result.text = cache_.Get(id);
+  if (result.text == nullptr) {
+    std::string doc;
+    std::lock_guard<std::mutex> lock(worker->mu);
+    result.status = archive_->Get(id, &doc, &worker->disk);
+    if (result.status.ok()) {
+      result.text = cache_.Insert(id, std::move(doc));
+    }
+  }
+  std::lock_guard<std::mutex> lock(worker->mu);
+  ++worker->requests;
+  if (!result.ok()) ++worker->failures;
+  worker->cpu_seconds += ThreadCpuSeconds() - cpu_start;
+  return result;
+}
+
+GetResult DocService::DoGetRange(size_t id, size_t offset, size_t length,
+                                 Worker* worker) {
+  const double cpu_start = ThreadCpuSeconds();
+  GetResult result;
+  // A resident full document serves any range without touching the archive
+  // (no disk charge: the cache is memory-resident by construction).
+  if (std::shared_ptr<const std::string> doc = cache_.Get(id)) {
+    std::string slice;
+    if (offset < doc->size()) {
+      slice.assign(*doc, offset, std::min(length, doc->size() - offset));
+    }
+    result.text = std::make_shared<const std::string>(std::move(slice));
+  } else {
+    std::string slice;
+    std::lock_guard<std::mutex> lock(worker->mu);
+    result.status =
+        archive_->GetRange(id, offset, length, &slice, &worker->disk);
+    if (result.status.ok()) {
+      result.text = std::make_shared<const std::string>(std::move(slice));
+    }
+  }
+  std::lock_guard<std::mutex> lock(worker->mu);
+  ++worker->requests;
+  if (!result.ok()) ++worker->failures;
+  worker->cpu_seconds += ThreadCpuSeconds() - cpu_start;
+  return result;
+}
+
+void DocService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+ServiceStats DocService::Stats() const {
+  ServiceStats stats;
+  stats.num_threads = static_cast<int>(workers_.size());
+  stats.cache = cache_.stats();
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    stats.requests += worker->requests;
+    stats.failures += worker->failures;
+    stats.disk_seconds += worker->disk.total_seconds();
+    stats.disk_bytes += worker->disk.total_bytes();
+    stats.disk_seeks += worker->disk.seeks();
+    stats.cpu_seconds += worker->cpu_seconds;
+    stats.critical_path_seconds =
+        std::max(stats.critical_path_seconds,
+                 worker->cpu_seconds + worker->disk.total_seconds());
+  }
+  return stats;
+}
+
+}  // namespace rlz

@@ -1,0 +1,139 @@
+#ifndef RLZ_SERVE_DOC_SERVICE_H_
+#define RLZ_SERVE_DOC_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/sim_disk.h"
+#include "store/archive.h"
+#include "util/lru_cache.h"
+#include "util/status.h"
+
+namespace rlz {
+
+struct DocServiceOptions {
+  /// Worker threads executing requests. Each worker owns a private SimDisk
+  /// (the Archive contract requires one disk per concurrent caller) — the
+  /// model is one spindle per worker, as a sharded deployment would
+  /// provision.
+  int num_threads = 4;
+  /// Decoded-document cache capacity; 0 disables the cache.
+  uint64_t cache_bytes = 32 << 20;
+  /// Mutex stripes of the cache (rounded up to a power of two). Documents
+  /// larger than cache_bytes / cache_shards are served but never cached —
+  /// lower this for collections of multi-megabyte documents.
+  int cache_shards = 16;
+  SimDiskOptions disk;
+};
+
+/// Outcome of one request. `text` is the full document for Get and the
+/// requested slice for GetRange; on a cache hit it aliases the cached copy
+/// (archives are immutable, so shared bytes are safe).
+struct GetResult {
+  Status status = Status::OK();
+  std::shared_ptr<const std::string> text;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Aggregated service counters; exact once Drain() has returned (Stats()
+/// may also be called mid-flight — counters are internally consistent per
+/// worker but requests may land between worker snapshots).
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  LruCache::Stats cache;
+  // Summed over per-worker SimDisks.
+  double disk_seconds = 0.0;
+  uint64_t disk_bytes = 0;
+  uint64_t disk_seeks = 0;
+  /// Thread CPU time consumed by workers while executing requests.
+  double cpu_seconds = 0.0;
+  /// Modeled service makespan: the busiest worker's CPU + simulated-disk
+  /// time. docs/sec against this is the throughput of a machine with one
+  /// core and one spindle per worker — the same simulated-wall-time
+  /// doctrine as the paper benches (DESIGN.md §4, §6), so the number is
+  /// meaningful even on a single-core CI host.
+  double critical_path_seconds = 0.0;
+  int num_threads = 0;
+};
+
+/// The request executor of the serving layer (DESIGN.md §6): a fixed
+/// thread pool in front of any (thread-safe) Archive, with a sharded LRU
+/// cache of decoded documents so hot documents skip factor decoding
+/// entirely. Clients may call Get/MultiGet/GetRange from any number of
+/// threads; requests are served FIFO by the pool.
+class DocService {
+ public:
+  explicit DocService(const Archive* archive,
+                      const DocServiceOptions& options = {});
+  /// Drains outstanding requests, then joins the workers.
+  ~DocService();
+
+  DocService(const DocService&) = delete;
+  DocService& operator=(const DocService&) = delete;
+
+  /// Asynchronously retrieves one document.
+  std::future<GetResult> Get(size_t id);
+
+  /// Retrieves a batch, blocking until every result is ready. Results are
+  /// positionally parallel to `ids`; individual failures are per-result.
+  std::vector<GetResult> MultiGet(const std::vector<size_t>& ids);
+
+  /// Asynchronously retrieves bytes [offset, offset+length) of a document
+  /// (the snippet path). Served from the decode cache when the whole
+  /// document is resident; otherwise uses the archive's partial decode and
+  /// does not populate the cache.
+  std::future<GetResult> GetRange(size_t id, size_t offset, size_t length);
+
+  /// Blocks until the service is momentarily idle (no queued or executing
+  /// requests). Under sustained submission from other threads this keeps
+  /// waiting — call it at a traffic boundary (as the bench and tests do)
+  /// to make Stats() exact.
+  void Drain();
+
+  ServiceStats Stats() const;
+  const Archive& archive() const { return *archive_; }
+
+ private:
+  struct Worker {
+    explicit Worker(const SimDiskOptions& disk_options)
+        : disk(disk_options) {}
+    mutable std::mutex mu;  // guards disk + the counters below
+    SimDisk disk;
+    double cpu_seconds = 0.0;
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+  };
+
+  std::future<GetResult> Submit(std::function<GetResult(Worker*)> fn);
+  void WorkerLoop(int index);
+
+  GetResult DoGet(size_t id, Worker* worker);
+  GetResult DoGetRange(size_t id, size_t offset, size_t length,
+                       Worker* worker);
+
+  const Archive* archive_;
+  LruCache cache_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::packaged_task<GetResult(Worker*)>> queue_;
+  uint64_t in_flight_ = 0;  // queued + executing
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_SERVE_DOC_SERVICE_H_

@@ -1,0 +1,136 @@
+#include "serve/sharded_store.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/archive_builder.h"
+#include "core/dictionary.h"
+#include "util/logging.h"
+
+namespace rlz {
+
+std::unique_ptr<ShardedStore> ShardedStore::Build(
+    const Collection& collection, const ShardedStoreOptions& options) {
+  std::unique_ptr<ShardedStore> store(new ShardedStore());
+  const size_t ndocs = collection.num_docs();
+  const size_t nshards = std::max<size_t>(
+      1, std::min<size_t>(options.num_shards > 0 ? options.num_shards : 1,
+                          std::max<size_t>(ndocs, 1)));
+
+  // Contiguous ranges balanced by uncompressed bytes: shard s ends at the
+  // first doc whose cumulative size reaches s+1 equal slices of the total.
+  store->starts_.assign(1, 0);
+  const uint64_t total = collection.size_bytes();
+  uint64_t seen = 0;
+  size_t doc = 0;
+  for (size_t s = 0; s + 1 < nshards; ++s) {
+    const uint64_t target = total * (s + 1) / nshards;
+    // Leave enough docs for the remaining shards to be non-empty.
+    const size_t max_end = ndocs - (nshards - 1 - s);
+    while (doc < max_end && (seen < target || doc == store->starts_.back())) {
+      seen += collection.doc_size(doc);
+      ++doc;
+    }
+    store->starts_.push_back(doc);
+  }
+  store->starts_.push_back(ndocs);
+
+  const int build_threads =
+      options.build_threads > 0 ? options.build_threads
+                                : static_cast<int>(nshards);
+  const size_t shard_dict_bytes =
+      std::max<size_t>(1, options.dict_bytes / nshards);
+
+  store->shards_.resize(nshards);
+  auto build_shard = [&](size_t s) {
+    const size_t begin = store->starts_[s];
+    const size_t end = store->starts_[s + 1];
+    // A shard's documents are contiguous in the source collection, so
+    // dictionary sampling and the streaming build both work off views —
+    // no per-shard copy of the text (peak memory stays one corpus).
+    const std::string_view shard_text =
+        collection.data().substr(collection.doc_offset(begin),
+                                 collection.doc_offset(end) -
+                                     collection.doc_offset(begin));
+    std::shared_ptr<const Dictionary> dict = DictionaryBuilder::BuildSampled(
+        shard_text, shard_dict_bytes, options.sample_bytes);
+    RlzArchiveBuilder builder(std::move(dict), options.coding);
+    for (size_t i = begin; i < end; ++i) builder.Add(collection.doc(i));
+    store->shards_[s] = std::move(builder).Finish();
+  };
+
+  const size_t concurrent = std::min<size_t>(
+      nshards, static_cast<size_t>(std::max(1, build_threads)));
+  if (concurrent <= 1) {
+    for (size_t s = 0; s < nshards; ++s) build_shard(s);
+  } else {
+    // Shards build concurrently; each worker claims whole shards in order.
+    std::vector<std::thread> workers;
+    workers.reserve(concurrent);
+    for (size_t w = 0; w < concurrent; ++w) {
+      workers.emplace_back([&, w]() {
+        for (size_t s = w; s < nshards; s += concurrent) build_shard(s);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  return store;
+}
+
+std::string ShardedStore::name() const {
+  const std::string coding =
+      shards_.empty() ? std::string("rlz") : shards_[0]->name();
+  return "sharded-" + coding + "/" + std::to_string(num_shards());
+}
+
+size_t ShardedStore::shard_of(size_t id) const {
+  RLZ_DCHECK_LT(id, num_docs());
+  // First boundary strictly greater than id, minus one.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), id);
+  return static_cast<size_t>(it - starts_.begin()) - 1;
+}
+
+namespace {
+
+// Charges the factor-stream read of shard-local doc `local` at the
+// shard's device base, exactly mirroring what RlzArchive::Get/GetRange
+// would charge at shard-local offsets.
+void ChargeShardRead(const RlzArchive& shard, size_t shard_index,
+                     size_t local, SimDisk* disk) {
+  if (disk == nullptr) return;
+  const DocMap& map = shard.doc_map();
+  disk->Read(ShardedStore::kSimDeviceSpacing * shard_index +
+                 map.offset(local),
+             map.size(local));
+}
+
+}  // namespace
+
+Status ShardedStore::Get(size_t id, std::string* doc, SimDisk* disk) const {
+  if (id >= num_docs()) {
+    return Status::OutOfRange("sharded store: bad doc id");
+  }
+  const size_t s = shard_of(id);
+  const size_t local = id - starts_[s];
+  ChargeShardRead(*shards_[s], s, local, disk);
+  return shards_[s]->Get(local, doc, /*disk=*/nullptr);
+}
+
+Status ShardedStore::GetRange(size_t id, size_t offset, size_t length,
+                              std::string* text, SimDisk* disk) const {
+  if (id >= num_docs()) {
+    return Status::OutOfRange("sharded store: bad doc id");
+  }
+  const size_t s = shard_of(id);
+  const size_t local = id - starts_[s];
+  ChargeShardRead(*shards_[s], s, local, disk);
+  return shards_[s]->GetRange(local, offset, length, text, /*disk=*/nullptr);
+}
+
+uint64_t ShardedStore::stored_bytes() const {
+  uint64_t bytes = 0;
+  for (const auto& shard : shards_) bytes += shard->stored_bytes();
+  return bytes;
+}
+
+}  // namespace rlz

@@ -1,0 +1,81 @@
+#ifndef RLZ_SERVE_SHARDED_STORE_H_
+#define RLZ_SERVE_SHARDED_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factor_coder.h"
+#include "core/rlz_archive.h"
+#include "corpus/collection.h"
+#include "store/archive.h"
+
+namespace rlz {
+
+/// Build-time knobs for ShardedStore::Build.
+struct ShardedStoreOptions {
+  /// Number of partitions. Clamped to [1, num_docs]. Shards are contiguous
+  /// document ranges balanced by text bytes, so crawl locality (and URL
+  /// ordering, §3.5) survives partitioning.
+  int num_shards = 4;
+  /// Total dictionary budget, split evenly across shards — a 4-shard store
+  /// and an unsharded archive with the same `dict_bytes` are comparable in
+  /// the paper's Enc. % terms.
+  size_t dict_bytes = 1 << 20;
+  size_t sample_bytes = 1024;
+  PairCoding coding = kZV;
+  /// Worker threads for the build: shards build concurrently, at most one
+  /// thread per shard (0 means one thread per shard). Each shard streams
+  /// through RlzArchiveBuilder, which is bit-identical to RlzArchive::Build
+  /// — so the store is deterministic for any thread count.
+  int build_threads = 0;
+};
+
+/// Partitions a collection into independent RlzArchive shards behind the
+/// Archive interface — the scale-out unit of the serving layer (DESIGN.md
+/// §6). Each shard samples its own dictionary from its own documents and
+/// owns a disjoint contiguous doc-id range; the router is a binary search
+/// over the N+1 range boundaries. Shards share nothing, so Get/GetRange
+/// inherit RlzArchive's lock-free concurrent reads, and a future
+/// multi-machine split falls out of the same boundaries.
+///
+/// SimDisk accounting models each shard as its own device: a real
+/// deployment stores one file per shard. The store charges each read at
+/// the shard-local payload offset plus a per-shard base far larger than
+/// any readahead window (kSimDeviceSpacing), so a cross-shard jump always
+/// pays a seek and intra-shard sequential runs stay sequential.
+class ShardedStore final : public Archive {
+ public:
+  static std::unique_ptr<ShardedStore> Build(
+      const Collection& collection, const ShardedStoreOptions& options = {});
+
+  std::string name() const override;
+  size_t num_docs() const override { return starts_.back(); }
+  Status Get(size_t id, std::string* doc,
+             SimDisk* disk = nullptr) const override;
+  Status GetRange(size_t id, size_t offset, size_t length, std::string* text,
+                  SimDisk* disk = nullptr) const override;
+  uint64_t stored_bytes() const override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// The shard holding doc `id` (id must be < num_docs()).
+  size_t shard_of(size_t id) const;
+  const RlzArchive& shard(int s) const { return *shards_[s]; }
+  /// First doc id owned by shard `s`; starts(num_shards()) == num_docs().
+  size_t starts(int s) const { return starts_[s]; }
+
+  /// Simulated address-space stride between shard devices (1 TiB): far
+  /// beyond any SimDiskOptions::sequential_gap, and far above the v1
+  /// format's per-shard payload limit, so shard extents never overlap.
+  static constexpr uint64_t kSimDeviceSpacing = 1ull << 40;
+
+ private:
+  ShardedStore() = default;
+
+  std::vector<std::unique_ptr<RlzArchive>> shards_;
+  std::vector<size_t> starts_;  // num_shards()+1 entries, starts_[0] == 0
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_SERVE_SHARDED_STORE_H_

@@ -19,6 +19,12 @@ namespace rlz {
 /// dropped; see DESIGN.md §4). Memory-resident structures — the document
 /// map and, for RLZ, the dictionary — are never charged, matching the
 /// paper's setup.
+///
+/// Thread-safety contract (DESIGN.md §6): archives are immutable once
+/// built, and every implementation must support concurrent Get/GetRange
+/// calls. SimDisk itself is unsynchronized accounting, so each concurrent
+/// caller must pass its own SimDisk (or nullptr) — the serving layer gives
+/// every worker thread a private one.
 class Archive {
  public:
   virtual ~Archive() = default;
@@ -32,6 +38,22 @@ class Archive {
   /// I/O to `disk` if non-null.
   virtual Status Get(size_t id, std::string* doc,
                      SimDisk* disk = nullptr) const = 0;
+
+  /// Retrieves bytes [offset, offset+length) of document `id` into `*text`
+  /// (cleared first), clamped to the document end — the snippet path (§1).
+  /// The default decodes the whole document and slices it; backends with a
+  /// cheaper partial decode (RLZ factor-stream skipping) override this.
+  virtual Status GetRange(size_t id, size_t offset, size_t length,
+                          std::string* text, SimDisk* disk = nullptr) const {
+    std::string doc;
+    RLZ_RETURN_IF_ERROR(Get(id, &doc, disk));
+    text->clear();
+    if (offset < doc.size()) {
+      text->assign(doc, offset,
+                   length < doc.size() - offset ? length : doc.size() - offset);
+    }
+    return Status::OK();
+  }
 
   /// Total encoded size in bytes, including the document map and any
   /// dictionary — the numerator of the paper's "Enc. %" columns.

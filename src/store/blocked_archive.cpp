@@ -1,16 +1,19 @@
 #include "store/blocked_archive.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace rlz {
 
 BlockedArchive::BlockedArchive(const Collection& collection,
                                const Compressor* compressor,
-                               uint64_t block_bytes)
+                               uint64_t block_bytes, uint64_t cache_bytes)
     : compressor_(compressor), block_bytes_(block_bytes) {
   RLZ_CHECK(compressor != nullptr);
   docs_.reserve(collection.num_docs());
 
+  uint64_t max_block_text = 0;
   std::string block_text;
   std::vector<size_t> block_doc_sizes;
   auto flush = [&]() {
@@ -18,6 +21,7 @@ BlockedArchive::BlockedArchive(const Collection& collection,
     const uint64_t start = payload_.size();
     compressor_->Compress(block_text, &payload_);
     blocks_.push_back({start, payload_.size() - start});
+    max_block_text = std::max<uint64_t>(max_block_text, block_text.size());
     block_text.clear();
     block_doc_sizes.clear();
   };
@@ -33,6 +37,16 @@ BlockedArchive::BlockedArchive(const Collection& collection,
     if (block_bytes_ == 0 || block_text.size() >= block_bytes_) flush();
   }
   flush();
+
+  // Auto-sized cache: two maximal blocks across two stripes (each stripe
+  // must also cover the cache's per-entry charge), so each stripe can hold
+  // one block and a sequential scan always hits (see header comment on
+  // paper fidelity).
+  if (cache_bytes == 0) {
+    cache_bytes = 2 * (std::max<uint64_t>(max_block_text, 1) +
+                       LruCache::kEntryOverheadBytes);
+  }
+  block_cache_ = std::make_unique<LruCache>(cache_bytes, /*num_shards=*/2);
 }
 
 std::string BlockedArchive::name() const {
@@ -53,23 +67,30 @@ Status BlockedArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
     return Status::OutOfRange("blocked archive: bad doc id");
   }
   const DocInfo& d = docs_[id];
+  // Empty documents never reach the block store: a trailing empty doc is
+  // recorded against a block that flush() (rightly) never emitted, so its
+  // block index must not be dereferenced.
+  if (d.size == 0) {
+    doc->clear();
+    return Status::OK();
+  }
   const BlockInfo& b = blocks_[d.block];
-  if (cached_block_ != static_cast<int64_t>(d.block)) {
+  std::shared_ptr<const std::string> text = block_cache_->Get(d.block);
+  if (text == nullptr) {
     // The whole compressed block must be read and decompressed to reach
     // the document (adaptive dictionaries decode from the block start,
     // §2.2).
     if (disk != nullptr) disk->Read(b.payload_offset, b.payload_size);
-    cached_text_.clear();
-    cached_block_ = -1;
+    std::string decoded;
     RLZ_RETURN_IF_ERROR(compressor_->Decompress(
         std::string_view(payload_).substr(b.payload_offset, b.payload_size),
-        &cached_text_));
-    cached_block_ = static_cast<int64_t>(d.block);
+        &decoded));
+    text = block_cache_->Insert(d.block, std::move(decoded));
   }
-  if (static_cast<uint64_t>(d.offset) + d.size > cached_text_.size()) {
+  if (static_cast<uint64_t>(d.offset) + d.size > text->size()) {
     return Status::Corruption("blocked archive: doc extent outside block");
   }
-  doc->assign(cached_text_, d.offset, d.size);
+  doc->assign(*text, d.offset, d.size);
   return Status::OK();
 }
 

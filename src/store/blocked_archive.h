@@ -2,11 +2,13 @@
 #define RLZ_STORE_BLOCKED_ARCHIVE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "corpus/collection.h"
 #include "store/archive.h"
+#include "util/lru_cache.h"
 #include "zip/compressor.h"
 
 namespace rlz {
@@ -17,19 +19,25 @@ namespace rlz {
 /// its whole containing block — the compression/retrieval-speed trade-off
 /// RLZ is designed to escape.
 ///
-/// A one-block decode cache is kept (as any real blocked store does):
-/// consecutive requests into the same block decompress it once. This is
-/// what makes sequential scans of large-block archives viable (the paper's
-/// sequential column) while random query-log access still pays a full
-/// block decompression per request. The cache makes Get non-thread-safe.
+/// A small decode cache of recent blocks is kept (as any real blocked
+/// store does): consecutive requests into the same block decompress it
+/// once. This is what makes sequential scans of large-block archives
+/// viable (the paper's sequential column) while random query-log access
+/// still pays a full block decompression per request. The cache is the
+/// serving layer's thread-safe LRU, so Get honours the Archive concurrency
+/// contract: the historical single-block version corrupted results when
+/// two threads hit different blocks.
 class BlockedArchive final : public Archive {
  public:
   /// `block_bytes == 0` places one document per block (the paper's
   /// "0.0MB" rows). Otherwise documents are appended to a block until it
   /// reaches `block_bytes` of uncompressed text. `compressor` must outlive
-  /// the archive.
+  /// the archive. `cache_bytes == 0` sizes the decode cache to two of the
+  /// archive's largest uncompressed blocks — the thread-safe equivalent of
+  /// the classic one-block cache, deliberately too small to absorb
+  /// query-log randomness (the paper's trade-off must stay visible).
   BlockedArchive(const Collection& collection, const Compressor* compressor,
-                 uint64_t block_bytes);
+                 uint64_t block_bytes, uint64_t cache_bytes = 0);
 
   std::string name() const override;
   size_t num_docs() const override { return docs_.size(); }
@@ -39,6 +47,7 @@ class BlockedArchive final : public Archive {
 
   size_t num_blocks() const { return blocks_.size(); }
   uint64_t block_bytes() const { return block_bytes_; }
+  const LruCache& block_cache() const { return *block_cache_; }
 
  private:
   struct BlockInfo {
@@ -56,9 +65,8 @@ class BlockedArchive final : public Archive {
   std::string payload_;
   std::vector<BlockInfo> blocks_;
   std::vector<DocInfo> docs_;
-  // One-block decode cache (see class comment).
-  mutable int64_t cached_block_ = -1;
-  mutable std::string cached_text_;
+  // Decoded-block cache, keyed by block index (see class comment).
+  mutable std::unique_ptr<LruCache> block_cache_;
 };
 
 }  // namespace rlz

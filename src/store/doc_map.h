@@ -19,6 +19,14 @@ class DocMap {
   /// Appends a document of `encoded_size` bytes at the current end.
   void Add(uint64_t encoded_size) {
     offsets_.push_back(offsets_.back() + encoded_size);
+    // Keep the serialized size incremental: stored_bytes() is queried per
+    // request by the benches, and recomputing the vbyte sum would be
+    // O(num_docs) each time.
+    uint64_t delta = encoded_size;
+    do {
+      ++serialized_bytes_;
+      delta >>= 7;
+    } while (delta != 0);
   }
 
   size_t num_docs() const { return offsets_.size() - 1; }
@@ -31,21 +39,13 @@ class DocMap {
   uint64_t total_bytes() const { return offsets_.back(); }
 
   /// Size of the delta-vbyte serialization (what a disk-resident system
-  /// would store); counted into every archive's stored_bytes.
-  uint64_t serialized_bytes() const {
-    uint64_t bytes = 0;
-    for (size_t i = 0; i < num_docs(); ++i) {
-      uint64_t delta = size(i);
-      do {
-        ++bytes;
-        delta >>= 7;
-      } while (delta != 0);
-    }
-    return bytes;
-  }
+  /// would store); counted into every archive's stored_bytes. O(1): the
+  /// total is maintained by Add.
+  uint64_t serialized_bytes() const { return serialized_bytes_; }
 
  private:
   std::vector<uint64_t> offsets_;  // num_docs()+1, offsets_[0] == 0
+  uint64_t serialized_bytes_ = 0;  // vbyte length sum of per-doc sizes
 };
 
 }  // namespace rlz

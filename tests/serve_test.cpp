@@ -1,0 +1,509 @@
+// Serving-layer tests (DESIGN.md §6): the sharded LRU decode cache, the
+// ShardedStore router, the DocService executor, and — critically — the
+// concurrency regression suite. Every *Concurrent* test here is also run
+// under ThreadSanitizer by the `tsan` CI job (ctest label: concurrency);
+// the BlockedArchive stress reproduces the historical data race where two
+// threads hitting different blocks corrupted the single-block cache.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "io/sim_disk.h"
+#include "serve/doc_service.h"
+#include "serve/sharded_store.h"
+#include "store/blocked_archive.h"
+#include "util/lru_cache.h"
+#include "util/random.h"
+#include "zip/compressor.h"
+
+namespace rlz {
+namespace {
+
+Collection TestCollection(size_t target_bytes, uint64_t seed) {
+  CorpusOptions options;
+  options.target_bytes = target_bytes;
+  options.seed = seed;
+  return GenerateCorpus(options).collection;
+}
+
+// ---------------------------------------------------------------------------
+// LruCache
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache cache(1 << 20, 4);
+  EXPECT_EQ(cache.Get(7), nullptr);
+  auto resident = cache.Insert(7, "payload");
+  ASSERT_NE(resident, nullptr);
+  EXPECT_EQ(*resident, "payload");
+  auto hit = cache.Get(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), resident.get());  // same resident copy
+  const LruCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 7u + LruCache::kEntryOverheadBytes);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and deterministic. Each 4-byte
+  // value charges 4 + kEntryOverheadBytes; the capacity fits two entries
+  // but not three.
+  const uint64_t entry = 4 + LruCache::kEntryOverheadBytes;
+  LruCache cache(2 * entry + entry / 2, 1);
+  cache.Insert(1, "aaaa");
+  cache.Insert(2, "bbbb");
+  ASSERT_NE(cache.Get(1), nullptr);  // touch 1: 2 is now least recent
+  cache.Insert(3, "cccc");           // over capacity: evicts 2
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, EmptyValuesStayBoundedAndEvictable) {
+  // Zero-byte values still pay the per-entry charge, so a flood of them
+  // cannot grow the index past the byte budget.
+  LruCache cache(4 * LruCache::kEntryOverheadBytes, 1);
+  for (uint64_t key = 0; key < 100; ++key) cache.Insert(key, "");
+  const LruCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.entries, 4u);
+  EXPECT_GE(stats.evictions, 96u);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesStorage) {
+  LruCache cache(0, 4);
+  auto value = cache.Insert(1, "text");
+  ASSERT_NE(value, nullptr);  // caller still gets the wrapped value
+  EXPECT_EQ(*value, "text");
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(LruCacheTest, OversizedValueIsReturnedButNotCached) {
+  LruCache cache(LruCache::kEntryOverheadBytes + 8, 1);
+  auto value = cache.Insert(1, std::string(100, 'x'));
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->size(), 100u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(LruCacheTest, InsertOnExistingKeyKeepsResidentValue) {
+  // Immutable-archive semantics: racing decoders converge on one copy.
+  LruCache cache(1 << 10, 1);
+  auto first = cache.Insert(5, "first");
+  auto second = cache.Insert(5, "second");
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(*cache.Get(5), "first");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(LruCacheTest, ClearDropsEntriesKeepsCounters) {
+  LruCache cache(1 << 10, 2);
+  cache.Insert(1, "a");
+  cache.Get(1);
+  cache.Clear();
+  EXPECT_EQ(cache.Get(1), nullptr);
+  const LruCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(LruCacheTest, ConcurrentMixedGetInsertKeepsValuesIntact) {
+  // 8 threads hammer a small cache with constant churn; whatever a Get or
+  // Insert returns must be the canonical value for that key.
+  LruCache cache(4 << 10, 4);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  constexpr uint64_t kKeys = 64;
+  auto canonical = [](uint64_t key) {
+    return std::string(16 + key % 48, static_cast<char>('a' + key % 26));
+  };
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t key = rng.Next() % kKeys;
+        std::shared_ptr<const std::string> value = cache.Get(key);
+        if (value == nullptr) value = cache.Insert(key, canonical(key));
+        if (*value != canonical(key)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const LruCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedStore
+
+TEST(ShardedStoreTest, RoundTripAcrossShardCounts) {
+  const Collection collection = TestCollection(1 << 20, 71);
+  for (int shards : {1, 3, 8}) {
+    ShardedStoreOptions options;
+    options.num_shards = shards;
+    options.dict_bytes = collection.size_bytes() / 50;
+    auto store = ShardedStore::Build(collection, options);
+    ASSERT_EQ(store->num_shards(), shards);
+    ASSERT_EQ(store->num_docs(), collection.num_docs());
+    std::string doc;
+    for (size_t i = 0; i < collection.num_docs(); ++i) {
+      ASSERT_TRUE(store->Get(i, &doc).ok()) << "doc " << i;
+      ASSERT_EQ(doc, collection.doc(i)) << "doc " << i;
+    }
+  }
+}
+
+TEST(ShardedStoreTest, RouterBoundariesAndNonEmptyShards) {
+  const Collection collection = TestCollection(1 << 20, 72);
+  ShardedStoreOptions options;
+  options.num_shards = 5;
+  auto store = ShardedStore::Build(collection, options);
+  ASSERT_EQ(store->num_shards(), 5);
+  EXPECT_EQ(store->starts(0), 0u);
+  EXPECT_EQ(store->starts(5), collection.num_docs());
+  for (int s = 0; s < 5; ++s) {
+    ASSERT_LT(store->starts(s), store->starts(s + 1)) << "empty shard " << s;
+    EXPECT_EQ(store->shard_of(store->starts(s)), static_cast<size_t>(s));
+    EXPECT_EQ(store->shard_of(store->starts(s + 1) - 1),
+              static_cast<size_t>(s));
+    EXPECT_EQ(store->shard(s).num_docs(),
+              store->starts(s + 1) - store->starts(s));
+  }
+}
+
+TEST(ShardedStoreTest, ShardCountClampedToDocs) {
+  Collection tiny;
+  tiny.Append("only one document");
+  ShardedStoreOptions options;
+  options.num_shards = 16;
+  auto store = ShardedStore::Build(tiny, options);
+  EXPECT_EQ(store->num_shards(), 1);
+  std::string doc;
+  ASSERT_TRUE(store->Get(0, &doc).ok());
+  EXPECT_EQ(doc, "only one document");
+}
+
+TEST(ShardedStoreTest, GetRangeMatchesSubstring) {
+  const Collection collection = TestCollection(1 << 19, 73);
+  ShardedStoreOptions options;
+  options.num_shards = 4;
+  auto store = ShardedStore::Build(collection, options);
+  Rng rng(99);
+  std::string slice;
+  for (int i = 0; i < 50; ++i) {
+    const size_t id = rng.Next() % collection.num_docs();
+    const std::string_view doc = collection.doc(id);
+    const size_t offset = rng.Next() % (doc.size() + 1);
+    const size_t length = rng.Next() % 300;
+    ASSERT_TRUE(store->GetRange(id, offset, length, &slice).ok());
+    const std::string_view expect =
+        offset < doc.size() ? doc.substr(offset, length) : std::string_view();
+    ASSERT_EQ(slice, expect);
+  }
+}
+
+TEST(ShardedStoreTest, OutOfRangeAndName) {
+  const Collection collection = TestCollection(1 << 18, 74);
+  ShardedStoreOptions options;
+  options.num_shards = 2;
+  options.dict_bytes = collection.size_bytes() / 50;
+  auto store = ShardedStore::Build(collection, options);
+  std::string doc;
+  EXPECT_FALSE(store->Get(collection.num_docs(), &doc).ok());
+  EXPECT_EQ(store->name(), "sharded-rlz-ZV/2");
+  EXPECT_GT(store->stored_bytes(), 0u);
+  EXPECT_LT(store->stored_bytes(), collection.size_bytes());
+}
+
+TEST(ShardedStoreTest, ParallelBuildIsDeterministic) {
+  const Collection collection = TestCollection(1 << 19, 75);
+  ShardedStoreOptions serial;
+  serial.num_shards = 4;
+  serial.build_threads = 1;
+  ShardedStoreOptions parallel = serial;
+  parallel.build_threads = 8;
+  auto a = ShardedStore::Build(collection, serial);
+  auto b = ShardedStore::Build(collection, parallel);
+  ASSERT_EQ(a->num_docs(), b->num_docs());
+  EXPECT_EQ(a->stored_bytes(), b->stored_bytes());
+  std::string doc_a, doc_b;
+  for (size_t i = 0; i < a->num_docs(); i += 7) {
+    ASSERT_TRUE(a->Get(i, &doc_a).ok());
+    ASSERT_TRUE(b->Get(i, &doc_b).ok());
+    ASSERT_EQ(doc_a, doc_b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DocService
+
+TEST(DocServiceTest, GetReturnsEveryDocument) {
+  const Collection collection = TestCollection(1 << 19, 81);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 2;
+  auto store = ShardedStore::Build(collection, store_options);
+  DocServiceOptions options;
+  options.num_threads = 4;
+  options.cache_bytes = 8 << 20;
+  DocService service(store.get(), options);
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    GetResult result = service.Get(i).get();
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    ASSERT_EQ(*result.text, collection.doc(i));
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, collection.num_docs());
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.disk_bytes, 0u);  // misses were charged to worker disks
+}
+
+TEST(DocServiceTest, RepeatTrafficHitsTheCache) {
+  const Collection collection = TestCollection(1 << 18, 82);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 2;
+  auto store = ShardedStore::Build(collection, store_options);
+  DocServiceOptions options;
+  options.num_threads = 2;
+  options.cache_bytes = 32 << 20;  // everything fits
+  DocService service(store.get(), options);
+  std::vector<size_t> ids(collection.num_docs());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  service.MultiGet(ids);
+  const uint64_t misses_after_first = service.Stats().cache.misses;
+  service.MultiGet(ids);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache.misses, misses_after_first);  // second pass all hits
+  EXPECT_GE(stats.cache.hits, ids.size());
+  EXPECT_GT(stats.cache.hit_rate(), 0.4);
+}
+
+TEST(DocServiceTest, MultiGetIsPositional) {
+  const Collection collection = TestCollection(1 << 18, 83);
+  auto store = ShardedStore::Build(collection, {});
+  DocService service(store.get(), {});
+  const std::vector<size_t> ids = {3, 0, 3, collection.num_docs() - 1};
+  std::vector<GetResult> results = service.MultiGet(ids);
+  ASSERT_EQ(results.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(*results[i].text, collection.doc(ids[i]));
+  }
+}
+
+TEST(DocServiceTest, BadIdFailsWithoutPoisoningTheService) {
+  const Collection collection = TestCollection(1 << 18, 84);
+  auto store = ShardedStore::Build(collection, {});
+  DocService service(store.get(), {});
+  GetResult bad = service.Get(collection.num_docs() + 5).get();
+  EXPECT_FALSE(bad.ok());
+  GetResult good = service.Get(0).get();
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good.text, collection.doc(0));
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST(DocServiceTest, GetRangeCachedAndUncachedPaths) {
+  const Collection collection = TestCollection(1 << 18, 85);
+  auto store = ShardedStore::Build(collection, {});
+  const std::string_view doc = collection.doc(1);
+  const size_t offset = doc.size() / 3;
+
+  DocServiceOptions uncached;
+  uncached.cache_bytes = 0;
+  DocService cold(store.get(), uncached);
+  GetResult r1 = cold.GetRange(1, offset, 64).get();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1.text, doc.substr(offset, 64));
+
+  DocService warm(store.get(), {});
+  ASSERT_TRUE(warm.Get(1).get().ok());  // populate the cache
+  GetResult r2 = warm.GetRange(1, offset, 64).get();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2.text, doc.substr(offset, 64));
+  EXPECT_GE(warm.Stats().cache.hits, 1u);
+  // Past-the-end range is an empty slice, not an error.
+  GetResult r3 = warm.GetRange(1, doc.size() + 10, 8).get();
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3.text->empty());
+}
+
+TEST(DocServiceTest, DrainWaitsForSubmittedWork) {
+  const Collection collection = TestCollection(1 << 18, 86);
+  auto store = ShardedStore::Build(collection, {});
+  DocServiceOptions options;
+  options.num_threads = 3;
+  DocService service(store.get(), options);
+  std::vector<std::future<GetResult>> futures;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < collection.num_docs(); ++i) {
+      futures.push_back(service.Get(i));
+    }
+  }
+  service.Drain();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 3 * collection.num_docs());
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  EXPECT_GT(stats.cpu_seconds, 0.0);
+  // The makespan can never exceed all workers' CPU plus all disks' time.
+  EXPECT_LE(stats.critical_path_seconds,
+            stats.cpu_seconds + stats.disk_seconds + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency regression suite (run under TSan by the `tsan` CI job).
+
+// The historical BlockedArchive bug: Get mutated a single-block decode
+// cache, so two threads resolving different blocks corrupted each other's
+// documents (or crashed). Eight threads replay random ids and compare
+// byte-for-byte against the source collection.
+TEST(ConcurrencyTest, BlockedArchiveConcurrentGetsAreByteExact) {
+  const Collection collection = TestCollection(1 << 20, 91);
+  const BlockedArchive archive(collection, GetCompressor(CompressorId::kGzipx),
+                               64 << 10);
+  ASSERT_GT(archive.num_blocks(), 4u);  // the race needs distinct blocks
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1200;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(5000 + t);
+      SimDisk disk;  // per-thread, per the Archive contract
+      std::string doc;
+      for (int i = 0; i < kIters; ++i) {
+        const size_t id = rng.Next() % collection.num_docs();
+        if (!archive.Get(id, &doc, &disk).ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        if (doc != collection.doc(id)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Two threads ping-ponging documents in different blocks — the exact
+// interleaving that corrupted the one-block cache.
+TEST(ConcurrencyTest, BlockedArchiveDistinctBlockPingPong) {
+  const Collection collection = TestCollection(1 << 19, 92);
+  const BlockedArchive archive(collection, GetCompressor(CompressorId::kGzipx),
+                               32 << 10);
+  ASSERT_GE(archive.num_blocks(), 2u);
+  const size_t first_doc = 0;
+  const size_t last_doc = collection.num_docs() - 1;
+  std::atomic<int> mismatches{0};
+  auto hammer = [&](size_t id) {
+    std::string doc;
+    for (int i = 0; i < 2000; ++i) {
+      if (!archive.Get(id, &doc).ok() || doc != collection.doc(id)) {
+        mismatches.fetch_add(1);
+        return;
+      }
+    }
+  };
+  std::thread a(hammer, first_doc);
+  std::thread b(hammer, last_doc);
+  a.join();
+  b.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, ShardedStoreConcurrentGetsAreByteExact) {
+  const Collection collection = TestCollection(1 << 20, 93);
+  ShardedStoreOptions options;
+  options.num_shards = 4;
+  auto store = ShardedStore::Build(collection, options);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 800;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(7000 + t);
+      SimDisk disk;
+      std::string doc;
+      std::string slice;
+      for (int i = 0; i < kIters; ++i) {
+        const size_t id = rng.Next() % collection.num_docs();
+        if (!store->Get(id, &doc, &disk).ok() ||
+            doc != collection.doc(id)) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        // Exercise the snippet path concurrently as well.
+        if (!store->GetRange(id, 16, 64, &slice, &disk).ok() ||
+            slice != collection.doc(id).substr(
+                         std::min<size_t>(16, collection.doc(id).size()),
+                         64)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, DocServiceConcurrentClients) {
+  const Collection collection = TestCollection(1 << 20, 94);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 4;
+  auto store = ShardedStore::Build(collection, store_options);
+  DocServiceOptions options;
+  options.num_threads = 4;
+  options.cache_bytes = 4 << 20;  // small enough to keep evicting
+  DocService service(store.get(), options);
+  constexpr int kClients = 4;
+  constexpr int kBatches = 15;
+  constexpr int kBatch = 32;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      Rng rng(9000 + c);
+      for (int batch = 0; batch < kBatches; ++batch) {
+        std::vector<size_t> ids(kBatch);
+        for (auto& id : ids) id = rng.Next() % collection.num_docs();
+        std::vector<GetResult> results = service.MultiGet(ids);
+        for (size_t i = 0; i < ids.size(); ++i) {
+          if (!results[i].ok() || *results[i].text != collection.doc(ids[i])) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<uint64_t>(kClients) * kBatches * kBatch);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+}  // namespace
+}  // namespace rlz

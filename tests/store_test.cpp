@@ -42,6 +42,25 @@ TEST(DocMapTest, SerializedBytesIsVByteSum) {
   EXPECT_EQ(map.serialized_bytes(), 4u);
 }
 
+TEST(DocMapTest, SerializedBytesStaysIncremental) {
+  // serialized_bytes() is O(1) (a running total maintained by Add); it must
+  // keep agreeing with the recomputed vbyte sum as documents stream in.
+  DocMap map;
+  EXPECT_EQ(map.serialized_bytes(), 0u);
+  const uint64_t sizes[] = {0,   1,    127,        128,       16383,
+                            16384, 1 << 21, (1ull << 28) - 1, 1ull << 28};
+  uint64_t expected = 0;
+  for (uint64_t size : sizes) {
+    map.Add(size);
+    uint64_t delta = size;
+    do {
+      ++expected;
+      delta >>= 7;
+    } while (delta != 0);
+    EXPECT_EQ(map.serialized_bytes(), expected);
+  }
+}
+
 TEST(AsciiArchiveTest, RoundTrip) {
   const Collection collection = SmallCollection();
   AsciiArchive archive(collection);
@@ -93,6 +112,24 @@ INSTANTIATE_TEST_SUITE_P(
                   : "Block" + std::to_string(info.param.second >> 10) + "K";
       return name;
     });
+
+TEST(BlockedArchiveTest, EmptyDocumentsIncludingTrailing) {
+  // A trailing empty document is recorded against a block that is never
+  // flushed (flush() skips empty text); Get must serve it as empty rather
+  // than dereference the phantom block index.
+  Collection collection;
+  collection.Append("x");
+  collection.Append("");
+  for (const uint64_t block_bytes : {uint64_t{0}, uint64_t{16}}) {
+    BlockedArchive archive(collection, GetCompressor(CompressorId::kGzipx),
+                           block_bytes);
+    std::string doc;
+    ASSERT_TRUE(archive.Get(0, &doc).ok());
+    EXPECT_EQ(doc, "x");
+    ASSERT_TRUE(archive.Get(1, &doc).ok());
+    EXPECT_TRUE(doc.empty());
+  }
+}
 
 TEST(BlockedArchiveTest, OneDocPerBlockHasOneBlockPerDoc) {
   const Collection collection = SmallCollection();

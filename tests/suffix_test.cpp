@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -214,6 +215,108 @@ TEST(MatcherTest, SingleCharText) {
   SuffixMatcher matcher("a");
   EXPECT_EQ(matcher.LongestMatch("aaa").len, 1);
   EXPECT_EQ(matcher.LongestMatch("b").len, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: the jump-table fast path must be indistinguishable from
+// the pure binary-search path — same length AND same (leftmost-lowest SA)
+// position — on every input. The jump table skips the first two Refine
+// rounds and excludes length-1 suffixes, which is exactly where a silent
+// divergence would hide.
+
+// Runs every pattern through both matchers (shared suffix array, built
+// once) and requires identical Match results.
+void CrossCheckMatchers(const std::string& text,
+                        const std::vector<std::string>& patterns,
+                        const char* label) {
+  const std::vector<int32_t> sa = BuildSuffixArray(text);
+  const SuffixMatcher with_jump(text, sa, /*build_jump_table=*/true);
+  const SuffixMatcher no_jump(text, sa, /*build_jump_table=*/false);
+  for (const std::string& pattern : patterns) {
+    const Match a = with_jump.LongestMatch(pattern);
+    const Match b = no_jump.LongestMatch(pattern);
+    ASSERT_EQ(a.len, b.len)
+        << label << ": length diverged on pattern of size " << pattern.size();
+    ASSERT_EQ(a.pos, b.pos)
+        << label << ": position diverged on pattern of size " << pattern.size();
+  }
+}
+
+// Patterns that stress a given text: its substrings (including suffixes of
+// length 1 and 2), mutated substrings, overshooting prefixes, and random
+// noise over the full byte alphabet.
+std::vector<std::string> StressPatterns(const std::string& text, Rng& rng) {
+  std::vector<std::string> patterns;
+  patterns.push_back("");
+  if (!text.empty()) {
+    patterns.push_back(text);                        // full text
+    patterns.push_back(text.substr(text.size() - 1));  // length-1 suffix
+    patterns.push_back(text + "x");                  // overshoot at the end
+  }
+  for (int i = 0; i < 60; ++i) {
+    if (text.empty()) break;
+    const size_t pos = rng.Next() % text.size();
+    const size_t len = 1 + rng.Next() % std::min<size_t>(64, text.size() - pos);
+    std::string p = text.substr(pos, len);
+    patterns.push_back(p);
+    // Mutate one byte so matches break mid-pattern at arbitrary offsets
+    // (offset 0 and 1 exercise the jump table's no-2-char-match fallback).
+    std::string q = p;
+    q[rng.Next() % q.size()] ^= static_cast<char>(1 + rng.Next() % 255);
+    patterns.push_back(q);
+  }
+  for (int i = 0; i < 20; ++i) {
+    std::string p(1 + rng.Next() % 8, '\0');
+    for (auto& c : p) c = static_cast<char>(rng.Next() % 256);
+    patterns.push_back(p);
+  }
+  return patterns;
+}
+
+TEST(MatcherPropertyTest, JumpTableMatchesBinarySearchOnRandomTexts) {
+  Rng rng(20110613);
+  for (const int alphabet : {2, 4, 26, 255}) {
+    const std::string text = RandomString(rng, 2000, alphabet);
+    CrossCheckMatchers(text, StressPatterns(text, rng), "random");
+  }
+}
+
+TEST(MatcherPropertyTest, JumpTableMatchesBinarySearchOnRepetitiveTexts) {
+  Rng rng(42);
+  for (const char* period : {"a", "ab", "aab", "abcabd"}) {
+    std::string text;
+    while (text.size() < 1500) text += period;
+    CrossCheckMatchers(text, StressPatterns(text, rng), period);
+  }
+}
+
+TEST(MatcherPropertyTest, JumpTableMatchesBinarySearchWithNulBytes) {
+  Rng rng(7);
+  // NUL-heavy text: key 0x0000 occupies jump-table slot 0, and suffixes
+  // ending in NUL stress the excluded-length-1 bookkeeping.
+  std::string text;
+  for (int i = 0; i < 800; ++i) {
+    text.push_back(static_cast<char>(rng.Next() % 3));  // '\0','\1','\2'
+  }
+  std::vector<std::string> patterns = StressPatterns(text, rng);
+  patterns.push_back(std::string(1, '\0'));
+  patterns.push_back(std::string(2, '\0'));
+  CrossCheckMatchers(text, patterns, "nul");
+}
+
+TEST(MatcherPropertyTest, JumpTableMatchesBinarySearchOnTinyTexts) {
+  // Length 0/1/2 texts sit at the jump table's build threshold (it is only
+  // built for texts of length >= 2); length-1 suffixes dominate.
+  for (const char* text : {"", "a", "ab", "aa", "ba"}) {
+    std::vector<std::string> patterns = {"",  "a",  "b",  "aa", "ab",
+                                         "ba", "bb", "aba", "x"};
+    CrossCheckMatchers(text, patterns, "tiny");
+  }
+  // A pattern whose only match is the final (length-1) suffix: the jump
+  // table has no entry for it, so the fast path must fall back correctly.
+  const std::string text = "bbbbbbba";
+  std::vector<std::string> patterns = {"a", "ab", "ac", "aa"};
+  CrossCheckMatchers(text, patterns, "last-suffix");
 }
 
 }  // namespace
