@@ -1,0 +1,164 @@
+#ifndef RLZ_BUILD_BUILD_PIPELINE_H_
+#define RLZ_BUILD_BUILD_PIPELINE_H_
+
+/// \file
+/// The chunked parallel build executor with ordered merges (DESIGN.md §7).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rlz {
+
+/// A contiguous range of document ids: [begin, end).
+struct DocRange {
+  /// First document id of the range.
+  size_t begin = 0;
+  /// One past the last document id of the range.
+  size_t end = 0;
+
+  /// Number of documents in the range.
+  size_t size() const { return end - begin; }
+};
+
+/// Knobs for BuildPipeline.
+struct BuildPipelineOptions {
+  /// Worker threads. <= 1 runs every chunk inline on the submitting
+  /// thread (no threads are spawned) — the serial build, with identical
+  /// output by construction.
+  int num_threads = 1;
+  /// Maximum chunks admitted but not yet merged; Submit blocks beyond
+  /// this (backpressure, so a streaming producer cannot buffer an entire
+  /// collection ahead of the workers). 0 picks 4 x num_threads.
+  size_t max_inflight_chunks = 0;
+};
+
+/// Accounting from one pipeline run (valid after Finish()).
+struct BuildPipelineStats {
+  /// Chunks submitted over the pipeline's lifetime.
+  size_t chunks = 0;
+  /// Worker count the pipeline ran with (1 for the inline serial path).
+  int num_threads = 1;
+  /// Thread-CPU seconds per worker (encode + the merges that worker ran).
+  std::vector<double> worker_cpu_seconds;
+
+  /// Sum of all workers' CPU seconds — the work a serial build would do.
+  double total_cpu_seconds() const {
+    double total = 0.0;
+    for (double s : worker_cpu_seconds) total += s;
+    return total;
+  }
+  /// The busiest worker's CPU seconds: the modeled build makespan on a
+  /// machine with one core per worker (the simulated-wall-time doctrine
+  /// of DESIGN.md §4/§6 applied to the build path, §7).
+  double critical_path_seconds() const {
+    double max = 0.0;
+    for (double s : worker_cpu_seconds) max = max > s ? max : s;
+    return max;
+  }
+};
+
+/// The chunked parallel build executor (DESIGN.md §7). Work is submitted
+/// as ordered chunks; each chunk's `encode` runs concurrently on a worker
+/// thread, and its `merge` runs exactly once, after the chunk's own
+/// encode AND the merges of all earlier chunks — i.e. merges are
+/// serialized in submission order, on whichever worker completed the
+/// ready chunk. Because chunks are merged in submission order and encode
+/// work is chunk-local, the merged output is byte-identical to running
+/// every (encode, merge) pair inline in order — for ANY thread count,
+/// chunk size, or scheduling.
+///
+/// Submit is single-producer: call it (and Finish) from one thread.
+/// Encode callbacks receive the worker index [0, num_threads) so callers
+/// can keep per-worker state (e.g. one Factorizer per worker) without
+/// locking; merge callbacks never run concurrently with each other.
+class BuildPipeline {
+ public:
+  /// Encodes one chunk into chunk-local storage. The int argument is the
+  /// executing worker's index.
+  using EncodeFn = std::function<void(int)>;
+  /// Appends one encoded chunk to the shared output. Runs serialized, in
+  /// submission order.
+  using MergeFn = std::function<void()>;
+
+  /// Starts the worker pool (none for num_threads <= 1).
+  explicit BuildPipeline(const BuildPipelineOptions& options = {});
+  /// Drains and joins; prefer calling Finish() explicitly for the stats.
+  ~BuildPipeline();
+
+  /// Not copyable: owns worker threads and in-flight chunk state.
+  BuildPipeline(const BuildPipeline&) = delete;
+  /// Not assignable: owns worker threads and in-flight chunk state.
+  BuildPipeline& operator=(const BuildPipeline&) = delete;
+
+  /// Enqueues one chunk. Blocks while max_inflight_chunks chunks are
+  /// admitted but unmerged. With num_threads <= 1, runs encode(0) and
+  /// merge() before returning.
+  void Submit(EncodeFn encode, MergeFn merge);
+
+  /// Waits until every submitted chunk has merged, stops the workers, and
+  /// returns the accounting. Submit must not be called afterwards.
+  BuildPipelineStats Finish();
+
+  /// Splits [0, num_docs) into successive ranges of `chunk_docs`
+  /// documents (the last may be short). chunk_docs must be >= 1.
+  static std::vector<DocRange> Partition(size_t num_docs, size_t chunk_docs);
+
+  /// The chunk shape shared by the concrete builds: a byte payload plus
+  /// one encoded size per item in the chunk's range.
+  struct EncodedChunk {
+    /// Concatenated encoded bytes for the range.
+    std::string payload;
+    /// Encoded size per item, in range order; sums to payload.size().
+    std::vector<uint64_t> item_sizes;
+  };
+
+  /// Convenience over Submit for the payload+sizes chunk shape:
+  /// partitions [0, num_items) into ranges of `chunk_items`, runs
+  /// `encode(range, chunk, worker)` concurrently to fill each chunk, and
+  /// hands the filled chunk to `merge(range, chunk)` serialized in range
+  /// order. Call Finish() afterwards as usual.
+  void SubmitChunkedEncode(
+      size_t num_items, size_t chunk_items,
+      std::function<void(DocRange, EncodedChunk*, int)> encode,
+      std::function<void(DocRange, const EncodedChunk&)> merge);
+
+ private:
+  struct Task {
+    uint64_t seq = 0;
+    EncodeFn encode;
+    MergeFn merge;
+  };
+
+  void WorkerLoop(int worker);
+
+  int num_threads_;
+  size_t max_inflight_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   // queue_ gained a task / stopping
+  std::condition_variable space_free_;   // in_flight_ dropped below cap
+  std::condition_variable all_merged_;   // in_flight_ reached zero
+  std::deque<Task> queue_;
+  std::map<uint64_t, MergeFn> ready_;    // encoded, awaiting ordered merge
+  uint64_t next_seq_ = 0;                // next submission sequence number
+  uint64_t next_merge_ = 0;              // next sequence allowed to merge
+  size_t in_flight_ = 0;                 // admitted, not yet merged
+  bool merging_ = false;                 // a worker is inside a merge
+  bool stopping_ = false;
+  bool finished_ = false;
+
+  std::vector<double> worker_cpu_;
+  uint64_t chunks_submitted_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_BUILD_BUILD_PIPELINE_H_

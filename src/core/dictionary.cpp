@@ -67,8 +67,8 @@ std::unique_ptr<Dictionary> DictionaryBuilder::AppendSamples(
 }
 
 std::unique_ptr<Dictionary> DictionaryBuilder::BuildPruned(
-    std::string_view collection, const Dictionary& dict,
-    const std::vector<bool>& used, size_t sample_bytes, size_t refill_phase) {
+    std::string_view collection, const Dictionary& dict, const Bitmap& used,
+    size_t sample_bytes, size_t refill_phase) {
   RLZ_CHECK_EQ(used.size(), dict.size());
   // Keep only used runs of at least kMinKeepRun bytes; shorter used runs
   // are not worth their factor-position entropy.
@@ -78,12 +78,12 @@ std::unique_ptr<Dictionary> DictionaryBuilder::BuildPruned(
   size_t i = 0;
   const std::string_view text = dict.text();
   while (i < used.size()) {
-    if (!used[i]) {
+    if (!used.Test(i)) {
       ++i;
       continue;
     }
     size_t j = i;
-    while (j < used.size() && used[j]) ++j;
+    while (j < used.size() && used.Test(j)) ++j;
     if (j - i >= kMinKeepRun) pruned.append(text.substr(i, j - i));
     i = j;
   }

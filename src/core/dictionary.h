@@ -1,6 +1,9 @@
 #ifndef RLZ_CORE_DICTIONARY_H_
 #define RLZ_CORE_DICTIONARY_H_
 
+/// \file
+/// The RLZ dictionary (sampled text + suffix matcher) and the §3.3/§3.6 construction strategies.
+
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -8,6 +11,7 @@
 #include <vector>
 
 #include "suffix/matcher.h"
+#include "util/bitmap.h"
 #include "util/status.h"
 
 namespace rlz {
@@ -20,13 +24,17 @@ class Dictionary {
   /// Builds the suffix array for `text`. `text` is copied.
   explicit Dictionary(std::string text);
 
+  /// The dictionary text.
   std::string_view text() const { return text_; }
+  /// Dictionary size in bytes.
   size_t size() const { return text_.size(); }
+  /// The suffix-array matcher over the dictionary text.
   const SuffixMatcher& matcher() const { return *matcher_; }
 
   /// Serialized form: the raw text (the suffix array is rebuilt on load;
   /// it is derived data).
   Status Save(const std::string& path) const;
+  /// Loads a dictionary written by Save and rebuilds its suffix array.
   static StatusOr<std::unique_ptr<Dictionary>> Load(const std::string& path);
 
  private:
@@ -64,12 +72,13 @@ class DictionaryBuilder {
   /// §6 (future work): removes dictionary intervals that `used` marks as
   /// never referenced by any factor, then refills the freed space with
   /// fresh samples taken at offset `refill_phase` (pass a different phase
-  /// per pass for multi-pass pruning). `used` has one flag per dictionary
-  /// byte. Returns a dictionary of at most the original size.
+  /// per pass for multi-pass pruning). `used` has one bit per dictionary
+  /// byte — the exact coverage a tracked build produces (Factorizer's
+  /// bitmap, or the merged RlzBuildInfo::coverage of a parallel build).
+  /// Returns a dictionary of at most the original size.
   static std::unique_ptr<Dictionary> BuildPruned(
-      std::string_view collection, const Dictionary& dict,
-      const std::vector<bool>& used, size_t sample_bytes,
-      size_t refill_phase = 1);
+      std::string_view collection, const Dictionary& dict, const Bitmap& used,
+      size_t sample_bytes, size_t refill_phase = 1);
 };
 
 }  // namespace rlz

@@ -1,6 +1,9 @@
 #ifndef RLZ_CORE_FACTOR_H_
 #define RLZ_CORE_FACTOR_H_
 
+/// \file
+/// The RLZ factor (position, length) of §3.
+
 #include <cstdint>
 
 namespace rlz {
@@ -10,13 +13,17 @@ namespace rlz {
 /// the factor is the single literal character `pos` (a byte that does not
 /// occur in the dictionary).
 struct Factor {
+  /// Dictionary offset, or the literal byte value when len == 0.
   uint32_t pos = 0;
+  /// Match length; 0 marks a literal factor.
   uint32_t len = 0;
 
+  /// True if this factor is a single literal character.
   bool is_literal() const { return len == 0; }
   /// Number of text characters this factor produces.
   uint32_t text_length() const { return len == 0 ? 1 : len; }
 
+  /// Field-wise equality.
   bool operator==(const Factor& other) const {
     return pos == other.pos && len == other.len;
   }

@@ -1,6 +1,9 @@
 #ifndef RLZ_CORE_FACTOR_CODER_H_
 #define RLZ_CORE_FACTOR_CODER_H_
 
+/// \file
+/// Position/length stream codings (§3.4) and the per-document factor coder.
+
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,36 +19,44 @@ namespace rlz {
 /// within-document skew the paper observed; "U" stores raw 32-bit words.
 /// kPFD is an extension codec from the paper's future-work list.
 enum class PosCoding : uint8_t {
-  kU32 = 0,    // "U"
-  kZlib = 1,   // "Z"
-  kPFD = 2,    // "PFD" (extension)
+  kU32 = 0,   ///< "U": raw 32-bit words.
+  kZlib = 1,  ///< "Z": gzipx over the U32 stream.
+  kPFD = 2,   ///< "PFD": PForDelta-style extension codec.
 };
 
 /// Length-stream codes. "V" is vbyte (the paper's default, Fig. 3
 /// motivates it); "Z" compresses the vbyte stream with gzipx; kS9/kPFD are
 /// the future-work codecs (§6).
 enum class LenCoding : uint8_t {
-  kVByte = 0,  // "V"
-  kZlib = 1,   // "Z"
-  kS9 = 2,     // "S9" (extension)
-  kPFD = 3,    // "PFD" (extension)
+  kVByte = 0,  ///< "V": vbyte.
+  kZlib = 1,   ///< "Z": gzipx over the vbyte stream.
+  kS9 = 2,     ///< "S9": Simple-9 extension codec.
+  kPFD = 3,    ///< "PFD": PForDelta-style extension codec.
 };
 
 /// A position–length coding pair, named as in the paper's tables: first
 /// letter = positions, second = lengths (e.g. "ZV" = zlib positions, vbyte
 /// lengths).
 struct PairCoding {
+  /// Position-stream code.
   PosCoding pos = PosCoding::kZlib;
+  /// Length-stream code.
   LenCoding len = LenCoding::kVByte;
 
+  /// The paper's two-letter name (e.g. "ZV").
   std::string name() const;
+  /// Parses a two-letter name back to a coding pair; InvalidArgument on
+  /// unknown names.
   static StatusOr<PairCoding> FromName(std::string_view name);
 };
 
-/// The four combinations evaluated in Tables 4/5/8.
+/// "ZZ": gzipx positions, gzipx lengths (Tables 4/5/8).
 inline constexpr PairCoding kZZ{PosCoding::kZlib, LenCoding::kZlib};
+/// "ZV": gzipx positions, vbyte lengths — the paper's recommended pair.
 inline constexpr PairCoding kZV{PosCoding::kZlib, LenCoding::kVByte};
+/// "UZ": raw positions, gzipx lengths.
 inline constexpr PairCoding kUZ{PosCoding::kU32, LenCoding::kZlib};
+/// "UV": raw positions, vbyte lengths — the fastest-decode pair.
 inline constexpr PairCoding kUV{PosCoding::kU32, LenCoding::kVByte};
 
 /// Encodes one document's factor list into a byte string and back. The
@@ -55,8 +66,10 @@ inline constexpr PairCoding kUV{PosCoding::kU32, LenCoding::kVByte};
 /// per document and coded separately, as §3.4 prescribes.
 class FactorCoder {
  public:
+  /// A coder for the given position/length coding pair.
   explicit FactorCoder(PairCoding coding) : coding_(coding) {}
 
+  /// The coding pair this coder implements.
   PairCoding coding() const { return coding_; }
 
   /// Appends the encoded form of `factors` to `out`.

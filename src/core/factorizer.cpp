@@ -1,7 +1,5 @@
 #include "core/factorizer.h"
 
-#include <algorithm>
-
 #include "util/logging.h"
 
 namespace rlz {
@@ -9,7 +7,7 @@ namespace rlz {
 Factorizer::Factorizer(const Dictionary* dict, bool track_coverage)
     : dict_(dict), track_coverage_(track_coverage) {
   RLZ_CHECK(dict != nullptr);
-  if (track_coverage_) coverage_.assign(dict_->size(), false);
+  if (track_coverage_) coverage_.Assign(dict_->size());
 }
 
 void Factorizer::Factorize(std::string_view doc, std::vector<Factor>* out) {
@@ -27,10 +25,7 @@ void Factorizer::Factorize(std::string_view doc, std::vector<Factor>* out) {
       f.pos = static_cast<uint32_t>(m.pos);
       f.len = static_cast<uint32_t>(m.len);
       i += m.len;
-      if (track_coverage_) {
-        std::fill(coverage_.begin() + m.pos, coverage_.begin() + m.pos + m.len,
-                  true);
-      }
+      if (track_coverage_) coverage_.SetRange(m.pos, m.len);
     }
     out->push_back(f);
     ++stats_.num_factors;
@@ -58,8 +53,8 @@ Status Factorizer::Decode(const std::vector<Factor>& factors,
 
 double Factorizer::UnusedFraction() const {
   if (coverage_.empty()) return 0.0;
-  const size_t used = std::count(coverage_.begin(), coverage_.end(), true);
-  return 1.0 - static_cast<double>(used) / coverage_.size();
+  return 1.0 -
+         static_cast<double>(coverage_.CountSet()) / coverage_.size();
 }
 
 }  // namespace rlz

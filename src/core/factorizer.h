@@ -1,19 +1,29 @@
 #ifndef RLZ_CORE_FACTORIZER_H_
 #define RLZ_CORE_FACTORIZER_H_
 
+/// \file
+/// The greedy RLZ parser (Fig. 1) and its mergeable build statistics.
+
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/dictionary.h"
 #include "core/factor.h"
+#include "util/bitmap.h"
 
 namespace rlz {
 
 /// Statistics accumulated across factorized documents (Tables 2 and 3).
+/// Mergeable: per-worker instances from a parallel build combine with
+/// Merge() into exactly the totals a serial pass would have produced
+/// (every field is a sum, and addition is order-independent).
 struct FactorStats {
+  /// Total factors emitted (literals included).
   uint64_t num_factors = 0;
+  /// Factors that are single-character literals (len == 0).
   uint64_t num_literals = 0;
+  /// Total uncompressed text bytes factorized.
   uint64_t text_bytes = 0;
 
   /// Average characters produced per factor ("Avg.Fact." in Tables 2/3).
@@ -23,12 +33,21 @@ struct FactorStats {
                : static_cast<double>(text_bytes) /
                      static_cast<double>(num_factors);
   }
+
+  /// Adds `other`'s counters into this instance (the parallel build's
+  /// per-worker merge, DESIGN.md §7).
+  void Merge(const FactorStats& other) {
+    num_factors += other.num_factors;
+    num_literals += other.num_literals;
+    text_bytes += other.text_bytes;
+  }
 };
 
 /// Greedy RLZ parser: Fig. 1 of the paper. Each call to Factorize parses
 /// one document into the fewest greedy factors relative to the dictionary.
-/// Thread-compatible: const, no mutable state; coverage tracking is
-/// per-instance and optional.
+/// Thread-compatible: the dictionary is read-only shared state; stats and
+/// coverage are per-instance, so a parallel build runs one Factorizer per
+/// worker and merges afterwards (FactorStats::Merge, Bitmap::OrWith).
 class Factorizer {
  public:
   /// If `track_coverage` is true, a per-dictionary-byte usage bitmap is
@@ -45,11 +64,14 @@ class Factorizer {
   static Status Decode(const std::vector<Factor>& factors,
                        const Dictionary& dict, std::string* out);
 
+  /// Statistics over everything this instance has factorized.
   const FactorStats& stats() const { return stats_; }
+  /// Zeroes the accumulated statistics (coverage is kept).
   void ResetStats() { stats_ = FactorStats(); }
 
-  /// Coverage bitmap (empty if tracking is disabled).
-  const std::vector<bool>& coverage() const { return coverage_; }
+  /// Word-packed coverage bitmap, one bit per dictionary byte (empty if
+  /// tracking is disabled). Mergeable across workers via Bitmap::OrWith.
+  const Bitmap& coverage() const { return coverage_; }
 
   /// Fraction of dictionary bytes never used by any factor so far.
   double UnusedFraction() const;
@@ -57,7 +79,7 @@ class Factorizer {
  private:
   const Dictionary* dict_;
   FactorStats stats_;
-  std::vector<bool> coverage_;
+  Bitmap coverage_;
   bool track_coverage_;
 };
 

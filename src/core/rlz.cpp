@@ -10,6 +10,7 @@ std::unique_ptr<RlzArchive> CompressCollection(const Collection& collection,
   RlzBuildOptions build;
   build.coding = options.coding;
   build.track_coverage = options.track_coverage;
+  build.num_threads = options.num_threads;
   return RlzArchive::Build(collection, std::move(dict), build, info);
 }
 

@@ -22,6 +22,10 @@
 #include "core/rlz_archive.h"
 #include "corpus/collection.h"
 
+/// Everything in this library lives in namespace rlz: the RLZ document
+/// store (core), its substrates (suffix, codecs, zip), the baselines
+/// (store, semistatic), the parallel build pipeline (build), and the
+/// serving layer (serve). See DESIGN.md §2 for the module map.
 namespace rlz {
 
 /// One-call compression options.
@@ -31,8 +35,13 @@ struct RlzOptions {
   size_t dict_bytes = 1 << 20;
   /// Sample size for dictionary generation (the paper's default is 1 KB).
   size_t sample_bytes = 1024;
+  /// Position/length coding pair for the factor streams (§3.4).
   PairCoding coding = kZV;
+  /// Track per-byte dictionary usage (the Unused % statistic).
   bool track_coverage = false;
+  /// Worker threads for the encode (DESIGN.md §7); output bytes are
+  /// identical for any value.
+  int num_threads = 1;
 };
 
 /// Builds a sampled dictionary over `collection` and encodes every document

@@ -1,105 +1,20 @@
 #include "core/rlz_archive.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "codecs/int_codecs.h"
 #include "io/file.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
+// RlzArchive::Build lives in src/build/archive_builder.cpp: it drives the
+// parallel build pipeline (DESIGN.md §7) through RlzArchiveBuilder.
+
 namespace rlz {
 namespace {
 constexpr char kArchiveMagic[4] = {'R', 'L', 'Z', 'A'};
 constexpr uint8_t kArchiveVersion = 1;
 }  // namespace
-
-std::unique_ptr<RlzArchive> RlzArchive::Build(
-    const Collection& collection, std::shared_ptr<const Dictionary> dict,
-    const RlzBuildOptions& options, RlzBuildInfo* info) {
-  RLZ_CHECK(dict != nullptr);
-  std::unique_ptr<RlzArchive> archive(
-      new RlzArchive(std::move(dict), options.coding));
-
-  const size_t ndocs = collection.num_docs();
-  const int num_threads = std::max(
-      1, std::min<int>(options.num_threads, static_cast<int>(ndocs)));
-
-  // Per-worker output: an encoded payload chunk plus per-doc sizes for a
-  // contiguous range of documents. The dictionary and its suffix array are
-  // immutable, so workers share them without synchronization; assembling
-  // chunks in range order makes the archive bit-identical for any thread
-  // count.
-  struct Chunk {
-    std::string payload;
-    std::vector<uint64_t> doc_sizes;
-    FactorStats stats;
-    std::vector<bool> coverage;
-  };
-  std::vector<Chunk> chunks(num_threads);
-
-  auto run_range = [&](size_t begin, size_t end, Chunk* chunk) {
-    Factorizer factorizer(&archive->dictionary(), options.track_coverage);
-    const FactorCoder& coder = archive->coder_;
-    std::vector<Factor> factors;
-    chunk->doc_sizes.reserve(end - begin);
-    for (size_t i = begin; i < end; ++i) {
-      factors.clear();
-      factorizer.Factorize(collection.doc(i), &factors);
-      const size_t before = chunk->payload.size();
-      coder.EncodeDoc(factors, &chunk->payload);
-      chunk->doc_sizes.push_back(chunk->payload.size() - before);
-    }
-    chunk->stats = factorizer.stats();
-    if (options.track_coverage) chunk->coverage = factorizer.coverage();
-  };
-
-  if (num_threads == 1) {
-    run_range(0, ndocs, &chunks[0]);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    const size_t per = (ndocs + num_threads - 1) / num_threads;
-    for (int t = 0; t < num_threads; ++t) {
-      const size_t begin = std::min(ndocs, per * static_cast<size_t>(t));
-      const size_t end = std::min(ndocs, begin + per);
-      workers.emplace_back(run_range, begin, end, &chunks[t]);
-    }
-    for (std::thread& w : workers) w.join();
-  }
-
-  FactorStats total_stats;
-  std::vector<bool> total_coverage;
-  if (options.track_coverage) {
-    total_coverage.assign(archive->dictionary().size(), false);
-  }
-  for (const Chunk& chunk : chunks) {
-    archive->payload_.append(chunk.payload);
-    for (uint64_t size : chunk.doc_sizes) archive->map_.Add(size);
-    total_stats.num_factors += chunk.stats.num_factors;
-    total_stats.num_literals += chunk.stats.num_literals;
-    total_stats.text_bytes += chunk.stats.text_bytes;
-    if (options.track_coverage) {
-      for (size_t i = 0; i < chunk.coverage.size(); ++i) {
-        if (chunk.coverage[i]) total_coverage[i] = true;
-      }
-    }
-  }
-
-  if (info != nullptr) {
-    info->stats = total_stats;
-    if (options.track_coverage) {
-      const size_t used = static_cast<size_t>(std::count(
-          total_coverage.begin(), total_coverage.end(), true));
-      info->unused_dictionary_fraction =
-          total_coverage.empty()
-              ? 0.0
-              : 1.0 - static_cast<double>(used) / total_coverage.size();
-      info->coverage = std::move(total_coverage);
-    }
-  }
-  return archive;
-}
 
 std::unique_ptr<RlzArchive> RlzArchive::BuildFromFactors(
     std::shared_ptr<const Dictionary> dict,

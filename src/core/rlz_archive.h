@@ -1,8 +1,12 @@
 #ifndef RLZ_CORE_RLZ_ARCHIVE_H_
 #define RLZ_CORE_RLZ_ARCHIVE_H_
 
+/// \file
+/// The RLZ document store: build options, the archive, and its v1 file format.
+
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/dictionary.h"
@@ -11,26 +15,45 @@
 #include "corpus/collection.h"
 #include "store/archive.h"
 #include "store/doc_map.h"
+#include "util/bitmap.h"
 
 namespace rlz {
 
 /// Build-time knobs for RlzArchive::Build.
 struct RlzBuildOptions {
+  /// Position/length coding pair for the factor streams (§3.4).
   PairCoding coding = kZV;
   /// Track per-byte dictionary usage while encoding (needed for the
   /// Unused % statistic and for dictionary pruning; small CPU overhead).
   bool track_coverage = false;
   /// Worker threads for factorization+encoding. Documents are partitioned
-  /// into contiguous ranges; output is bit-identical for any thread count
-  /// (the dictionary is immutable and factorization is per-document).
+  /// into contiguous chunks fed through the build pipeline (DESIGN.md §7);
+  /// output is byte-identical for any thread count or chunk size (the
+  /// dictionary is immutable, factorization is per-document, and chunks
+  /// merge in document order).
   int num_threads = 1;
+  /// Documents per pipeline chunk; 0 picks a balanced default. Affects
+  /// load balancing and merge overhead only, never the output bytes.
+  size_t chunk_docs = 0;
 };
 
 /// Build-time results that the evaluation tables report.
 struct RlzBuildInfo {
+  /// Factor statistics summed over all documents (Tables 2/3).
   FactorStats stats;
-  double unused_dictionary_fraction = 0.0;  // valid if track_coverage
-  std::vector<bool> coverage;               // valid if track_coverage
+  /// Fraction of dictionary bytes no factor used; valid if track_coverage.
+  double unused_dictionary_fraction = 0.0;
+  /// Per-dictionary-byte usage bitmap (BuildPruned's input); valid if
+  /// track_coverage. Identical for any thread count.
+  Bitmap coverage;
+  /// Thread-CPU seconds summed over the build's workers — the work a
+  /// serial build performs.
+  double build_cpu_seconds = 0.0;
+  /// The busiest worker's thread-CPU seconds: the modeled parallel build
+  /// makespan under the one-core-per-worker doctrine (DESIGN.md §7).
+  double build_critical_path_seconds = 0.0;
+  /// Pipeline chunks the build was partitioned into.
+  size_t build_chunks = 0;
 };
 
 /// The rlz document store (§3.1): an in-memory dictionary plus one encoded
@@ -41,7 +64,9 @@ class RlzArchive final : public Archive {
   /// Factorizes every document of `collection` against `dict` and encodes
   /// the factor streams with `options.coding`. `dict` is shared (it may be
   /// reused across archives with different codings). If `info` is non-null
-  /// it receives the build statistics.
+  /// it receives the build statistics. Runs on the parallel build pipeline
+  /// when options.num_threads > 1 (implemented in src/build/, DESIGN.md
+  /// §7); the output is byte-identical to the serial build.
   static std::unique_ptr<RlzArchive> Build(const Collection& collection,
                                            std::shared_ptr<const Dictionary> dict,
                                            const RlzBuildOptions& options = {},
@@ -55,8 +80,12 @@ class RlzArchive final : public Archive {
       std::shared_ptr<const Dictionary> dict,
       const std::vector<std::vector<Factor>>& docs, PairCoding coding);
 
+  /// "rlz-" plus the coding name (e.g. "rlz-ZV").
   std::string name() const override { return "rlz-" + coder_.coding().name(); }
+  /// Number of stored documents.
   size_t num_docs() const override { return map_.num_docs(); }
+  /// Decodes document `id` against the memory-resident dictionary,
+  /// reading (and charging to `disk`) only that document's factor stream.
   Status Get(size_t id, std::string* doc,
              SimDisk* disk = nullptr) const override;
 
@@ -72,8 +101,11 @@ class RlzArchive final : public Archive {
     return payload_.size() + map_.serialized_bytes() + dict_->size();
   }
 
+  /// The shared dictionary the archive decodes against.
   const Dictionary& dictionary() const { return *dict_; }
+  /// The position/length factor coder.
   const FactorCoder& coder() const { return coder_; }
+  /// Total encoded factor-stream bytes (excluding map and dictionary).
   uint64_t payload_bytes() const { return payload_.size(); }
   /// Payload extents per document — lets a router (ShardedStore) charge
   /// simulated I/O for a shard-local read without decoding twice.
@@ -102,6 +134,8 @@ class RlzArchive final : public Archive {
   static StatusOr<std::unique_ptr<RlzArchive>> Load(const std::string& path);
 
  private:
+  /// The streaming builder (src/build/) appends encoded documents and
+  /// merged pipeline chunks through the private hooks below.
   friend class RlzArchiveBuilder;
 
   RlzArchive(std::shared_ptr<const Dictionary> dict, PairCoding coding)
@@ -119,6 +153,15 @@ class RlzArchive final : public Archive {
     const size_t before = payload_.size();
     coder_.EncodeDoc(factors, &payload_);
     map_.Add(payload_.size() - before);
+  }
+
+  /// For RlzArchiveBuilder's pipeline merge: appends a chunk of
+  /// already-encoded documents (their concatenated factor streams plus
+  /// per-document sizes summing to payload.size()).
+  void AppendEncodedChunk(std::string_view payload,
+                          const std::vector<uint64_t>& doc_sizes) {
+    payload_.append(payload);
+    for (uint64_t size : doc_sizes) map_.Add(size);
   }
 
   std::shared_ptr<const Dictionary> dict_;

@@ -1,7 +1,10 @@
 #include "semistatic/semistatic_archive.h"
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "build/build_pipeline.h"
 #include "util/logging.h"
 
 namespace rlz {
@@ -21,7 +24,7 @@ SemiStaticArchive::SemiStaticArchive(WordVocabulary vocab,
 }
 
 std::unique_ptr<SemiStaticArchive> SemiStaticArchive::Build(
-    const Collection& collection, SemiStaticScheme scheme) {
+    const Collection& collection, SemiStaticScheme scheme, int num_threads) {
   // Pass 1: vocabulary over the whole collection.
   std::vector<std::string_view> docs;
   docs.reserve(collection.num_docs());
@@ -33,16 +36,38 @@ std::unique_ptr<SemiStaticArchive> SemiStaticArchive::Build(
   std::unique_ptr<SemiStaticArchive> archive(
       new SemiStaticArchive(std::move(vocab), scheme));
 
-  // Pass 2: code every token of every document.
-  for (std::string_view doc : docs) {
-    const size_t before = archive->payload_.size();
-    for (std::string_view token : SplitWordsAndSeparators(doc)) {
-      auto rank = archive->vocab_.Rank(token);
-      RLZ_CHECK(rank.ok()) << "token missing from its own vocabulary";
-      archive->coder_->Encode(*rank, &archive->payload_);
-    }
-    archive->map_.Add(archive->payload_.size() - before);
-  }
+  // Pass 2: code every token of every document. The vocabulary and coder
+  // are immutable after pass 1 and each document codes independently, so
+  // chunks of documents encode concurrently on the build pipeline and
+  // merge in document order — byte-identical to the serial loop
+  // (DESIGN.md §7).
+  BuildPipelineOptions pipeline_options;
+  pipeline_options.num_threads = std::max(1, num_threads);
+  BuildPipeline pipeline(pipeline_options);
+  const size_t chunk_docs = std::max<size_t>(
+      1, docs.size() /
+             (4 * static_cast<size_t>(pipeline_options.num_threads)));
+  pipeline.SubmitChunkedEncode(
+      docs.size(), chunk_docs,
+      [&docs, archive = archive.get()](
+          DocRange range, BuildPipeline::EncodedChunk* chunk, int) {
+        chunk->item_sizes.reserve(range.size());
+        for (size_t i = range.begin; i < range.end; ++i) {
+          const size_t before = chunk->payload.size();
+          for (std::string_view token : SplitWordsAndSeparators(docs[i])) {
+            auto rank = archive->vocab_.Rank(token);
+            RLZ_CHECK(rank.ok()) << "token missing from its own vocabulary";
+            archive->coder_->Encode(*rank, &chunk->payload);
+          }
+          chunk->item_sizes.push_back(chunk->payload.size() - before);
+        }
+      },
+      [archive = archive.get()](DocRange,
+                                const BuildPipeline::EncodedChunk& chunk) {
+        archive->payload_.append(chunk.payload);
+        for (uint64_t size : chunk.item_sizes) archive->map_.Add(size);
+      });
+  pipeline.Finish();
   return archive;
 }
 

@@ -28,11 +28,20 @@ enum class SemiStaticScheme : uint8_t {
 /// collections), which is exactly the limitation §2.1 ends on.
 class SemiStaticArchive final : public Archive {
  public:
+  /// Builds the ranked vocabulary (pass 1, serial — the vocabulary is a
+  /// global frequency ranking), then codes every document (pass 2).
+  /// Documents code independently once the vocabulary is fixed, so pass 2
+  /// runs on the build pipeline when num_threads > 1, byte-identical to
+  /// the serial build (DESIGN.md §7).
   static std::unique_ptr<SemiStaticArchive> Build(const Collection& collection,
-                                                  SemiStaticScheme scheme);
+                                                  SemiStaticScheme scheme,
+                                                  int num_threads = 1);
 
+  /// "etdc" or "plainhuff".
   std::string name() const override;
+  /// Number of stored documents.
   size_t num_docs() const override { return map_.num_docs(); }
+  /// Decodes document `id`'s token codes against the in-memory vocabulary.
   Status Get(size_t id, std::string* doc,
              SimDisk* disk = nullptr) const override;
 

@@ -1,28 +1,12 @@
 #include "serve/doc_service.h"
 
 #include <algorithm>
-#include <ctime>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/timer.h"  // ThreadCpuSeconds (shared with the build pipeline)
 
 namespace rlz {
-namespace {
-
-/// CPU time consumed by the calling thread, in seconds. Thread CPU time
-/// (not wall time) keeps worker accounting honest when the host has fewer
-/// cores than the pool has threads: a descheduled worker accrues nothing.
-double ThreadCpuSeconds() {
-#if defined(CLOCK_THREAD_CPUTIME_ID)
-  timespec ts;
-  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
-    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
-  }
-#endif
-  return 0.0;
-}
-
-}  // namespace
 
 DocService::DocService(const Archive* archive, const DocServiceOptions& options)
     : archive_(archive),

@@ -1,6 +1,9 @@
 #ifndef RLZ_SERVE_DOC_SERVICE_H_
 #define RLZ_SERVE_DOC_SERVICE_H_
 
+/// \file
+/// The serving layer's request executor: thread pool, decode cache, service stats.
+
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,6 +22,7 @@
 
 namespace rlz {
 
+/// Knobs for DocService.
 struct DocServiceOptions {
   /// Worker threads executing requests. Each worker owns a private SimDisk
   /// (the Archive contract requires one disk per concurrent caller) — the
@@ -31,6 +35,7 @@ struct DocServiceOptions {
   /// larger than cache_bytes / cache_shards are served but never cached —
   /// lower this for collections of multi-megabyte documents.
   int cache_shards = 16;
+  /// Simulated-disk parameters for each worker's private SimDisk.
   SimDiskOptions disk;
 };
 
@@ -38,9 +43,12 @@ struct DocServiceOptions {
 /// requested slice for GetRange; on a cache hit it aliases the cached copy
 /// (archives are immutable, so shared bytes are safe).
 struct GetResult {
+  /// Outcome of the request; text is valid only when ok().
   Status status = Status::OK();
+  /// The retrieved bytes (possibly shared with the decode cache).
   std::shared_ptr<const std::string> text;
 
+  /// True when the request succeeded.
   bool ok() const { return status.ok(); }
 };
 
@@ -48,12 +56,17 @@ struct GetResult {
 /// may also be called mid-flight — counters are internally consistent per
 /// worker but requests may land between worker snapshots).
 struct ServiceStats {
+  /// Requests executed (Get + MultiGet elements + GetRange).
   uint64_t requests = 0;
+  /// Requests that returned a non-OK status.
   uint64_t failures = 0;
+  /// Decode-cache counters (hits/misses/evictions).
   LruCache::Stats cache;
-  // Summed over per-worker SimDisks.
+  /// Simulated disk time summed over per-worker SimDisks.
   double disk_seconds = 0.0;
+  /// Bytes charged to the per-worker SimDisks.
   uint64_t disk_bytes = 0;
+  /// Seeks charged to the per-worker SimDisks.
   uint64_t disk_seeks = 0;
   /// Thread CPU time consumed by workers while executing requests.
   double cpu_seconds = 0.0;
@@ -63,6 +76,7 @@ struct ServiceStats {
   /// doctrine as the paper benches (DESIGN.md §4, §6), so the number is
   /// meaningful even on a single-core CI host.
   double critical_path_seconds = 0.0;
+  /// Worker-pool size the service ran with.
   int num_threads = 0;
 };
 
@@ -73,12 +87,16 @@ struct ServiceStats {
 /// threads; requests are served FIFO by the pool.
 class DocService {
  public:
+  /// Starts the worker pool in front of `archive` (not owned; must be
+  /// thread-safe and outlive the service).
   explicit DocService(const Archive* archive,
                       const DocServiceOptions& options = {});
   /// Drains outstanding requests, then joins the workers.
   ~DocService();
 
+  /// Not copyable: owns threads and per-worker accounting.
   DocService(const DocService&) = delete;
+  /// Not assignable: owns threads and per-worker accounting.
   DocService& operator=(const DocService&) = delete;
 
   /// Asynchronously retrieves one document.
@@ -100,7 +118,9 @@ class DocService {
   /// to make Stats() exact.
   void Drain();
 
+  /// Aggregated counters (exact once Drain() has returned).
   ServiceStats Stats() const;
+  /// The archive requests are served from.
   const Archive& archive() const { return *archive_; }
 
  private:

@@ -1,9 +1,9 @@
 #include "serve/sharded_store.h"
 
 #include <algorithm>
-#include <thread>
 
-#include "core/archive_builder.h"
+#include "build/archive_builder.h"
+#include "build/build_pipeline.h"
 #include "core/dictionary.h"
 #include "util/logging.h"
 
@@ -54,26 +54,27 @@ std::unique_ptr<ShardedStore> ShardedStore::Build(
                                      collection.doc_offset(begin));
     std::shared_ptr<const Dictionary> dict = DictionaryBuilder::BuildSampled(
         shard_text, shard_dict_bytes, options.sample_bytes);
-    RlzArchiveBuilder builder(std::move(dict), options.coding);
-    for (size_t i = begin; i < end; ++i) builder.Add(collection.doc(i));
+    ArchiveBuilderOptions builder_options;
+    builder_options.coding = options.coding;
+    builder_options.num_threads = std::max(1, options.threads_per_shard);
+    RlzArchiveBuilder builder(std::move(dict), builder_options);
+    for (size_t i = begin; i < end; ++i) {
+      builder.AddBorrowedDocument(collection.doc(i));
+    }
     store->shards_[s] = std::move(builder).Finish();
   };
 
-  const size_t concurrent = std::min<size_t>(
-      nshards, static_cast<size_t>(std::max(1, build_threads)));
-  if (concurrent <= 1) {
-    for (size_t s = 0; s < nshards; ++s) build_shard(s);
-  } else {
-    // Shards build concurrently; each worker claims whole shards in order.
-    std::vector<std::thread> workers;
-    workers.reserve(concurrent);
-    for (size_t w = 0; w < concurrent; ++w) {
-      workers.emplace_back([&, w]() {
-        for (size_t s = w; s < nshards; s += concurrent) build_shard(s);
-      });
-    }
-    for (std::thread& t : workers) t.join();
+  // One pipeline chunk per shard: shards build concurrently and land in
+  // their slots (merge order is irrelevant here — slots are disjoint —
+  // but the pipeline's ordered-merge guarantee costs nothing).
+  BuildPipelineOptions pipeline_options;
+  pipeline_options.num_threads = static_cast<int>(std::min<size_t>(
+      nshards, static_cast<size_t>(std::max(1, build_threads))));
+  BuildPipeline pipeline(pipeline_options);
+  for (size_t s = 0; s < nshards; ++s) {
+    pipeline.Submit([&, s](int) { build_shard(s); }, [] {});
   }
+  pipeline.Finish();
   return store;
 }
 

@@ -1,6 +1,9 @@
 #ifndef RLZ_SERVE_SHARDED_STORE_H_
 #define RLZ_SERVE_SHARDED_STORE_H_
 
+/// \file
+/// N independent RLZ shards behind one Archive interface (DESIGN.md §6).
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,13 +25,20 @@ struct ShardedStoreOptions {
   /// and an unsharded archive with the same `dict_bytes` are comparable in
   /// the paper's Enc. % terms.
   size_t dict_bytes = 1 << 20;
+  /// Sample size for each shard's dictionary (the paper's 1 KB default).
   size_t sample_bytes = 1024;
+  /// Position/length coding pair used by every shard.
   PairCoding coding = kZV;
-  /// Worker threads for the build: shards build concurrently, at most one
-  /// thread per shard (0 means one thread per shard). Each shard streams
-  /// through RlzArchiveBuilder, which is bit-identical to RlzArchive::Build
-  /// — so the store is deterministic for any thread count.
+  /// Worker threads for the build: shards build concurrently on the build
+  /// pipeline, at most one worker per shard (0 means one per shard). Each
+  /// shard streams through RlzArchiveBuilder, which is byte-identical to
+  /// RlzArchive::Build — so the store is deterministic for any thread
+  /// count.
   int build_threads = 0;
+  /// Factorization workers inside each shard's RlzArchiveBuilder
+  /// (DESIGN.md §7). The default 1 is right when shards already saturate
+  /// the machine; raise it for few-shard builds on many-core hosts.
+  int threads_per_shard = 1;
 };
 
 /// Partitions a collection into independent RlzArchive shards behind the
@@ -46,20 +56,29 @@ struct ShardedStoreOptions {
 /// pays a seek and intra-shard sequential runs stay sequential.
 class ShardedStore final : public Archive {
  public:
+  /// Partitions `collection`, samples one dictionary per shard, and
+  /// builds every shard (concurrently per options.build_threads).
   static std::unique_ptr<ShardedStore> Build(
       const Collection& collection, const ShardedStoreOptions& options = {});
 
+  /// "sharded-<shard coding>/<N>".
   std::string name() const override;
+  /// Total documents across all shards.
   size_t num_docs() const override { return starts_.back(); }
+  /// Routes to the owning shard and decodes the document there.
   Status Get(size_t id, std::string* doc,
              SimDisk* disk = nullptr) const override;
+  /// Routes to the owning shard and decodes only the requested range.
   Status GetRange(size_t id, size_t offset, size_t length, std::string* text,
                   SimDisk* disk = nullptr) const override;
+  /// Sum of every shard's stored bytes (payload + map + dictionary).
   uint64_t stored_bytes() const override;
 
+  /// Number of shards.
   int num_shards() const { return static_cast<int>(shards_.size()); }
   /// The shard holding doc `id` (id must be < num_docs()).
   size_t shard_of(size_t id) const;
+  /// Shard `s`'s archive (s must be < num_shards()).
   const RlzArchive& shard(int s) const { return *shards_[s]; }
   /// First doc id owned by shard `s`; starts(num_shards()) == num_docs().
   size_t starts(int s) const { return starts_[s]; }

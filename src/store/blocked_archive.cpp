@@ -2,41 +2,84 @@
 
 #include <algorithm>
 
+#include "build/build_pipeline.h"
 #include "util/logging.h"
 
 namespace rlz {
 
 BlockedArchive::BlockedArchive(const Collection& collection,
                                const Compressor* compressor,
-                               uint64_t block_bytes, uint64_t cache_bytes)
+                               uint64_t block_bytes, uint64_t cache_bytes,
+                               int num_threads)
     : compressor_(compressor), block_bytes_(block_bytes) {
   RLZ_CHECK(compressor != nullptr);
   docs_.reserve(collection.num_docs());
 
-  uint64_t max_block_text = 0;
-  std::string block_text;
-  std::vector<size_t> block_doc_sizes;
-  auto flush = [&]() {
-    if (block_text.empty()) return;
-    const uint64_t start = payload_.size();
-    compressor_->Compress(block_text, &payload_);
-    blocks_.push_back({start, payload_.size() - start});
-    max_block_text = std::max<uint64_t>(max_block_text, block_text.size());
-    block_text.clear();
-    block_doc_sizes.clear();
+  // Pass 1 (serial, integer bookkeeping only): assign documents to blocks.
+  // Blocks hold consecutive documents, and documents are contiguous in the
+  // collection, so each block's uncompressed text is a view into the
+  // collection — never materialized.
+  struct BlockText {
+    uint64_t offset;  // into collection.data()
+    uint64_t size;    // uncompressed bytes
   };
-
+  std::vector<BlockText> block_texts;  // closed blocks, in order
+  uint64_t max_block_text = 0;
+  uint64_t open_offset = 0;  // where the open block's text starts
+  uint64_t open_size = 0;    // uncompressed bytes in the open block
+  auto flush = [&]() {
+    if (open_size == 0) return;
+    block_texts.push_back({open_offset, open_size});
+    max_block_text = std::max(max_block_text, open_size);
+    open_size = 0;
+  };
   for (size_t i = 0; i < collection.num_docs(); ++i) {
-    const std::string_view doc = collection.doc(i);
-    docs_.push_back({static_cast<uint32_t>(blocks_.size()),
-                     static_cast<uint32_t>(block_text.size()),
-                     static_cast<uint32_t>(doc.size())});
-    block_text.append(doc);
+    const uint64_t doc_size = collection.doc_size(i);
+    if (open_size == 0) open_offset = collection.doc_offset(i);
+    docs_.push_back({static_cast<uint32_t>(block_texts.size()),
+                     static_cast<uint32_t>(open_size),
+                     static_cast<uint32_t>(doc_size)});
+    open_size += doc_size;
     // One doc per block when block_bytes_ == 0; otherwise close the block
     // once it reaches the target uncompressed size.
-    if (block_bytes_ == 0 || block_text.size() >= block_bytes_) flush();
+    if (block_bytes_ == 0 || open_size >= block_bytes_) flush();
   }
   flush();
+
+  // Pass 2: blocks are independently decodable units, so they compress
+  // concurrently on the build pipeline and merge in block order — the
+  // payload is byte-identical to the serial loop (DESIGN.md §7).
+  const size_t num_blocks = block_texts.size();
+  blocks_.resize(num_blocks);
+  BuildPipelineOptions pipeline_options;
+  pipeline_options.num_threads = std::max(1, num_threads);
+  BuildPipeline pipeline(pipeline_options);
+  const size_t chunk_blocks = std::max<size_t>(
+      1, num_blocks / (4 * static_cast<size_t>(pipeline_options.num_threads)));
+  pipeline.SubmitChunkedEncode(
+      num_blocks, chunk_blocks,
+      [this, &collection, &block_texts](
+          DocRange range, BuildPipeline::EncodedChunk* chunk, int) {
+        chunk->item_sizes.reserve(range.size());
+        for (size_t b = range.begin; b < range.end; ++b) {
+          const size_t before = chunk->payload.size();
+          compressor_->Compress(
+              collection.data().substr(block_texts[b].offset,
+                                       block_texts[b].size),
+              &chunk->payload);
+          chunk->item_sizes.push_back(chunk->payload.size() - before);
+        }
+      },
+      [this](DocRange range, const BuildPipeline::EncodedChunk& chunk) {
+        uint64_t offset = payload_.size();
+        for (size_t b = range.begin; b < range.end; ++b) {
+          const uint64_t size = chunk.item_sizes[b - range.begin];
+          blocks_[b] = {offset, size};
+          offset += size;
+        }
+        payload_.append(chunk.payload);
+      });
+  pipeline.Finish();
 
   // Auto-sized cache: two maximal blocks across two stripes (each stripe
   // must also cover the cache's per-entry charge), so each stripe can hold

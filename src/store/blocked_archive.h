@@ -36,8 +36,12 @@ class BlockedArchive final : public Archive {
   /// archive's largest uncompressed blocks — the thread-safe equivalent of
   /// the classic one-block cache, deliberately too small to absorb
   /// query-log randomness (the paper's trade-off must stay visible).
+  /// `num_threads > 1` compresses blocks concurrently on the build
+  /// pipeline (blocks are independent units, so the payload is
+  /// byte-identical to the serial build; DESIGN.md §7).
   BlockedArchive(const Collection& collection, const Compressor* compressor,
-                 uint64_t block_bytes, uint64_t cache_bytes = 0);
+                 uint64_t block_bytes, uint64_t cache_bytes = 0,
+                 int num_threads = 1);
 
   std::string name() const override;
   size_t num_docs() const override { return docs_.size(); }

@@ -1,0 +1,100 @@
+#ifndef RLZ_UTIL_BITMAP_H_
+#define RLZ_UTIL_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rlz {
+
+/// A word-packed bitmap over a fixed number of bits.
+///
+/// This replaces the `std::vector<bool>` coverage bitmaps of the build
+/// path with a representation that is *mergeable* (OrWith is a word-wise
+/// OR, so per-worker bitmaps combine exactly) and cheap to populate
+/// (SetRange writes whole 64-bit words instead of one proxy bit at a
+/// time). Exactness is preserved bit for bit: CountSet/Test see precisely
+/// the bits Set/SetRange wrote, which keeps UnusedFraction() statistics
+/// and DictionaryBuilder::BuildPruned inputs identical to the serial
+/// vector<bool> implementation they replace.
+class Bitmap {
+ public:
+  /// An empty bitmap (size() == 0).
+  Bitmap() = default;
+  /// A bitmap of `bits` zero bits.
+  explicit Bitmap(size_t bits) { Assign(bits); }
+
+  /// Resets to `bits` zero bits.
+  void Assign(size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  /// Number of addressable bits.
+  size_t size() const { return bits_; }
+  /// True if the bitmap addresses no bits.
+  bool empty() const { return bits_ == 0; }
+
+  /// Reads bit `i` (i must be < size()).
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit `i` (i must be < size()).
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  /// Sets bits [begin, begin+len); the range must lie inside the bitmap.
+  /// Interior words are written whole — this is the factorizer's hot path
+  /// (one call per factor, ranges of tens to hundreds of bytes).
+  void SetRange(size_t begin, size_t len) {
+    if (len == 0) return;
+    const size_t end = begin + len;  // exclusive
+    size_t first_word = begin >> 6;
+    const size_t last_word = (end - 1) >> 6;
+    const uint64_t first_mask = ~uint64_t{0} << (begin & 63);
+    const uint64_t last_mask = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+    if (first_word == last_word) {
+      words_[first_word] |= first_mask & last_mask;
+      return;
+    }
+    words_[first_word] |= first_mask;
+    for (size_t w = first_word + 1; w < last_word; ++w) {
+      words_[w] = ~uint64_t{0};
+    }
+    words_[last_word] |= last_mask;
+  }
+
+  /// Merges `other` into this bitmap (word-wise OR). Both bitmaps must be
+  /// the same size. OR is commutative and associative, so merging
+  /// per-worker coverage in any order yields the serial bitmap exactly.
+  void OrWith(const Bitmap& other) {
+    RLZ_CHECK_EQ(bits_, other.bits_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// Number of set bits (popcount over the packed words).
+  size_t CountSet() const {
+    size_t count = 0;
+    for (uint64_t word : words_) {
+      count += static_cast<size_t>(__builtin_popcountll(word));
+    }
+    return count;
+  }
+
+  /// Exact bitwise equality (sizes and every bit).
+  bool operator==(const Bitmap& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+  /// Bitwise inequality.
+  bool operator!=(const Bitmap& other) const { return !(*this == other); }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;  // bit i lives in words_[i/64] bit (i%64)
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_UTIL_BITMAP_H_

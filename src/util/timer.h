@@ -2,8 +2,25 @@
 #define RLZ_UTIL_TIMER_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace rlz {
+
+/// CPU time consumed by the calling thread, in seconds. Thread CPU time
+/// (not wall time) keeps per-worker accounting honest when the host has
+/// fewer cores than there are threads: a descheduled worker accrues
+/// nothing. Returns 0 on platforms without a thread-CPU clock. Used by
+/// DocService's per-worker stats and the build pipeline's critical-path
+/// model (DESIGN.md §6/§7).
+inline double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+#endif
+  return 0.0;
+}
 
 /// Wall-clock stopwatch used by the benchmark harnesses.
 class Timer {

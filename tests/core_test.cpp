@@ -210,9 +210,9 @@ TEST(DictionaryBuilderTest, PrunedDictionaryDropsUnusedRuns) {
   Rng rng(24);
   const std::string collection = RandomText(rng, 50000, 26);
   auto dict = DictionaryBuilder::BuildSampled(collection, 2000, 200);
-  std::vector<bool> used(dict->size(), false);
+  Bitmap used(dict->size());
   // Mark only the first half of the dictionary used.
-  for (size_t i = 0; i < dict->size() / 2; ++i) used[i] = true;
+  used.SetRange(0, dict->size() / 2);
   auto pruned = DictionaryBuilder::BuildPruned(collection, *dict, used, 200);
   // The used half survives; freed space is refilled with fresh samples up
   // to at most the original size.

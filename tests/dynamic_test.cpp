@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/archive_builder.h"
+#include "build/archive_builder.h"
 #include "core/rlz.h"
 #include "corpus/generator.h"
 
@@ -31,7 +31,7 @@ TEST(ArchiveBuilderTest, MatchesBatchBuild) {
 
   RlzArchiveBuilder builder(dict, kZV);
   for (size_t i = 0; i < corpus.collection.num_docs(); ++i) {
-    builder.Add(corpus.collection.doc(i));
+    builder.AddDocument(corpus.collection.doc(i));
   }
   EXPECT_GT(builder.stats().num_factors, 0u);
   auto streamed = std::move(builder).Finish();
@@ -52,9 +52,9 @@ TEST(ArchiveBuilderTest, CoverageTracking) {
   auto dict = std::shared_ptr<const Dictionary>(
       std::make_unique<Dictionary>("abcdefgh"));
   RlzArchiveBuilder builder(dict, kUV, /*track_coverage=*/true);
-  builder.Add("abcd");
+  builder.AddDocument("abcd");
   EXPECT_DOUBLE_EQ(builder.UnusedDictionaryFraction(), 0.5);
-  builder.Add("efgh");
+  builder.AddDocument("efgh");
   EXPECT_DOUBLE_EQ(builder.UnusedDictionaryFraction(), 0.0);
   auto archive = std::move(builder).Finish();
   EXPECT_EQ(archive->num_docs(), 2u);
