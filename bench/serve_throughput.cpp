@@ -11,14 +11,27 @@
 //             simulated-wall-time doctrine as Tables 4-9 (DESIGN.md §4)
 //             and is what EXPERIMENTS.md quotes for thread scaling.
 //
+// A restart-cost table follows the sweep: every container format is saved
+// to disk, reopened cold through OpenArchive, and timed (open latency plus
+// the first Get) — the failover path of DESIGN.md §8. The rlz-family rows
+// are measured both with the default open and the serving-only open
+// (OpenOptions::build_suffix_array = false), which is what a restarting
+// front-end uses.
+//
 //   ./build/bench/serve_throughput            (RLZ_BENCH_SCALE shrinks/grows)
 
 #include <cstdio>
+#include <filesystem>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/rlz.h"
+#include "semistatic/semistatic_archive.h"
 #include "serve/doc_service.h"
 #include "serve/sharded_store.h"
+#include "store/ascii_archive.h"
+#include "store/blocked_archive.h"
+#include "store/open_archive.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -71,6 +84,69 @@ SweepResult RunOne(const ShardedStore& store,
   return r;
 }
 
+// Saves `archive`, drops it, and times the cold reopen plus the first
+// document fetch — the restart cost a serving process pays per format.
+void ReportColdOpen(const char* label, const Archive& archive,
+                    const std::filesystem::path& dir,
+                    const OpenOptions& options) {
+  const std::string path = (dir / label).string();
+  RLZ_CHECK(archive.Save(path).ok()) << label;
+
+  Timer open_timer;
+  auto reopened = OpenArchive(path, options);
+  const double open_ms = 1e3 * open_timer.ElapsedSeconds();
+  RLZ_CHECK(reopened.ok()) << label << ": " << reopened.status().ToString();
+
+  std::string doc;
+  Timer get_timer;
+  RLZ_CHECK((*reopened)->Get((*reopened)->num_docs() / 2, &doc).ok());
+  const double get_us = 1e6 * get_timer.ElapsedSeconds();
+
+  std::printf("%-18s %-14s %10.1f %14.1f\n", label,
+              (*reopened)->name().c_str(), open_ms, get_us);
+}
+
+void RestartCost(const Collection& collection) {
+  std::printf(
+      "\nrestart cost (save -> cold OpenArchive -> first Get), %zu docs:\n",
+      collection.num_docs());
+  std::printf("%-18s %-14s %10s %14s\n", "file", "format", "open ms",
+              "first-get us");
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "rlz_restart_cost";
+  std::filesystem::create_directories(dir);
+
+  OpenOptions with_sa;     // default: rebuild suffix arrays (build path)
+  OpenOptions serving;     // serving-only reopen: no suffix arrays
+  serving.build_suffix_array = false;
+
+  ReportColdOpen("ascii", AsciiArchive(collection), dir, serving);
+  ReportColdOpen(
+      "blocked",
+      BlockedArchive(collection, GetCompressor(CompressorId::kGzipx),
+                     64 << 10),
+      dir, serving);
+  ReportColdOpen("semistatic",
+                 *SemiStaticArchive::Build(collection, SemiStaticScheme::kEtdc),
+                 dir, serving);
+
+  RlzOptions rlz_options;
+  rlz_options.dict_bytes = collection.size_bytes() / 100;
+  const auto rlz = CompressCollection(collection, rlz_options);
+  ReportColdOpen("rlz.sa", *rlz, dir, with_sa);
+  ReportColdOpen("rlz.serve", *rlz, dir, serving);
+
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 4;
+  store_options.dict_bytes = collection.size_bytes() / 100;
+  const auto store = ShardedStore::Build(collection, store_options);
+  ReportColdOpen("sharded.sa", *store, dir, with_sa);
+  ReportColdOpen("sharded.serve", *store, dir, serving);
+
+  std::filesystem::remove_all(dir);
+}
+
 void Run() {
   const Corpus& corpus = Gov2Crawl();
   const Collection& collection = corpus.collection;
@@ -111,6 +187,8 @@ void Run() {
     std::printf("\n4-shard cache-off modeled scaling 1->4 threads: %.2fx\n",
                 modeled_4thread / modeled_1thread);
   }
+
+  RestartCost(collection);
 }
 
 }  // namespace

@@ -1,20 +1,39 @@
-// Command-line front end for the rlz library — builds archives on disk,
-// retrieves documents, and verifies archives against their source
-// collections.
+// Command-line front end for the rlz library — a format-agnostic archive
+// tool over the container envelope (DESIGN.md §8): builds any archive
+// format on disk, inspects containers, retrieves documents, and verifies
+// archives against their source collections.
 //
 //   rlz_tool gen <collection.rcol> [bytes] [web|wiki] [seed]
-//   rlz_tool build <collection.rcol> <archive.rlza> [dict_bytes] [coding]
-//   rlz_tool info <archive.rlza>
-//   rlz_tool get <archive.rlza> <doc_id>
-//   rlz_tool verify <collection.rcol> <archive.rlza>
+//   rlz_tool build <collection.rcol> <archive> [format] [args...]
+//     formats:
+//       rlz [dict_bytes] [coding]      (default; e.g. `build c.rcol a 65536 ZV`)
+//       ascii
+//       blocked [gzipx|lzmax] [block_bytes]
+//       semistatic [etdc|ph]
+//       sharded [num_shards] [dict_bytes] [coding]
+//   rlz_tool stat <archive>
+//   rlz_tool cat <archive> <doc_id> [offset length]
+//   rlz_tool verify <collection.rcol> <archive>
+//
+// stat/cat/verify work on every format: they sniff the container's format
+// id and dispatch through OpenArchive. stat and cat open serving-only
+// (OpenOptions::build_suffix_array = false), so they skip the dictionary
+// suffix-array rebuild entirely.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/rlz.h"
 #include "corpus/generator.h"
+#include "semistatic/semistatic_archive.h"
+#include "serve/sharded_store.h"
+#include "store/ascii_archive.h"
+#include "store/blocked_archive.h"
+#include "store/open_archive.h"
 
 namespace {
 
@@ -25,17 +44,28 @@ int Usage() {
       stderr,
       "usage:\n"
       "  rlz_tool gen <collection.rcol> [bytes] [web|wiki] [seed]\n"
-      "  rlz_tool build <collection.rcol> <archive.rlza> [dict_bytes] "
+      "  rlz_tool build <collection.rcol> <archive> [format] [args...]\n"
+      "      rlz [dict_bytes] [coding] | ascii | blocked [gzipx|lzmax] "
+      "[block_bytes]\n"
+      "      | semistatic [etdc|ph] | sharded [num_shards] [dict_bytes] "
       "[coding]\n"
-      "  rlz_tool info <archive.rlza>\n"
-      "  rlz_tool get <archive.rlza> <doc_id>\n"
-      "  rlz_tool verify <collection.rcol> <archive.rlza>\n");
+      "  rlz_tool stat <archive>\n"
+      "  rlz_tool cat <archive> <doc_id> [offset length]\n"
+      "  rlz_tool verify <collection.rcol> <archive>\n");
   return 2;
 }
 
 int Fail(const Status& s) {
   std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
   return 1;
+}
+
+bool IsNumber(const char* s) {
+  if (*s == '\0') return false;
+  for (; *s != '\0'; ++s) {
+    if (!std::isdigit(static_cast<unsigned char>(*s))) return false;
+  }
+  return true;
 }
 
 int CmdGen(int argc, char** argv) {
@@ -55,55 +85,134 @@ int CmdGen(int argc, char** argv) {
   return 0;
 }
 
-int CmdBuild(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  auto collection = Collection::Load(argv[0]);
-  if (!collection.ok()) return Fail(collection.status());
-
+int BuildRlz(const Collection& collection, const std::string& path, int argc,
+             char** argv) {
   RlzOptions options;
-  options.dict_bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                : collection->size_bytes() / 100;
-  if (argc > 3) {
-    auto coding = PairCoding::FromName(argv[3]);
+  options.dict_bytes = argc > 0 ? std::strtoull(argv[0], nullptr, 10)
+                                : collection.size_bytes() / 100;
+  if (argc > 1) {
+    auto coding = PairCoding::FromName(argv[1]);
     if (!coding.ok()) return Fail(coding.status());
     options.coding = *coding;
   }
   RlzBuildInfo info;
-  auto archive = CompressCollection(*collection, options, &info);
-  const Status s = archive->Save(argv[1]);
+  auto archive = CompressCollection(collection, options, &info);
+  const Status s = archive->Save(path);
   if (!s.ok()) return Fail(s);
   std::printf(
       "wrote %s: %zu docs, coding %s, dict %zu bytes, %.2f%% of input, "
       "avg factor %.1f\n",
-      argv[1], archive->num_docs(), options.coding.name().c_str(),
+      path.c_str(), archive->num_docs(), options.coding.name().c_str(),
       archive->dictionary().size(),
-      100.0 * archive->stored_bytes() / collection->size_bytes(),
+      100.0 * archive->stored_bytes() / collection.size_bytes(),
       info.stats.avg_factor_length());
   return 0;
 }
 
-int CmdInfo(int argc, char** argv) {
+int ReportAndSave(const Collection& collection, const Archive& archive,
+                  const std::string& path) {
+  const Status s = archive.Save(path);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %s, %zu docs, %.2f%% of input\n", path.c_str(),
+              archive.name().c_str(), archive.num_docs(),
+              100.0 * archive.stored_bytes() / collection.size_bytes());
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto collection = Collection::Load(argv[0]);
+  if (!collection.ok()) return Fail(collection.status());
+  const std::string path = argv[1];
+  // Back-compat: a numeric third argument is the historical
+  // `build <in> <out> [dict_bytes] [coding]` rlz spelling.
+  if (argc == 2 || IsNumber(argv[2])) {
+    return BuildRlz(*collection, path, argc - 2, argv + 2);
+  }
+  const std::string format = argv[2];
+  if (format == "rlz") {
+    return BuildRlz(*collection, path, argc - 3, argv + 3);
+  }
+  if (format == "ascii") {
+    return ReportAndSave(*collection, AsciiArchive(*collection), path);
+  }
+  if (format == "blocked") {
+    CompressorId compressor_id = CompressorId::kGzipx;
+    if (argc > 3) {
+      if (std::strcmp(argv[3], "lzmax") == 0) {
+        compressor_id = CompressorId::kLzmax;
+      } else if (std::strcmp(argv[3], "gzipx") != 0) {
+        std::fprintf(stderr, "error: unknown compressor '%s'\n", argv[3]);
+        return Usage();
+      }
+    }
+    const Compressor* compressor = GetCompressor(compressor_id);
+    const uint64_t block_bytes =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 64 << 10;
+    return ReportAndSave(
+        *collection, BlockedArchive(*collection, compressor, block_bytes),
+        path);
+  }
+  if (format == "semistatic") {
+    SemiStaticScheme scheme = SemiStaticScheme::kEtdc;
+    if (argc > 3) {
+      if (std::strcmp(argv[3], "ph") == 0) {
+        scheme = SemiStaticScheme::kPlainHuffman;
+      } else if (std::strcmp(argv[3], "etdc") != 0) {
+        std::fprintf(stderr, "error: unknown scheme '%s'\n", argv[3]);
+        return Usage();
+      }
+    }
+    return ReportAndSave(*collection,
+                         *SemiStaticArchive::Build(*collection, scheme), path);
+  }
+  if (format == "sharded") {
+    ShardedStoreOptions options;
+    if (argc > 3) options.num_shards = std::atoi(argv[3]);
+    options.dict_bytes = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                  : collection->size_bytes() / 100;
+    if (argc > 5) {
+      auto coding = PairCoding::FromName(argv[5]);
+      if (!coding.ok()) return Fail(coding.status());
+      options.coding = *coding;
+    }
+    return ReportAndSave(*collection,
+                         *ShardedStore::Build(*collection, options), path);
+  }
+  std::fprintf(stderr, "error: unknown format '%s'\n", format.c_str());
+  return Usage();
+}
+
+int CmdStat(int argc, char** argv) {
   if (argc < 1) return Usage();
-  auto archive = RlzArchive::Load(argv[0]);
+  OpenOptions options;
+  options.build_suffix_array = false;  // stat never factorizes
+  ArchiveFormatInfo info;
+  auto archive = OpenArchive(argv[0], options, &info);
   if (!archive.ok()) return Fail(archive.status());
   std::printf("archive:   %s\n", argv[0]);
+  std::printf("format:    %s v%u\n", info.format_id.c_str(), info.version);
+  std::printf("name:      %s\n", (*archive)->name().c_str());
   std::printf("docs:      %zu\n", (*archive)->num_docs());
-  std::printf("coding:    %s\n", (*archive)->coder().coding().name().c_str());
-  std::printf("dict:      %zu bytes\n", (*archive)->dictionary().size());
-  std::printf("payload:   %llu bytes\n",
-              static_cast<unsigned long long>((*archive)->payload_bytes()));
   std::printf("stored:    %llu bytes\n",
               static_cast<unsigned long long>((*archive)->stored_bytes()));
   return 0;
 }
 
-int CmdGet(int argc, char** argv) {
+int CmdCat(int argc, char** argv) {
   if (argc < 2) return Usage();
-  auto archive = RlzArchive::Load(argv[0]);
+  if (argc == 3) return Usage();  // offset given without length
+  OpenOptions options;
+  options.build_suffix_array = false;  // serving-only open
+  auto archive = OpenArchive(argv[0], options);
   if (!archive.ok()) return Fail(archive.status());
+  const size_t id = std::strtoull(argv[1], nullptr, 10);
   std::string doc;
-  const Status s =
-      (*archive)->Get(std::strtoull(argv[1], nullptr, 10), &doc);
+  Status s = argc > 3
+                 ? (*archive)->GetRange(id, std::strtoull(argv[2], nullptr, 10),
+                                        std::strtoull(argv[3], nullptr, 10),
+                                        &doc)
+                 : (*archive)->Get(id, &doc);
   if (!s.ok()) return Fail(s);
   std::fwrite(doc.data(), 1, doc.size(), stdout);
   return 0;
@@ -113,7 +222,9 @@ int CmdVerify(int argc, char** argv) {
   if (argc < 2) return Usage();
   auto collection = Collection::Load(argv[0]);
   if (!collection.ok()) return Fail(collection.status());
-  auto archive = RlzArchive::Load(argv[1]);
+  OpenOptions options;
+  options.build_suffix_array = false;  // decode-only
+  auto archive = OpenArchive(argv[1], options);
   if (!archive.ok()) return Fail(archive.status());
   if ((*archive)->num_docs() != collection->num_docs()) {
     std::fprintf(stderr, "doc count mismatch: %zu vs %zu\n",
@@ -129,7 +240,8 @@ int CmdVerify(int argc, char** argv) {
       return 1;
     }
   }
-  std::printf("ok: %zu docs verified\n", collection->num_docs());
+  std::printf("ok: %zu docs verified (%s)\n", collection->num_docs(),
+              (*archive)->name().c_str());
   return 0;
 }
 
@@ -140,8 +252,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
   if (cmd == "build") return CmdBuild(argc - 2, argv + 2);
-  if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
-  if (cmd == "get") return CmdGet(argc - 2, argv + 2);
+  if (cmd == "stat" || cmd == "info") return CmdStat(argc - 2, argv + 2);
+  if (cmd == "cat" || cmd == "get") return CmdCat(argc - 2, argv + 2);
   if (cmd == "verify") return CmdVerify(argc - 2, argv + 2);
   return Usage();
 }

@@ -1,5 +1,6 @@
-# Drives the rlz_tool CLI end-to-end: generate a corpus, build an archive,
-# inspect it, fetch a document, and verify every document round-trips.
+# Drives the rlz_tool CLI end-to-end: generate a corpus, build an archive
+# in every container format, inspect each with stat, fetch documents with
+# cat, and verify every document round-trips through OpenArchive.
 # Invoked by ctest (see examples/CMakeLists.txt) as:
 #   cmake -DRLZ_TOOL=<path> -DWORK_DIR=<dir> -P rlz_tool_smoke.cmake
 
@@ -9,8 +10,7 @@ endif()
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
-set(corpus "${WORK_DIR}/corpus.bin")
-set(archive "${WORK_DIR}/archive.rlza")
+set(corpus "${WORK_DIR}/corpus.rcol")
 
 function(run_step)
   execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
@@ -20,15 +20,41 @@ function(run_step)
 endfunction()
 
 run_step("${RLZ_TOOL}" gen "${corpus}" 2097152)
-run_step("${RLZ_TOOL}" build "${corpus}" "${archive}" 65536 ZV)
-run_step("${RLZ_TOOL}" info "${archive}")
-run_step("${RLZ_TOOL}" get "${archive}" 0)
-run_step("${RLZ_TOOL}" verify "${corpus}" "${archive}")
+
+# The historical numeric spelling (`build <in> <out> <dict_bytes> <coding>`)
+# must keep working alongside the format-named spellings.
+run_step("${RLZ_TOOL}" build "${corpus}" "${WORK_DIR}/legacy.rlza" 65536 ZV)
+run_step("${RLZ_TOOL}" verify "${corpus}" "${WORK_DIR}/legacy.rlza")
+
+# One archive per container format; each must stat, cat, and verify
+# through the format-agnostic OpenArchive path.
+set(formats
+  "rlz:65536:ZV"
+  "ascii"
+  "blocked:gzipx:65536"
+  "semistatic:etdc"
+  "sharded:4:65536"
+)
+foreach(format_spec IN LISTS formats)
+  string(REPLACE ":" ";" format_args "${format_spec}")
+  list(GET format_args 0 format)
+  set(archive "${WORK_DIR}/archive.${format}")
+  run_step("${RLZ_TOOL}" build "${corpus}" "${archive}" ${format_args})
+  run_step("${RLZ_TOOL}" stat "${archive}")
+  run_step("${RLZ_TOOL}" cat "${archive}" 0)
+  run_step("${RLZ_TOOL}" cat "${archive}" 1 10 40)
+  run_step("${RLZ_TOOL}" verify "${corpus}" "${archive}")
+endforeach()
 
 # Bad usage must fail loudly, not exit 0.
 execute_process(COMMAND "${RLZ_TOOL}" RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
 if(rc EQUAL 0)
   message(FATAL_ERROR "rlz_tool with no arguments should exit nonzero")
+endif()
+execute_process(COMMAND "${RLZ_TOOL}" stat "${corpus}.does-not-exist"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "rlz_tool stat on a missing file should exit nonzero")
 endif()
 
 file(REMOVE_RECURSE "${WORK_DIR}")

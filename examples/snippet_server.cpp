@@ -1,17 +1,25 @@
 // Snippet-server scenario: the motivating application of the paper's
 // introduction — a search engine that must fetch result documents from a
 // compressed store to build query-biased snippets. This version runs the
-// full serving stack (DESIGN.md §6): the collection is partitioned into a
-// ShardedStore of independent RLZ shards, and requests flow through a
-// DocService thread pool with an LRU decode cache — MultiGet fetches the
-// result page's documents concurrently, and the snippet windows use the
-// GetRange fast path. A service stats report prints at the end.
+// full serving stack (DESIGN.md §6) against a *reopened* store, the
+// paper's disk-resident deployment: the collection is partitioned into a
+// ShardedStore of independent RLZ shards, saved to disk as a manifest
+// plus shard containers (DESIGN.md §8), and reopened serving-only
+// (OpenOptions::build_suffix_array = false — decoding never touches the
+// suffix arrays, so a restart skips rebuilding them). Requests then flow
+// through a DocService thread pool with an LRU decode cache — MultiGet
+// fetches the result page's documents concurrently, and the snippet
+// windows use the GetRange fast path. A service stats report prints at
+// the end.
 //
 //   ./build/examples/snippet_server [query terms...]
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -21,6 +29,7 @@
 #include "search/tokenizer.h"
 #include "serve/doc_service.h"
 #include "serve/sharded_store.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -78,10 +87,45 @@ int main(int argc, char** argv) {
   store_options.num_shards = 4;
   store_options.dict_bytes = collection.size_bytes() / 100;
   std::printf("compressing into %d rlz shards...\n", store_options.num_shards);
-  const auto store = rlz::ShardedStore::Build(collection, store_options);
-  std::printf("store %s: %.2f%% of %zu bytes\n", store->name().c_str(),
-              100.0 * store->stored_bytes() / collection.size_bytes(),
+  const auto built = rlz::ShardedStore::Build(collection, store_options);
+  std::printf("store %s: %.2f%% of %zu bytes\n", built->name().c_str(),
+              100.0 * built->stored_bytes() / collection.size_bytes(),
               collection.size_bytes());
+
+  // Persist and reopen: the restart path a production front-end takes.
+  // The reopen is serving-only, so no shard rebuilds its suffix array.
+  // Per-process directory (release and sanitizer smoke runs may execute
+  // concurrently), removed on every exit path below.
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() /
+      ("rlz_snippet_server." + std::to_string(::getpid()));
+  std::filesystem::create_directories(store_dir);
+  struct ScopedRemove {
+    const std::filesystem::path& dir;
+    ~ScopedRemove() {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  } cleanup{store_dir};
+  const std::string manifest = (store_dir / "store.sharded").string();
+  if (const rlz::Status s = built->Save(manifest); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  rlz::OpenOptions open_options;
+  open_options.build_suffix_array = false;
+  rlz::Timer open_timer;
+  auto reopened = rlz::ShardedStore::Open(manifest, open_options);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  const auto store = std::move(reopened).value();
+  std::printf("reopened %s from %s in %.1f ms (serving-only, no suffix "
+              "arrays)\n",
+              store->name().c_str(), manifest.c_str(),
+              1e3 * open_timer.ElapsedSeconds());
 
   rlz::DocServiceOptions service_options;
   service_options.num_threads = 4;

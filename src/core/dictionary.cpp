@@ -4,22 +4,38 @@
 #include <vector>
 
 #include "io/file.h"
+#include "store/format.h"
 #include "util/logging.h"
 
 namespace rlz {
 
-Dictionary::Dictionary(std::string text) : text_(std::move(text)) {
-  matcher_ = std::make_unique<SuffixMatcher>(text_);
+Dictionary::Dictionary(std::string text, bool build_suffix_array)
+    : text_(std::move(text)) {
+  if (build_suffix_array) {
+    matcher_ = std::make_unique<SuffixMatcher>(text_);
+  }
 }
 
 Status Dictionary::Save(const std::string& path) const {
-  return WriteFile(path, text_);
+  EnvelopeWriter writer(kFormatId, kFormatVersion);
+  writer.PutBytes(text_);
+  return std::move(writer).WriteTo(path);
 }
 
 StatusOr<std::unique_ptr<Dictionary>> Dictionary::Load(
-    const std::string& path) {
-  RLZ_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  return std::make_unique<Dictionary>(std::move(text));
+    const std::string& path, bool build_suffix_array) {
+  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  // Envelope files carry the container magic; anything else is a legacy
+  // bare-text dictionary (the pre-envelope Save wrote the raw text).
+  if (!LooksLikeEnvelope(raw)) {
+    return std::make_unique<Dictionary>(std::move(raw), build_suffix_array);
+  }
+  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope,
+                       ParsedEnvelope::FromBytes(std::move(raw), path));
+  RLZ_RETURN_IF_ERROR(
+      CheckEnvelopeFormat(envelope, kFormatId, kFormatVersion));
+  return std::make_unique<Dictionary>(std::string(envelope.body()),
+                                      build_suffix_array);
 }
 
 std::unique_ptr<Dictionary> DictionaryBuilder::BuildSampled(

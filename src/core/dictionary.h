@@ -21,21 +21,44 @@ namespace rlz {
 /// the property that makes RLZ random access fast, §3.1).
 class Dictionary {
  public:
-  /// Builds the suffix array for `text`. `text` is copied.
-  explicit Dictionary(std::string text);
+  /// Wraps `text` (copied). When `build_suffix_array` is true (the
+  /// default) the suffix array and jump table are built here — required
+  /// for factorizing documents. Serving-only callers (decode existing
+  /// archives, which never consult the suffix array) pass false and skip
+  /// that work entirely; see OpenOptions::build_suffix_array.
+  explicit Dictionary(std::string text, bool build_suffix_array = true);
 
   /// The dictionary text.
   std::string_view text() const { return text_; }
   /// Dictionary size in bytes.
   size_t size() const { return text_.size(); }
-  /// The suffix-array matcher over the dictionary text.
-  const SuffixMatcher& matcher() const { return *matcher_; }
+  /// True if the suffix-array matcher was built (see the constructor).
+  bool has_matcher() const { return matcher_ != nullptr; }
+  /// The suffix-array matcher over the dictionary text. Aborts if the
+  /// dictionary was built without one (has_matcher() == false):
+  /// factorization against a serving-only dictionary is a programming
+  /// error, not a runtime condition.
+  const SuffixMatcher& matcher() const {
+    RLZ_CHECK(matcher_ != nullptr)
+        << "dictionary has no suffix array (serving-only open; see "
+           "OpenOptions::build_suffix_array)";
+    return *matcher_;
+  }
 
-  /// Serialized form: the raw text (the suffix array is rebuilt on load;
-  /// it is derived data).
+  /// On-disk format id inside the container envelope ("dict").
+  static constexpr char kFormatId[] = "dict";
+  /// Current format version. Version 1 is the legacy bare-text file
+  /// (no envelope), which Load still reads.
+  static constexpr uint32_t kFormatVersion = 2;
+
+  /// Serializes the dictionary text in a container envelope
+  /// (store/format.h). The suffix array is derived data and is rebuilt
+  /// on load.
   Status Save(const std::string& path) const;
-  /// Loads a dictionary written by Save and rebuilds its suffix array.
-  static StatusOr<std::unique_ptr<Dictionary>> Load(const std::string& path);
+  /// Loads a dictionary written by Save — or a legacy bare-text file —
+  /// and rebuilds its suffix array unless `build_suffix_array` is false.
+  static StatusOr<std::unique_ptr<Dictionary>> Load(
+      const std::string& path, bool build_suffix_array = true);
 
  private:
   std::string text_;

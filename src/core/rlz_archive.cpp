@@ -4,6 +4,7 @@
 
 #include "codecs/int_codecs.h"
 #include "io/file.h"
+#include "store/format.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -13,7 +14,21 @@
 namespace rlz {
 namespace {
 constexpr char kArchiveMagic[4] = {'R', 'L', 'Z', 'A'};
-constexpr uint8_t kArchiveVersion = 1;
+constexpr uint8_t kLegacyArchiveVersion = 1;
+
+// Validates a (pos, len) coding byte pair through the name round-trip,
+// rejecting invalid enum bytes from crafted files.
+Status ValidateCoding(uint8_t pos_byte, uint8_t len_byte, PairCoding* coding) {
+  coding->pos = static_cast<PosCoding>(pos_byte);
+  coding->len = static_cast<LenCoding>(len_byte);
+  const std::string name = coding->name();
+  auto parsed = PairCoding::FromName(name);
+  if (!parsed.ok() || parsed->pos != coding->pos ||
+      parsed->len != coding->len) {
+    return Status::Corruption("rlz archive: invalid coding bytes");
+  }
+  return Status::OK();
+}
 }  // namespace
 
 std::unique_ptr<RlzArchive> RlzArchive::BuildFromFactors(
@@ -49,6 +64,56 @@ Status RlzArchive::CheckFormatLimits(uint64_t dict_bytes, uint64_t num_docs,
 }
 
 Status RlzArchive::Save(const std::string& path) const {
+  EnvelopeWriter writer(kFormatId, kFormatVersion);
+  writer.PutByte(static_cast<uint8_t>(coder_.coding().pos));
+  writer.PutByte(static_cast<uint8_t>(coder_.coding().len));
+  writer.PutLengthPrefixed(dict_->text());
+  writer.PutVarint64(num_docs());
+  for (size_t i = 0; i < num_docs(); ++i) {
+    writer.PutVarint64(map_.size(i));
+  }
+  writer.PutBytes(payload_);
+  return std::move(writer).WriteTo(path);
+}
+
+StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::FromEnvelope(
+    const ParsedEnvelope& envelope, const OpenOptions& options) {
+  RLZ_RETURN_IF_ERROR(
+      CheckEnvelopeFormat(envelope, kFormatId, kFormatVersion));
+  EnvelopeReader reader = envelope.reader();
+  uint8_t pos_byte = 0;
+  uint8_t len_byte = 0;
+  RLZ_RETURN_IF_ERROR(reader.ReadByte(&pos_byte));
+  RLZ_RETURN_IF_ERROR(reader.ReadByte(&len_byte));
+  PairCoding coding;
+  RLZ_RETURN_IF_ERROR(ValidateCoding(pos_byte, len_byte, &coding));
+
+  std::string_view dict_text;
+  RLZ_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&dict_text));
+  auto dict = std::make_shared<const Dictionary>(std::string(dict_text),
+                                                 options.build_suffix_array);
+
+  std::unique_ptr<RlzArchive> archive(
+      new RlzArchive(std::move(dict), coding));
+  std::vector<uint64_t> sizes;
+  RLZ_RETURN_IF_ERROR(reader.ReadSizeTable(&sizes));
+  for (uint64_t size : sizes) archive->map_.Add(size);
+  archive->payload_ = std::string(reader.ReadRest());
+  return archive;
+}
+
+StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::Load(
+    const std::string& path, const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  if (IsLegacyRlzV1(raw)) {
+    return LoadLegacyV1(std::move(raw), path, options);
+  }
+  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope,
+                       ParsedEnvelope::FromBytes(std::move(raw), path));
+  return FromEnvelope(envelope, options);
+}
+
+Status RlzArchive::SaveLegacyV1(const std::string& path) const {
   uint64_t max_doc_bytes = 0;
   for (size_t i = 0; i < num_docs(); ++i) {
     max_doc_bytes = std::max<uint64_t>(max_doc_bytes, map_.size(i));
@@ -58,7 +123,7 @@ Status RlzArchive::Save(const std::string& path) const {
 
   std::string out;
   out.append(kArchiveMagic, 4);
-  out.push_back(static_cast<char>(kArchiveVersion));
+  out.push_back(static_cast<char>(kLegacyArchiveVersion));
   out.push_back(static_cast<char>(coder_.coding().pos));
   out.push_back(static_cast<char>(coder_.coding().len));
   VByteCodec::Put(static_cast<uint32_t>(dict_->size()), &out);
@@ -75,9 +140,8 @@ Status RlzArchive::Save(const std::string& path) const {
   return WriteFile(path, out);
 }
 
-StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::Load(
-    const std::string& path) {
-  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::LoadLegacyV1(
+    std::string raw, const std::string& path, const OpenOptions& options) {
   if (raw.size() < 11 ||
       std::string_view(raw.data(), 4) != std::string_view(kArchiveMagic, 4)) {
     return Status::Corruption("rlz archive: bad magic in " + path);
@@ -93,21 +157,14 @@ StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::Load(
   }
   size_t pos = 4;
   const uint8_t version = static_cast<uint8_t>(raw[pos++]);
-  if (version != kArchiveVersion) {
+  if (version != kLegacyArchiveVersion) {
     return Status::Corruption("rlz archive: unsupported version");
   }
   PairCoding coding;
-  coding.pos = static_cast<PosCoding>(static_cast<uint8_t>(raw[pos++]));
-  coding.len = static_cast<LenCoding>(static_cast<uint8_t>(raw[pos++]));
-  // Re-validate through the name round-trip (rejects invalid enum bytes).
-  {
-    const std::string name = coding.name();
-    auto parsed = PairCoding::FromName(name);
-    if (!parsed.ok() || parsed->pos != coding.pos ||
-        parsed->len != coding.len) {
-      return Status::Corruption("rlz archive: invalid coding bytes");
-    }
-  }
+  RLZ_RETURN_IF_ERROR(ValidateCoding(static_cast<uint8_t>(raw[pos]),
+                                     static_cast<uint8_t>(raw[pos + 1]),
+                                     &coding));
+  pos += 2;
 
   // Everything before the 4-byte CRC trailer is header + payload; the
   // size-11 check above guarantees payload_end >= pos here. All subsequent
@@ -121,7 +178,8 @@ StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::Load(
   if (pos > payload_end || dict_size > payload_end - pos) {
     return Status::Corruption("rlz archive: truncated dictionary");
   }
-  auto dict = std::make_shared<const Dictionary>(raw.substr(pos, dict_size));
+  auto dict = std::make_shared<const Dictionary>(raw.substr(pos, dict_size),
+                                                 options.build_suffix_array);
   pos += dict_size;
 
   uint32_t ndocs = 0;

@@ -2,32 +2,37 @@
 
 #include "codecs/int_codecs.h"
 #include "io/file.h"
+#include "store/format.h"
 
 namespace rlz {
 namespace {
-constexpr char kMagic[4] = {'R', 'C', 'O', '1'};
+// The pre-envelope collection file: "RCO1", vbyte doc count, vbyte32
+// per-doc sizes, raw data. Still readable; Save writes the envelope.
+constexpr char kLegacyMagic[4] = {'R', 'C', 'O', '1'};
+constexpr char kFormatId[] = "collection";
+constexpr uint32_t kFormatVersion = 2;  // v1 == the legacy RCO1 layout
 }  // namespace
 
 Status Collection::Save(const std::string& path) const {
-  std::string out;
-  out.append(kMagic, 4);
-  VByteCodec::Put(static_cast<uint32_t>(num_docs()), &out);
+  EnvelopeWriter writer(kFormatId, kFormatVersion);
+  writer.PutVarint64(num_docs());
   for (size_t i = 0; i < num_docs(); ++i) {
-    VByteCodec::Put(static_cast<uint32_t>(doc_size(i)), &out);
+    writer.PutVarint64(doc_size(i));
   }
-  out.append(data_);
-  return WriteFile(path, out);
+  writer.PutBytes(data_);
+  return std::move(writer).WriteTo(path);
 }
 
-StatusOr<Collection> Collection::Load(const std::string& path) {
-  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
-  if (raw.size() < 4 || std::string_view(raw.data(), 4) !=
-                            std::string_view(kMagic, 4)) {
-    return Status::Corruption("collection: bad magic in " + path);
-  }
+namespace {
+
+StatusOr<Collection> LoadLegacy(const std::string& raw,
+                                const std::string& path) {
   size_t pos = 4;
   uint32_t ndocs = 0;
   RLZ_RETURN_IF_ERROR(VByteCodec::Get(raw, &pos, &ndocs));
+  if (ndocs > raw.size() - pos) {
+    return Status::Corruption("collection: document count exceeds " + path);
+  }
   std::vector<uint32_t> sizes(ndocs);
   uint64_t total = 0;
   for (uint32_t i = 0; i < ndocs; ++i) {
@@ -43,6 +48,34 @@ StatusOr<Collection> Collection::Load(const std::string& path) {
   for (uint32_t i = 0; i < ndocs; ++i) {
     c.Append(std::string_view(raw).substr(off, sizes[i]));
     off += sizes[i];
+  }
+  return c;
+}
+
+}  // namespace
+
+StatusOr<Collection> Collection::Load(const std::string& path) {
+  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  if (raw.size() >= 4 && std::string_view(raw.data(), 4) ==
+                             std::string_view(kLegacyMagic, 4)) {
+    return LoadLegacy(raw, path);
+  }
+  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope,
+                       ParsedEnvelope::FromBytes(std::move(raw), path));
+  RLZ_RETURN_IF_ERROR(
+      CheckEnvelopeFormat(envelope, kFormatId, kFormatVersion));
+  EnvelopeReader reader = envelope.reader();
+  std::vector<uint64_t> sizes;
+  RLZ_RETURN_IF_ERROR(reader.ReadSizeTable(&sizes));
+  uint64_t total = 0;
+  for (uint64_t size : sizes) total += size;
+  const std::string_view data = reader.ReadRest();
+  Collection c;
+  c.Reserve(total, sizes.size());
+  size_t off = 0;
+  for (uint64_t size : sizes) {
+    c.Append(data.substr(off, size));
+    off += size;
   }
   return c;
 }

@@ -47,8 +47,11 @@ class Collection {
                : static_cast<double>(size_bytes()) / num_docs();
   }
 
-  /// Serializes to a file: header, delta-vbyte offsets, raw data.
+  /// Serializes to a container envelope (store/format.h): per-doc sizes
+  /// then the raw data, CRC-protected.
   Status Save(const std::string& path) const;
+  /// Loads a collection written by Save — the envelope, or the legacy
+  /// pre-envelope "RCO1" layout, which remains readable.
   static StatusOr<Collection> Load(const std::string& path);
 
   /// Reserves capacity to avoid reallocation while generating.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "build/build_pipeline.h"
+#include "store/format.h"
 #include "util/logging.h"
 
 namespace rlz {
@@ -95,6 +96,76 @@ Status SemiStaticArchive::Get(size_t id, std::string* doc,
     doc->append(vocab_.Token(rank));
   }
   return Status::OK();
+}
+
+Status SemiStaticArchive::Save(const std::string& path) const {
+  EnvelopeWriter writer(kFormatId, kFormatVersion);
+  writer.PutByte(static_cast<uint8_t>(scheme_));
+  // The word model: ranked tokens, then their frequencies (needed to
+  // rebuild the PlainHuffman code table deterministically on load).
+  writer.PutVarint64(vocab_.size());
+  for (uint32_t r = 0; r < vocab_.size(); ++r) {
+    writer.PutLengthPrefixed(vocab_.Token(r));
+  }
+  for (uint32_t r = 0; r < vocab_.size(); ++r) {
+    writer.PutVarint64(vocab_.Frequency(r));
+  }
+  writer.PutVarint64(num_docs());
+  for (size_t i = 0; i < num_docs(); ++i) {
+    writer.PutVarint64(map_.size(i));
+  }
+  writer.PutBytes(payload_);
+  return std::move(writer).WriteTo(path);
+}
+
+StatusOr<std::unique_ptr<SemiStaticArchive>> SemiStaticArchive::FromEnvelope(
+    const ParsedEnvelope& envelope, const OpenOptions& /*options*/) {
+  RLZ_RETURN_IF_ERROR(
+      CheckEnvelopeFormat(envelope, kFormatId, kFormatVersion));
+  EnvelopeReader reader = envelope.reader();
+
+  uint8_t scheme_byte = 0;
+  RLZ_RETURN_IF_ERROR(reader.ReadByte(&scheme_byte));
+  if (scheme_byte > static_cast<uint8_t>(SemiStaticScheme::kEtdc)) {
+    return Status::Corruption(envelope.context() + ": unknown scheme byte");
+  }
+  const SemiStaticScheme scheme = static_cast<SemiStaticScheme>(scheme_byte);
+
+  uint64_t ntokens = 0;
+  RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&ntokens));
+  // Every token costs at least one length byte plus one frequency byte,
+  // so a count beyond the remaining bytes is structural damage — checked
+  // before the vector allocations below.
+  if (ntokens > reader.remaining()) {
+    return Status::Corruption(envelope.context() +
+                              ": token count exceeds file");
+  }
+  std::vector<std::string> tokens(ntokens);
+  for (uint64_t r = 0; r < ntokens; ++r) {
+    std::string_view token;
+    RLZ_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&token));
+    tokens[r] = std::string(token);
+  }
+  std::vector<uint64_t> freqs(ntokens);
+  for (uint64_t r = 0; r < ntokens; ++r) {
+    RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&freqs[r]));
+  }
+
+  std::unique_ptr<SemiStaticArchive> archive(new SemiStaticArchive(
+      WordVocabulary::FromRanked(std::move(tokens), std::move(freqs)),
+      scheme));
+
+  std::vector<uint64_t> sizes;
+  RLZ_RETURN_IF_ERROR(reader.ReadSizeTable(&sizes));
+  for (uint64_t size : sizes) archive->map_.Add(size);
+  archive->payload_ = std::string(reader.ReadRest());
+  return archive;
+}
+
+StatusOr<std::unique_ptr<SemiStaticArchive>> SemiStaticArchive::Load(
+    const std::string& path, const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope, ReadEnvelopeFile(path));
+  return FromEnvelope(envelope, options);
 }
 
 uint64_t SemiStaticArchive::stored_bytes() const {

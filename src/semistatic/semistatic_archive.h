@@ -9,6 +9,7 @@
 #include "semistatic/word_model.h"
 #include "store/archive.h"
 #include "store/doc_map.h"
+#include "store/open_archive.h"
 
 namespace rlz {
 
@@ -54,6 +55,24 @@ class SemiStaticArchive final : public Archive {
   /// In-memory footprint of the decode-time model — the §2.1 scalability
   /// problem (the paper's ClueWeb vocabulary was 13 GB uncompressed).
   uint64_t model_memory_bytes() const { return vocab_.memory_bytes(); }
+
+  /// On-disk format id inside the container envelope ("semistatic").
+  static constexpr char kFormatId[] = "semistatic";
+  /// Current format version.
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Serializes the scheme, the ranked vocabulary (tokens and
+  /// frequencies — the word model), the document map, and the coded
+  /// payload as a container envelope. The coder is derived data, rebuilt
+  /// from the frequencies on load.
+  Status Save(const std::string& path) const override;
+  /// Opens an archive written by Save; Corruption on format errors.
+  static StatusOr<std::unique_ptr<SemiStaticArchive>> Load(
+      const std::string& path, const OpenOptions& options = {});
+  /// Materializes an archive from a parsed envelope — the OpenArchive
+  /// registry hook.
+  static StatusOr<std::unique_ptr<SemiStaticArchive>> FromEnvelope(
+      const ParsedEnvelope& envelope, const OpenOptions& options);
 
  private:
   SemiStaticArchive(WordVocabulary vocab, SemiStaticScheme scheme);

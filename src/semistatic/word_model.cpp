@@ -62,6 +62,19 @@ WordVocabulary WordVocabulary::Build(
   return vocab;
 }
 
+WordVocabulary WordVocabulary::FromRanked(std::vector<std::string> tokens,
+                                          std::vector<uint64_t> freqs) {
+  RLZ_CHECK_EQ(tokens.size(), freqs.size());
+  WordVocabulary vocab;
+  vocab.tokens_ = std::move(tokens);
+  vocab.freqs_ = std::move(freqs);
+  vocab.rank_.reserve(vocab.tokens_.size());
+  for (uint32_t r = 0; r < vocab.tokens_.size(); ++r) {
+    vocab.rank_.emplace(vocab.tokens_[r], r);
+  }
+  return vocab;
+}
+
 StatusOr<uint32_t> WordVocabulary::Rank(std::string_view token) const {
   auto it = rank_.find(token);
   if (it == rank_.end()) {

@@ -36,6 +36,13 @@ class WordVocabulary {
   /// descending frequency.
   static WordVocabulary Build(const std::vector<std::string_view>& docs);
 
+  /// Reassembles a vocabulary from its serialized form: `tokens[r]` is
+  /// the rank-r token and `freqs[r]` its collection frequency (the same
+  /// order Build produced). The rank index is rebuilt here. The two
+  /// vectors must be the same length (checked).
+  static WordVocabulary FromRanked(std::vector<std::string> tokens,
+                                   std::vector<uint64_t> freqs);
+
   /// Token id (== frequency rank) for `token`; NotFound for unseen tokens
   /// (cannot happen for text the vocabulary was built from).
   StatusOr<uint32_t> Rank(std::string_view token) const;

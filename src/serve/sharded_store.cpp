@@ -1,13 +1,42 @@
 #include "serve/sharded_store.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <thread>
 
 #include "build/archive_builder.h"
 #include "build/build_pipeline.h"
 #include "core/dictionary.h"
+#include "store/format.h"
 #include "util/logging.h"
 
 namespace rlz {
+namespace {
+
+// Relative name of shard `s` next to a manifest named `manifest_base`
+// (the manifest's own basename): "<base>.shard0007".
+std::string ShardFileName(const std::string& manifest_base, size_t s) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".shard%04llu",
+                static_cast<unsigned long long>(s));
+  return manifest_base + suffix;
+}
+
+// Splits `path` into the directory prefix (empty or ending in '/') and
+// the basename.
+void SplitPath(const std::string& path, std::string* dir,
+               std::string* base) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    dir->clear();
+    *base = path;
+  } else {
+    *dir = path.substr(0, slash + 1);
+    *base = path.substr(slash + 1);
+  }
+}
+
+}  // namespace
 
 std::unique_ptr<ShardedStore> ShardedStore::Build(
     const Collection& collection, const ShardedStoreOptions& options) {
@@ -76,6 +105,115 @@ std::unique_ptr<ShardedStore> ShardedStore::Build(
   }
   pipeline.Finish();
   return store;
+}
+
+Status ShardedStore::Save(const std::string& path) const {
+  std::string dir;
+  std::string base;
+  SplitPath(path, &dir, &base);
+  // Shards first, manifest last: a torn save leaves orphan shard files,
+  // never a manifest that names missing ones.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    RLZ_RETURN_IF_ERROR(shards_[s]->Save(dir + ShardFileName(base, s)));
+  }
+  EnvelopeWriter writer(kFormatId, kFormatVersion);
+  writer.PutVarint64(shards_.size());
+  for (size_t start : starts_) writer.PutVarint64(start);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    writer.PutLengthPrefixed(ShardFileName(base, s));
+  }
+  return std::move(writer).WriteTo(path);
+}
+
+StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::FromEnvelope(
+    const ParsedEnvelope& envelope, const std::string& path,
+    const OpenOptions& options) {
+  RLZ_RETURN_IF_ERROR(
+      CheckEnvelopeFormat(envelope, kFormatId, kFormatVersion));
+  EnvelopeReader reader = envelope.reader();
+
+  uint64_t nshards = 0;
+  RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&nshards));
+  if (nshards == 0 || nshards > reader.remaining()) {
+    return Status::Corruption(envelope.context() +
+                              ": bad manifest shard count");
+  }
+  std::unique_ptr<ShardedStore> store(new ShardedStore());
+  store->starts_.resize(nshards + 1);
+  for (size_t s = 0; s <= nshards; ++s) {
+    uint64_t start = 0;
+    RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&start));
+    store->starts_[s] = start;
+    if ((s == 0 && start != 0) ||
+        (s > 0 && start < store->starts_[s - 1])) {
+      return Status::Corruption(envelope.context() +
+                                ": manifest boundaries not monotone");
+    }
+  }
+  std::string dir;
+  std::string base;
+  SplitPath(path, &dir, &base);
+  std::vector<std::string> shard_paths(nshards);
+  for (size_t s = 0; s < nshards; ++s) {
+    std::string_view name;
+    RLZ_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&name));
+    if (name.empty() || name.find('/') != std::string_view::npos) {
+      return Status::Corruption(envelope.context() +
+                                ": manifest shard name must be a sibling "
+                                "file name");
+    }
+    shard_paths[s] = dir + std::string(name);
+  }
+  RLZ_RETURN_IF_ERROR(reader.ExpectConsumed());
+
+  // Shard files open in parallel: each is an independent rlz container,
+  // and the suffix-array rebuild (when requested) dominates the open
+  // cost, so the pipeline overlaps them across open_threads workers.
+  store->shards_.resize(nshards);
+  std::vector<Status> statuses(nshards);
+  BuildPipelineOptions pipeline_options;
+  // `nshards` comes from the (untrusted, CRC-valid) manifest: the default
+  // thread count is capped at the hardware parallelism so a crafted count
+  // cannot fan out thousands of threads — the per-shard opens then fail
+  // cleanly on the missing files.
+  const uint64_t default_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  pipeline_options.num_threads = static_cast<int>(std::min<uint64_t>(
+      nshards,
+      options.open_threads > 0 ? static_cast<uint64_t>(options.open_threads)
+                               : default_threads));
+  BuildPipeline pipeline(pipeline_options);
+  for (size_t s = 0; s < nshards; ++s) {
+    pipeline.Submit(
+        [&, s](int) {
+          auto shard = RlzArchive::Load(shard_paths[s], options);
+          if (shard.ok()) {
+            store->shards_[s] = std::move(shard).value();
+          } else {
+            statuses[s] = shard.status();
+          }
+        },
+        [] {});
+  }
+  pipeline.Finish();
+  for (const Status& status : statuses) {
+    RLZ_RETURN_IF_ERROR(status);
+  }
+  for (size_t s = 0; s < nshards; ++s) {
+    if (store->shards_[s]->num_docs() !=
+        store->starts_[s + 1] - store->starts_[s]) {
+      return Status::Corruption(shard_paths[s] +
+                                ": shard document count disagrees with "
+                                "the manifest");
+    }
+  }
+  return store;
+}
+
+StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
+    const std::string& path, const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope, ReadEnvelopeFile(path));
+  return FromEnvelope(envelope, path, options);
 }
 
 std::string ShardedStore::name() const {

@@ -12,6 +12,7 @@
 #include "core/rlz_archive.h"
 #include "corpus/collection.h"
 #include "store/archive.h"
+#include "store/open_archive.h"
 
 namespace rlz {
 
@@ -87,6 +88,36 @@ class ShardedStore final : public Archive {
   /// beyond any SimDiskOptions::sequential_gap, and far above the v1
   /// format's per-shard payload limit, so shard extents never overlap.
   static constexpr uint64_t kSimDeviceSpacing = 1ull << 40;
+
+  /// On-disk format id of the manifest envelope ("sharded").
+  static constexpr char kFormatId[] = "sharded";
+  /// Current manifest format version.
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Serializes the store as one file per shard plus a manifest: each
+  /// shard is written as an rlz container at `path + ".shardNNNN"`, then
+  /// the manifest (shard boundaries and relative shard file names) is
+  /// written at `path` — last, so a crash mid-save never leaves a
+  /// manifest pointing at missing shards. The directory can be moved as
+  /// a unit: shard names are stored relative to the manifest.
+  Status Save(const std::string& path) const override;
+
+  /// Opens a store written by Save: reads the manifest, then loads every
+  /// shard file in parallel (options.open_threads workers; by default one
+  /// per shard, capped at the hardware parallelism). A serving-only
+  /// reopen passes
+  /// OpenOptions::build_suffix_array = false and skips every shard's
+  /// suffix-array rebuild. Fails with IOError if a shard file named by
+  /// the manifest is missing, Corruption if a shard's document count
+  /// disagrees with the manifest.
+  static StatusOr<std::unique_ptr<ShardedStore>> Open(
+      const std::string& path, const OpenOptions& options = {});
+
+  /// Materializes a store from a parsed manifest envelope — the
+  /// OpenArchive registry hook. `path` locates the sibling shard files.
+  static StatusOr<std::unique_ptr<ShardedStore>> FromEnvelope(
+      const ParsedEnvelope& envelope, const std::string& path,
+      const OpenOptions& options);
 
  private:
   ShardedStore() = default;

@@ -1,6 +1,10 @@
 #ifndef RLZ_STORE_ARCHIVE_H_
 #define RLZ_STORE_ARCHIVE_H_
 
+/// \file
+/// The Archive interface: random-access document retrieval plus the
+/// polymorphic Save every compressed store implements.
+
 #include <cstdint>
 #include <string>
 
@@ -32,6 +36,7 @@ class Archive {
   /// Identifier used in benchmark tables (e.g. "rlz-ZV", "gzipx-64K").
   virtual std::string name() const = 0;
 
+  /// Number of stored documents.
   virtual size_t num_docs() const = 0;
 
   /// Retrieves document `id` into `*doc` (cleared first). Charges simulated
@@ -58,6 +63,15 @@ class Archive {
   /// Total encoded size in bytes, including the document map and any
   /// dictionary — the numerator of the paper's "Enc. %" columns.
   virtual uint64_t stored_bytes() const = 0;
+
+  /// Serializes the archive to `path` inside the versioned container
+  /// format (store/format.h): every implementation writes a
+  /// self-describing, CRC-protected envelope that OpenArchive() can
+  /// reopen without knowing the concrete type. Multi-file formats (the
+  /// sharded store) write `path` as a manifest plus sibling files derived
+  /// from it. Returns InvalidArgument if the archive holds state the
+  /// format cannot represent (e.g. an unregistered compressor).
+  virtual Status Save(const std::string& path) const = 0;
 };
 
 }  // namespace rlz

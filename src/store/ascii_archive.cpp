@@ -1,5 +1,9 @@
 #include "store/ascii_archive.h"
 
+#include <vector>
+
+#include "store/format.h"
+
 namespace rlz {
 
 AsciiArchive::AsciiArchive(const Collection& collection) {
@@ -20,6 +24,35 @@ Status AsciiArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
   if (disk != nullptr) disk->Read(off, size);
   doc->append(payload_, off, size);
   return Status::OK();
+}
+
+Status AsciiArchive::Save(const std::string& path) const {
+  EnvelopeWriter writer(kFormatId, kFormatVersion);
+  writer.PutVarint64(num_docs());
+  for (size_t i = 0; i < num_docs(); ++i) {
+    writer.PutVarint64(map_.size(i));
+  }
+  writer.PutBytes(payload_);
+  return std::move(writer).WriteTo(path);
+}
+
+StatusOr<std::unique_ptr<AsciiArchive>> AsciiArchive::FromEnvelope(
+    const ParsedEnvelope& envelope, const OpenOptions& /*options*/) {
+  RLZ_RETURN_IF_ERROR(
+      CheckEnvelopeFormat(envelope, kFormatId, kFormatVersion));
+  EnvelopeReader reader = envelope.reader();
+  std::unique_ptr<AsciiArchive> archive(new AsciiArchive());
+  std::vector<uint64_t> sizes;
+  RLZ_RETURN_IF_ERROR(reader.ReadSizeTable(&sizes));
+  for (uint64_t size : sizes) archive->map_.Add(size);
+  archive->payload_ = std::string(reader.ReadRest());
+  return archive;
+}
+
+StatusOr<std::unique_ptr<AsciiArchive>> AsciiArchive::Load(
+    const std::string& path, const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope, ReadEnvelopeFile(path));
+  return FromEnvelope(envelope, options);
 }
 
 }  // namespace rlz

@@ -1,11 +1,16 @@
 #ifndef RLZ_STORE_ASCII_ARCHIVE_H_
 #define RLZ_STORE_ASCII_ARCHIVE_H_
 
+/// \file
+/// The uncompressed baseline archive (raw concatenation + document map).
+
+#include <memory>
 #include <string>
 
 #include "corpus/collection.h"
 #include "store/archive.h"
 #include "store/doc_map.h"
+#include "store/open_archive.h"
 
 namespace rlz {
 
@@ -13,17 +18,39 @@ namespace rlz {
 /// documents with a map specifying offsets to each document location".
 class AsciiArchive final : public Archive {
  public:
+  /// Concatenates every document of `collection` (copied).
   explicit AsciiArchive(const Collection& collection);
 
+  /// Always "ascii".
   std::string name() const override { return "ascii"; }
+  /// Number of stored documents.
   size_t num_docs() const override { return map_.num_docs(); }
+  /// Copies document `id` out of the concatenated payload.
   Status Get(size_t id, std::string* doc,
              SimDisk* disk = nullptr) const override;
+  /// Payload plus the serialized document map.
   uint64_t stored_bytes() const override {
     return payload_.size() + map_.serialized_bytes();
   }
 
+  /// On-disk format id inside the container envelope ("ascii").
+  static constexpr char kFormatId[] = "ascii";
+  /// Current format version.
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Serializes the document map and payload as a container envelope.
+  Status Save(const std::string& path) const override;
+  /// Opens an archive written by Save; Corruption on format errors.
+  static StatusOr<std::unique_ptr<AsciiArchive>> Load(
+      const std::string& path, const OpenOptions& options = {});
+  /// Materializes an archive from a parsed envelope — the OpenArchive
+  /// registry hook.
+  static StatusOr<std::unique_ptr<AsciiArchive>> FromEnvelope(
+      const ParsedEnvelope& envelope, const OpenOptions& options);
+
  private:
+  AsciiArchive() = default;
+
   std::string payload_;
   DocMap map_;
 };

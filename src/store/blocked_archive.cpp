@@ -3,9 +3,25 @@
 #include <algorithm>
 
 #include "build/build_pipeline.h"
+#include "store/format.h"
 #include "util/logging.h"
 
 namespace rlz {
+namespace {
+
+// Shared by the build and load paths: the auto-sized decode cache holds
+// two maximal uncompressed blocks across two stripes (see the class
+// comment on paper fidelity).
+std::unique_ptr<LruCache> MakeBlockCache(uint64_t cache_bytes,
+                                         uint64_t max_block_text) {
+  if (cache_bytes == 0) {
+    cache_bytes = 2 * (std::max<uint64_t>(max_block_text, 1) +
+                       LruCache::kEntryOverheadBytes);
+  }
+  return std::make_unique<LruCache>(cache_bytes, /*num_shards=*/2);
+}
+
+}  // namespace
 
 BlockedArchive::BlockedArchive(const Collection& collection,
                                const Compressor* compressor,
@@ -81,15 +97,7 @@ BlockedArchive::BlockedArchive(const Collection& collection,
       });
   pipeline.Finish();
 
-  // Auto-sized cache: two maximal blocks across two stripes (each stripe
-  // must also cover the cache's per-entry charge), so each stripe can hold
-  // one block and a sequential scan always hits (see header comment on
-  // paper fidelity).
-  if (cache_bytes == 0) {
-    cache_bytes = 2 * (std::max<uint64_t>(max_block_text, 1) +
-                       LruCache::kEntryOverheadBytes);
-  }
-  block_cache_ = std::make_unique<LruCache>(cache_bytes, /*num_shards=*/2);
+  block_cache_ = MakeBlockCache(cache_bytes, max_block_text);
 }
 
 std::string BlockedArchive::name() const {
@@ -135,6 +143,103 @@ Status BlockedArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
   }
   doc->assign(*text, d.offset, d.size);
   return Status::OK();
+}
+
+Status BlockedArchive::Save(const std::string& path) const {
+  RLZ_ASSIGN_OR_RETURN(CompressorId id, compressor_->persistent_id());
+  EnvelopeWriter writer(kFormatId, kFormatVersion);
+  writer.PutByte(static_cast<uint8_t>(id));
+  writer.PutVarint64(block_bytes_);
+  writer.PutVarint64(blocks_.size());
+  // Block offsets are cumulative, so only sizes are stored.
+  for (const BlockInfo& b : blocks_) writer.PutVarint64(b.payload_size);
+  writer.PutVarint64(docs_.size());
+  for (const DocInfo& d : docs_) {
+    writer.PutVarint32(d.block);
+    writer.PutVarint32(d.offset);
+    writer.PutVarint32(d.size);
+  }
+  writer.PutBytes(payload_);
+  return std::move(writer).WriteTo(path);
+}
+
+StatusOr<std::unique_ptr<BlockedArchive>> BlockedArchive::FromEnvelope(
+    const ParsedEnvelope& envelope, const OpenOptions& options) {
+  RLZ_RETURN_IF_ERROR(
+      CheckEnvelopeFormat(envelope, kFormatId, kFormatVersion));
+  EnvelopeReader reader = envelope.reader();
+
+  uint8_t compressor_byte = 0;
+  RLZ_RETURN_IF_ERROR(reader.ReadByte(&compressor_byte));
+  if (compressor_byte > static_cast<uint8_t>(CompressorId::kLzmax)) {
+    return Status::Corruption(envelope.context() +
+                              ": unknown compressor id");
+  }
+  const Compressor* compressor =
+      GetCompressor(static_cast<CompressorId>(compressor_byte));
+
+  uint64_t block_bytes = 0;
+  RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&block_bytes));
+  std::unique_ptr<BlockedArchive> archive(
+      new BlockedArchive(compressor, block_bytes));
+
+  uint64_t num_blocks = 0;
+  RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&num_blocks));
+  if (num_blocks > reader.remaining()) {
+    return Status::Corruption(envelope.context() +
+                              ": block count exceeds file");
+  }
+  archive->blocks_.resize(num_blocks);
+  uint64_t payload_size = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint64_t size = 0;
+    RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&size));
+    if (size > reader.remaining() ||
+        payload_size > reader.remaining() - size) {
+      return Status::Corruption(envelope.context() +
+                                ": payload size mismatch");
+    }
+    archive->blocks_[b] = {payload_size, size};
+    payload_size += size;
+  }
+
+  uint64_t num_docs = 0;
+  RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&num_docs));
+  if (num_docs > reader.remaining()) {
+    return Status::Corruption(envelope.context() +
+                              ": document count exceeds file");
+  }
+  archive->docs_.resize(num_docs);
+  // Per-block uncompressed extents, rebuilt from the document table to
+  // auto-size the decode cache exactly as the build path does.
+  uint64_t max_block_text = 0;
+  for (uint64_t i = 0; i < num_docs; ++i) {
+    DocInfo& d = archive->docs_[i];
+    RLZ_RETURN_IF_ERROR(reader.ReadVarint32(&d.block));
+    RLZ_RETURN_IF_ERROR(reader.ReadVarint32(&d.offset));
+    RLZ_RETURN_IF_ERROR(reader.ReadVarint32(&d.size));
+    // Empty trailing documents may reference one block past the end (see
+    // Get); any other out-of-range block index is structural damage.
+    if (d.size > 0 ? d.block >= num_blocks : d.block > num_blocks) {
+      return Status::Corruption(envelope.context() +
+                                ": document references missing block");
+    }
+    max_block_text = std::max<uint64_t>(
+        max_block_text, static_cast<uint64_t>(d.offset) + d.size);
+  }
+
+  if (reader.remaining() != payload_size) {
+    return Status::Corruption(envelope.context() + ": payload size mismatch");
+  }
+  archive->payload_ = std::string(reader.ReadRest());
+  archive->block_cache_ = MakeBlockCache(options.cache_bytes, max_block_text);
+  return archive;
+}
+
+StatusOr<std::unique_ptr<BlockedArchive>> BlockedArchive::Load(
+    const std::string& path, const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope, ReadEnvelopeFile(path));
+  return FromEnvelope(envelope, options);
 }
 
 uint64_t BlockedArchive::stored_bytes() const {

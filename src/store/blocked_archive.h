@@ -1,6 +1,9 @@
 #ifndef RLZ_STORE_BLOCKED_ARCHIVE_H_
 #define RLZ_STORE_BLOCKED_ARCHIVE_H_
 
+/// \file
+/// The blocked general-purpose-compressor baseline (§2.2).
+
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -8,6 +11,7 @@
 
 #include "corpus/collection.h"
 #include "store/archive.h"
+#include "store/open_archive.h"
 #include "util/lru_cache.h"
 #include "zip/compressor.h"
 
@@ -43,17 +47,47 @@ class BlockedArchive final : public Archive {
                  uint64_t block_bytes, uint64_t cache_bytes = 0,
                  int num_threads = 1);
 
+  /// Compressor name plus the block size (e.g. "gzipx-64K", "lzmax-1doc").
   std::string name() const override;
+  /// Number of stored documents.
   size_t num_docs() const override { return docs_.size(); }
+  /// Decompresses the containing block (or hits the decode cache) and
+  /// copies the document out of it.
   Status Get(size_t id, std::string* doc,
              SimDisk* disk = nullptr) const override;
+  /// Compressed payload plus a vbyte-style block/document directory.
   uint64_t stored_bytes() const override;
 
+  /// Number of compressed blocks.
   size_t num_blocks() const { return blocks_.size(); }
+  /// The target uncompressed block size (0 = one document per block).
   uint64_t block_bytes() const { return block_bytes_; }
+  /// The shared decoded-block cache (hit/miss/eviction stats).
   const LruCache& block_cache() const { return *block_cache_; }
 
+  /// On-disk format id inside the container envelope ("blocked").
+  static constexpr char kFormatId[] = "blocked";
+  /// Current format version.
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Serializes the compressor id, block size, block/document directory,
+  /// and compressed payload as a container envelope. Returns
+  /// InvalidArgument if the backing compressor has no persistent id (see
+  /// Compressor::persistent_id).
+  Status Save(const std::string& path) const override;
+  /// Opens an archive written by Save; the compressor is resolved from
+  /// its recorded id via GetCompressor. Corruption on format errors.
+  static StatusOr<std::unique_ptr<BlockedArchive>> Load(
+      const std::string& path, const OpenOptions& options = {});
+  /// Materializes an archive from a parsed envelope — the OpenArchive
+  /// registry hook.
+  static StatusOr<std::unique_ptr<BlockedArchive>> FromEnvelope(
+      const ParsedEnvelope& envelope, const OpenOptions& options);
+
  private:
+  BlockedArchive(const Compressor* compressor, uint64_t block_bytes)
+      : compressor_(compressor), block_bytes_(block_bytes) {}
+
   struct BlockInfo {
     uint64_t payload_offset;  // start of compressed block in payload_
     uint64_t payload_size;    // compressed size

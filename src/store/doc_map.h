@@ -1,6 +1,9 @@
 #ifndef RLZ_STORE_DOC_MAP_H_
 #define RLZ_STORE_DOC_MAP_H_
 
+/// \file
+/// The document map: doc id -> byte extent in an encoded payload (§3.1).
+
 #include <cstdint>
 #include <vector>
 
@@ -29,13 +32,17 @@ class DocMap {
     } while (delta != 0);
   }
 
+  /// Number of mapped documents.
   size_t num_docs() const { return offsets_.size() - 1; }
 
+  /// Byte offset of document `id` in the payload (id < num_docs()).
   uint64_t offset(size_t id) const {
     RLZ_DCHECK_LT(id, num_docs());
     return offsets_[id];
   }
+  /// Encoded size of document `id` in bytes.
   uint64_t size(size_t id) const { return offsets_[id + 1] - offsets_[id]; }
+  /// Total payload bytes across all documents.
   uint64_t total_bytes() const { return offsets_.back(); }
 
   /// Size of the delta-vbyte serialization (what a disk-resident system

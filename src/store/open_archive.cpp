@@ -1,0 +1,138 @@
+#include "store/open_archive.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "core/rlz_archive.h"
+#include "io/file.h"
+#include "semistatic/semistatic_archive.h"
+#include "serve/sharded_store.h"
+#include "store/ascii_archive.h"
+#include "store/blocked_archive.h"
+
+namespace rlz {
+namespace {
+
+// Adapters narrow each format's typed loader to the common signature.
+// They are plain functions (the registry stores function pointers), and
+// the built-in table below references them directly, so the registrations
+// cannot be dropped by static-library dead stripping.
+
+StatusOr<std::unique_ptr<Archive>> LoadRlz(const std::string& /*path*/,
+                                           const ParsedEnvelope& envelope,
+                                           const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(std::unique_ptr<RlzArchive> archive,
+                       RlzArchive::FromEnvelope(envelope, options));
+  return std::unique_ptr<Archive>(std::move(archive));
+}
+
+StatusOr<std::unique_ptr<Archive>> LoadAscii(const std::string& /*path*/,
+                                             const ParsedEnvelope& envelope,
+                                             const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(std::unique_ptr<AsciiArchive> archive,
+                       AsciiArchive::FromEnvelope(envelope, options));
+  return std::unique_ptr<Archive>(std::move(archive));
+}
+
+StatusOr<std::unique_ptr<Archive>> LoadBlocked(const std::string& /*path*/,
+                                               const ParsedEnvelope& envelope,
+                                               const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(std::unique_ptr<BlockedArchive> archive,
+                       BlockedArchive::FromEnvelope(envelope, options));
+  return std::unique_ptr<Archive>(std::move(archive));
+}
+
+StatusOr<std::unique_ptr<Archive>> LoadSemiStatic(
+    const std::string& /*path*/, const ParsedEnvelope& envelope,
+    const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(std::unique_ptr<SemiStaticArchive> archive,
+                       SemiStaticArchive::FromEnvelope(envelope, options));
+  return std::unique_ptr<Archive>(std::move(archive));
+}
+
+StatusOr<std::unique_ptr<Archive>> LoadSharded(const std::string& path,
+                                               const ParsedEnvelope& envelope,
+                                               const OpenOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(std::unique_ptr<ShardedStore> store,
+                       ShardedStore::FromEnvelope(envelope, path, options));
+  return std::unique_ptr<Archive>(std::move(store));
+}
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+std::map<std::string, ArchiveLoader>& Registry() {
+  static std::map<std::string, ArchiveLoader>* registry =
+      new std::map<std::string, ArchiveLoader>{
+          {RlzArchive::kFormatId, &LoadRlz},
+          {AsciiArchive::kFormatId, &LoadAscii},
+          {BlockedArchive::kFormatId, &LoadBlocked},
+          {SemiStaticArchive::kFormatId, &LoadSemiStatic},
+          {ShardedStore::kFormatId, &LoadSharded},
+      };
+  return *registry;
+}
+
+StatusOr<ArchiveLoader> FindLoader(const std::string& format_id,
+                                   const std::string& path) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(format_id);
+  if (it == Registry().end()) {
+    return Status::InvalidArgument(path + ": no loader registered for format '" +
+                                   format_id + "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void RegisterArchiveFormat(const std::string& format_id,
+                           ArchiveLoader loader) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry()[format_id] = loader;
+}
+
+StatusOr<ArchiveFormatInfo> SniffArchiveFile(const std::string& path) {
+  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  ArchiveFormatInfo info;
+  if (IsLegacyRlzV1(raw)) {
+    info.format_id = RlzArchive::kFormatId;
+    info.version = 1;
+    return info;
+  }
+  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope,
+                       ParsedEnvelope::FromBytes(std::move(raw), path));
+  info.format_id = envelope.format_id();
+  info.version = envelope.version();
+  return info;
+}
+
+StatusOr<std::unique_ptr<Archive>> OpenArchive(const std::string& path,
+                                               const OpenOptions& options,
+                                               ArchiveFormatInfo* sniffed) {
+  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  if (IsLegacyRlzV1(raw)) {
+    if (sniffed != nullptr) {
+      sniffed->format_id = RlzArchive::kFormatId;
+      sniffed->version = 1;
+    }
+    RLZ_ASSIGN_OR_RETURN(
+        std::unique_ptr<RlzArchive> archive,
+        RlzArchive::LoadLegacyV1(std::move(raw), path, options));
+    return std::unique_ptr<Archive>(std::move(archive));
+  }
+  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope,
+                       ParsedEnvelope::FromBytes(std::move(raw), path));
+  if (sniffed != nullptr) {
+    sniffed->format_id = envelope.format_id();
+    sniffed->version = envelope.version();
+  }
+  RLZ_ASSIGN_OR_RETURN(ArchiveLoader loader,
+                       FindLoader(envelope.format_id(), path));
+  return loader(path, envelope, options);
+}
+
+}  // namespace rlz

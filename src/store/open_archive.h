@@ -1,0 +1,78 @@
+#ifndef RLZ_STORE_OPEN_ARCHIVE_H_
+#define RLZ_STORE_OPEN_ARCHIVE_H_
+
+/// \file
+/// Format-agnostic archive opening: sniff a container's format id and
+/// dispatch to the registered loader (DESIGN.md §8).
+
+#include <memory>
+#include <string>
+
+#include "store/archive.h"
+#include "store/format.h"
+#include "util/status.h"
+
+namespace rlz {
+
+/// Knobs for opening a saved archive.
+struct OpenOptions {
+  /// Rebuild dictionary suffix arrays on open. Serving (Get/GetRange)
+  /// never consults the suffix array — only factorizing *new* documents
+  /// does — so a serving-only reopen should pass false and skip the
+  /// dominant part of the open cost (see bench/serve_throughput's
+  /// restart-cost table).
+  bool build_suffix_array = true;
+  /// Worker threads for multi-file opens (ShardedStore loads its shards
+  /// in parallel). 0 means auto: one thread per shard, capped at the
+  /// hardware parallelism (the shard count comes from an untrusted
+  /// manifest, so it cannot dictate the fan-out on its own).
+  int open_threads = 0;
+  /// Decode-cache budget in bytes for formats that serve through a block
+  /// cache (BlockedArchive). 0 means auto-size to two maximum blocks —
+  /// the same default the build constructor uses.
+  uint64_t cache_bytes = 0;
+};
+
+/// What SniffArchiveFile learned from a container header.
+struct ArchiveFormatInfo {
+  /// The envelope's format id ("rlz", "ascii", "blocked", "semistatic",
+  /// "sharded"); legacy pre-envelope rlz archives report "rlz".
+  std::string format_id;
+  /// The format version (legacy pre-envelope rlz archives report 1).
+  uint32_t version = 0;
+};
+
+/// Reads `path` and reports its container format id and version without
+/// materializing the archive. The whole file is read and its envelope
+/// (including the CRC trailer) validated, so a Corruption result means
+/// the file is damaged, not merely unrecognized. To both sniff and open
+/// in one read, pass OpenArchive's `sniffed` out-parameter instead.
+StatusOr<ArchiveFormatInfo> SniffArchiveFile(const std::string& path);
+
+/// A format loader: materializes an archive from its parsed envelope.
+/// `path` is the container's own path (formats whose payload spans several
+/// files — the sharded manifest — resolve siblings relative to it).
+using ArchiveLoader = StatusOr<std::unique_ptr<Archive>> (*)(
+    const std::string& path, const ParsedEnvelope& envelope,
+    const OpenOptions& options);
+
+/// Registers `loader` for `format_id`, replacing any previous registration.
+/// The built-in formats are pre-registered; this hook lets downstream code
+/// plug new Archive implementations into OpenArchive. Thread-safe.
+void RegisterArchiveFormat(const std::string& format_id, ArchiveLoader loader);
+
+/// Opens any saved archive: sniffs the container's format id and
+/// dispatches to the registered loader. Legacy pre-envelope rlz v1 files
+/// open through RlzArchive's compat loader. Returns InvalidArgument for an
+/// unregistered format id or a future format version, Corruption for
+/// structural damage, IOError if the file cannot be read. If `sniffed` is
+/// non-null it receives the container's format id and version (the same
+/// data SniffArchiveFile reports, without reading the file twice); it is
+/// filled whenever the header parses, even if the loader then fails.
+StatusOr<std::unique_ptr<Archive>> OpenArchive(const std::string& path,
+                                               const OpenOptions& options = {},
+                                               ArchiveFormatInfo* sniffed = nullptr);
+
+}  // namespace rlz
+
+#endif  // RLZ_STORE_OPEN_ARCHIVE_H_

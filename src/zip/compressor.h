@@ -1,6 +1,7 @@
 #ifndef RLZ_ZIP_COMPRESSOR_H_
 #define RLZ_ZIP_COMPRESSOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -8,6 +9,12 @@
 #include "util/status.h"
 
 namespace rlz {
+
+/// Compressor families available for baselines and factor-stream coding.
+enum class CompressorId : uint8_t {
+  kGzipx = 0,  ///< small-window LZ77 + Huffman (plays the role of zlib)
+  kLzmax = 1,  ///< large-window LZ + range coder (plays the role of lzma)
+};
 
 /// A one-shot block compressor. Implementations write a self-describing
 /// stream (magic + uncompressed size header) so Decompress needs no side
@@ -26,12 +33,16 @@ class Compressor {
   /// Decompresses a stream produced by Compress, appending to `out`.
   /// Returns Corruption on malformed input.
   virtual Status Decompress(std::string_view in, std::string* out) const = 0;
-};
 
-/// Compressor families available for baselines and factor-stream coding.
-enum class CompressorId : uint8_t {
-  kGzipx = 0,  ///< small-window LZ77 + Huffman (plays the role of zlib)
-  kLzmax = 1,  ///< large-window LZ + range coder (plays the role of lzma)
+  /// Stable on-disk identifier for this compressor family — what
+  /// BlockedArchive::Save records so a reopening process can decompress
+  /// with GetCompressor(id). Compressors without a registered family
+  /// (e.g. the Bigtable recipe) return InvalidArgument and cannot back a
+  /// saved archive.
+  virtual StatusOr<CompressorId> persistent_id() const {
+    return Status::InvalidArgument("compressor '" + name() +
+                                   "' has no persistent id");
+  }
 };
 
 /// Returns a process-lifetime singleton for `id` at default settings.

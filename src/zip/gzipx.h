@@ -34,6 +34,9 @@ class GzipxCompressor final : public Compressor {
   std::string name() const override { return "gzipx"; }
   void Compress(std::string_view in, std::string* out) const override;
   Status Decompress(std::string_view in, std::string* out) const override;
+  StatusOr<CompressorId> persistent_id() const override {
+    return CompressorId::kGzipx;
+  }
 
   static constexpr int kWindowBits = 15;
   static constexpr int kWindowSize = 1 << kWindowBits;  // 32 KB, as zlib

@@ -33,6 +33,9 @@ class LzmaxCompressor final : public Compressor {
   std::string name() const override { return "lzmax"; }
   void Compress(std::string_view in, std::string* out) const override;
   Status Decompress(std::string_view in, std::string* out) const override;
+  StatusOr<CompressorId> persistent_id() const override {
+    return CompressorId::kLzmax;
+  }
 
   static constexpr int kMinMatch = 2;       // rep matches may be this short
   static constexpr int kMinNewMatch = 4;    // hash-found matches
