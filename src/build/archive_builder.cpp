@@ -89,7 +89,12 @@ void RlzArchiveBuilder::FlushChunk() {
           factors.clear();
           factorizer.Factorize(doc, &factors);
           const size_t before = chunk->payload.size();
-          archive_->coder().EncodeDoc(factors, &chunk->payload);
+          // The pipeline has no error channel; a document beyond the
+          // z-stream format limits (>4 GiB of factor stream) aborts, as
+          // AppendEncodedDoc does on the serial path.
+          const Status status =
+              archive_->coder().EncodeDoc(factors, &chunk->payload);
+          RLZ_CHECK(status.ok()) << status.ToString();
           chunk->doc_sizes.push_back(chunk->payload.size() - before);
         }
         // The text is dead once encoded; release it before the chunk

@@ -119,7 +119,11 @@ Status VByteCodec::Decode(std::string_view in, size_t count,
                           std::vector<uint32_t>* values,
                           size_t* consumed) const {
   size_t pos = 0;
-  values->reserve(values->size() + count);
+  // The count comes from an untrusted header; every value occupies at
+  // least one byte, so clamping the reserve to the buffer size keeps a
+  // crafted count from forcing a huge allocation (the parse loop below
+  // fails on truncation long before the vector would grow that far).
+  values->reserve(values->size() + std::min(count, in.size()));
   for (size_t i = 0; i < count; ++i) {
     uint32_t v = 0;
     RLZ_RETURN_IF_ERROR(Get(in, &pos, &v));
@@ -212,7 +216,10 @@ Status Simple9Codec::Decode(std::string_view in, size_t count,
                             size_t* consumed) const {
   size_t pos = 0;
   size_t produced = 0;
-  values->reserve(values->size() + count);
+  // Untrusted count: at most 28 values per 4-byte word, so clamp the
+  // reserve to what the buffer could actually hold.
+  values->reserve(values->size() +
+                  std::min(count, (in.size() / 4 + 1) * 28));
   while (produced < count) {
     uint32_t word = 0;
     RLZ_RETURN_IF_ERROR(GetWordLE(in, &pos, &word));
@@ -308,7 +315,10 @@ Status PForDeltaCodec::Decode(std::string_view in, size_t count,
                               size_t* consumed) const {
   size_t pos = 0;
   size_t produced = 0;
-  values->reserve(values->size() + count);
+  // Untrusted count: a 128-value block occupies at least 2 header bytes
+  // plus 16 packed bytes, so clamp the reserve to the buffer's capacity.
+  values->reserve(values->size() +
+                  std::min(count, (in.size() / 18 + 1) * kBlockSize));
   while (produced < count) {
     if (pos + 2 > in.size()) return Status::Corruption("pfd truncated header");
     const int b = static_cast<uint8_t>(in[pos]);

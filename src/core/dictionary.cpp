@@ -10,15 +10,24 @@
 namespace rlz {
 
 Dictionary::Dictionary(std::string text, bool build_suffix_array)
-    : text_(std::move(text)) {
+    : text_(std::move(text)), view_(text_) {
   if (build_suffix_array) {
-    matcher_ = std::make_unique<SuffixMatcher>(text_);
+    matcher_ = std::make_unique<SuffixMatcher>(view_);
+  }
+}
+
+Dictionary::Dictionary(std::string_view text,
+                       std::shared_ptr<const void> owner,
+                       bool build_suffix_array)
+    : view_(text), owner_(std::move(owner)) {
+  if (build_suffix_array) {
+    matcher_ = std::make_unique<SuffixMatcher>(view_);
   }
 }
 
 Status Dictionary::Save(const std::string& path) const {
   EnvelopeWriter writer(kFormatId, kFormatVersion);
-  writer.PutBytes(text_);
+  writer.PutBytes(view_);
   return std::move(writer).WriteTo(path);
 }
 
@@ -34,7 +43,9 @@ StatusOr<std::unique_ptr<Dictionary>> Dictionary::Load(
                        ParsedEnvelope::FromBytes(std::move(raw), path));
   RLZ_RETURN_IF_ERROR(
       CheckEnvelopeFormat(envelope, kFormatId, kFormatVersion));
-  return std::make_unique<Dictionary>(std::string(envelope.body()),
+  // Zero-copy: the dictionary text aliases the loaded file bytes, which
+  // the envelope's shared backing keeps alive (DESIGN.md §9).
+  return std::make_unique<Dictionary>(envelope.body(), envelope.backing(),
                                       build_suffix_array);
 }
 

@@ -28,10 +28,24 @@ class Dictionary {
   /// that work entirely; see OpenOptions::build_suffix_array.
   explicit Dictionary(std::string text, bool build_suffix_array = true);
 
+  /// Zero-copy variant: aliases `text` without copying it, keeping
+  /// `owner` (the buffer `text` points into — typically a ParsedEnvelope
+  /// backing()) alive for the dictionary's lifetime. This is the open
+  /// path's way to avoid duplicating the dictionary bytes already held by
+  /// the loaded file (DESIGN.md §9).
+  Dictionary(std::string_view text, std::shared_ptr<const void> owner,
+             bool build_suffix_array = true);
+
+  /// Not copyable or movable: the matcher (and, for the zero-copy
+  /// constructor, the text view) points into this instance's storage.
+  Dictionary(const Dictionary&) = delete;
+  /// Not assignable, for the same reason.
+  Dictionary& operator=(const Dictionary&) = delete;
+
   /// The dictionary text.
-  std::string_view text() const { return text_; }
+  std::string_view text() const { return view_; }
   /// Dictionary size in bytes.
-  size_t size() const { return text_.size(); }
+  size_t size() const { return view_.size(); }
   /// True if the suffix-array matcher was built (see the constructor).
   bool has_matcher() const { return matcher_ != nullptr; }
   /// The suffix-array matcher over the dictionary text. Aborts if the
@@ -61,7 +75,9 @@ class Dictionary {
       const std::string& path, bool build_suffix_array = true);
 
  private:
-  std::string text_;
+  std::string text_;        // owned storage (empty when aliasing)
+  std::string_view view_;   // the text: into text_ or the aliased owner
+  std::shared_ptr<const void> owner_;  // keeps aliased bytes alive
   std::unique_ptr<SuffixMatcher> matcher_;
 };
 

@@ -10,6 +10,7 @@
 
 #include "core/dictionary.h"
 #include "core/factor.h"
+#include "store/decode_scratch.h"
 #include "util/status.h"
 
 namespace rlz {
@@ -72,29 +73,64 @@ class FactorCoder {
   /// The coding pair this coder implements.
   PairCoding coding() const { return coding_; }
 
-  /// Appends the encoded form of `factors` to `out`.
-  void EncodeDoc(const std::vector<Factor>& factors, std::string* out) const;
+  /// Largest decoded document a factor stream may claim (1 GiB). The sum
+  /// of factor lengths is checked against this before the output buffer is
+  /// sized, so a crafted stream of maximal lengths cannot force a
+  /// multi-GiB allocation out of a few hundred input bytes.
+  static constexpr uint64_t kMaxDecodedDocBytes = 1ull << 30;
+
+  /// Rejects per-document z-streams the vbyte32 framing cannot represent:
+  /// a raw or compressed stream of kMaxZStreamBytes or more would be
+  /// silently truncated to 32 bits in the stream headers and round-trip
+  /// corrupt. Exposed so tests can exercise the guard without allocating
+  /// 4 GiB (the same pattern as RlzArchive::CheckFormatLimits).
+  static Status CheckZStreamLimits(uint64_t raw_bytes, uint64_t z_bytes);
+
+  /// Upper bound (exclusive) for CheckZStreamLimits: 4 GiB.
+  static constexpr uint64_t kMaxZStreamBytes = 1ull << 32;
+
+  /// Appends the encoded form of `factors` to `out`. Returns
+  /// InvalidArgument (with `out` restored to its input length) if a
+  /// z-coded stream exceeds the per-document format limits — see
+  /// CheckZStreamLimits.
+  Status EncodeDoc(const std::vector<Factor>& factors, std::string* out) const;
 
   /// Decodes an encoded document back to factors. `in` must begin at the
   /// encoding; trailing bytes are ignored. Sets `*consumed` if non-null.
   Status DecodeFactors(std::string_view in, std::vector<Factor>* factors,
                        size_t* consumed = nullptr) const;
 
-  /// Decodes an encoded document straight to text via `dict` (Fig. 2).
+  /// Decodes an encoded document straight to text via `dict` (Fig. 2),
+  /// appending to `*text`. Expansion is two-pass: factor lengths are
+  /// summed and bounds-checked first, the output is resized once, then
+  /// factors are expanded with a tight memcpy loop — the paper's
+  /// memcpy-decode, with no per-factor growth checks. A non-null `scratch`
+  /// lends reusable position/length/inflate buffers so the decode performs
+  /// no heap allocations beyond the output itself (DESIGN.md §9); output
+  /// bytes are identical with or without scratch.
   Status DecodeDoc(std::string_view in, const Dictionary& dict,
-                   std::string* text) const;
+                   std::string* text, DecodeScratch* scratch = nullptr) const;
 
   /// Decodes only text[offset, offset+length) of the document, skipping
   /// factors before the range and stopping after it — snippet extraction
   /// without materializing the whole document. If the range extends past
-  /// the end of the document the available suffix is returned.
+  /// the end of the document the available suffix is returned. `scratch`
+  /// as in DecodeDoc.
   Status DecodeRange(std::string_view in, const Dictionary& dict,
-                     size_t offset, size_t length, std::string* text) const;
+                     size_t offset, size_t length, std::string* text,
+                     DecodeScratch* scratch = nullptr) const;
 
  private:
   Status DecodeStreams(std::string_view in, std::vector<uint32_t>* positions,
-                       std::vector<uint32_t>* lengths,
-                       size_t* consumed) const;
+                       std::vector<uint32_t>* lengths, size_t* consumed,
+                       DecodeScratch* scratch) const;
+
+  /// The fused fast path behind DecodeDoc for the paper's four pairs
+  /// (U32/Zlib positions × VByte/Zlib lengths): factors are expanded
+  /// straight off the raw byte streams with no intermediate
+  /// position/length vectors. Byte-identical output to the general path.
+  Status DecodeDocFused(std::string_view in, const Dictionary& dict,
+                        std::string* text, DecodeScratch* scratch) const;
 
   PairCoding coding_;
 };

@@ -1,5 +1,8 @@
 #include "core/factorizer.h"
 
+#include <cstring>
+
+#include "core/factor_coder.h"
 #include "util/logging.h"
 
 namespace rlz {
@@ -37,15 +40,34 @@ void Factorizer::Factorize(std::string_view doc, std::vector<Factor>* out) {
 Status Factorizer::Decode(const std::vector<Factor>& factors,
                           const Dictionary& dict, std::string* out) {
   const std::string_view d = dict.text();
+  // Pass 1: validate every factor and sum the exact output size, so the
+  // buffer is sized once and a crafted factor list cannot claim a
+  // multi-GiB document (FactorCoder::kMaxDecodedDocBytes).
+  uint64_t total = 0;
   for (const Factor& f : factors) {
     if (f.len == 0) {
       if (f.pos > 0xFF) return Status::Corruption("literal out of range");
-      out->push_back(static_cast<char>(f.pos));
+      total += 1;
     } else {
       if (static_cast<size_t>(f.pos) + f.len > d.size()) {
         return Status::Corruption("factor outside dictionary");
       }
-      out->append(d.substr(f.pos, f.len));
+      total += f.len;
+    }
+  }
+  if (total > FactorCoder::kMaxDecodedDocBytes) {
+    return Status::Corruption("decoded document exceeds limit");
+  }
+  // Pass 2: the paper's Fig. 2 expansion as a tight memcpy loop.
+  const size_t out_base = out->size();
+  out->resize(out_base + total);
+  char* dst = out->data() + out_base;
+  for (const Factor& f : factors) {
+    if (f.len == 0) {
+      *dst++ = static_cast<char>(f.pos);
+    } else {
+      std::memcpy(dst, d.data() + f.pos, f.len);
+      dst += f.len;
     }
   }
   return Status::OK();

@@ -38,9 +38,7 @@ std::unique_ptr<RlzArchive> RlzArchive::BuildFromFactors(
   std::unique_ptr<RlzArchive> archive(
       new RlzArchive(std::move(dict), coding));
   for (const std::vector<Factor>& factors : docs) {
-    const size_t before = archive->payload_.size();
-    archive->coder_.EncodeDoc(factors, &archive->payload_);
-    archive->map_.Add(archive->payload_.size() - before);
+    archive->AppendEncodedDoc(factors);
   }
   return archive;
 }
@@ -72,7 +70,7 @@ Status RlzArchive::Save(const std::string& path) const {
   for (size_t i = 0; i < num_docs(); ++i) {
     writer.PutVarint64(map_.size(i));
   }
-  writer.PutBytes(payload_);
+  writer.PutBytes(payload());
   return std::move(writer).WriteTo(path);
 }
 
@@ -88,17 +86,21 @@ StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::FromEnvelope(
   PairCoding coding;
   RLZ_RETURN_IF_ERROR(ValidateCoding(pos_byte, len_byte, &coding));
 
+  // Zero-copy open (DESIGN.md §9): the dictionary text and the payload
+  // alias the loaded file bytes, which the envelope's shared backing
+  // keeps alive — nothing is re-copied on open.
   std::string_view dict_text;
   RLZ_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&dict_text));
-  auto dict = std::make_shared<const Dictionary>(std::string(dict_text),
-                                                 options.build_suffix_array);
+  auto dict = std::make_shared<const Dictionary>(
+      dict_text, envelope.backing(), options.build_suffix_array);
 
   std::unique_ptr<RlzArchive> archive(
       new RlzArchive(std::move(dict), coding));
   std::vector<uint64_t> sizes;
   RLZ_RETURN_IF_ERROR(reader.ReadSizeTable(&sizes));
   for (uint64_t size : sizes) archive->map_.Add(size);
-  archive->payload_ = std::string(reader.ReadRest());
+  archive->backing_ = envelope.backing();
+  archive->payload_view_ = reader.ReadRest();
   return archive;
 }
 
@@ -132,7 +134,7 @@ Status RlzArchive::SaveLegacyV1(const std::string& path) const {
   for (size_t i = 0; i < num_docs(); ++i) {
     VByteCodec::Put(static_cast<uint32_t>(map_.size(i)), &out);
   }
-  out.append(payload_);
+  out.append(payload());
   const uint32_t crc = Crc32(out);
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
@@ -141,7 +143,12 @@ Status RlzArchive::SaveLegacyV1(const std::string& path) const {
 }
 
 StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::LoadLegacyV1(
-    std::string raw, const std::string& path, const OpenOptions& options) {
+    std::string raw_bytes, const std::string& path,
+    const OpenOptions& options) {
+  // The file bytes move into a shared backing so the dictionary and the
+  // payload can alias them zero-copy, exactly as the envelope path does.
+  auto backing = std::make_shared<const std::string>(std::move(raw_bytes));
+  const std::string& raw = *backing;
   if (raw.size() < 11 ||
       std::string_view(raw.data(), 4) != std::string_view(kArchiveMagic, 4)) {
     return Status::Corruption("rlz archive: bad magic in " + path);
@@ -178,8 +185,9 @@ StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::LoadLegacyV1(
   if (pos > payload_end || dict_size > payload_end - pos) {
     return Status::Corruption("rlz archive: truncated dictionary");
   }
-  auto dict = std::make_shared<const Dictionary>(raw.substr(pos, dict_size),
-                                                 options.build_suffix_array);
+  auto dict = std::make_shared<const Dictionary>(
+      std::string_view(raw).substr(pos, dict_size), backing,
+      options.build_suffix_array);
   pos += dict_size;
 
   uint32_t ndocs = 0;
@@ -205,11 +213,13 @@ StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::LoadLegacyV1(
     return Status::Corruption("rlz archive: payload size mismatch");
   }
   for (uint32_t i = 0; i < ndocs; ++i) archive->map_.Add(sizes[i]);
-  archive->payload_ = raw.substr(pos, payload_size);
+  archive->backing_ = backing;
+  archive->payload_view_ = std::string_view(raw).substr(pos, payload_size);
   return archive;
 }
 
-Status RlzArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
+Status RlzArchive::Get(size_t id, std::string* doc, SimDisk* disk,
+                       DecodeScratch* scratch) const {
   if (id >= num_docs()) return Status::OutOfRange("rlz archive: bad doc id");
   doc->clear();
   const uint64_t off = map_.offset(id);
@@ -217,19 +227,19 @@ Status RlzArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
   // Only this document's factor stream is read from disk; the dictionary
   // is memory-resident and free (§3.1).
   if (disk != nullptr) disk->Read(off, size);
-  return coder_.DecodeDoc(std::string_view(payload_).substr(off, size),
-                          *dict_, doc);
+  return coder_.DecodeDoc(payload().substr(off, size), *dict_, doc, scratch);
 }
 
 Status RlzArchive::GetRange(size_t id, size_t offset, size_t length,
-                            std::string* text, SimDisk* disk) const {
+                            std::string* text, SimDisk* disk,
+                            DecodeScratch* scratch) const {
   if (id >= num_docs()) return Status::OutOfRange("rlz archive: bad doc id");
   text->clear();
   const uint64_t off = map_.offset(id);
   const uint64_t size = map_.size(id);
   if (disk != nullptr) disk->Read(off, size);
-  return coder_.DecodeRange(std::string_view(payload_).substr(off, size),
-                            *dict_, offset, length, text);
+  return coder_.DecodeRange(payload().substr(off, size), *dict_, offset,
+                            length, text, scratch);
 }
 
 }  // namespace rlz

@@ -17,6 +17,7 @@
 #include "store/doc_map.h"
 #include "store/open_archive.h"
 #include "util/bitmap.h"
+#include "util/logging.h"
 
 namespace rlz {
 
@@ -81,25 +82,32 @@ class RlzArchive final : public Archive {
       std::shared_ptr<const Dictionary> dict,
       const std::vector<std::vector<Factor>>& docs, PairCoding coding);
 
+  /// The scratch-less convenience overloads stay visible alongside the
+  /// scratch-aware overrides below.
+  using Archive::Get;
+  using Archive::GetRange;
+
   /// "rlz-" plus the coding name (e.g. "rlz-ZV").
   std::string name() const override { return "rlz-" + coder_.coding().name(); }
   /// Number of stored documents.
   size_t num_docs() const override { return map_.num_docs(); }
   /// Decodes document `id` against the memory-resident dictionary,
   /// reading (and charging to `disk`) only that document's factor stream.
-  Status Get(size_t id, std::string* doc,
-             SimDisk* disk = nullptr) const override;
+  /// With `scratch` the decode reuses the caller's buffers and performs no
+  /// heap allocation beyond the output itself (DESIGN.md §9).
+  Status Get(size_t id, std::string* doc, SimDisk* disk,
+             DecodeScratch* scratch) const override;
 
   /// Decodes only bytes [offset, offset+length) of document `id` — the
   /// snippet-generation fast path (§1): factor streams are skipped, not
   /// expanded, outside the range. Clamps to the document end.
   Status GetRange(size_t id, size_t offset, size_t length, std::string* text,
-                  SimDisk* disk = nullptr) const override;
+                  SimDisk* disk, DecodeScratch* scratch) const override;
 
   /// Encoded payload + document map + dictionary text (the dictionary is
   /// part of the stored output, as in the paper's Enc. % figures).
   uint64_t stored_bytes() const override {
-    return payload_.size() + map_.serialized_bytes() + dict_->size();
+    return payload().size() + map_.serialized_bytes() + dict_->size();
   }
 
   /// The shared dictionary the archive decodes against.
@@ -107,7 +115,7 @@ class RlzArchive final : public Archive {
   /// The position/length factor coder.
   const FactorCoder& coder() const { return coder_; }
   /// Total encoded factor-stream bytes (excluding map and dictionary).
-  uint64_t payload_bytes() const { return payload_.size(); }
+  uint64_t payload_bytes() const { return payload().size(); }
   /// Payload extents per document — lets a router (ShardedStore) charge
   /// simulated I/O for a shard-local read without decoding twice.
   const DocMap& doc_map() const { return map_; }
@@ -176,11 +184,15 @@ class RlzArchive final : public Archive {
         new RlzArchive(std::move(dict), coding));
   }
 
-  /// For RlzArchiveBuilder: encodes `factors` as the next document.
+  /// For RlzArchiveBuilder: encodes `factors` as the next document. The
+  /// build path aborts on a document beyond the z-stream format limits
+  /// (no way to propagate out of the pipeline); callers that need the
+  /// Status use FactorCoder::EncodeDoc directly.
   void AppendEncodedDoc(const std::vector<Factor>& factors) {
-    const size_t before = payload_.size();
-    coder_.EncodeDoc(factors, &payload_);
-    map_.Add(payload_.size() - before);
+    const size_t before = owned_payload_.size();
+    const Status status = coder_.EncodeDoc(factors, &owned_payload_);
+    RLZ_CHECK(status.ok()) << status.ToString();
+    map_.Add(owned_payload_.size() - before);
   }
 
   /// For RlzArchiveBuilder's pipeline merge: appends a chunk of
@@ -188,13 +200,23 @@ class RlzArchive final : public Archive {
   /// per-document sizes summing to payload.size()).
   void AppendEncodedChunk(std::string_view payload,
                           const std::vector<uint64_t>& doc_sizes) {
-    payload_.append(payload);
+    owned_payload_.append(payload);
     for (uint64_t size : doc_sizes) map_.Add(size);
+  }
+
+  /// The encoded factor streams: the build path appends into
+  /// owned_payload_; the open path aliases the loaded file bytes
+  /// (backing_) without copying them (DESIGN.md §9).
+  std::string_view payload() const {
+    return backing_ != nullptr ? payload_view_
+                               : std::string_view(owned_payload_);
   }
 
   std::shared_ptr<const Dictionary> dict_;
   FactorCoder coder_;
-  std::string payload_;
+  std::string owned_payload_;           // build path
+  std::shared_ptr<const std::string> backing_;  // open path: file bytes
+  std::string_view payload_view_;       // into *backing_
   DocMap map_;
 };
 

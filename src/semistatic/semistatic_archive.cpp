@@ -76,8 +76,8 @@ std::string SemiStaticArchive::name() const {
   return scheme_ == SemiStaticScheme::kEtdc ? "etdc" : "plainhuff";
 }
 
-Status SemiStaticArchive::Get(size_t id, std::string* doc,
-                              SimDisk* disk) const {
+Status SemiStaticArchive::Get(size_t id, std::string* doc, SimDisk* disk,
+                              DecodeScratch* /*scratch*/) const {
   if (id >= num_docs()) {
     return Status::OutOfRange("semistatic archive: bad doc id");
   }

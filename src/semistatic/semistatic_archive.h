@@ -38,13 +38,19 @@ class SemiStaticArchive final : public Archive {
                                                   SemiStaticScheme scheme,
                                                   int num_threads = 1);
 
+  /// The scratch-less convenience overloads stay visible alongside the
+  /// scratch-aware override below.
+  using Archive::Get;
+  using Archive::GetRange;
+
   /// "etdc" or "plainhuff".
   std::string name() const override;
   /// Number of stored documents.
   size_t num_docs() const override { return map_.num_docs(); }
   /// Decodes document `id`'s token codes against the in-memory vocabulary.
-  Status Get(size_t id, std::string* doc,
-             SimDisk* disk = nullptr) const override;
+  /// Token decode needs no factor buffers; `scratch` is unused.
+  Status Get(size_t id, std::string* doc, SimDisk* disk,
+             DecodeScratch* scratch) const override;
 
   /// Payload + document map + serialized vocabulary (token bytes with
   /// vbyte length prefixes — what a disk-resident system stores).

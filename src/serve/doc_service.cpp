@@ -93,7 +93,7 @@ GetResult DocService::DoGet(size_t id, Worker* worker) {
   if (result.text == nullptr) {
     std::string doc;
     std::lock_guard<std::mutex> lock(worker->mu);
-    result.status = archive_->Get(id, &doc, &worker->disk);
+    result.status = archive_->Get(id, &doc, &worker->disk, &worker->scratch);
     if (result.status.ok()) {
       result.text = cache_.Insert(id, std::move(doc));
     }
@@ -120,8 +120,8 @@ GetResult DocService::DoGetRange(size_t id, size_t offset, size_t length,
   } else {
     std::string slice;
     std::lock_guard<std::mutex> lock(worker->mu);
-    result.status =
-        archive_->GetRange(id, offset, length, &slice, &worker->disk);
+    result.status = archive_->GetRange(id, offset, length, &slice,
+                                       &worker->disk, &worker->scratch);
     if (result.status.ok()) {
       result.text = std::make_shared<const std::string>(std::move(slice));
     }

@@ -127,8 +127,11 @@ class DocService {
   struct Worker {
     explicit Worker(const SimDiskOptions& disk_options)
         : disk(disk_options) {}
-    mutable std::mutex mu;  // guards disk + the counters below
+    mutable std::mutex mu;  // guards disk, scratch + the counters below
     SimDisk disk;
+    // Per-worker reusable decode buffers (DESIGN.md §9): after warm-up a
+    // worker serves requests with zero decode-side heap allocations.
+    DecodeScratch scratch;
     double cpu_seconds = 0.0;
     uint64_t requests = 0;
     uint64_t failures = 0;

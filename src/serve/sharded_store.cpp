@@ -245,25 +245,28 @@ void ChargeShardRead(const RlzArchive& shard, size_t shard_index,
 
 }  // namespace
 
-Status ShardedStore::Get(size_t id, std::string* doc, SimDisk* disk) const {
+Status ShardedStore::Get(size_t id, std::string* doc, SimDisk* disk,
+                         DecodeScratch* scratch) const {
   if (id >= num_docs()) {
     return Status::OutOfRange("sharded store: bad doc id");
   }
   const size_t s = shard_of(id);
   const size_t local = id - starts_[s];
   ChargeShardRead(*shards_[s], s, local, disk);
-  return shards_[s]->Get(local, doc, /*disk=*/nullptr);
+  return shards_[s]->Get(local, doc, /*disk=*/nullptr, scratch);
 }
 
 Status ShardedStore::GetRange(size_t id, size_t offset, size_t length,
-                              std::string* text, SimDisk* disk) const {
+                              std::string* text, SimDisk* disk,
+                              DecodeScratch* scratch) const {
   if (id >= num_docs()) {
     return Status::OutOfRange("sharded store: bad doc id");
   }
   const size_t s = shard_of(id);
   const size_t local = id - starts_[s];
   ChargeShardRead(*shards_[s], s, local, disk);
-  return shards_[s]->GetRange(local, offset, length, text, /*disk=*/nullptr);
+  return shards_[s]->GetRange(local, offset, length, text, /*disk=*/nullptr,
+                              scratch);
 }
 
 uint64_t ShardedStore::stored_bytes() const {

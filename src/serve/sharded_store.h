@@ -62,16 +62,22 @@ class ShardedStore final : public Archive {
   static std::unique_ptr<ShardedStore> Build(
       const Collection& collection, const ShardedStoreOptions& options = {});
 
+  /// The scratch-less convenience overloads stay visible alongside the
+  /// scratch-aware overrides below.
+  using Archive::Get;
+  using Archive::GetRange;
+
   /// "sharded-<shard coding>/<N>".
   std::string name() const override;
   /// Total documents across all shards.
   size_t num_docs() const override { return starts_.back(); }
-  /// Routes to the owning shard and decodes the document there.
-  Status Get(size_t id, std::string* doc,
-             SimDisk* disk = nullptr) const override;
+  /// Routes to the owning shard and decodes the document there, passing
+  /// the caller's `scratch` through to the shard's decode.
+  Status Get(size_t id, std::string* doc, SimDisk* disk,
+             DecodeScratch* scratch) const override;
   /// Routes to the owning shard and decodes only the requested range.
   Status GetRange(size_t id, size_t offset, size_t length, std::string* text,
-                  SimDisk* disk = nullptr) const override;
+                  SimDisk* disk, DecodeScratch* scratch) const override;
   /// Sum of every shard's stored bytes (payload + map + dictionary).
   uint64_t stored_bytes() const override;
 

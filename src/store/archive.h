@@ -9,6 +9,7 @@
 #include <string>
 
 #include "io/sim_disk.h"
+#include "store/decode_scratch.h"
 #include "util/status.h"
 
 namespace rlz {
@@ -40,22 +41,43 @@ class Archive {
   virtual size_t num_docs() const = 0;
 
   /// Retrieves document `id` into `*doc` (cleared first). Charges simulated
-  /// I/O to `disk` if non-null.
-  virtual Status Get(size_t id, std::string* doc,
-                     SimDisk* disk = nullptr) const = 0;
+  /// I/O to `disk` if non-null. Convenience overload of the scratch-aware
+  /// virtual below, for one-off callers with no scratch to reuse.
+  Status Get(size_t id, std::string* doc, SimDisk* disk = nullptr) const {
+    return Get(id, doc, disk, nullptr);
+  }
+
+  /// The implementation point every archive overrides: as above, but a
+  /// non-null `scratch` lends the decode reusable buffers so steady-state
+  /// serving allocates nothing per request (DESIGN.md §9). Backends whose
+  /// decode needs no scratch simply ignore it. `scratch` is borrowed for
+  /// the duration of the call only and must not be shared by concurrent
+  /// callers (one per worker, like SimDisk).
+  virtual Status Get(size_t id, std::string* doc, SimDisk* disk,
+                     DecodeScratch* scratch) const = 0;
 
   /// Retrieves bytes [offset, offset+length) of document `id` into `*text`
   /// (cleared first), clamped to the document end — the snippet path (§1).
-  /// The default decodes the whole document and slices it; backends with a
+  /// Convenience overload of the scratch-aware virtual below.
+  Status GetRange(size_t id, size_t offset, size_t length, std::string* text,
+                  SimDisk* disk = nullptr) const {
+    return GetRange(id, offset, length, text, disk, nullptr);
+  }
+
+  /// As above with optional scratch buffers. The default decodes the whole
+  /// document (into scratch->doc when lent) and slices it; backends with a
   /// cheaper partial decode (RLZ factor-stream skipping) override this.
   virtual Status GetRange(size_t id, size_t offset, size_t length,
-                          std::string* text, SimDisk* disk = nullptr) const {
-    std::string doc;
-    RLZ_RETURN_IF_ERROR(Get(id, &doc, disk));
+                          std::string* text, SimDisk* disk,
+                          DecodeScratch* scratch) const {
+    std::string local;
+    std::string* doc = scratch != nullptr ? &scratch->doc : &local;
+    RLZ_RETURN_IF_ERROR(Get(id, doc, disk, scratch));
     text->clear();
-    if (offset < doc.size()) {
-      text->assign(doc, offset,
-                   length < doc.size() - offset ? length : doc.size() - offset);
+    if (offset < doc->size()) {
+      text->assign(*doc, offset,
+                   length < doc->size() - offset ? length
+                                                 : doc->size() - offset);
     }
     return Status::OK();
   }

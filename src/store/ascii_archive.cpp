@@ -14,7 +14,8 @@ AsciiArchive::AsciiArchive(const Collection& collection) {
   }
 }
 
-Status AsciiArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
+Status AsciiArchive::Get(size_t id, std::string* doc, SimDisk* disk,
+                         DecodeScratch* /*scratch*/) const {
   if (id >= num_docs()) {
     return Status::OutOfRange("ascii archive: bad doc id");
   }

@@ -21,13 +21,19 @@ class AsciiArchive final : public Archive {
   /// Concatenates every document of `collection` (copied).
   explicit AsciiArchive(const Collection& collection);
 
+  /// The scratch-less convenience overloads stay visible alongside the
+  /// scratch-aware override below.
+  using Archive::Get;
+  using Archive::GetRange;
+
   /// Always "ascii".
   std::string name() const override { return "ascii"; }
   /// Number of stored documents.
   size_t num_docs() const override { return map_.num_docs(); }
-  /// Copies document `id` out of the concatenated payload.
-  Status Get(size_t id, std::string* doc,
-             SimDisk* disk = nullptr) const override;
+  /// Copies document `id` out of the concatenated payload. The copy is
+  /// the entire decode, so `scratch` is unused.
+  Status Get(size_t id, std::string* doc, SimDisk* disk,
+             DecodeScratch* scratch) const override;
   /// Payload plus the serialized document map.
   uint64_t stored_bytes() const override {
     return payload_.size() + map_.serialized_bytes();

@@ -5,6 +5,7 @@
 #include "build/build_pipeline.h"
 #include "store/format.h"
 #include "util/logging.h"
+#include "zip/gzipx.h"
 
 namespace rlz {
 namespace {
@@ -23,11 +24,17 @@ std::unique_ptr<LruCache> MakeBlockCache(uint64_t cache_bytes,
 
 }  // namespace
 
+BlockedArchive::BlockedArchive(const Compressor* compressor,
+                               uint64_t block_bytes)
+    : compressor_(compressor),
+      gzipx_(dynamic_cast<const GzipxCompressor*>(compressor)),
+      block_bytes_(block_bytes) {}
+
 BlockedArchive::BlockedArchive(const Collection& collection,
                                const Compressor* compressor,
                                uint64_t block_bytes, uint64_t cache_bytes,
                                int num_threads)
-    : compressor_(compressor), block_bytes_(block_bytes) {
+    : BlockedArchive(compressor, block_bytes) {
   RLZ_CHECK(compressor != nullptr);
   docs_.reserve(collection.num_docs());
 
@@ -87,13 +94,13 @@ BlockedArchive::BlockedArchive(const Collection& collection,
         }
       },
       [this](DocRange range, const BuildPipeline::EncodedChunk& chunk) {
-        uint64_t offset = payload_.size();
+        uint64_t offset = owned_payload_.size();
         for (size_t b = range.begin; b < range.end; ++b) {
           const uint64_t size = chunk.item_sizes[b - range.begin];
           blocks_[b] = {offset, size};
           offset += size;
         }
-        payload_.append(chunk.payload);
+        owned_payload_.append(chunk.payload);
       });
   pipeline.Finish();
 
@@ -113,7 +120,8 @@ std::string BlockedArchive::name() const {
   return n;
 }
 
-Status BlockedArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
+Status BlockedArchive::Get(size_t id, std::string* doc, SimDisk* disk,
+                           DecodeScratch* scratch) const {
   if (id >= docs_.size()) {
     return Status::OutOfRange("blocked archive: bad doc id");
   }
@@ -133,9 +141,16 @@ Status BlockedArchive::Get(size_t id, std::string* doc, SimDisk* disk) const {
     // §2.2).
     if (disk != nullptr) disk->Read(b.payload_offset, b.payload_size);
     std::string decoded;
-    RLZ_RETURN_IF_ERROR(compressor_->Decompress(
-        std::string_view(payload_).substr(b.payload_offset, b.payload_size),
-        &decoded));
+    // A gzipx-backed archive lends the caller's scratch to the block
+    // decompression so its decoder tables are reused across misses (the
+    // decoded block itself must stay fresh — it becomes a shared cache
+    // entry). Other compressors take the plain path.
+    const std::string_view block =
+        payload().substr(b.payload_offset, b.payload_size);
+    RLZ_RETURN_IF_ERROR(gzipx_ != nullptr && scratch != nullptr
+                            ? gzipx_->Decompress(block, &decoded,
+                                                 &scratch->gzipx)
+                            : compressor_->Decompress(block, &decoded));
     text = block_cache_->Insert(d.block, std::move(decoded));
   }
   if (static_cast<uint64_t>(d.offset) + d.size > text->size()) {
@@ -159,7 +174,7 @@ Status BlockedArchive::Save(const std::string& path) const {
     writer.PutVarint32(d.offset);
     writer.PutVarint32(d.size);
   }
-  writer.PutBytes(payload_);
+  writer.PutBytes(payload());
   return std::move(writer).WriteTo(path);
 }
 
@@ -231,7 +246,10 @@ StatusOr<std::unique_ptr<BlockedArchive>> BlockedArchive::FromEnvelope(
   if (reader.remaining() != payload_size) {
     return Status::Corruption(envelope.context() + ": payload size mismatch");
   }
-  archive->payload_ = std::string(reader.ReadRest());
+  // Zero-copy open: the payload aliases the loaded file bytes, which the
+  // envelope's shared backing keeps alive (DESIGN.md §9).
+  archive->backing_ = envelope.backing();
+  archive->payload_view_ = reader.ReadRest();
   archive->block_cache_ = MakeBlockCache(options.cache_bytes, max_block_text);
   return archive;
 }
@@ -256,7 +274,7 @@ uint64_t BlockedArchive::stored_bytes() const {
   };
   for (const BlockInfo& b : blocks_) meta += vbyte_len(b.payload_size);
   for (const DocInfo& d : docs_) meta += 1 + vbyte_len(d.offset) + vbyte_len(d.size);
-  return payload_.size() + meta;
+  return payload().size() + meta;
 }
 
 }  // namespace rlz

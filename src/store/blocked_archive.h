@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "corpus/collection.h"
@@ -16,6 +17,8 @@
 #include "zip/compressor.h"
 
 namespace rlz {
+
+class GzipxCompressor;
 
 /// The Lucene/Indri-style baseline (§2.2): documents are grouped into
 /// fixed-size blocks and each block is compressed independently with a
@@ -47,14 +50,22 @@ class BlockedArchive final : public Archive {
                  uint64_t block_bytes, uint64_t cache_bytes = 0,
                  int num_threads = 1);
 
+  /// The scratch-less convenience overloads stay visible alongside the
+  /// scratch-aware override below.
+  using Archive::Get;
+  using Archive::GetRange;
+
   /// Compressor name plus the block size (e.g. "gzipx-64K", "lzmax-1doc").
   std::string name() const override;
   /// Number of stored documents.
   size_t num_docs() const override { return docs_.size(); }
   /// Decompresses the containing block (or hits the decode cache) and
-  /// copies the document out of it.
-  Status Get(size_t id, std::string* doc,
-             SimDisk* disk = nullptr) const override;
+  /// copies the document out of it. A decoded block becomes a shared
+  /// cache entry, so it is always freshly allocated; a gzipx-backed
+  /// archive still lends `scratch`'s decoder tables to the block
+  /// decompression.
+  Status Get(size_t id, std::string* doc, SimDisk* disk,
+             DecodeScratch* scratch) const override;
   /// Compressed payload plus a vbyte-style block/document directory.
   uint64_t stored_bytes() const override;
 
@@ -85,8 +96,7 @@ class BlockedArchive final : public Archive {
       const ParsedEnvelope& envelope, const OpenOptions& options);
 
  private:
-  BlockedArchive(const Compressor* compressor, uint64_t block_bytes)
-      : compressor_(compressor), block_bytes_(block_bytes) {}
+  BlockedArchive(const Compressor* compressor, uint64_t block_bytes);
 
   struct BlockInfo {
     uint64_t payload_offset;  // start of compressed block in payload_
@@ -98,9 +108,23 @@ class BlockedArchive final : public Archive {
     uint32_t size;          // uncompressed size
   };
 
+  // The compressed payload: the build path appends into owned_payload_;
+  // the open path aliases the loaded file bytes (backing_) without
+  // copying them (DESIGN.md §9).
+  std::string_view payload() const {
+    return backing_ != nullptr ? payload_view_
+                               : std::string_view(owned_payload_);
+  }
+
   const Compressor* compressor_;
+  // Downcast computed once at construction: non-null iff the compressor
+  // is gzipx, whose scratch-aware Decompress reuses decoder tables
+  // across cache misses (keeps RTTI off the per-Get hot path).
+  const GzipxCompressor* gzipx_ = nullptr;
   uint64_t block_bytes_;
-  std::string payload_;
+  std::string owned_payload_;           // build path
+  std::shared_ptr<const std::string> backing_;  // open path: file bytes
+  std::string_view payload_view_;       // into *backing_
   std::vector<BlockInfo> blocks_;
   std::vector<DocInfo> docs_;
   // Decoded-block cache, keyed by block index (see class comment).

@@ -229,7 +229,7 @@ StatusOr<ParsedEnvelope> ParsedEnvelope::FromBytes(std::string raw,
   envelope.body_offset_ = header_size;
   envelope.body_size_ = body_size;
   envelope.context_ = std::move(context);
-  envelope.raw_ = std::move(raw);
+  envelope.raw_ = std::make_shared<const std::string>(std::move(raw));
   return envelope;
 }
 

@@ -28,6 +28,7 @@
 /// malformed read surfaces as Status::Corruption, never a crash.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -147,8 +148,11 @@ class EnvelopeReader {
 };
 
 /// A validated envelope: magic, layout byte, format id/version, body
-/// size, and CRC all checked. Owns the file bytes, so body() views stay
-/// valid for the ParsedEnvelope's lifetime.
+/// size, and CRC all checked. The file bytes are held through a shared
+/// handle (see backing()), so body() views stay valid for the lifetime of
+/// the ParsedEnvelope *or* of any backing() copy a loader retains — this
+/// is what lets archives alias their payload sections zero-copy instead
+/// of re-copying the file on open (DESIGN.md §9).
 class ParsedEnvelope {
  public:
   /// Parses and validates `raw` (an entire container file). `context`
@@ -162,19 +166,25 @@ class ParsedEnvelope {
   const std::string& format_id() const { return format_id_; }
   /// The format version stored in the header.
   uint32_t version() const { return version_; }
-  /// The body section (a view into the owned file bytes).
+  /// The body section (a view into the shared file bytes).
   std::string_view body() const {
-    return std::string_view(raw_).substr(body_offset_, body_size_);
+    return std::string_view(*raw_).substr(body_offset_, body_size_);
   }
   /// A bounds-checked cursor over body(). The envelope must outlive it.
   EnvelopeReader reader() const { return EnvelopeReader(body(), context_); }
   /// The context string the envelope was parsed with.
   const std::string& context() const { return context_; }
 
+  /// Shared ownership of the raw file bytes every body() view points
+  /// into. A format loader that wants to alias body sections instead of
+  /// copying them keeps a copy of this handle alive alongside its views
+  /// (RlzArchive and BlockedArchive do; see DESIGN.md §9).
+  std::shared_ptr<const std::string> backing() const { return raw_; }
+
  private:
   ParsedEnvelope() = default;
 
-  std::string raw_;
+  std::shared_ptr<const std::string> raw_;
   std::string format_id_;
   uint32_t version_ = 0;
   size_t body_offset_ = 0;

@@ -2,6 +2,7 @@
 #define RLZ_UTIL_BITIO_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -59,16 +60,7 @@ class BitReader {
   /// Reads `nbits` bits (0 <= nbits <= 57).
   uint64_t ReadBits(int nbits) {
     RLZ_DCHECK(nbits >= 0 && nbits <= 57);
-    while (filled_ < nbits) {
-      uint64_t byte = 0;
-      if (pos_ < size_) {
-        byte = data_[pos_++];
-      } else {
-        overflowed_ = true;
-      }
-      acc_ |= byte << filled_;
-      filled_ += 8;
-    }
+    if (filled_ < nbits) Refill(nbits);
     const uint64_t mask = (nbits == 64) ? ~0ULL : ((1ULL << nbits) - 1);
     const uint64_t v = acc_ & mask;
     acc_ >>= nbits;
@@ -78,18 +70,37 @@ class BitReader {
 
   /// Peeks at the next `nbits` bits without consuming them.
   uint64_t PeekBits(int nbits) {
-    while (filled_ < nbits) {
-      uint64_t byte = 0;
-      if (pos_ < size_) {
-        byte = data_[pos_++];
-      } else {
-        overflowed_ = true;
-      }
-      acc_ |= byte << filled_;
-      filled_ += 8;
-    }
+    if (filled_ < nbits) Refill(nbits);
     const uint64_t mask = (nbits == 64) ? ~0ULL : ((1ULL << nbits) - 1);
     return acc_ & mask;
+  }
+
+  /// Tops the accumulator up to at least `nbits` buffered bits (0 <=
+  /// nbits <= 57; zero-padded past the stream end). A decode loop that
+  /// knows its worst-case bits-per-iteration calls this once and then
+  /// uses the NoRefill variants below, hoisting the refill branch out of
+  /// every symbol (DESIGN.md §9).
+  void EnsureBits(int nbits) {
+    if (filled_ < nbits) Refill(nbits);
+  }
+
+  /// PeekBits for callers that already guaranteed `nbits` buffered bits
+  /// via EnsureBits.
+  uint64_t PeekBitsNoRefill(int nbits) const {
+    RLZ_DCHECK_LE(nbits, filled_);
+    const uint64_t mask = (nbits == 64) ? ~0ULL : ((1ULL << nbits) - 1);
+    return acc_ & mask;
+  }
+
+  /// ReadBits for callers that already guaranteed `nbits` buffered bits
+  /// via EnsureBits.
+  uint64_t ReadBitsNoRefill(int nbits) {
+    RLZ_DCHECK_LE(nbits, filled_);
+    const uint64_t mask = (nbits == 64) ? ~0ULL : ((1ULL << nbits) - 1);
+    const uint64_t v = acc_ & mask;
+    acc_ >>= nbits;
+    filled_ -= nbits;
+    return v;
   }
 
   /// Discards `nbits` previously peeked bits.
@@ -105,12 +116,48 @@ class BitReader {
   size_t byte_pos() const { return pos_; }
 
  private:
+  // Tops up the accumulator until it holds at least `nbits` bits. Away
+  // from the stream tail this is one unaligned 64-bit load instead of a
+  // byte-at-a-time loop — bit-heavy decodes (Huffman symbol streams) are
+  // refill-bound, so this is the serving hot path's single most executed
+  // memory access (DESIGN.md §9).
+  void Refill(int nbits) {
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    if (pos_ + 8 <= size_) {
+      uint64_t chunk;
+      std::memcpy(&chunk, data_ + pos_, 8);
+      const int take = (64 - filled_) >> 3;  // whole bytes that fit
+      if (take == 8) {  // filled_ == 0, so acc_ is empty
+        acc_ = chunk;
+        filled_ = 64;
+      } else {
+        chunk &= (1ULL << (take * 8)) - 1;
+        acc_ |= chunk << filled_;
+        filled_ += take * 8;
+      }
+      pos_ += static_cast<size_t>(take);
+      return;  // filled_ >= 57 >= nbits
+    }
+#endif
+    while (filled_ < nbits) {
+      uint64_t byte = 0;
+      if (pos_ < size_) {
+        byte = data_[pos_++];
+      } else {
+        overflowed_ = true;
+      }
+      acc_ |= byte << filled_;
+      filled_ += 8;
+    }
+  }
+
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
   uint64_t acc_ = 0;
-  int filled_ = 0;
   bool overflowed_ = false;
+  int filled_ = 0;
 };
 
 }  // namespace rlz

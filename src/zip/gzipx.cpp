@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <vector>
 
 #include "codecs/int_codecs.h"
@@ -244,8 +245,8 @@ void GzipxCompressor::Compress(std::string_view in, std::string* out) const {
   }
 }
 
-Status GzipxCompressor::Decompress(std::string_view in,
-                                   std::string* out) const {
+Status GzipxCompressor::Decompress(std::string_view in, std::string* out,
+                                   GzipxDecodeScratch* scratch) const {
   size_t pos = 0;
   if (in.empty() || static_cast<uint8_t>(in[0]) != kMagic) {
     return Status::Corruption("gzipx: bad magic");
@@ -253,97 +254,130 @@ Status GzipxCompressor::Decompress(std::string_view in,
   ++pos;
   uint32_t total = 0;
   RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &total));
-  // Reject implausible expansion before reserving memory: a corrupt header
-  // must not make us allocate gigabytes (max real ratio here is ~1000:1).
+  // Reject implausible expansion before sizing the output: a corrupt
+  // header must not make us allocate gigabytes (max real ratio here is
+  // ~1000:1).
   if (static_cast<uint64_t>(total) >
       in.size() * 1024ull + (1ull << 16)) {
     return Status::Corruption("gzipx: implausible uncompressed size");
   }
 
-  const size_t out_base = out->size();
-  out->reserve(out_base + total);
+  GzipxDecodeScratch local_scratch;
+  GzipxDecodeScratch* s = scratch != nullptr ? scratch : &local_scratch;
 
-  while (out->size() - out_base < total) {
+  // The header records the exact uncompressed size, so the output is
+  // sized once and written through raw pointers; the historical per-byte
+  // push_back dominated decode time. Every write below is bounds-checked
+  // against `total` before it happens. On any error the output is rolled
+  // back to its input length.
+  const size_t out_base = out->size();
+  out->resize(out_base + total);
+  char* const base = out->data() + out_base;
+  size_t produced = 0;
+  auto fail = [&](Status status) {
+    out->resize(out_base);
+    return status;
+  };
+
+  while (produced < total) {
     uint32_t span = 0;
     uint32_t num_tokens = 0;
-    RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &span));
-    RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &num_tokens));
-    if (pos >= in.size()) return Status::Corruption("gzipx: truncated block");
+    Status st;
+    if (!(st = VByteCodec::Get(in, &pos, &span)).ok()) return fail(st);
+    if (!(st = VByteCodec::Get(in, &pos, &num_tokens)).ok()) return fail(st);
+    if (pos >= in.size()) {
+      return fail(Status::Corruption("gzipx: truncated block"));
+    }
     const uint8_t type = static_cast<uint8_t>(in[pos++]);
-    if (out->size() - out_base + span > total) {
-      return Status::Corruption("gzipx: block overruns stream size");
+    if (span > total - produced) {
+      return fail(Status::Corruption("gzipx: block overruns stream size"));
     }
     if (type == 1) {
       if (pos + span > in.size()) {
-        return Status::Corruption("gzipx: truncated stored block");
+        return fail(Status::Corruption("gzipx: truncated stored block"));
       }
-      out->append(in.substr(pos, span));
+      std::memcpy(base + produced, in.data() + pos, span);
+      produced += span;
       pos += span;
       continue;
     }
-    if (type != 0) return Status::Corruption("gzipx: bad block type");
+    if (type != 0) return fail(Status::Corruption("gzipx: bad block type"));
 
     uint32_t bits_size = 0;
-    RLZ_RETURN_IF_ERROR(VByteCodec::Get(in, &pos, &bits_size));
+    if (!(st = VByteCodec::Get(in, &pos, &bits_size)).ok()) return fail(st);
     if (pos + bits_size > in.size()) {
-      return Status::Corruption("gzipx: truncated huffman block");
+      return fail(Status::Corruption("gzipx: truncated huffman block"));
     }
     BitReader br(reinterpret_cast<const uint8_t*>(in.data()) + pos, bits_size);
     pos += bits_size;
 
-    std::vector<uint8_t> lit_lens(kNumLitLen);
-    std::vector<uint8_t> dist_lens(kNumDist);
-    for (auto& l : lit_lens) l = static_cast<uint8_t>(br.ReadBits(4));
-    for (auto& l : dist_lens) l = static_cast<uint8_t>(br.ReadBits(4));
-    HuffmanDecoder lit_dec;
-    HuffmanDecoder dist_dec;
-    RLZ_RETURN_IF_ERROR(lit_dec.Init(lit_lens));
-    RLZ_RETURN_IF_ERROR(dist_dec.Init(dist_lens));
+    s->lit_lens.resize(kNumLitLen);
+    s->dist_lens.resize(kNumDist);
+    for (auto& l : s->lit_lens) l = static_cast<uint8_t>(br.ReadBits(4));
+    for (auto& l : s->dist_lens) l = static_cast<uint8_t>(br.ReadBits(4));
+    if (!(st = s->lit.Init(s->lit_lens)).ok()) return fail(st);
+    if (!(st = s->dist.Init(s->dist_lens)).ok()) return fail(st);
 
     for (uint32_t t = 0; t < num_tokens; ++t) {
-      // Note: BitReader may peek past the padded end of the block while
-      // decoding the final symbols; that is benign (the token count bounds
-      // decoding and the trailing CRC catches real truncation), so
+      // One refill covers the whole token: literal/length code (<= 15) +
+      // length extra (<= 5) + distance code (<= 15) + distance extra
+      // (<= 13) = 48 bits, so the per-symbol decodes skip the refill
+      // branch. Note: BitReader may peek past the padded end of the block
+      // while decoding the final symbols; that is benign (the token count
+      // bounds decoding and the trailing CRC catches real truncation), so
       // overflowed() is deliberately not treated as an error here.
-      const int32_t sym = lit_dec.Decode(&br);
+      br.EnsureBits(48);
+      const int32_t sym = s->lit.DecodeNoRefill(&br);
       if (sym < 0 || sym == 256 || sym >= kNumLitLen) {
-        return Status::Corruption("gzipx: bad literal/length symbol");
+        return fail(Status::Corruption("gzipx: bad literal/length symbol"));
       }
       if (sym < 256) {
-        out->push_back(static_cast<char>(sym));
+        if (produced >= total) {
+          return fail(Status::Corruption("gzipx: output overrun"));
+        }
+        base[produced++] = static_cast<char>(sym);
         continue;
       }
       const int ls = sym - 257;
       const int len =
-          kLenBase[ls] + static_cast<int>(br.ReadBits(kLenExtra[ls]));
-      const int32_t dsym = dist_dec.Decode(&br);
+          kLenBase[ls] + static_cast<int>(br.ReadBitsNoRefill(kLenExtra[ls]));
+      const int32_t dsym = s->dist.DecodeNoRefill(&br);
       if (dsym < 0 || dsym >= kNumDist) {
-        return Status::Corruption("gzipx: bad distance symbol");
+        return fail(Status::Corruption("gzipx: bad distance symbol"));
       }
       const int dist =
-          kDistBase[dsym] + static_cast<int>(br.ReadBits(kDistExtra[dsym]));
-      if (static_cast<size_t>(dist) > out->size() - out_base) {
-        return Status::Corruption("gzipx: distance before stream start");
+          kDistBase[dsym] +
+          static_cast<int>(br.ReadBitsNoRefill(kDistExtra[dsym]));
+      if (static_cast<size_t>(dist) > produced) {
+        return fail(Status::Corruption("gzipx: distance before stream start"));
       }
-      if (out->size() - out_base + len > total) {
-        return Status::Corruption("gzipx: output overrun");
+      if (static_cast<size_t>(len) > total - produced) {
+        return fail(Status::Corruption("gzipx: output overrun"));
       }
-      // Byte-by-byte copy: source and destination may overlap.
-      size_t src = out->size() - dist;
-      for (int k = 0; k < len; ++k) {
-        out->push_back((*out)[src + k]);
+      // Overlap-aware copy: a distance at least the length is a plain
+      // memcpy; distance 1 is a byte run; short distances replay bytes.
+      char* dst = base + produced;
+      const char* src = dst - dist;
+      if (dist >= len) {
+        std::memcpy(dst, src, static_cast<size_t>(len));
+      } else if (dist == 1) {
+        std::memset(dst, *src, static_cast<size_t>(len));
+      } else {
+        for (int k = 0; k < len; ++k) dst[k] = src[k];
       }
+      produced += static_cast<size_t>(len);
     }
   }
 
-  if (pos + 4 > in.size()) return Status::Corruption("gzipx: missing crc");
+  if (pos + 4 > in.size()) {
+    return fail(Status::Corruption("gzipx: missing crc"));
+  }
   uint32_t want = 0;
   for (int i = 0; i < 4; ++i) {
     want |= static_cast<uint32_t>(static_cast<uint8_t>(in[pos + i])) << (8 * i);
   }
-  const uint32_t got =
-      Crc32(out->data() + out_base, out->size() - out_base);
-  if (want != got) return Status::Corruption("gzipx: crc mismatch");
+  const uint32_t got = Crc32(base, static_cast<size_t>(total));
+  if (want != got) return fail(Status::Corruption("gzipx: crc mismatch"));
   return Status::OK();
 }
 

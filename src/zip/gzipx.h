@@ -2,10 +2,28 @@
 #define RLZ_ZIP_GZIPX_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "zip/compressor.h"
+#include "zip/huffman.h"
 
 namespace rlz {
+
+/// Reusable gzipx decode state: the per-block code-length buffers and
+/// Huffman decoders (whose root tables hold their capacity across
+/// streams). One per caller, like DecodeScratch — the serving hot path
+/// keeps one per worker so per-document stream inflation allocates
+/// nothing in steady state (DESIGN.md §9).
+struct GzipxDecodeScratch {
+  /// Literal/length code lengths of the block being decoded.
+  std::vector<uint8_t> lit_lens;
+  /// Distance code lengths of the block being decoded.
+  std::vector<uint8_t> dist_lens;
+  /// Literal/length decoder (table capacity reused across blocks).
+  HuffmanDecoder lit;
+  /// Distance decoder (table capacity reused across blocks).
+  HuffmanDecoder dist;
+};
 
 /// Options for the gzipx compressor.
 struct GzipxOptions {
@@ -33,7 +51,15 @@ class GzipxCompressor final : public Compressor {
 
   std::string name() const override { return "gzipx"; }
   void Compress(std::string_view in, std::string* out) const override;
-  Status Decompress(std::string_view in, std::string* out) const override;
+  Status Decompress(std::string_view in, std::string* out) const override {
+    return Decompress(in, out, nullptr);
+  }
+  /// Decompress with reusable decode state: a non-null `scratch` lends
+  /// the code-length buffers and decoder tables, removing every per-call
+  /// allocation except the output itself. Output bytes are identical with
+  /// or without scratch.
+  Status Decompress(std::string_view in, std::string* out,
+                    GzipxDecodeScratch* scratch) const;
   StatusOr<CompressorId> persistent_id() const override {
     return CompressorId::kGzipx;
   }

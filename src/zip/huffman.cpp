@@ -155,29 +155,72 @@ Status HuffmanDecoder::Init(const std::vector<uint8_t>& lengths) {
     return Status::Corruption("huffman: over-subscribed code");
   }
 
-  table_.assign(1ULL << max_len_, kInvalidEntry);
-  std::vector<int> count(kMaxHuffmanBits + 1, 0);
+  // The root table covers codes up to root_bits_; longer codes resolve
+  // through the canonical walk (DecodeSlow). Capping the table keeps Init
+  // O(2^kRootBits + symbols) instead of O(2^max_len) — the difference
+  // between 4 KB and 128 KB of table fill per decoded stream.
+  root_bits_ = std::min(max_len_, kRootBits);
+  table_.assign(1ULL << root_bits_, kInvalidEntry);
+
+  uint32_t count[kMaxHuffmanBits + 1] = {};
   for (uint8_t l : lengths) {
     if (l > 0) ++count[l];
   }
-  std::vector<uint32_t> next(kMaxHuffmanBits + 2, 0);
+  uint32_t next[kMaxHuffmanBits + 2] = {};
   uint32_t code = 0;
   for (int l = 1; l <= kMaxHuffmanBits; ++l) {
     code = (code + count[l - 1]) << 1;
     next[l] = code;
+    first_code_[l] = code;
+    code_count_[l] = count[l];
   }
+
+  // Symbols with codes longer than the root table, in canonical order.
+  uint32_t slow_symbols = 0;
+  for (int l = root_bits_ + 1; l <= max_len_; ++l) {
+    perm_offset_[l] = slow_symbols;
+    slow_symbols += count[l];
+  }
+  perm_.assign(slow_symbols, 0);
+
   for (size_t s = 0; s < lengths.size(); ++s) {
     const int l = lengths[s];
     if (l == 0) continue;
     const uint32_t canon = next[l]++;
-    const uint32_t rc = ReverseBits(canon, l);
-    const uint32_t entry =
-        (static_cast<uint32_t>(s) << 4) | static_cast<uint32_t>(l - 1);
-    for (uint64_t fill = rc; fill < table_.size(); fill += 1ULL << l) {
-      table_[fill] = entry;
+    if (l <= root_bits_) {
+      const uint32_t rc = ReverseBits(canon, l);
+      const uint32_t entry =
+          (static_cast<uint32_t>(s) << 4) | static_cast<uint32_t>(l - 1);
+      for (uint64_t fill = rc; fill < table_.size(); fill += 1ULL << l) {
+        table_[fill] = entry;
+      }
+    } else {
+      perm_[perm_offset_[l] + (canon - first_code_[l])] =
+          static_cast<uint16_t>(s);
     }
   }
   return Status::OK();
+}
+
+int32_t HuffmanDecoder::DecodeSlow(BitReader* br, uint32_t window) const {
+  if (max_len_ <= root_bits_) return -1;  // no longer codes exist
+  // The stream is LSB-first with bit-reversed codes, so the first bit
+  // read is the canonical code's most significant bit: the canonical
+  // prefix is the bit-reverse of the peeked window.
+  uint32_t code = 0;
+  uint32_t w = window;
+  for (int i = 0; i < root_bits_; ++i) {
+    code = (code << 1) | (w & 1);
+    w >>= 1;
+  }
+  br->SkipBits(root_bits_);
+  for (int l = root_bits_ + 1; l <= max_len_; ++l) {
+    code = (code << 1) | static_cast<uint32_t>(br->ReadBits(1));
+    if (code >= first_code_[l] && code - first_code_[l] < code_count_[l]) {
+      return perm_[perm_offset_[l] + (code - first_code_[l])];
+    }
+  }
+  return -1;
 }
 
 }  // namespace rlz

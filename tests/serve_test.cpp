@@ -18,6 +18,7 @@
 #include "serve/doc_service.h"
 #include "serve/sharded_store.h"
 #include "store/blocked_archive.h"
+#include "store/decode_scratch.h"
 #include "util/lru_cache.h"
 #include "util/random.h"
 #include "zip/compressor.h"
@@ -458,6 +459,49 @@ TEST(ConcurrencyTest, ShardedStoreConcurrentGetsAreByteExact) {
             slice != collection.doc(id).substr(
                          std::min<size_t>(16, collection.doc(id).size()),
                          64)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Per-worker scratch reuse (DESIGN.md §9): eight threads hammer one
+// shared ShardedStore, each reusing its own DecodeScratch across every
+// request — the exact shape of DocService's worker loop. Any cross-request
+// state leak in the scratch path shows up as a byte mismatch; any sharing
+// bug shows up under TSan (this suite runs under the `concurrency` label).
+TEST(ConcurrencyTest, ShardedStorePerWorkerScratchIsByteExact) {
+  const Collection collection = TestCollection(1 << 20, 95);
+  ShardedStoreOptions options;
+  options.num_shards = 4;
+  auto store = ShardedStore::Build(collection, options);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 800;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(11000 + t);
+      SimDisk disk;          // per-thread, per the Archive contract
+      DecodeScratch scratch;  // per-thread, reused across all requests
+      std::string doc;
+      std::string slice;
+      for (int i = 0; i < kIters; ++i) {
+        const size_t id = rng.Next() % collection.num_docs();
+        if (!store->Get(id, &doc, &disk, &scratch).ok() ||
+            doc != collection.doc(id)) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        const std::string_view text = collection.doc(id);
+        const size_t offset = rng.Next() % (text.size() + 1);
+        if (!store->GetRange(id, offset, 48, &slice, &disk, &scratch).ok() ||
+            slice != (offset < text.size() ? text.substr(offset, 48)
+                                           : std::string_view())) {
           mismatches.fetch_add(1);
         }
       }
