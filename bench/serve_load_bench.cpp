@@ -1,0 +1,295 @@
+// Closed-loop serving load bench (DESIGN.md §10): N producer threads, each
+// keeping K requests in flight through DocService::SubmitBatch over a
+// 4-shard ShardedStore (rlz-ZV, cache off, so every request decodes), under
+// uniform and Zipfian(theta=0.99) document popularity. Reports wall-clock
+// and modeled docs/s plus p50/p99/p999 request latency per row, and writes
+// machine-readable JSON (default BENCH_serve.json).
+//
+// Two throughput columns, same doctrine as serve_throughput and DESIGN.md
+// §4/§6: "wall" is real elapsed time on this host — meaningful only when
+// the host has a core per worker; "modeled" is requests divided by the
+// busiest worker's CPU + simulated-disk time (the makespan of a machine
+// with one core and one spindle per worker), which is the
+// machine-independent column. The scaling gate therefore picks its basis
+// from the host: wall when std::thread::hardware_concurrency() >= 4 (the
+// 4-worker row can actually run 4-wide, as on the 4-vCPU CI runners),
+// modeled otherwise (e.g. single-core hosts, where wall scaling is
+// physically impossible); the JSON records which basis gated.
+//
+//   ./build/bench/serve_load_bench              full run
+//   ./build/bench/serve_load_bench --smoke      small corpus + gate:
+//         4-worker docs/s must be >= kMinScaleRatio x 1-worker docs/s on
+//         the uniform rows (best of kGateRepeats measurements each), else
+//         exit 1 (run by the perf-smoke CI job)
+//   ./build/bench/serve_load_bench --out FILE   JSON destination
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "io/file.h"
+#include "serve/doc_service.h"
+#include "serve/sharded_store.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rlz {
+namespace bench {
+namespace {
+
+// The perf-smoke CI gate: 4 workers must beat 1 worker by this factor on
+// docs/s (uniform skew), on the basis chosen for the host (see header).
+constexpr double kMinScaleRatio = 2.5;
+// Gated rows are measured this many times; the best run gates (absorbs
+// scheduler noise on shared CI runners).
+constexpr int kGateRepeats = 2;
+// In-flight window per producer (the K of the closed loop).
+constexpr size_t kInFlight = 64;
+constexpr double kZipfTheta = 0.99;
+
+struct LoadResult {
+  double wall_dps = 0.0;
+  double modeled_dps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  uint64_t steals = 0;
+  uint64_t requests = 0;
+};
+
+// One closed-loop run: `producers` threads, each submitting kInFlight-id
+// batches and waiting for completion, until `total_rounds` batches have
+// been issued service-wide. Document ids are uniform or Zipfian(theta)
+// ranks over the collection, drawn from per-producer generators.
+LoadResult RunLoad(const Archive& archive, int workers, int producers,
+                   bool zipfian, size_t total_rounds) {
+  DocServiceOptions options;
+  options.num_threads = workers;
+  options.cache_bytes = 0;  // every request decodes
+  LoadResult result;
+  const size_t ndocs = archive.num_docs();
+  const ZipfSampler zipf(ndocs, kZipfTheta);
+  {
+    DocService service(&archive, options);
+    std::atomic<size_t> rounds{0};
+    Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        Rng rng(0x5eed5eed + 977 * static_cast<uint64_t>(p));
+        std::vector<size_t> ids(kInFlight);
+        ServeBatch batch;
+        while (rounds.fetch_add(1) < total_rounds) {
+          for (size_t i = 0; i < kInFlight; ++i) {
+            ids[i] = zipfian ? zipf.Sample(rng)
+                             : static_cast<size_t>(rng.Uniform(ndocs));
+          }
+          service.SubmitBatch(ids, &batch);
+          for (const GetResult& r : batch.Wait()) {
+            RLZ_CHECK(r.ok()) << r.status.ToString();
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    service.Drain();
+    const double wall_seconds = wall.ElapsedSeconds();
+    const ServiceStats stats = service.Stats();
+    result.requests = stats.requests;
+    result.wall_dps = stats.requests / wall_seconds;
+    result.modeled_dps = stats.critical_path_seconds > 0
+                             ? stats.requests / stats.critical_path_seconds
+                             : 0.0;
+    result.p50_us = stats.latency_p50_us;
+    result.p99_us = stats.latency_p99_us;
+    result.p999_us = stats.latency_p999_us;
+    result.steals = stats.steals;
+  }
+  return result;
+}
+
+void AppendJsonRow(int workers, int producers, const char* skew,
+                   const LoadResult& r, bool last, std::string* json) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"workers\": %d, \"producers\": %d, \"skew\": \"%s\", "
+      "\"requests\": %llu, \"wall_dps\": %.0f, \"modeled_dps\": %.0f, "
+      "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+      "\"steals\": %llu}%s\n",
+      workers, producers, skew,
+      static_cast<unsigned long long>(r.requests), r.wall_dps, r.modeled_dps,
+      r.p50_us, r.p99_us, r.p999_us,
+      static_cast<unsigned long long>(r.steals), last ? "" : ",");
+  json->append(buf);
+}
+
+void PrintRow(int workers, int producers, const char* skew,
+              const LoadResult& r) {
+  std::printf("%-8d %-10d %-8s %12.0f %14.0f %9.1f %9.1f %9.1f %8llu\n",
+              workers, producers, skew, r.wall_dps, r.modeled_dps, r.p50_us,
+              r.p99_us, r.p999_us,
+              static_cast<unsigned long long>(r.steals));
+}
+
+void Run(bool smoke, const std::string& out_path) {
+  CorpusOptions corpus_options;
+  corpus_options.target_bytes = smoke ? (4u << 20) : (16u << 20);
+  corpus_options.seed = 20110613;
+  const Corpus corpus = GenerateCorpus(corpus_options);
+  const Collection& collection = corpus.collection;
+
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 4;
+  store_options.dict_bytes = collection.size_bytes() / 100;
+  const auto store = ShardedStore::Build(collection, store_options);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool wall_basis = hw >= 4;
+  const size_t total_requests = smoke ? 16000 : 64000;
+  const size_t total_rounds = total_requests / kInFlight;
+
+  std::printf("serve_load_bench (%s): %zu docs, %.1f MB, %s, hw=%u\n",
+              smoke ? "smoke" : "full", collection.num_docs(),
+              collection.size_bytes() / (1024.0 * 1024.0),
+              store->name().c_str(), hw);
+  std::printf("%-8s %-10s %-8s %12s %14s %9s %9s %9s %8s\n", "workers",
+              "producers", "skew", "wall dps", "modeled dps", "p50 us",
+              "p99 us", "p999 us", "steals");
+
+  std::string json;
+  char buf[512];
+  json.append("{\n  \"bench\": \"serve_load\",\n");
+  json.append(smoke ? "  \"mode\": \"smoke\",\n" : "  \"mode\": \"full\",\n");
+  std::snprintf(buf, sizeof(buf),
+                "  \"corpus\": {\"docs\": %zu, \"bytes\": %llu, "
+                "\"seed\": %llu},\n",
+                collection.num_docs(),
+                static_cast<unsigned long long>(collection.size_bytes()),
+                static_cast<unsigned long long>(corpus_options.seed));
+  json.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "  \"store\": \"%s\",\n  \"host\": "
+                "{\"hardware_concurrency\": %u},\n",
+                store->name().c_str(), hw);
+  json.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "  \"config\": {\"in_flight_per_producer\": %zu, "
+                "\"zipf_theta\": %.2f, \"requests_per_row\": %zu},\n",
+                kInFlight, kZipfTheta, total_rounds * kInFlight);
+  json.append(buf);
+  // The one-time "before" record: the pre-PR DocService (single
+  // mutex/deque funnel, promise-per-request) measured from a pristine
+  // build of commit 6be0460 via hot_path_bench's serve rows (rlz-ZV,
+  // cache off, 20k MultiGet requests) on the 1-core reference host.
+  // Emitted as constants so regenerating this file cannot lose the
+  // trajectory's origin.
+  json.append(
+      "  \"pre_pr_baseline\": {\n"
+      "    \"comment\": \"Pre-PR funnel DocService measured once at commit "
+      "6be0460 on the 1-core reference host (hot_path_bench serve rows: "
+      "rlz-ZV, cache off). Wall scaling 1->4 threads was 1.02x through the "
+      "single-queue funnel.\",\n"
+      "    \"threads_1\": {\"wall_dps\": 24098, \"modeled_dps\": 14394},\n"
+      "    \"threads_4\": {\"wall_dps\": 24513, \"modeled_dps\": 41891}\n"
+      "  },\n");
+  json.append("  \"rows\": [\n");
+
+  // The gated pair: uniform skew, 4 producers, 1 worker vs 4 workers;
+  // best of kGateRepeats runs each.
+  LoadResult one;
+  LoadResult four;
+  for (int rep = 0; rep < (smoke ? kGateRepeats : 1); ++rep) {
+    const LoadResult r1 = RunLoad(*store, 1, 4, /*zipfian=*/false,
+                                  total_rounds);
+    const LoadResult r4 = RunLoad(*store, 4, 4, /*zipfian=*/false,
+                                  total_rounds);
+    const double basis1 = wall_basis ? r1.wall_dps : r1.modeled_dps;
+    const double basis4 = wall_basis ? r4.wall_dps : r4.modeled_dps;
+    if (rep == 0 || basis1 > (wall_basis ? one.wall_dps : one.modeled_dps)) {
+      one = r1;
+    }
+    if (rep == 0 || basis4 > (wall_basis ? four.wall_dps : four.modeled_dps)) {
+      four = r4;
+    }
+  }
+  PrintRow(1, 4, "uniform", one);
+  AppendJsonRow(1, 4, "uniform", one, /*last=*/false, &json);
+  PrintRow(4, 4, "uniform", four);
+  AppendJsonRow(4, 4, "uniform", four, /*last=*/false, &json);
+
+  // Ungated context rows: producer scaling and Zipfian skew (where the
+  // router concentrates hot documents on few workers and stealing levels
+  // the load).
+  const struct {
+    int workers;
+    int producers;
+    bool zipfian;
+  } extra_rows[] = {
+      {4, 1, false}, {1, 4, true}, {4, 4, true}};
+  constexpr size_t kNumExtra = sizeof(extra_rows) / sizeof(extra_rows[0]);
+  for (size_t i = 0; i < kNumExtra; ++i) {
+    const auto& row = extra_rows[i];
+    const LoadResult r = RunLoad(*store, row.workers, row.producers,
+                                 row.zipfian, total_rounds);
+    const char* skew = row.zipfian ? "zipfian" : "uniform";
+    PrintRow(row.workers, row.producers, skew, r);
+    AppendJsonRow(row.workers, row.producers, skew, r,
+                  /*last=*/i + 1 == kNumExtra, &json);
+  }
+  json.append("  ],\n");
+
+  const double dps1 = wall_basis ? one.wall_dps : one.modeled_dps;
+  const double dps4 = wall_basis ? four.wall_dps : four.modeled_dps;
+  const double ratio = dps1 > 0 ? dps4 / dps1 : 0.0;
+  const bool gate_pass = ratio >= kMinScaleRatio;
+  std::snprintf(buf, sizeof(buf),
+                "  \"gate\": {\"basis\": \"%s\", "
+                "\"min_ratio_required\": %.2f, \"workers_1_dps\": %.0f, "
+                "\"workers_4_dps\": %.0f, \"ratio\": %.2f, \"pass\": %s}\n"
+                "}\n",
+                wall_basis ? "wall" : "modeled", kMinScaleRatio, dps1, dps4,
+                ratio, gate_pass ? "true" : "false");
+  json.append(buf);
+
+  const Status write_status = WriteFile(out_path, json);
+  RLZ_CHECK(write_status.ok()) << write_status.ToString();
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (smoke) {
+    std::printf("smoke gate (%s basis): 4 workers >= %.2fx 1 worker: %s "
+                "(%.2fx)\n",
+                wall_basis ? "wall" : "modeled", kMinScaleRatio,
+                gate_pass ? "PASS" : "FAIL", ratio);
+    if (!gate_pass) std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rlz
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  rlz::bench::Run(smoke, out_path);
+  return 0;
+}

@@ -145,16 +145,22 @@ int main(int argc, char** argv) {
     queries = rlz::GenerateQueries(index, qopts);
   }
 
+  // One ServeBatch reused across queries: each result page is routed to
+  // the shard-affine worker queues in one batched submission, and the
+  // steady-state fetch loop allocates nothing for completion plumbing
+  // (DESIGN.md §10).
+  rlz::ServeBatch page;
+  std::vector<size_t> ids;
   for (const auto& query : queries) {
     std::string qstr;
     for (const auto& t : query) qstr += t + " ";
     std::printf("\nquery: %s\n", qstr.c_str());
     const auto hits = index.Query(query, 3);
     // The whole result page is fetched as one concurrent batch.
-    std::vector<size_t> ids;
-    ids.reserve(hits.size());
+    ids.clear();
     for (const auto& hit : hits) ids.push_back(hit.doc);
-    const std::vector<rlz::GetResult> docs = service.MultiGet(ids);
+    service.SubmitBatch(ids, &page);
+    const std::vector<rlz::GetResult>& docs = page.Wait();
     for (size_t i = 0; i < hits.size(); ++i) {
       if (!docs[i].ok()) {
         std::fprintf(stderr, "retrieval failed: %s\n",
@@ -168,6 +174,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Graceful stop: drains accepted requests and joins the workers, after
+  // which Stats() is exact — the front-end's shutdown report.
+  service.Shutdown();
   const rlz::ServiceStats stats = service.Stats();
   std::printf(
       "\nservice: %llu requests (%llu failed), cache %.1f%% hits "
@@ -179,5 +188,9 @@ int main(int argc, char** argv) {
       stats.cache.bytes / (1024.0 * 1024.0),
       1e3 * stats.disk_seconds,
       static_cast<unsigned long long>(stats.disk_seeks));
+  std::printf(
+      "latency: p50 %.1f us, p99 %.1f us over %d workers (%llu steals)\n",
+      stats.latency_p50_us, stats.latency_p99_us, stats.num_threads,
+      static_cast<unsigned long long>(stats.steals));
   return 0;
 }

@@ -1,113 +1,361 @@
 #include "serve/doc_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "serve/sharded_store.h"
 #include "util/logging.h"
 #include "util/timer.h"  // ThreadCpuSeconds (shared with the build pipeline)
 
 namespace rlz {
+namespace {
 
-DocService::DocService(const Archive* archive, const DocServiceOptions& options)
+// Steady-clock stamp for queue+service latency accounting.
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+DocServiceOptions DocServiceOptions::Validated() const {
+  DocServiceOptions v = *this;
+  if (v.num_threads < 1) v.num_threads = 1;
+  if (v.cache_shards < 1) v.cache_shards = 1;
+  if (v.queue_depth < 1) v.queue_depth = 1;
+  // A capacity that cannot admit even an empty value is a disabled cache.
+  if (v.cache_bytes > 0 && v.cache_bytes <= LruCache::kEntryOverheadBytes) {
+    v.cache_bytes = 0;
+  }
+  return v;
+}
+
+const std::vector<GetResult>& ServeBatch::Wait() {
+  // Always acquires mu_ (no lock-free fast path): CountDown runs entirely
+  // under mu_, so once Wait() has taken the lock and seen zero, no worker
+  // is still inside this object — the caller may immediately reuse or
+  // destroy the batch.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
+  return results_;
+}
+
+void ServeBatch::CountDown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    cv_.notify_all();
+  }
+}
+
+DocService::DocService(const Archive* archive,
+                       const DocServiceOptions& options)
     : archive_(archive),
-      cache_(options.cache_bytes, options.cache_shards) {
+      options_(options.Validated()),
+      cache_(options_.cache_bytes, options_.cache_shards) {
   RLZ_CHECK(archive != nullptr);
-  const int num_threads = std::max(1, options.num_threads);
+  // Queue-per-shard routing: when the archive is sharded, its router maps
+  // doc ids to shards, and requests for one shard always land on the same
+  // worker (shard mod pool) — that worker's SimDisk then stays on few
+  // shard devices (fewer simulated seeks) and its decode locality is per
+  // shard. Other archives route by id.
+  if (const auto* sharded = dynamic_cast<const ShardedStore*>(archive)) {
+    router_ = &sharded->router();
+  }
+  const int num_threads = options_.num_threads;
   workers_.reserve(num_threads);
+  queues_.reserve(num_threads);
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.push_back(std::make_unique<Worker>(options.disk));
+    workers_.push_back(std::make_unique<Worker>(options_.disk));
+    queues_.push_back(std::make_unique<BoundedRequestQueue>(
+        static_cast<size_t>(options_.queue_depth)));
   }
   for (int i = 0; i < num_threads; ++i) {
     threads_.emplace_back(&DocService::WorkerLoop, this, i);
   }
 }
 
-DocService::~DocService() {
+DocService::~DocService() { Shutdown(); }
+
+void DocService::Shutdown() {
+  stopping_.store(true);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    work_cv_.notify_all();
   }
-  work_ready_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  Drain();
+  {
+    // Re-notify after the drain so sleeping workers re-evaluate the exit
+    // predicate (stopping_ && in_flight_ == 0).
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    work_cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (!joined_) {
+    for (std::thread& t : threads_) t.join();
+    joined_ = true;
+  }
 }
 
-void DocService::WorkerLoop(int index) {
-  Worker* worker = workers_[index].get();
+int DocService::WorkerOf(size_t id) const {
+  const size_t num_workers = workers_.size();
+  if (router_ != nullptr && id < router_->num_docs()) {
+    return static_cast<int>(router_->shard_of(id) % num_workers);
+  }
+  return static_cast<int>(id % num_workers);
+}
+
+bool DocService::Accept(size_t n) {
+  in_flight_.fetch_add(n);
+  if (!stopping_.load()) return true;
+  // Stopping: roll the count back; if that made the service idle, wake
+  // Drain() waiters and exiting workers.
+  if (in_flight_.fetch_sub(n) == n) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    idle_cv_.notify_all();
+    work_cv_.notify_all();
+  }
+  return false;
+}
+
+void DocService::NotifyWorkers() {
+  if (sleepers_.load() == 0) return;
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  work_cv_.notify_all();
+}
+
+void DocService::PushWithBackpressure(const ServeRequest& request, int dest) {
+  const int num_queues = static_cast<int>(queues_.size());
   for (;;) {
-    std::packaged_task<GetResult(Worker*)> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    // Preferred queue first, then spill to peers: any worker can serve
+    // any request (routing is a locality optimization, not an ownership
+    // constraint), so a full queue under skew never blocks while a peer
+    // has room.
+    for (int k = 0; k < num_queues; ++k) {
+      const int w = (dest + k) % num_queues;
+      if (queues_[w]->TryPush(request)) {
+        queued_.fetch_add(1);
+        NotifyWorkers();
+        return;
+      }
     }
-    task(worker);
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) idle_.notify_all();
-    }
+    // Every queue is full: bounded-memory backpressure. The request was
+    // already accepted (in_flight_ counts it), so workers stay alive
+    // until it is enqueued and served — even mid-Shutdown.
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    space_waiters_.fetch_add(1);
+    space_cv_.wait(lock, [&] {
+      for (int w = 0; w < num_queues; ++w) {
+        if (queues_[w]->size() < queues_[w]->capacity()) return true;
+      }
+      return false;
+    });
+    space_waiters_.fetch_sub(1);
   }
 }
 
-std::future<GetResult> DocService::Submit(
-    std::function<GetResult(Worker*)> fn) {
-  std::packaged_task<GetResult(Worker*)> task(std::move(fn));
-  std::future<GetResult> result = task.get_future();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    ++in_flight_;
-    queue_.push_back(std::move(task));
+void DocService::SubmitBatch(const std::vector<size_t>& ids,
+                             ServeBatch* batch) {
+  SubmitBatch(ids.data(), ids.size(), batch);
+}
+
+void DocService::SubmitBatch(const size_t* ids, size_t count,
+                             ServeBatch* batch) {
+  RLZ_CHECK(batch != nullptr);
+  batch->Wait();  // a reused batch must be idle before it is re-armed
+  batch->results_.clear();
+  batch->results_.resize(count);
+  if (count == 0) return;
+  batch->remaining_.store(count, std::memory_order_release);
+  if (!Accept(count)) {
+    for (size_t i = 0; i < count; ++i) {
+      batch->results_[i].status = Status::Unavailable("stopping");
+      batch->CountDown();
+    }
+    return;
   }
-  work_ready_.notify_one();
-  return result;
+  const uint64_t now_ns = NowNs();
+  const int num_workers = static_cast<int>(workers_.size());
+  std::vector<uint32_t>& routes = batch->routes_;
+  routes.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    routes[i] = static_cast<uint32_t>(WorkerOf(ids[i]));
+  }
+  // One staging pass per destination: the whole per-worker group is
+  // enqueued under a single lock acquisition of that worker's queue.
+  std::vector<ServeRequest>& stage = batch->stage_;
+  for (int w = 0; w < num_workers; ++w) {
+    stage.clear();
+    for (size_t i = 0; i < count; ++i) {
+      if (routes[i] != static_cast<uint32_t>(w)) continue;
+      ServeRequest request;
+      request.id = ids[i];
+      request.enqueue_ns = now_ns;
+      request.out = &batch->results_[i];
+      request.batch = batch;
+      stage.push_back(request);
+    }
+    if (stage.empty()) continue;
+    const size_t pushed = queues_[w]->TryPushMany(stage.data(), stage.size());
+    if (pushed > 0) {
+      queued_.fetch_add(pushed);
+      NotifyWorkers();
+    }
+    for (size_t i = pushed; i < stage.size(); ++i) {
+      PushWithBackpressure(stage[i], w);
+    }
+  }
 }
 
 std::future<GetResult> DocService::Get(size_t id) {
-  return Submit([this, id](Worker* worker) { return DoGet(id, worker); });
-}
-
-std::vector<GetResult> DocService::MultiGet(const std::vector<size_t>& ids) {
-  std::vector<std::future<GetResult>> futures;
-  futures.reserve(ids.size());
-  for (size_t id : ids) futures.push_back(Get(id));
-  std::vector<GetResult> results;
-  results.reserve(ids.size());
-  for (auto& f : futures) results.push_back(f.get());
-  return results;
+  auto* promise = new std::promise<GetResult>();
+  std::future<GetResult> future = promise->get_future();
+  if (!Accept(1)) {
+    GetResult rejected;
+    rejected.status = Status::Unavailable("stopping");
+    promise->set_value(std::move(rejected));
+    delete promise;
+    return future;
+  }
+  ServeRequest request;
+  request.id = id;
+  request.enqueue_ns = NowNs();
+  request.promise = promise;
+  PushWithBackpressure(request, WorkerOf(id));
+  return future;
 }
 
 std::future<GetResult> DocService::GetRange(size_t id, size_t offset,
                                             size_t length) {
-  return Submit([this, id, offset, length](Worker* worker) {
-    return DoGetRange(id, offset, length, worker);
-  });
+  auto* promise = new std::promise<GetResult>();
+  std::future<GetResult> future = promise->get_future();
+  if (!Accept(1)) {
+    GetResult rejected;
+    rejected.status = Status::Unavailable("stopping");
+    promise->set_value(std::move(rejected));
+    delete promise;
+    return future;
+  }
+  ServeRequest request;
+  request.id = id;
+  request.offset = offset;
+  request.length = length;
+  request.is_range = true;
+  request.enqueue_ns = NowNs();
+  request.promise = promise;
+  PushWithBackpressure(request, WorkerOf(id));
+  return future;
+}
+
+std::vector<GetResult> DocService::MultiGet(const std::vector<size_t>& ids) {
+  ServeBatch batch;
+  SubmitBatch(ids, &batch);
+  batch.Wait();
+  return std::move(batch.results_);
+}
+
+void DocService::WorkerLoop(int index) {
+  Worker* worker = workers_[index].get();
+  ServeRequest request;
+  while (NextRequest(index, &request)) {
+    Execute(request, worker);
+  }
+}
+
+bool DocService::NextRequest(int index, ServeRequest* request) {
+  const int num_queues = static_cast<int>(queues_.size());
+  Worker* self = workers_[index].get();
+  for (;;) {
+    // Own queue first (shard affinity), then steal round-robin from peers
+    // so skewed routing cannot strand work behind one busy worker.
+    for (int k = 0; k < num_queues; ++k) {
+      const int w = (index + k) % num_queues;
+      if (queues_[w]->TryPop(request)) {
+        queued_.fetch_sub(1);
+        if (k != 0) self->steals.fetch_add(1, std::memory_order_relaxed);
+        if (space_waiters_.load() > 0) {
+          std::lock_guard<std::mutex> lock(wake_mu_);
+          space_cv_.notify_all();
+        }
+        return true;
+      }
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    sleepers_.fetch_add(1);
+    work_cv_.wait(lock, [&] {
+      return queued_.load() > 0 ||
+             (stopping_.load() && in_flight_.load() == 0);
+    });
+    sleepers_.fetch_sub(1);
+    if (queued_.load() == 0 && stopping_.load() && in_flight_.load() == 0) {
+      return false;
+    }
+  }
+}
+
+void DocService::Execute(const ServeRequest& request, Worker* worker) {
+  const double cpu_start = ThreadCpuSeconds();
+  GetResult result =
+      request.is_range
+          ? DoGetRange(request.id, request.offset, request.length, worker)
+          : DoGet(request.id, worker);
+  worker->requests.fetch_add(1, std::memory_order_relaxed);
+  if (!result.ok()) {
+    worker->failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  const double cpu_seconds = ThreadCpuSeconds() - cpu_start;
+  worker->cpu_ns.fetch_add(static_cast<uint64_t>(cpu_seconds * 1e9),
+                           std::memory_order_relaxed);
+  // Publish the worker-owned SimDisk totals so a mid-flight Stats() reads
+  // a consistent post-request snapshot without stalling the next decode.
+  worker->published_disk_ns.store(
+      static_cast<uint64_t>(worker->disk.total_seconds() * 1e9),
+      std::memory_order_relaxed);
+  worker->published_disk_bytes.store(worker->disk.total_bytes(),
+                                     std::memory_order_relaxed);
+  worker->published_disk_seeks.store(worker->disk.seeks(),
+                                     std::memory_order_relaxed);
+  worker->latency.Record(NowNs() - request.enqueue_ns);
+  if (request.promise != nullptr) {
+    request.promise->set_value(std::move(result));
+    delete request.promise;
+  } else if (request.out != nullptr) {
+    *request.out = std::move(result);
+    if (request.batch != nullptr) request.batch->CountDown();
+  }
+  FinishOne();
+}
+
+void DocService::FinishOne() {
+  if (in_flight_.fetch_sub(1) == 1) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    idle_cv_.notify_all();
+    if (stopping_.load()) work_cv_.notify_all();
+  }
 }
 
 GetResult DocService::DoGet(size_t id, Worker* worker) {
-  const double cpu_start = ThreadCpuSeconds();
   GetResult result;
   result.text = cache_.Get(id);
   if (result.text == nullptr) {
+    // Decode runs lock-free: disk and scratch are worker-owned, and cache
+    // admission below synchronizes only inside the cache's own stripe.
     std::string doc;
-    std::lock_guard<std::mutex> lock(worker->mu);
     result.status = archive_->Get(id, &doc, &worker->disk, &worker->scratch);
     if (result.status.ok()) {
       result.text = cache_.Insert(id, std::move(doc));
     }
   }
-  std::lock_guard<std::mutex> lock(worker->mu);
-  ++worker->requests;
-  if (!result.ok()) ++worker->failures;
-  worker->cpu_seconds += ThreadCpuSeconds() - cpu_start;
   return result;
 }
 
 GetResult DocService::DoGetRange(size_t id, size_t offset, size_t length,
                                  Worker* worker) {
-  const double cpu_start = ThreadCpuSeconds();
   GetResult result;
   // A resident full document serves any range without touching the archive
   // (no disk charge: the cache is memory-resident by construction).
@@ -119,41 +367,48 @@ GetResult DocService::DoGetRange(size_t id, size_t offset, size_t length,
     result.text = std::make_shared<const std::string>(std::move(slice));
   } else {
     std::string slice;
-    std::lock_guard<std::mutex> lock(worker->mu);
     result.status = archive_->GetRange(id, offset, length, &slice,
                                        &worker->disk, &worker->scratch);
     if (result.status.ok()) {
       result.text = std::make_shared<const std::string>(std::move(slice));
     }
   }
-  std::lock_guard<std::mutex> lock(worker->mu);
-  ++worker->requests;
-  if (!result.ok()) ++worker->failures;
-  worker->cpu_seconds += ThreadCpuSeconds() - cpu_start;
   return result;
 }
 
 void DocService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return in_flight_ == 0; });
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_.load() == 0; });
 }
 
 ServiceStats DocService::Stats() const {
   ServiceStats stats;
   stats.num_threads = static_cast<int>(workers_.size());
   stats.cache = cache_.stats();
+  LatencyHistogram::Snapshot latency;
   for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->mu);
-    stats.requests += worker->requests;
-    stats.failures += worker->failures;
-    stats.disk_seconds += worker->disk.total_seconds();
-    stats.disk_bytes += worker->disk.total_bytes();
-    stats.disk_seeks += worker->disk.seeks();
-    stats.cpu_seconds += worker->cpu_seconds;
+    stats.requests += worker->requests.load(std::memory_order_relaxed);
+    stats.failures += worker->failures.load(std::memory_order_relaxed);
+    stats.steals += worker->steals.load(std::memory_order_relaxed);
+    const double disk_seconds =
+        1e-9 * static_cast<double>(
+                   worker->published_disk_ns.load(std::memory_order_relaxed));
+    const double cpu_seconds =
+        1e-9 * static_cast<double>(
+                   worker->cpu_ns.load(std::memory_order_relaxed));
+    stats.disk_seconds += disk_seconds;
+    stats.disk_bytes +=
+        worker->published_disk_bytes.load(std::memory_order_relaxed);
+    stats.disk_seeks +=
+        worker->published_disk_seeks.load(std::memory_order_relaxed);
+    stats.cpu_seconds += cpu_seconds;
     stats.critical_path_seconds =
-        std::max(stats.critical_path_seconds,
-                 worker->cpu_seconds + worker->disk.total_seconds());
+        std::max(stats.critical_path_seconds, cpu_seconds + disk_seconds);
+    worker->latency.AddTo(&latency);
   }
+  stats.latency_p50_us = 1e-3 * latency.ValueAtQuantile(0.50);
+  stats.latency_p99_us = 1e-3 * latency.ValueAtQuantile(0.99);
+  stats.latency_p999_us = 1e-3 * latency.ValueAtQuantile(0.999);
   return stats;
 }
 

@@ -2,12 +2,13 @@
 #define RLZ_SERVE_DOC_SERVICE_H_
 
 /// \file
-/// The serving layer's request executor: thread pool, decode cache, service stats.
+/// The serving layer's request executor: sharded request queues, work
+/// stealing, batched completion, decode cache, service stats
+/// (DESIGN.md §6, §10).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -16,27 +17,45 @@
 #include <vector>
 
 #include "io/sim_disk.h"
+#include "serve/request_queue.h"
 #include "store/archive.h"
+#include "util/histogram.h"
 #include "util/lru_cache.h"
 #include "util/status.h"
 
 namespace rlz {
 
-/// Knobs for DocService.
+class ShardRouter;
+
+/// Knobs for DocService. Constructors run every instance through
+/// Validated(), so out-of-range values are clamped rather than trusted.
 struct DocServiceOptions {
   /// Worker threads executing requests. Each worker owns a private SimDisk
   /// (the Archive contract requires one disk per concurrent caller) — the
   /// model is one spindle per worker, as a sharded deployment would
-  /// provision.
+  /// provision. Floor: 1.
   int num_threads = 4;
-  /// Decoded-document cache capacity; 0 disables the cache.
+  /// Decoded-document cache capacity; 0 disables the cache. A non-zero
+  /// capacity too small to ever admit an entry (at most
+  /// LruCache::kEntryOverheadBytes) is clamped to 0 — a cache that can
+  /// never hold anything is a disabled cache, stated rather than silent.
   uint64_t cache_bytes = 32 << 20;
   /// Mutex stripes of the cache (rounded up to a power of two). Documents
   /// larger than cache_bytes / cache_shards are served but never cached —
-  /// lower this for collections of multi-megabyte documents.
+  /// lower this for collections of multi-megabyte documents. Floor: 1.
   int cache_shards = 16;
+  /// Capacity of each worker's bounded request queue — the service's
+  /// backpressure unit: when every queue is full, submission blocks until
+  /// a worker frees a slot, so queued work is bounded by
+  /// num_threads * queue_depth regardless of producer count. Floor: 1.
+  int queue_depth = 1024;
   /// Simulated-disk parameters for each worker's private SimDisk.
   SimDiskOptions disk;
+
+  /// Returns a copy with every knob clamped to its documented floor (see
+  /// the per-field comments). The DocService constructor applies this;
+  /// it is public so callers and tests can see the effective values.
+  DocServiceOptions Validated() const;
 };
 
 /// Outcome of one request. `text` is the full document for Get and the
@@ -52,14 +71,17 @@ struct GetResult {
   bool ok() const { return status.ok(); }
 };
 
-/// Aggregated service counters; exact once Drain() has returned (Stats()
-/// may also be called mid-flight — counters are internally consistent per
-/// worker but requests may land between worker snapshots).
+/// Aggregated service counters; exact once Drain() has returned. Stats()
+/// may also be called mid-flight — workers publish their counters as
+/// atomics, so reading them never blocks serving (counters are internally
+/// consistent per worker but requests may land between worker snapshots).
 struct ServiceStats {
   /// Requests executed (Get + MultiGet elements + GetRange).
   uint64_t requests = 0;
   /// Requests that returned a non-OK status.
   uint64_t failures = 0;
+  /// Requests a worker popped from another worker's queue.
+  uint64_t steals = 0;
   /// Decode-cache counters (hits/misses/evictions).
   LruCache::Stats cache;
   /// Simulated disk time summed over per-worker SimDisks.
@@ -76,22 +98,89 @@ struct ServiceStats {
   /// doctrine as the paper benches (DESIGN.md §4, §6), so the number is
   /// meaningful even on a single-core CI host.
   double critical_path_seconds = 0.0;
+  /// Request latency (enqueue to completion, microseconds): median.
+  double latency_p50_us = 0.0;
+  /// Request latency: 99th percentile.
+  double latency_p99_us = 0.0;
+  /// Request latency: 99.9th percentile.
+  double latency_p999_us = 0.0;
   /// Worker-pool size the service ran with.
   int num_threads = 0;
 };
 
-/// The request executor of the serving layer (DESIGN.md §6): a fixed
-/// thread pool in front of any (thread-safe) Archive, with a sharded LRU
+/// A reusable completion buffer for batched submission (DESIGN.md §10).
+/// DocService::SubmitBatch fills `results()` positionally and workers
+/// count the batch down as they finish; Wait() blocks until every result
+/// has landed. One ServeBatch belongs to one submitting caller at a time;
+/// reusing it across submissions reuses its buffers, so the steady-state
+/// request path allocates nothing for completion plumbing. The batch must
+/// outlive its in-flight requests — the destructor enforces this by
+/// waiting.
+class ServeBatch {
+ public:
+  ServeBatch() = default;
+  /// Waits for any in-flight requests (workers write into this object).
+  ~ServeBatch() { Wait(); }
+
+  /// Not copyable/movable: workers hold pointers into this object.
+  ServeBatch(const ServeBatch&) = delete;
+  /// Not assignable, for the same reason.
+  ServeBatch& operator=(const ServeBatch&) = delete;
+
+  /// Blocks until every request of the current submission has completed,
+  /// then returns the results, positionally parallel to the submitted
+  /// ids. Idempotent; trivially returns on an idle batch.
+  const std::vector<GetResult>& Wait();
+
+  /// True when no submission is in flight (Wait() would not block).
+  bool done() const {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Results of the last submission (valid once Wait() has returned).
+  const std::vector<GetResult>& results() const { return results_; }
+
+  /// Number of requests in the current/last submission.
+  size_t size() const { return results_.size(); }
+
+ private:
+  friend class DocService;
+
+  /// Worker-side completion: one count per delivered result. The final
+  /// decrement wakes Wait(). Runs entirely under mu_ so that a waiter
+  /// returning from Wait() (and possibly destroying the batch) can never
+  /// race a completing worker still inside this object.
+  void CountDown();
+
+  std::vector<GetResult> results_;
+  std::vector<ServeRequest> stage_;   // per-worker submission staging
+  std::vector<uint32_t> routes_;      // per-id destination worker
+  std::atomic<size_t> remaining_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// The request executor of the serving layer (DESIGN.md §6, §10): a fixed
+/// worker pool in front of any (thread-safe) Archive, with a sharded LRU
 /// cache of decoded documents so hot documents skip factor decoding
-/// entirely. Clients may call Get/MultiGet/GetRange from any number of
-/// threads; requests are served FIFO by the pool.
+/// entirely. Clients may call Get/MultiGet/GetRange/SubmitBatch from any
+/// number of threads.
+///
+/// Concurrency skeleton: every worker owns a bounded request queue;
+/// submission routes each request to the worker affine to its shard (via
+/// the archive's ShardRouter when it has one) and enqueues a whole
+/// batch's worth per queue under one lock. Idle workers steal from peers,
+/// so skewed traffic cannot strand work behind one queue. Workers decode
+/// without holding any lock — the scratch and SimDisk are worker-owned,
+/// counters are atomics, and cache admission happens outside any critical
+/// section — so Stats() never stalls serving.
 class DocService {
  public:
   /// Starts the worker pool in front of `archive` (not owned; must be
   /// thread-safe and outlive the service).
   explicit DocService(const Archive* archive,
                       const DocServiceOptions& options = {});
-  /// Drains outstanding requests, then joins the workers.
+  /// Shutdown() (drains accepted requests), then joins the workers.
   ~DocService();
 
   /// Not copyable: owns threads and per-worker accounting.
@@ -99,11 +188,14 @@ class DocService {
   /// Not assignable: owns threads and per-worker accounting.
   DocService& operator=(const DocService&) = delete;
 
-  /// Asynchronously retrieves one document.
+  /// Asynchronously retrieves one document. Convenience path: allocates
+  /// a promise per call; throughput-sensitive callers should batch
+  /// through SubmitBatch instead.
   std::future<GetResult> Get(size_t id);
 
   /// Retrieves a batch, blocking until every result is ready. Results are
   /// positionally parallel to `ids`; individual failures are per-result.
+  /// Implemented over SubmitBatch with a local batch.
   std::vector<GetResult> MultiGet(const std::vector<size_t>& ids);
 
   /// Asynchronously retrieves bytes [offset, offset+length) of a document
@@ -112,48 +204,103 @@ class DocService {
   /// does not populate the cache.
   std::future<GetResult> GetRange(size_t id, size_t offset, size_t length);
 
+  /// Batched submission (the steady-state serving path): routes each id
+  /// to its shard-affine worker queue, enqueueing per-queue groups under
+  /// one lock each, and arms `batch` to collect results positionally.
+  /// Returns once everything is enqueued (blocking only when every queue
+  /// is full — backpressure); call batch->Wait() for completion. A reused
+  /// batch re-submits with zero allocations once its buffers are warm.
+  /// After Shutdown(), every request completes immediately with
+  /// Unavailable.
+  void SubmitBatch(const std::vector<size_t>& ids, ServeBatch* batch);
+
+  /// As above, over a raw id array.
+  void SubmitBatch(const size_t* ids, size_t count, ServeBatch* batch);
+
   /// Blocks until the service is momentarily idle (no queued or executing
   /// requests). Under sustained submission from other threads this keeps
   /// waiting — call it at a traffic boundary (as the bench and tests do)
   /// to make Stats() exact.
   void Drain();
 
-  /// Aggregated counters (exact once Drain() has returned).
+  /// Graceful stop: new submissions complete immediately with
+  /// Unavailable, every already-accepted request is served, then the
+  /// workers are joined. Idempotent and safe to call concurrently with
+  /// submissions; after it returns, Stats() is exact and the object is
+  /// still valid (only destruction frees it).
+  void Shutdown();
+
+  /// Aggregated counters (exact once Drain() has returned); never blocks
+  /// the workers.
   ServiceStats Stats() const;
   /// The archive requests are served from.
   const Archive& archive() const { return *archive_; }
+  /// The validated options this service runs with.
+  const DocServiceOptions& options() const { return options_; }
 
  private:
   struct Worker {
     explicit Worker(const SimDiskOptions& disk_options)
         : disk(disk_options) {}
-    mutable std::mutex mu;  // guards disk, scratch + the counters below
+    // disk and scratch are owned by the worker thread while serving; the
+    // published_* atomics mirror the disk's totals after every request so
+    // Stats() reads them without synchronizing with a decode in flight.
     SimDisk disk;
-    // Per-worker reusable decode buffers (DESIGN.md §9): after warm-up a
-    // worker serves requests with zero decode-side heap allocations.
     DecodeScratch scratch;
-    double cpu_seconds = 0.0;
-    uint64_t requests = 0;
-    uint64_t failures = 0;
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> cpu_ns{0};
+    std::atomic<uint64_t> published_disk_ns{0};
+    std::atomic<uint64_t> published_disk_bytes{0};
+    std::atomic<uint64_t> published_disk_seeks{0};
+    LatencyHistogram latency;
   };
 
-  std::future<GetResult> Submit(std::function<GetResult(Worker*)> fn);
-  void WorkerLoop(int index);
+  /// Destination worker for a doc id: its shard modulo the pool when the
+  /// archive exposes a router, id modulo the pool otherwise.
+  int WorkerOf(size_t id) const;
+  /// Accounts `n` accepted requests; false (with the count rolled back)
+  /// when the service is stopping.
+  bool Accept(size_t n);
+  /// Enqueues one routed request, spilling to peers when the preferred
+  /// queue is full and blocking when every queue is full.
+  void PushWithBackpressure(const ServeRequest& request, int dest);
+  /// Wakes sleeping workers if any.
+  void NotifyWorkers();
+  /// Pops the next request for worker `index` (own queue first, then
+  /// steals); sleeps when idle; returns false to exit (stopped + drained).
+  bool NextRequest(int index, ServeRequest* request);
+  /// Decodes, delivers, and accounts one request on `worker`.
+  void Execute(const ServeRequest& request, Worker* worker);
+  /// Completion bookkeeping shared by served and rejected requests.
+  void FinishOne();
 
   GetResult DoGet(size_t id, Worker* worker);
   GetResult DoGetRange(size_t id, size_t offset, size_t length,
                        Worker* worker);
+  void WorkerLoop(int index);
 
   const Archive* archive_;
+  DocServiceOptions options_;  // validated copy
   LruCache cache_;
+  const ShardRouter* router_ = nullptr;  // owned by the archive; may be null
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<BoundedRequestQueue>> queues_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable idle_;
-  std::deque<std::packaged_task<GetResult(Worker*)>> queue_;
-  uint64_t in_flight_ = 0;  // queued + executing
-  bool stopping_ = false;
+  std::atomic<uint64_t> in_flight_{0};  // accepted, not yet completed
+  std::atomic<uint64_t> queued_{0};     // enqueued, not yet popped
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> sleepers_{0};        // workers blocked in NextRequest
+  std::atomic<int> space_waiters_{0};   // producers blocked on full queues
+
+  std::mutex wake_mu_;
+  std::condition_variable work_cv_;   // workers: work arrived / exit
+  std::condition_variable space_cv_;  // producers: a queue slot freed
+  std::condition_variable idle_cv_;   // Drain/Shutdown: in_flight_ == 0
+
+  std::mutex join_mu_;  // guards joined_ (Shutdown is idempotent)
+  bool joined_ = false;
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,111 @@
+#ifndef RLZ_SERVE_REQUEST_QUEUE_H_
+#define RLZ_SERVE_REQUEST_QUEUE_H_
+
+/// \file
+/// The serving layer's per-worker request queue: a bounded ring of plain
+/// request descriptors, multi-producer, popped by the owning worker and
+/// (under imbalance) by stealing peers (DESIGN.md §10).
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+namespace rlz {
+
+struct GetResult;
+class ServeBatch;
+
+/// One queued retrieval request. Plain data, passed by value through the
+/// ring — enqueueing allocates nothing. Exactly one completion channel is
+/// set: `out`+`batch` for the batched path (the worker writes the result
+/// into the caller-owned slot, then counts the batch down), or `promise`
+/// for the future-returning convenience path (owned by the request; the
+/// executing worker fulfils and deletes it).
+struct ServeRequest {
+  /// Document id to retrieve.
+  size_t id = 0;
+  /// Range start (kRange only).
+  size_t offset = 0;
+  /// Range length (kRange only).
+  size_t length = 0;
+  /// False for a whole-document Get, true for the GetRange snippet path.
+  bool is_range = false;
+  /// Steady-clock enqueue stamp (ns) for queue+service latency accounting.
+  uint64_t enqueue_ns = 0;
+  /// Caller-owned result slot (batched path); null on the promise path.
+  GetResult* out = nullptr;
+  /// Completion counter of the owning batch; null on the promise path.
+  ServeBatch* batch = nullptr;
+  /// Owned promise (future path); null on the batched path.
+  std::promise<GetResult>* promise = nullptr;
+};
+
+/// A bounded MPSC-with-stealing queue: fixed capacity decided at
+/// construction (the service's backpressure unit — a full queue pushes
+/// back on producers), one mutex per queue so contention is spread across
+/// the pool instead of funnelled through one lock, O(1) push/pop with no
+/// allocation after construction. The owning worker pops from it on every
+/// iteration; idle peers may also pop (work stealing), which keeps tail
+/// latency bounded under skewed routing.
+class BoundedRequestQueue {
+ public:
+  /// Creates a queue holding at most `capacity` requests (floored at 1).
+  explicit BoundedRequestQueue(size_t capacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  BoundedRequestQueue(const BoundedRequestQueue&) = delete;
+  BoundedRequestQueue& operator=(const BoundedRequestQueue&) = delete;
+
+  /// Pushes one request; returns false when the queue is full.
+  bool TryPush(const ServeRequest& request) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == ring_.size()) return false;
+    ring_[(head_ + count_) % ring_.size()] = request;
+    ++count_;
+    return true;
+  }
+
+  /// Pushes up to `n` requests from `requests` under one lock acquisition
+  /// (the batched submission path's "one enqueue per shard"); returns how
+  /// many were pushed — the rest did not fit.
+  size_t TryPushMany(const ServeRequest* requests, size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t room = ring_.size() - count_;
+    const size_t pushed = n < room ? n : room;
+    for (size_t i = 0; i < pushed; ++i) {
+      ring_[(head_ + count_) % ring_.size()] = requests[i];
+      ++count_;
+    }
+    return pushed;
+  }
+
+  /// Pops the oldest request into `*request`; returns false when empty.
+  bool TryPop(ServeRequest* request) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) return false;
+    *request = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    return true;
+  }
+
+  /// Requests currently queued (racy snapshot, for monitoring).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  /// The fixed capacity.
+  size_t capacity() const { return ring_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ServeRequest> ring_;
+  size_t head_ = 0;   // index of the oldest element
+  size_t count_ = 0;  // elements in the ring
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_SERVE_REQUEST_QUEUE_H_

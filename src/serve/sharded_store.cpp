@@ -48,7 +48,7 @@ std::unique_ptr<ShardedStore> ShardedStore::Build(
 
   // Contiguous ranges balanced by uncompressed bytes: shard s ends at the
   // first doc whose cumulative size reaches s+1 equal slices of the total.
-  store->starts_.assign(1, 0);
+  std::vector<size_t> starts(1, 0);
   const uint64_t total = collection.size_bytes();
   uint64_t seen = 0;
   size_t doc = 0;
@@ -56,13 +56,14 @@ std::unique_ptr<ShardedStore> ShardedStore::Build(
     const uint64_t target = total * (s + 1) / nshards;
     // Leave enough docs for the remaining shards to be non-empty.
     const size_t max_end = ndocs - (nshards - 1 - s);
-    while (doc < max_end && (seen < target || doc == store->starts_.back())) {
+    while (doc < max_end && (seen < target || doc == starts.back())) {
       seen += collection.doc_size(doc);
       ++doc;
     }
-    store->starts_.push_back(doc);
+    starts.push_back(doc);
   }
-  store->starts_.push_back(ndocs);
+  starts.push_back(ndocs);
+  store->router_ = ShardRouter(std::move(starts));
 
   const int build_threads =
       options.build_threads > 0 ? options.build_threads
@@ -72,8 +73,8 @@ std::unique_ptr<ShardedStore> ShardedStore::Build(
 
   store->shards_.resize(nshards);
   auto build_shard = [&](size_t s) {
-    const size_t begin = store->starts_[s];
-    const size_t end = store->starts_[s + 1];
+    const size_t begin = store->router_.start(s);
+    const size_t end = store->router_.start(s + 1);
     // A shard's documents are contiguous in the source collection, so
     // dictionary sampling and the streaming build both work off views —
     // no per-shard copy of the text (peak memory stays one corpus).
@@ -118,7 +119,9 @@ Status ShardedStore::Save(const std::string& path) const {
   }
   EnvelopeWriter writer(kFormatId, kFormatVersion);
   writer.PutVarint64(shards_.size());
-  for (size_t start : starts_) writer.PutVarint64(start);
+  for (size_t s = 0; s <= shards_.size(); ++s) {
+    writer.PutVarint64(router_.start(s));
+  }
   for (size_t s = 0; s < shards_.size(); ++s) {
     writer.PutLengthPrefixed(ShardFileName(base, s));
   }
@@ -139,17 +142,17 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::FromEnvelope(
                               ": bad manifest shard count");
   }
   std::unique_ptr<ShardedStore> store(new ShardedStore());
-  store->starts_.resize(nshards + 1);
+  std::vector<size_t> starts(nshards + 1);
   for (size_t s = 0; s <= nshards; ++s) {
     uint64_t start = 0;
     RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&start));
-    store->starts_[s] = start;
-    if ((s == 0 && start != 0) ||
-        (s > 0 && start < store->starts_[s - 1])) {
+    starts[s] = start;
+    if ((s == 0 && start != 0) || (s > 0 && start < starts[s - 1])) {
       return Status::Corruption(envelope.context() +
                                 ": manifest boundaries not monotone");
     }
   }
+  store->router_ = ShardRouter(std::move(starts));
   std::string dir;
   std::string base;
   SplitPath(path, &dir, &base);
@@ -201,7 +204,7 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::FromEnvelope(
   }
   for (size_t s = 0; s < nshards; ++s) {
     if (store->shards_[s]->num_docs() !=
-        store->starts_[s + 1] - store->starts_[s]) {
+        store->router_.start(s + 1) - store->router_.start(s)) {
       return Status::Corruption(shard_paths[s] +
                                 ": shard document count disagrees with "
                                 "the manifest");
@@ -224,9 +227,7 @@ std::string ShardedStore::name() const {
 
 size_t ShardedStore::shard_of(size_t id) const {
   RLZ_DCHECK_LT(id, num_docs());
-  // First boundary strictly greater than id, minus one.
-  const auto it = std::upper_bound(starts_.begin(), starts_.end(), id);
-  return static_cast<size_t>(it - starts_.begin()) - 1;
+  return router_.shard_of(id);
 }
 
 namespace {
@@ -251,7 +252,7 @@ Status ShardedStore::Get(size_t id, std::string* doc, SimDisk* disk,
     return Status::OutOfRange("sharded store: bad doc id");
   }
   const size_t s = shard_of(id);
-  const size_t local = id - starts_[s];
+  const size_t local = id - router_.start(s);
   ChargeShardRead(*shards_[s], s, local, disk);
   return shards_[s]->Get(local, doc, /*disk=*/nullptr, scratch);
 }
@@ -263,7 +264,7 @@ Status ShardedStore::GetRange(size_t id, size_t offset, size_t length,
     return Status::OutOfRange("sharded store: bad doc id");
   }
   const size_t s = shard_of(id);
-  const size_t local = id - starts_[s];
+  const size_t local = id - router_.start(s);
   ChargeShardRead(*shards_[s], s, local, disk);
   return shards_[s]->GetRange(local, offset, length, text, /*disk=*/nullptr,
                               scratch);

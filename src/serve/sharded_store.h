@@ -4,6 +4,7 @@
 /// \file
 /// N independent RLZ shards behind one Archive interface (DESIGN.md §6).
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,40 @@
 #include "store/open_archive.h"
 
 namespace rlz {
+
+/// The doc-id → shard map of a ShardedStore: N+1 monotone range boundaries
+/// (`start(0) == 0`, `start(num_shards()) == num_docs()`), routed by binary
+/// search. Immutable after construction and trivially shareable across
+/// threads; the serving layer borrows it (ShardedStore::router()) to route
+/// requests to shard-affine worker queues without going through the
+/// Archive interface (DESIGN.md §10).
+class ShardRouter {
+ public:
+  /// An empty router: zero shards, zero documents.
+  ShardRouter() = default;
+  /// Wraps the N+1 boundaries; `starts[0]` must be 0 and the sequence
+  /// must be non-decreasing (callers validate — the router only routes).
+  explicit ShardRouter(std::vector<size_t> starts)
+      : starts_(std::move(starts)) {}
+
+  /// The shard owning doc `id` (`id` must be < num_docs()).
+  size_t shard_of(size_t id) const {
+    // First boundary strictly greater than id, minus one.
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), id);
+    return static_cast<size_t>(it - starts_.begin()) - 1;
+  }
+  /// Number of shards routed over.
+  size_t num_shards() const {
+    return starts_.empty() ? 0 : starts_.size() - 1;
+  }
+  /// Total documents across all shards.
+  size_t num_docs() const { return starts_.empty() ? 0 : starts_.back(); }
+  /// First doc id of shard `s`; `start(num_shards()) == num_docs()`.
+  size_t start(size_t s) const { return starts_[s]; }
+
+ private:
+  std::vector<size_t> starts_;
+};
 
 /// Build-time knobs for ShardedStore::Build.
 struct ShardedStoreOptions {
@@ -70,7 +105,7 @@ class ShardedStore final : public Archive {
   /// "sharded-<shard coding>/<N>".
   std::string name() const override;
   /// Total documents across all shards.
-  size_t num_docs() const override { return starts_.back(); }
+  size_t num_docs() const override { return router_.num_docs(); }
   /// Routes to the owning shard and decodes the document there, passing
   /// the caller's `scratch` through to the shard's decode.
   Status Get(size_t id, std::string* doc, SimDisk* disk,
@@ -88,7 +123,13 @@ class ShardedStore final : public Archive {
   /// Shard `s`'s archive (s must be < num_shards()).
   const RlzArchive& shard(int s) const { return *shards_[s]; }
   /// First doc id owned by shard `s`; starts(num_shards()) == num_docs().
-  size_t starts(int s) const { return starts_[s]; }
+  size_t starts(int s) const {
+    return router_.start(static_cast<size_t>(s));
+  }
+  /// The doc-id → shard map. Borrowed by the serving layer to route
+  /// requests to shard-affine worker queues; valid for this store's
+  /// lifetime.
+  const ShardRouter& router() const { return router_; }
 
   /// Simulated address-space stride between shard devices (1 TiB): far
   /// beyond any SimDiskOptions::sequential_gap, and far above the v1
@@ -129,7 +170,7 @@ class ShardedStore final : public Archive {
   ShardedStore() = default;
 
   std::vector<std::unique_ptr<RlzArchive>> shards_;
-  std::vector<size_t> starts_;  // num_shards()+1 entries, starts_[0] == 0
+  ShardRouter router_;  // num_shards()+1 boundaries, start(0) == 0
 };
 
 }  // namespace rlz

@@ -1,0 +1,114 @@
+#ifndef RLZ_UTIL_HISTOGRAM_H_
+#define RLZ_UTIL_HISTOGRAM_H_
+
+/// \file
+/// Lock-free log-linear latency histogram for the serving layer's
+/// percentile accounting (DESIGN.md §10).
+
+#include <atomic>
+#include <cstdint>
+
+namespace rlz {
+
+/// A fixed-footprint histogram of nanosecond latencies that can be
+/// recorded into from any number of threads without locks and read
+/// concurrently (Record is one relaxed atomic increment; readers see a
+/// consistent-enough snapshot for percentile reporting).
+///
+/// Bucketing is HdrHistogram-style log-linear: values below 16 ns get
+/// exact buckets; above that, each power-of-two octave is split into 16
+/// linear sub-buckets, so the relative quantization error is at most
+/// 1/16 (~6%) across the whole 64-bit range. That is plenty for p50/p99/
+/// p999 reporting and keeps the footprint at ~8 KB per instance.
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave (as a power of two): 2^4 = 16.
+  static constexpr int kSubBucketBits = 4;
+  /// Total bucket count covering every uint64 nanosecond value.
+  static constexpr int kNumBuckets =
+      (1 << kSubBucketBits) + (64 - kSubBucketBits) * (1 << kSubBucketBits);
+
+  /// An immutable copy of the counts, mergeable across histograms —
+  /// ServiceStats merges one per worker before computing percentiles.
+  struct Snapshot {
+    /// Per-bucket counts (same bucket layout as the histogram).
+    uint64_t buckets[kNumBuckets] = {};
+    /// Sum of all bucket counts.
+    uint64_t total = 0;
+
+    /// Value (ns) at quantile `q` in [0, 1], linearly interpolated inside
+    /// the containing bucket. Returns 0 when the snapshot is empty.
+    double ValueAtQuantile(double q) const {
+      if (total == 0) return 0.0;
+      if (q < 0.0) q = 0.0;
+      if (q > 1.0) q = 1.0;
+      const double rank = q * static_cast<double>(total);
+      uint64_t seen = 0;
+      for (int b = 0; b < kNumBuckets; ++b) {
+        const uint64_t count = buckets[b];
+        if (count == 0) continue;
+        if (static_cast<double>(seen + count) >= rank) {
+          const double within =
+              count == 0 ? 0.0
+                         : (rank - static_cast<double>(seen)) /
+                               static_cast<double>(count);
+          return static_cast<double>(BucketLow(b)) +
+                 within * static_cast<double>(BucketWidth(b));
+        }
+        seen += count;
+      }
+      return static_cast<double>(BucketLow(kNumBuckets - 1)) +
+             static_cast<double>(BucketWidth(kNumBuckets - 1));
+    }
+  };
+
+  /// Records one latency of `ns` nanoseconds. Wait-free; callable from
+  /// any thread.
+  void Record(uint64_t ns) {
+    buckets_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Adds this histogram's counts into `out` (used to merge the
+  /// per-worker histograms into one service-wide snapshot).
+  void AddTo(Snapshot* out) const {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const uint64_t count = buckets_[b].load(std::memory_order_relaxed);
+      out->buckets[b] += count;
+      out->total += count;
+    }
+  }
+
+  /// The bucket index `ns` falls into.
+  static int BucketIndex(uint64_t ns) {
+    constexpr uint64_t kSub = 1ull << kSubBucketBits;
+    if (ns < kSub) return static_cast<int>(ns);
+    const int exp = 63 - __builtin_clzll(ns);  // >= kSubBucketBits
+    const int shift = exp - kSubBucketBits;
+    // (ns >> shift) is in [kSub, 2*kSub): the octave's linear sub-bucket.
+    return static_cast<int>(((shift + 1) << kSubBucketBits) +
+                            ((ns >> shift) - kSub));
+  }
+
+  /// Inclusive lower bound (ns) of bucket `b`.
+  static uint64_t BucketLow(int b) {
+    constexpr uint64_t kSub = 1ull << kSubBucketBits;
+    if (b < static_cast<int>(kSub)) return static_cast<uint64_t>(b);
+    const int shift = (b >> kSubBucketBits) - 1;
+    const uint64_t sub = static_cast<uint64_t>(b) & (kSub - 1);
+    return (kSub + sub) << shift;
+  }
+
+  /// Width (ns) of bucket `b`.
+  static uint64_t BucketWidth(int b) {
+    constexpr uint64_t kSub = 1ull << kSubBucketBits;
+    if (b < static_cast<int>(kSub)) return 1;
+    return 1ull << ((b >> kSubBucketBits) - 1);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_UTIL_HISTOGRAM_H_

@@ -20,6 +20,7 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

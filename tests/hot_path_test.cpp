@@ -20,6 +20,7 @@
 #include "core/rlz_archive.h"
 #include "corpus/generator.h"
 #include "semistatic/semistatic_archive.h"
+#include "serve/doc_service.h"
 #include "serve/sharded_store.h"
 #include "store/ascii_archive.h"
 #include "store/blocked_archive.h"
@@ -324,6 +325,49 @@ TEST(HotPathTest, SteadyStateScratchDecodeIsAllocationFree) {
     const uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
     EXPECT_EQ(after, before) << "steady-state decode allocated";
   }
+}
+
+// The serving-layer counterpart (DESIGN.md §10): once a ServeBatch's
+// buffers are warm and the working set is cache-resident, the batched
+// request path — SubmitBatch routing, per-worker queue rings, completion
+// countdown, result delivery — performs zero heap allocations end to end.
+// Worker threads run inside the measured window (Wait() bounds them), so
+// a stray per-request allocation anywhere in the path fails the count.
+TEST(HotPathTest, SteadyStateBatchedServingIsAllocationFree) {
+  const Collection collection = TestCollection(1 << 17, 57);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 2;
+  auto store = ShardedStore::Build(collection, store_options);
+  DocServiceOptions options;
+  options.num_threads = 2;
+  options.cache_bytes = 64 << 20;  // whole corpus stays resident
+  DocService service(store.get(), options);
+
+  std::vector<size_t> ids(48);
+  Rng rng(4242);
+  for (auto& id : ids) id = rng.Next() % collection.num_docs();
+  ServeBatch batch;
+  // Warm-up: populate the cache and grow the batch's buffers to capacity.
+  for (int pass = 0; pass < 3; ++pass) {
+    service.SubmitBatch(ids, &batch);
+    for (const GetResult& r : batch.Wait()) ASSERT_TRUE(r.ok());
+  }
+  ASSERT_GE(service.Stats().cache.hits, ids.size());
+
+  const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    service.SubmitBatch(ids, &batch);
+    const std::vector<GetResult>& results = batch.Wait();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!results[i].ok()) FAIL() << results[i].status.ToString();
+    }
+  }
+  const uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "steady-state batched serving allocated";
+
+  // The counted rounds really went through the full request path.
+  service.Drain();
+  EXPECT_EQ(service.Stats().requests, 13u * ids.size());
 }
 
 // ---------------------------------------------------------------------------

@@ -549,5 +549,331 @@ TEST(ConcurrencyTest, DocServiceConcurrentClients) {
   EXPECT_EQ(stats.failures, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Scale-out request path (DESIGN.md §10): options validation, the shard
+// router, batched submission, stealing, and shutdown/drain races.
+
+TEST(DocServiceTest, OptionsValidationClampsToDocumentedFloors) {
+  DocServiceOptions options;
+  options.num_threads = -3;
+  options.cache_shards = 0;
+  options.queue_depth = -1;
+  options.cache_bytes = LruCache::kEntryOverheadBytes;  // can't admit anything
+  const DocServiceOptions v = options.Validated();
+  EXPECT_EQ(v.num_threads, 1);
+  EXPECT_EQ(v.cache_shards, 1);
+  EXPECT_EQ(v.queue_depth, 1);
+  EXPECT_EQ(v.cache_bytes, 0u);  // too-small cache is a disabled cache
+
+  // In-range values pass through untouched.
+  DocServiceOptions fine;
+  fine.num_threads = 2;
+  fine.cache_bytes = 1 << 20;
+  fine.cache_shards = 4;
+  fine.queue_depth = 8;
+  const DocServiceOptions kept = fine.Validated();
+  EXPECT_EQ(kept.num_threads, 2);
+  EXPECT_EQ(kept.cache_bytes, 1u << 20);
+  EXPECT_EQ(kept.cache_shards, 4);
+  EXPECT_EQ(kept.queue_depth, 8);
+
+  // The constructor applies Validated(): a service built with hostile
+  // options runs (one worker, one stripe, depth-1 queues) and serves.
+  const Collection collection = TestCollection(1 << 16, 87);
+  auto store = ShardedStore::Build(collection, {});
+  DocService service(store.get(), options);
+  EXPECT_EQ(service.options().num_threads, 1);
+  EXPECT_EQ(service.options().queue_depth, 1);
+  GetResult r = service.Get(0).get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.text, collection.doc(0));
+}
+
+TEST(ShardedStoreTest, RouterMatchesShardOf) {
+  const Collection collection = TestCollection(1 << 19, 88);
+  ShardedStoreOptions options;
+  options.num_shards = 4;
+  auto store = ShardedStore::Build(collection, options);
+  const ShardRouter& router = store->router();
+  ASSERT_EQ(router.num_shards(), static_cast<size_t>(store->num_shards()));
+  EXPECT_EQ(router.num_docs(), store->num_docs());
+  EXPECT_EQ(router.start(0), 0u);
+  EXPECT_EQ(router.start(router.num_shards()), store->num_docs());
+  for (size_t id = 0; id < store->num_docs(); ++id) {
+    const size_t s = router.shard_of(id);
+    EXPECT_EQ(s, store->shard_of(id));
+    EXPECT_GE(id, router.start(s));
+    EXPECT_LT(id, router.start(s + 1));
+  }
+}
+
+TEST(DocServiceTest, SubmitBatchIsPositionalAndReusable) {
+  const Collection collection = TestCollection(1 << 18, 89);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 4;
+  auto store = ShardedStore::Build(collection, store_options);
+  DocServiceOptions options;
+  options.num_threads = 3;
+  DocService service(store.get(), options);
+
+  // One batch reused across rounds; ids deliberately hit every shard and
+  // repeat within a round (results are positional, so duplicates are fine).
+  ServeBatch batch;
+  Rng rng(4242);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<size_t> ids(round * 7);  // varying size, including 0
+    for (auto& id : ids) id = rng.Next() % collection.num_docs();
+    service.SubmitBatch(ids, &batch);
+    const std::vector<GetResult>& results = batch.Wait();
+    ASSERT_EQ(results.size(), ids.size());
+    EXPECT_EQ(batch.size(), ids.size());
+    EXPECT_TRUE(batch.done());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << results[i].status.ToString();
+      EXPECT_EQ(*results[i].text, collection.doc(ids[i]));
+    }
+  }
+  // An out-of-range id fails positionally without poisoning neighbours.
+  std::vector<size_t> mixed = {0, collection.num_docs() + 10, 1};
+  service.SubmitBatch(mixed, &batch);
+  const std::vector<GetResult>& results = batch.Wait();
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(DocServiceTest, WorkStealingDrainsSkewedRouting) {
+  const Collection collection = TestCollection(1 << 19, 90);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 4;
+  auto store = ShardedStore::Build(collection, store_options);
+  DocServiceOptions options;
+  options.num_threads = 4;
+  options.cache_bytes = 0;  // every request decodes: stealing has work
+  DocService service(store.get(), options);
+  // Every id lives in shard 0, so routing sends everything to one worker
+  // queue; the three idle peers must steal to share the load.
+  const size_t shard0_docs = store->router().start(1);
+  ASSERT_GT(shard0_docs, 0u);
+  ServeBatch batch;
+  std::vector<size_t> ids(64);
+  Rng rng(777);
+  for (int round = 0; round < 8; ++round) {
+    for (auto& id : ids) id = rng.Next() % shard0_docs;
+    service.SubmitBatch(ids, &batch);
+    for (const GetResult& r : batch.Wait()) {
+      ASSERT_TRUE(r.ok());
+    }
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 8u * 64u);
+  EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(DocServiceTest, SubmitAfterShutdownCompletesUnavailable) {
+  const Collection collection = TestCollection(1 << 16, 96);
+  auto store = ShardedStore::Build(collection, {});
+  DocService service(store.get(), {});
+  ASSERT_TRUE(service.Get(0).get().ok());
+  service.Shutdown();
+  service.Shutdown();  // idempotent
+
+  GetResult rejected = service.Get(0).get();
+  EXPECT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+  ServeBatch batch;
+  std::vector<size_t> ids = {0, 1};
+  service.SubmitBatch(ids, &batch);
+  for (const GetResult& r : batch.Wait()) {
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  }
+  for (const GetResult& r : service.MultiGet(ids)) {
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  }
+  // Post-shutdown rejections are not counted as served requests.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 1u);
+}
+
+TEST(ConcurrencyTest, ShutdownWhileSubmitting) {
+  const Collection collection = TestCollection(1 << 18, 97);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 2;
+  auto store = ShardedStore::Build(collection, store_options);
+  DocServiceOptions options;
+  options.num_threads = 2;
+  options.queue_depth = 4;  // small queues: Shutdown races backpressure too
+  DocService service(store.get(), options);
+  constexpr int kProducers = 4;
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> unavailable{0};
+  std::atomic<uint64_t> other_failures{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(1300 + p);
+      ServeBatch batch;
+      std::vector<size_t> ids(16);
+      for (int round = 0; round < 40; ++round) {
+        for (auto& id : ids) id = rng.Next() % collection.num_docs();
+        service.SubmitBatch(ids, &batch);
+        for (const GetResult& r : batch.Wait()) {
+          if (r.ok()) {
+            served.fetch_add(1);
+          } else if (r.status.code() == StatusCode::kUnavailable) {
+            unavailable.fetch_add(1);
+          } else {
+            other_failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  service.Shutdown();  // races the producers mid-submission
+  for (auto& t : producers) t.join();
+  // Every request either completed or was cleanly rejected — nothing hung
+  // or failed any other way — and the drained stats account for exactly
+  // the served ones.
+  EXPECT_EQ(other_failures.load(), 0u);
+  EXPECT_EQ(served.load() + unavailable.load(), kProducers * 40u * 16u);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, served.load());
+}
+
+TEST(ConcurrencyTest, DrainUnderSustainedMultiProducerLoad) {
+  const Collection collection = TestCollection(1 << 18, 98);
+  auto store = ShardedStore::Build(collection, {});
+  DocServiceOptions options;
+  options.num_threads = 2;
+  DocService service(store.get(), options);
+  constexpr int kProducers = 3;
+  constexpr int kRounds = 25;
+  constexpr int kBatch = 24;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(7100 + p);
+      ServeBatch batch;
+      std::vector<size_t> ids(kBatch);
+      for (int round = 0; round < kRounds; ++round) {
+        for (auto& id : ids) id = rng.Next() % collection.num_docs();
+        service.SubmitBatch(ids, &batch);
+        const std::vector<GetResult>& results = batch.Wait();
+        for (size_t i = 0; i < ids.size(); ++i) {
+          if (!results[i].ok() ||
+              *results[i].text != collection.doc(ids[i])) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // Drain races the producers: each call returns at a momentary idle
+  // point (producers pause between rounds) or, at the latest, when the
+  // bounded load above completes — either way it must come back.
+  for (int i = 0; i < 5; ++i) service.Drain();
+  for (auto& t : producers) t.join();
+  service.Drain();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<uint64_t>(kProducers) * kRounds * kBatch);
+}
+
+TEST(ConcurrencyTest, FullQueueBackpressureDeliversEverything) {
+  const Collection collection = TestCollection(1 << 17, 99);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 2;
+  auto store = ShardedStore::Build(collection, store_options);
+  DocServiceOptions options;
+  options.num_threads = 2;
+  options.queue_depth = 1;  // total queue space 2: every batch overflows
+  options.cache_bytes = 0;  // slow consumers: decodes keep queues full
+  DocService service(store.get(), options);
+  constexpr int kProducers = 4;
+  constexpr int kRounds = 10;
+  constexpr int kBatch = 32;  // 16x the whole service's queue capacity
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(8200 + p);
+      ServeBatch batch;
+      std::vector<size_t> ids(kBatch);
+      for (int round = 0; round < kRounds; ++round) {
+        for (auto& id : ids) id = rng.Next() % collection.num_docs();
+        service.SubmitBatch(ids, &batch);
+        const std::vector<GetResult>& results = batch.Wait();
+        for (size_t i = 0; i < ids.size(); ++i) {
+          if (!results[i].ok() ||
+              *results[i].text != collection.doc(ids[i])) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<uint64_t>(kProducers) * kRounds * kBatch);
+}
+
+TEST(ConcurrencyTest, StatsNeverBlocksServing) {
+  const Collection collection = TestCollection(1 << 18, 100);
+  auto store = ShardedStore::Build(collection, {});
+  DocServiceOptions options;
+  options.num_threads = 2;
+  DocService service(store.get(), options);
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    Rng rng(6001);
+    ServeBatch batch;
+    std::vector<size_t> ids(32);
+    for (int round = 0; round < 30; ++round) {
+      for (auto& id : ids) id = rng.Next() % collection.num_docs();
+      service.SubmitBatch(ids, &batch);
+      batch.Wait();
+    }
+    done.store(true);
+  });
+  // Mid-flight Stats() reads only atomics: hammer it while serving runs
+  // and check the monotone, eventually-exact request counter.
+  uint64_t last = 0;
+  while (!done.load()) {
+    const ServiceStats stats = service.Stats();
+    EXPECT_GE(stats.requests, last);
+    last = stats.requests;
+  }
+  producer.join();
+  service.Drain();
+  EXPECT_EQ(service.Stats().requests, 30u * 32u);
+}
+
+TEST(ConcurrencyTest, DestructorDrainsOutstandingFutures) {
+  const Collection collection = TestCollection(1 << 17, 101);
+  auto store = ShardedStore::Build(collection, {});
+  std::vector<std::future<GetResult>> futures;
+  {
+    DocServiceOptions options;
+    options.num_threads = 2;
+    DocService service(store.get(), options);
+    for (int round = 0; round < 4; ++round) {
+      for (size_t i = 0; i < collection.num_docs(); ++i) {
+        futures.push_back(service.Get(i));
+      }
+    }
+    // Destruction runs Shutdown(): every accepted request must complete.
+  }
+  for (auto& f : futures) {
+    GetResult r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+  }
+}
+
 }  // namespace
 }  // namespace rlz

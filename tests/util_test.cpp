@@ -6,6 +6,7 @@
 
 #include "util/bitio.h"
 #include "util/crc32.h"
+#include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -34,6 +35,8 @@ TEST(StatusTest, FactoryCodes) {
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
 }
 
 TEST(StatusTest, Equality) {
@@ -206,6 +209,69 @@ TEST(Crc32Test, DetectsSingleBitFlip) {
   const uint32_t before = Crc32(data);
   data[512] ^= 1;
   EXPECT_NE(before, Crc32(data));
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram (the serving layer's percentile accounting).
+
+TEST(LatencyHistogramTest, BucketGeometryIsConsistent) {
+  // Every bucket's [low, low+width) must contain exactly the values that
+  // index back to it; probe the edges across the full 64-bit range.
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    const uint64_t low = LatencyHistogram::BucketLow(b);
+    const uint64_t width = LatencyHistogram::BucketWidth(b);
+    ASSERT_EQ(LatencyHistogram::BucketIndex(low), b) << "bucket " << b;
+    ASSERT_EQ(LatencyHistogram::BucketIndex(low + width - 1), b)
+        << "bucket " << b;
+    if (b + 1 < LatencyHistogram::kNumBuckets) {
+      ASSERT_EQ(LatencyHistogram::BucketIndex(low + width), b + 1)
+          << "bucket " << b;
+    }
+  }
+  // Small values get exact buckets.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(15), 15);
+  EXPECT_EQ(LatencyHistogram::BucketWidth(3), 1u);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinLogLinearError) {
+  LatencyHistogram hist;
+  // 1..1000 us, uniformly: p50 ~ 500us, p99 ~ 990us (each in ns).
+  for (uint64_t us = 1; us <= 1000; ++us) hist.Record(us * 1000);
+  LatencyHistogram::Snapshot snap;
+  hist.AddTo(&snap);
+  EXPECT_EQ(snap.total, 1000u);
+  // Log-linear bucketing quantizes at 1/16 (~6%) relative error.
+  EXPECT_NEAR(snap.ValueAtQuantile(0.50), 500e3, 500e3 * 0.08);
+  EXPECT_NEAR(snap.ValueAtQuantile(0.99), 990e3, 990e3 * 0.08);
+  EXPECT_NEAR(snap.ValueAtQuantile(1.0), 1000e3, 1000e3 * 0.08);
+  EXPECT_LE(snap.ValueAtQuantile(0.0), 2e3);
+}
+
+TEST(LatencyHistogramTest, SnapshotsMergeAcrossHistograms) {
+  LatencyHistogram fast;  // all at ~10us
+  LatencyHistogram slow;  // all at ~10ms
+  for (int i = 0; i < 900; ++i) fast.Record(10'000);
+  for (int i = 0; i < 100; ++i) slow.Record(10'000'000);
+  LatencyHistogram::Snapshot merged;
+  fast.AddTo(&merged);
+  slow.AddTo(&merged);
+  EXPECT_EQ(merged.total, 1000u);
+  // p50 sits in the fast mode, p99 in the slow one.
+  EXPECT_NEAR(merged.ValueAtQuantile(0.50), 10e3, 10e3 * 0.10);
+  EXPECT_NEAR(merged.ValueAtQuantile(0.99), 10e6, 10e6 * 0.10);
+}
+
+TEST(LatencyHistogramTest, EmptyAndExtremeValues) {
+  LatencyHistogram::Snapshot empty;
+  EXPECT_EQ(empty.ValueAtQuantile(0.5), 0.0);
+  LatencyHistogram hist;
+  hist.Record(0);
+  hist.Record(~0ull);  // the top bucket must not overflow
+  LatencyHistogram::Snapshot snap;
+  hist.AddTo(&snap);
+  EXPECT_EQ(snap.total, 2u);
+  EXPECT_GE(snap.ValueAtQuantile(1.0), 1e18);
 }
 
 }  // namespace
