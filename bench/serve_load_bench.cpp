@@ -16,16 +16,30 @@
 // modeled otherwise (e.g. single-core hosts, where wall scaling is
 // physically impossible); the JSON records which basis gated.
 //
+// Ingest mode (--ingest) measures the live-corpus story instead
+// (DESIGN.md §11): Zipfian readers through DocService while a writer
+// thread Appends fresh documents into the store's open tail (sealing into
+// new shards as it crosses the seal threshold). The row pair is read-only
+// vs mixed; the gate asserts that sustained ingest costs at most 30% of
+// read throughput (read docs/s under ingest >= kMinReadRetention x the
+// read-only baseline, best of kGateRepeats). Writes BENCH_ingest.json.
+//
 //   ./build/bench/serve_load_bench              full run
 //   ./build/bench/serve_load_bench --smoke      small corpus + gate:
 //         4-worker docs/s must be >= kMinScaleRatio x 1-worker docs/s on
 //         the uniform rows (best of kGateRepeats measurements each), else
 //         exit 1 (run by the perf-smoke CI job)
+//   ./build/bench/serve_load_bench --ingest     mixed read/append mode
+//         (with --smoke: small corpus + the read-retention gate; default
+//         output BENCH_ingest.json)
+//   ./build/bench/serve_load_bench --ingest-fraction F   appends per read
+//         request issued in mixed mode (default 0.10)
 //   ./build/bench/serve_load_bench --out FILE   JSON destination
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -53,6 +67,9 @@ constexpr int kGateRepeats = 2;
 // In-flight window per producer (the K of the closed loop).
 constexpr size_t kInFlight = 64;
 constexpr double kZipfTheta = 0.99;
+// Ingest-mode gate: read docs/s under mixed read/append load must retain
+// at least this fraction of the read-only baseline (same basis rules).
+constexpr double kMinReadRetention = 0.70;
 
 struct LoadResult {
   double wall_dps = 0.0;
@@ -100,6 +117,99 @@ LoadResult RunLoad(const Archive& archive, int workers, int producers,
       });
     }
     for (std::thread& t : threads) t.join();
+    service.Drain();
+    const double wall_seconds = wall.ElapsedSeconds();
+    const ServiceStats stats = service.Stats();
+    result.requests = stats.requests;
+    result.wall_dps = stats.requests / wall_seconds;
+    result.modeled_dps = stats.critical_path_seconds > 0
+                             ? stats.requests / stats.critical_path_seconds
+                             : 0.0;
+    result.p50_us = stats.latency_p50_us;
+    result.p99_us = stats.latency_p99_us;
+    result.p999_us = stats.latency_p999_us;
+    result.steals = stats.steals;
+  }
+  return result;
+}
+
+// What the ingest writer accomplished during one mixed run.
+struct IngestStats {
+  uint64_t docs = 0;
+  uint64_t bytes = 0;
+  double mb_per_s = 0.0;
+};
+
+// One mixed read/append run: `producers` reader threads drive the same
+// closed Zipfian loop as RunLoad over the store's *initial* `read_docs`
+// documents, while a single writer thread Appends documents from `fresh`
+// into the open tail, paced so the store has absorbed ~`fraction` appends
+// per completed read request (the configurable ingest fraction). The
+// writer cycles through `fresh` if readers outlast it, and stops when the
+// readers finish. Read throughput/latency land in the returned
+// LoadResult; writer volume and MB/s land in `ingest`.
+LoadResult RunMixed(ShardedStore* store, int workers, int producers,
+                    size_t read_docs, size_t total_rounds,
+                    const Collection& fresh, double fraction,
+                    IngestStats* ingest) {
+  DocServiceOptions options;
+  options.num_threads = workers;
+  options.cache_bytes = 0;  // every request decodes
+  LoadResult result;
+  const ZipfSampler zipf(read_docs, kZipfTheta);
+  {
+    DocService service(store, options);
+    std::atomic<size_t> rounds{0};
+    std::atomic<size_t> rounds_done{0};
+    std::atomic<bool> readers_done{false};
+    Timer wall;
+    std::thread writer([&] {
+      Timer ingest_wall;
+      size_t next = 0;
+      uint64_t appended = 0;
+      uint64_t bytes = 0;
+      while (!readers_done.load(std::memory_order_acquire)) {
+        const uint64_t budget = static_cast<uint64_t>(
+            fraction *
+            static_cast<double>(
+                rounds_done.load(std::memory_order_relaxed) * kInFlight));
+        if (appended >= budget) {
+          std::this_thread::yield();
+          continue;
+        }
+        const std::string_view doc = fresh.doc(next);
+        next = (next + 1) % fresh.num_docs();
+        const auto id = store->Append(doc);
+        RLZ_CHECK(id.ok()) << id.status().ToString();
+        ++appended;
+        bytes += doc.size();
+      }
+      const double seconds = ingest_wall.ElapsedSeconds();
+      ingest->docs = appended;
+      ingest->bytes = bytes;
+      ingest->mb_per_s =
+          seconds > 0 ? bytes / (1048576.0 * seconds) : 0.0;
+    });
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        Rng rng(0x1275e5ed + 977 * static_cast<uint64_t>(p));
+        std::vector<size_t> ids(kInFlight);
+        ServeBatch batch;
+        while (rounds.fetch_add(1) < total_rounds) {
+          for (size_t i = 0; i < kInFlight; ++i) ids[i] = zipf.Sample(rng);
+          service.SubmitBatch(ids, &batch);
+          for (const GetResult& r : batch.Wait()) {
+            RLZ_CHECK(r.ok()) << r.status.ToString();
+          }
+          rounds_done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    readers_done.store(true, std::memory_order_release);
+    writer.join();
     service.Drain();
     const double wall_seconds = wall.ElapsedSeconds();
     const ServiceStats stats = service.Stats();
@@ -273,23 +383,208 @@ void Run(bool smoke, const std::string& out_path) {
   }
 }
 
+// Like AppendJsonRow but with a row label ("read_only" / "mixed") instead
+// of a worker/producer/skew triple — the ingest-mode rows share every
+// other knob, so the label is the only thing that varies.
+void AppendLabeledJsonRow(const char* label, const LoadResult& r, bool last,
+                          std::string* json) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"row\": \"%s\", \"requests\": %llu, \"wall_dps\": %.0f, "
+      "\"modeled_dps\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+      "\"p999_us\": %.1f, \"steals\": %llu}%s\n",
+      label, static_cast<unsigned long long>(r.requests), r.wall_dps,
+      r.modeled_dps, r.p50_us, r.p99_us, r.p999_us,
+      static_cast<unsigned long long>(r.steals), last ? "" : ",");
+  json->append(buf);
+}
+
+// The --ingest mode: sustained ingest vs serving (DESIGN.md §11,
+// EXPERIMENTS.md). Builds a *live* 4-shard store, measures a read-only
+// Zipfian baseline (4 workers, 4 producers), then the same read load with
+// a writer appending `fraction` documents per read request from a
+// fresh-content corpus (different seed — the §3.6 drift setting), tail
+// auto-sealing as it fills. Both rows are best-of-kGateRepeats in smoke
+// mode. The gate: mixed-row read docs/s must retain kMinReadRetention of
+// the read-only row on the host-chosen basis.
+void RunIngest(bool smoke, const std::string& out_path, double fraction) {
+  CorpusOptions corpus_options;
+  corpus_options.target_bytes = smoke ? (4u << 20) : (16u << 20);
+  corpus_options.seed = 20110613;
+  const Corpus corpus = GenerateCorpus(corpus_options);
+  const Collection& collection = corpus.collection;
+
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 4;
+  store_options.dict_bytes = collection.size_bytes() / 100;
+  store_options.live.tail_seal_bytes = 1 << 20;
+  auto store = ShardedStore::Build(collection, store_options);
+
+  // Fresh content the writer streams in (drifted seed: appended documents
+  // encode against the build-time append dictionary, as in §3.6).
+  CorpusOptions fresh_options;
+  fresh_options.target_bytes = smoke ? (2u << 20) : (8u << 20);
+  fresh_options.seed = 40227;
+  const Collection fresh = GenerateCorpus(fresh_options).collection;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool wall_basis = hw >= 4;
+  const size_t read_docs = collection.num_docs();
+  const size_t total_requests = smoke ? 16000 : 64000;
+  const size_t total_rounds = total_requests / kInFlight;
+  const int shards_before = store->num_shards();
+
+  std::printf(
+      "serve_load_bench --ingest (%s): %zu docs, %.1f MB, %s, hw=%u, "
+      "ingest fraction %.2f\n",
+      smoke ? "smoke" : "full", collection.num_docs(),
+      collection.size_bytes() / (1024.0 * 1024.0), store->name().c_str(), hw,
+      fraction);
+  std::printf("%-10s %12s %14s %9s %9s %9s %8s\n", "row", "wall dps",
+              "modeled dps", "p50 us", "p99 us", "p999 us", "steals");
+
+  // Read-only baseline first (repeats before any append mutates the
+  // store, so every baseline run reads the same frozen corpus).
+  LoadResult read_only;
+  for (int rep = 0; rep < (smoke ? kGateRepeats : 1); ++rep) {
+    const LoadResult r =
+        RunLoad(*store, 4, 4, /*zipfian=*/true, total_rounds);
+    const double basis = wall_basis ? r.wall_dps : r.modeled_dps;
+    if (rep == 0 ||
+        basis > (wall_basis ? read_only.wall_dps : read_only.modeled_dps)) {
+      read_only = r;
+    }
+  }
+  PrintRow(4, 4, "zipfian", read_only);
+
+  // Mixed rows: the store keeps growing across repeats (appends are
+  // permanent), but readers always sample the initial `read_docs` range,
+  // so the read workload stays identical.
+  LoadResult mixed;
+  IngestStats ingest;
+  for (int rep = 0; rep < (smoke ? kGateRepeats : 1); ++rep) {
+    IngestStats stats;
+    const LoadResult r = RunMixed(store.get(), 4, 4, read_docs, total_rounds,
+                                  fresh, fraction, &stats);
+    const double basis = wall_basis ? r.wall_dps : r.modeled_dps;
+    if (rep == 0 ||
+        basis > (wall_basis ? mixed.wall_dps : mixed.modeled_dps)) {
+      mixed = r;
+      ingest = stats;
+    }
+  }
+  PrintRow(4, 4, "zipfian", mixed);
+  std::printf(
+      "ingest: %llu docs, %.1f MB appended at %.1f MB/s; shards %d -> %d, "
+      "epoch %llu\n",
+      static_cast<unsigned long long>(ingest.docs),
+      ingest.bytes / 1048576.0, ingest.mb_per_s, shards_before,
+      store->num_shards(),
+      static_cast<unsigned long long>(store->epoch_sequence()));
+
+  std::string json;
+  char buf[512];
+  json.append("{\n  \"bench\": \"serve_ingest\",\n");
+  json.append(smoke ? "  \"mode\": \"smoke\",\n" : "  \"mode\": \"full\",\n");
+  std::snprintf(buf, sizeof(buf),
+                "  \"corpus\": {\"docs\": %zu, \"bytes\": %llu, "
+                "\"seed\": %llu},\n",
+                collection.num_docs(),
+                static_cast<unsigned long long>(collection.size_bytes()),
+                static_cast<unsigned long long>(corpus_options.seed));
+  json.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "  \"store\": \"%s\",\n  \"host\": "
+                "{\"hardware_concurrency\": %u},\n",
+                store->name().c_str(), hw);
+  json.append(buf);
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"config\": {\"in_flight_per_producer\": %zu, "
+      "\"zipf_theta\": %.2f, \"requests_per_row\": %zu, "
+      "\"ingest_fraction\": %.2f, \"tail_seal_bytes\": %llu, "
+      "\"fresh_seed\": %llu},\n",
+      kInFlight, kZipfTheta, total_rounds * kInFlight, fraction,
+      static_cast<unsigned long long>(store_options.live.tail_seal_bytes),
+      static_cast<unsigned long long>(fresh_options.seed));
+  json.append(buf);
+  json.append("  \"rows\": [\n");
+  AppendLabeledJsonRow("read_only", read_only, /*last=*/false, &json);
+  AppendLabeledJsonRow("mixed", mixed, /*last=*/true, &json);
+  json.append("  ],\n");
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"ingest\": {\"docs\": %llu, \"bytes\": %llu, "
+      "\"mb_per_s\": %.1f, \"shards_before\": %d, \"shards_after\": %d, "
+      "\"final_epoch\": %llu},\n",
+      static_cast<unsigned long long>(ingest.docs),
+      static_cast<unsigned long long>(ingest.bytes), ingest.mb_per_s,
+      shards_before, store->num_shards(),
+      static_cast<unsigned long long>(store->epoch_sequence()));
+  json.append(buf);
+
+  const double dps_ro = wall_basis ? read_only.wall_dps : read_only.modeled_dps;
+  const double dps_mx = wall_basis ? mixed.wall_dps : mixed.modeled_dps;
+  const double retention = dps_ro > 0 ? dps_mx / dps_ro : 0.0;
+  const bool gate_pass = retention >= kMinReadRetention;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"gate\": {\"basis\": \"%s\", \"min_read_retention\": %.2f, "
+      "\"read_only_dps\": %.0f, \"mixed_dps\": %.0f, \"retention\": %.2f, "
+      "\"pass\": %s}\n}\n",
+      wall_basis ? "wall" : "modeled", kMinReadRetention, dps_ro, dps_mx,
+      retention, gate_pass ? "true" : "false");
+  json.append(buf);
+
+  const Status write_status = WriteFile(out_path, json);
+  RLZ_CHECK(write_status.ok()) << write_status.ToString();
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (smoke) {
+    std::printf(
+        "smoke gate (%s basis): mixed reads >= %.0f%% of read-only: %s "
+        "(%.0f%%)\n",
+        wall_basis ? "wall" : "modeled", 100.0 * kMinReadRetention,
+        gate_pass ? "PASS" : "FAIL", 100.0 * retention);
+    if (!gate_pass) std::exit(1);
+  }
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace rlz
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string out_path = "BENCH_serve.json";
+  bool ingest = false;
+  double ingest_fraction = 0.10;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--ingest") == 0) {
+      ingest = true;
+    } else if (std::strcmp(argv[i], "--ingest-fraction") == 0 &&
+               i + 1 < argc) {
+      ingest_fraction = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--ingest] [--ingest-fraction F] "
+                   "[--out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
-  rlz::bench::Run(smoke, out_path);
+  if (out_path.empty()) {
+    out_path = ingest ? "BENCH_ingest.json" : "BENCH_serve.json";
+  }
+  if (ingest) {
+    rlz::bench::RunIngest(smoke, out_path, ingest_fraction);
+  } else {
+    rlz::bench::Run(smoke, out_path);
+  }
   return 0;
 }

@@ -34,6 +34,20 @@ struct FactorStats {
                      static_cast<double>(num_factors);
   }
 
+  /// Fractional decay of this instance's average factor length against a
+  /// `baseline` build: 0.0 when factors are as long as (or longer than)
+  /// the baseline's, approaching 1.0 as they collapse toward literals.
+  /// The live store's staleness trigger (DESIGN.md §11): a shard sealed
+  /// against a drifted dictionary emits shorter factors than the
+  /// build-time corpus did (§3.6), and the decay measures how much.
+  /// Returns 0.0 when either side has no factors.
+  double avg_factor_decay(const FactorStats& baseline) const {
+    const double base = baseline.avg_factor_length();
+    const double own = avg_factor_length();
+    if (base <= 0.0 || own <= 0.0) return 0.0;
+    return own >= base ? 0.0 : 1.0 - own / base;
+  }
+
   /// Adds `other`'s counters into this instance (the parallel build's
   /// per-worker merge, DESIGN.md §7).
   void Merge(const FactorStats& other) {

@@ -1,0 +1,95 @@
+#include "serve/corpus_epoch.h"
+
+#include <algorithm>
+
+#include "serve/sharded_store.h"
+#include "store/doc_map.h"
+#include "util/logging.h"
+
+namespace rlz {
+namespace {
+
+// True if bit `i` is set in `bm` — where a null or short bitmap means
+// "not tombstoned" (tombstone bitmaps are sized when the first delete
+// lands, and a tail bitmap may predate later appends).
+bool TestTombstone(const Bitmap* bm, size_t i) {
+  return bm != nullptr && i < bm->size() && bm->Test(i);
+}
+
+}  // namespace
+
+bool CorpusEpoch::IsDeleted(size_t id) const {
+  const size_t sealed = sealed_docs();
+  if (id < sealed) {
+    const size_t s = router_->shard_of(id);
+    return TestTombstone(tombstones_[s].get(), id - router_->start(s));
+  }
+  return TestTombstone(tail_tombstones_.get(), id - sealed);
+}
+
+Status CorpusEpoch::Get(size_t id, std::string* doc, SimDisk* disk,
+                        DecodeScratch* scratch) const {
+  if (id >= num_docs()) {
+    return Status::OutOfRange("sharded store: bad doc id");
+  }
+  if (IsDeleted(id)) {
+    return Status::NotFound("sharded store: document deleted");
+  }
+  const size_t sealed = sealed_docs();
+  if (id >= sealed) {
+    // Tail documents are raw, memory-resident bytes — the store's
+    // memtable. No decode, no simulated disk charge (DESIGN.md §11).
+    doc->assign(*tail_->docs[id - sealed]);
+    return Status::OK();
+  }
+  const size_t s = router_->shard_of(id);
+  const size_t local = id - router_->start(s);
+  const RlzArchive& shard = *shards_[s];
+  if (disk != nullptr) {
+    // Charge the factor-stream read at the shard's device extent, exactly
+    // as an unsharded archive would at shard-local offsets.
+    const DocMap& map = shard.doc_map();
+    disk->Read(ShardedStore::kSimDeviceSpacing * s + map.offset(local),
+               map.size(local));
+  }
+  return shard.Get(local, doc, /*disk=*/nullptr, scratch);
+}
+
+Status CorpusEpoch::GetRange(size_t id, size_t offset, size_t length,
+                             std::string* text, SimDisk* disk,
+                             DecodeScratch* scratch) const {
+  if (id >= num_docs()) {
+    return Status::OutOfRange("sharded store: bad doc id");
+  }
+  if (IsDeleted(id)) {
+    return Status::NotFound("sharded store: document deleted");
+  }
+  const size_t sealed = sealed_docs();
+  if (id >= sealed) {
+    const std::string& raw = *tail_->docs[id - sealed];
+    text->clear();
+    if (offset < raw.size()) {
+      text->assign(raw, offset, std::min(length, raw.size() - offset));
+    }
+    return Status::OK();
+  }
+  const size_t s = router_->shard_of(id);
+  const size_t local = id - router_->start(s);
+  const RlzArchive& shard = *shards_[s];
+  if (disk != nullptr) {
+    const DocMap& map = shard.doc_map();
+    disk->Read(ShardedStore::kSimDeviceSpacing * s + map.offset(local),
+               map.size(local));
+  }
+  return shard.GetRange(local, offset, length, text, /*disk=*/nullptr,
+                        scratch);
+}
+
+uint64_t CorpusEpoch::stored_bytes() const {
+  uint64_t bytes = 0;
+  for (const auto& shard : shards_) bytes += shard->stored_bytes();
+  if (tail_ != nullptr) bytes += tail_->bytes;
+  return bytes;
+}
+
+}  // namespace rlz

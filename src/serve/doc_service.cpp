@@ -62,9 +62,13 @@ DocService::DocService(const Archive* archive,
   // doc ids to shards, and requests for one shard always land on the same
   // worker (shard mod pool) — that worker's SimDisk then stays on few
   // shard devices (fewer simulated seeks) and its decode locality is per
-  // shard. Other archives route by id.
+  // shard. Other archives route by id. The router is re-snapshotted per
+  // submission (the store is live and grows shards); the eviction hook
+  // keeps the decode cache honest across Delete and compaction.
   if (const auto* sharded = dynamic_cast<const ShardedStore*>(archive)) {
-    router_ = &sharded->router();
+    live_store_ = sharded;
+    live_store_->SetEvictionListener(
+        [this](size_t id) { cache_.Erase(id); });
   }
   const int num_threads = options_.num_threads;
   workers_.reserve(num_threads);
@@ -80,7 +84,13 @@ DocService::DocService(const Archive* archive,
   }
 }
 
-DocService::~DocService() { Shutdown(); }
+DocService::~DocService() {
+  // Unregister first: SetEvictionListener(nullptr) blocks until any
+  // in-flight callback returns, so no mutator can touch this service's
+  // cache once the teardown proceeds.
+  if (live_store_ != nullptr) live_store_->SetEvictionListener(nullptr);
+  Shutdown();
+}
 
 void DocService::Shutdown() {
   stopping_.store(true);
@@ -102,12 +112,18 @@ void DocService::Shutdown() {
   }
 }
 
-int DocService::WorkerOf(size_t id) const {
+int DocService::WorkerOf(size_t id, const ShardRouter* router) const {
   const size_t num_workers = workers_.size();
-  if (router_ != nullptr && id < router_->num_docs()) {
-    return static_cast<int>(router_->shard_of(id) % num_workers);
+  if (router != nullptr && id < router->num_docs()) {
+    return static_cast<int>(router->shard_of(id) % num_workers);
   }
+  // Tail documents (and non-sharded archives) route by id: the tail is
+  // memory-resident, so affinity buys nothing there.
   return static_cast<int>(id % num_workers);
+}
+
+std::shared_ptr<const ShardRouter> DocService::RouterSnapshot() const {
+  return live_store_ != nullptr ? live_store_->router_snapshot() : nullptr;
 }
 
 bool DocService::Accept(size_t n) {
@@ -181,10 +197,13 @@ void DocService::SubmitBatch(const size_t* ids, size_t count,
   }
   const uint64_t now_ns = NowNs();
   const int num_workers = static_cast<int>(workers_.size());
+  // One routing snapshot per submission: every id in this batch routes
+  // against the same epoch's boundaries.
+  const std::shared_ptr<const ShardRouter> router = RouterSnapshot();
   std::vector<uint32_t>& routes = batch->routes_;
   routes.resize(count);
   for (size_t i = 0; i < count; ++i) {
-    routes[i] = static_cast<uint32_t>(WorkerOf(ids[i]));
+    routes[i] = static_cast<uint32_t>(WorkerOf(ids[i], router.get()));
   }
   // One staging pass per destination: the whole per-worker group is
   // enqueued under a single lock acquisition of that worker's queue.
@@ -226,7 +245,7 @@ std::future<GetResult> DocService::Get(size_t id) {
   request.id = id;
   request.enqueue_ns = NowNs();
   request.promise = promise;
-  PushWithBackpressure(request, WorkerOf(id));
+  PushWithBackpressure(request, WorkerOf(id, RouterSnapshot().get()));
   return future;
 }
 
@@ -248,7 +267,7 @@ std::future<GetResult> DocService::GetRange(size_t id, size_t offset,
   request.is_range = true;
   request.enqueue_ns = NowNs();
   request.promise = promise;
-  PushWithBackpressure(request, WorkerOf(id));
+  PushWithBackpressure(request, WorkerOf(id, RouterSnapshot().get()));
   return future;
 }
 
@@ -349,6 +368,16 @@ GetResult DocService::DoGet(size_t id, Worker* worker) {
     result.status = archive_->Get(id, &doc, &worker->disk, &worker->scratch);
     if (result.status.ok()) {
       result.text = cache_.Insert(id, std::move(doc));
+      // Close the decode-then-insert race against Delete: the decode ran
+      // against an epoch pinned before the tombstone published, and the
+      // eviction callback may already have fired (finding nothing to
+      // erase) before the Insert above landed. Re-checking liveness after
+      // the insert guarantees no tombstoned id stays cached once Delete
+      // has returned. The caller still gets the bytes — its request
+      // raced the delete and won under snapshot isolation.
+      if (live_store_ != nullptr && !live_store_->IsLive(id)) {
+        cache_.Erase(id);
+      }
     }
   }
   return result;

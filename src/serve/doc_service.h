@@ -26,6 +26,7 @@
 namespace rlz {
 
 class ShardRouter;
+class ShardedStore;
 
 /// Knobs for DocService. Constructors run every instance through
 /// Validated(), so out-of-range values are clamped rather than trusted.
@@ -177,10 +178,14 @@ class ServeBatch {
 class DocService {
  public:
   /// Starts the worker pool in front of `archive` (not owned; must be
-  /// thread-safe and outlive the service).
+  /// thread-safe and outlive the service). A live ShardedStore archive is
+  /// recognized: the service routes from its epoch snapshots and
+  /// registers as its eviction listener, so deletes invalidate cached
+  /// decodes (DESIGN.md §11).
   explicit DocService(const Archive* archive,
                       const DocServiceOptions& options = {});
-  /// Shutdown() (drains accepted requests), then joins the workers.
+  /// Unregisters the eviction listener (if any), Shutdown() (drains
+  /// accepted requests), then joins the workers.
   ~DocService();
 
   /// Not copyable: owns threads and per-worker accounting.
@@ -257,9 +262,14 @@ class DocService {
     LatencyHistogram latency;
   };
 
-  /// Destination worker for a doc id: its shard modulo the pool when the
-  /// archive exposes a router, id modulo the pool otherwise.
-  int WorkerOf(size_t id) const;
+  /// Destination worker for a doc id: its shard modulo the pool when
+  /// `router` is non-null, id modulo the pool otherwise.
+  int WorkerOf(size_t id, const ShardRouter* router) const;
+  /// The routing snapshot for one submission: the live store's current
+  /// epoch router (refreshed per call, so appended shards route affinely
+  /// once published — a stale snapshot is a locality miss, never an
+  /// error), or null for non-sharded archives.
+  std::shared_ptr<const ShardRouter> RouterSnapshot() const;
   /// Accounts `n` accepted requests; false (with the count rolled back)
   /// when the service is stopping.
   bool Accept(size_t n);
@@ -284,7 +294,11 @@ class DocService {
   const Archive* archive_;
   DocServiceOptions options_;  // validated copy
   LruCache cache_;
-  const ShardRouter* router_ = nullptr;  // owned by the archive; may be null
+  // Non-null when the archive is a live ShardedStore: the service then
+  // routes from per-submission epoch snapshots, registers itself as the
+  // store's eviction listener (Delete/compaction erase stale cache
+  // entries), and re-checks liveness after every cache insert.
+  const ShardedStore* live_store_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<BoundedRequestQueue>> queues_;
 

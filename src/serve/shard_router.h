@@ -1,0 +1,52 @@
+#ifndef RLZ_SERVE_SHARD_ROUTER_H_
+#define RLZ_SERVE_SHARD_ROUTER_H_
+
+/// \file
+/// The doc-id → shard range map shared by ShardedStore, CorpusEpoch, and
+/// the serving layer's shard-affine routing (DESIGN.md §6, §10, §11).
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace rlz {
+
+/// The doc-id → shard map of a sharded corpus: N+1 monotone range
+/// boundaries (`start(0) == 0`, `start(num_shards()) == num_docs()`),
+/// routed by binary search. Immutable after construction and trivially
+/// shareable across threads. A live store grows by publishing a *new*
+/// router inside the next epoch (a sealed tail appends one boundary), so
+/// any router handle a reader holds stays valid and self-consistent; the
+/// serving layer routes from a shared snapshot
+/// (ShardedStore::router_snapshot(), DESIGN.md §10/§11).
+class ShardRouter {
+ public:
+  /// An empty router: zero shards, zero documents.
+  ShardRouter() = default;
+  /// Wraps the N+1 boundaries; `starts[0]` must be 0 and the sequence
+  /// must be non-decreasing (callers validate — the router only routes).
+  explicit ShardRouter(std::vector<size_t> starts)
+      : starts_(std::move(starts)) {}
+
+  /// The shard owning doc `id` (`id` must be < num_docs()).
+  size_t shard_of(size_t id) const {
+    // First boundary strictly greater than id, minus one.
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), id);
+    return static_cast<size_t>(it - starts_.begin()) - 1;
+  }
+  /// Number of shards routed over.
+  size_t num_shards() const {
+    return starts_.empty() ? 0 : starts_.size() - 1;
+  }
+  /// Total documents across all shards.
+  size_t num_docs() const { return starts_.empty() ? 0 : starts_.back(); }
+  /// First doc id of shard `s`; `start(num_shards()) == num_docs()`.
+  size_t start(size_t s) const { return starts_[s]; }
+
+ private:
+  std::vector<size_t> starts_;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_SERVE_SHARD_ROUTER_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <thread>
+#include <utility>
 
 #include "build/archive_builder.h"
 #include "build/build_pipeline.h"
@@ -36,11 +38,83 @@ void SplitPath(const std::string& path, std::string* dir,
   }
 }
 
+// Serializes a FactorStats triple as three varints.
+void PutStats(const FactorStats& stats, EnvelopeWriter* writer) {
+  writer->PutVarint64(stats.num_factors);
+  writer->PutVarint64(stats.num_literals);
+  writer->PutVarint64(stats.text_bytes);
+}
+
+Status ReadStats(EnvelopeReader* reader, FactorStats* stats) {
+  RLZ_RETURN_IF_ERROR(reader->ReadVarint64(&stats->num_factors));
+  RLZ_RETURN_IF_ERROR(reader->ReadVarint64(&stats->num_literals));
+  return reader->ReadVarint64(&stats->text_bytes);
+}
+
+// A double round-trips through its IEEE-754 bit pattern (varint-encoded;
+// small fractions have high-entropy mantissas, but the manifest is tiny).
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// Serializes a tombstone bitmap as a count plus the ascending set-bit
+// indices (sparse: deletes are rare relative to documents). A null bitmap
+// writes count 0.
+void PutTombstones(const Bitmap* bm, EnvelopeWriter* writer) {
+  if (bm == nullptr) {
+    writer->PutVarint64(0);
+    return;
+  }
+  writer->PutVarint64(bm->CountSet());
+  for (size_t i = 0; i < bm->size(); ++i) {
+    if (bm->Test(i)) writer->PutVarint64(i);
+  }
+}
+
+// Reads a tombstone section back into a bitmap over `bits` bits (null
+// when the section is empty). Rejects out-of-range or non-ascending
+// indices as Corruption.
+Status ReadTombstones(EnvelopeReader* reader, size_t bits,
+                      const std::string& context,
+                      std::shared_ptr<const Bitmap>* out) {
+  uint64_t count = 0;
+  RLZ_RETURN_IF_ERROR(reader->ReadVarint64(&count));
+  if (count == 0) {
+    out->reset();
+    return Status::OK();
+  }
+  if (count > bits || count > reader->remaining()) {
+    return Status::Corruption(context + ": bad tombstone count");
+  }
+  Bitmap bm(bits);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t index = 0;
+    RLZ_RETURN_IF_ERROR(reader->ReadVarint64(&index));
+    if (index >= bits || (i > 0 && index <= prev)) {
+      return Status::Corruption(context + ": bad tombstone index");
+    }
+    bm.Set(static_cast<size_t>(index));
+    prev = index;
+  }
+  *out = std::make_shared<const Bitmap>(std::move(bm));
+  return Status::OK();
+}
+
 }  // namespace
 
 std::unique_ptr<ShardedStore> ShardedStore::Build(
     const Collection& collection, const ShardedStoreOptions& options) {
   std::unique_ptr<ShardedStore> store(new ShardedStore());
+  store->options_ = options;
   const size_t ndocs = collection.num_docs();
   const size_t nshards = std::max<size_t>(
       1, std::min<size_t>(options.num_shards > 0 ? options.num_shards : 1,
@@ -63,18 +137,20 @@ std::unique_ptr<ShardedStore> ShardedStore::Build(
     starts.push_back(doc);
   }
   starts.push_back(ndocs);
-  store->router_ = ShardRouter(std::move(starts));
+  store->router_ = std::make_shared<const ShardRouter>(std::move(starts));
 
   const int build_threads =
       options.build_threads > 0 ? options.build_threads
                                 : static_cast<int>(nshards);
   const size_t shard_dict_bytes =
       std::max<size_t>(1, options.dict_bytes / nshards);
+  store->shard_dict_bytes_ = shard_dict_bytes;
 
   store->shards_.resize(nshards);
+  std::vector<ArchiveBuildReport> reports(nshards);
   auto build_shard = [&](size_t s) {
-    const size_t begin = store->router_.start(s);
-    const size_t end = store->router_.start(s + 1);
+    const size_t begin = store->router_->start(s);
+    const size_t end = store->router_->start(s + 1);
     // A shard's documents are contiguous in the source collection, so
     // dictionary sampling and the streaming build both work off views —
     // no per-shard copy of the text (peak memory stays one corpus).
@@ -87,11 +163,14 @@ std::unique_ptr<ShardedStore> ShardedStore::Build(
     ArchiveBuilderOptions builder_options;
     builder_options.coding = options.coding;
     builder_options.num_threads = std::max(1, options.threads_per_shard);
+    // Coverage feeds the shard-health record the compactor scores
+    // (DESIGN.md §11); it never changes the output bytes.
+    builder_options.track_coverage = true;
     RlzArchiveBuilder builder(std::move(dict), builder_options);
     for (size_t i = begin; i < end; ++i) {
       builder.AddBorrowedDocument(collection.doc(i));
     }
-    store->shards_[s] = std::move(builder).Finish();
+    store->shards_[s] = std::move(builder).Finish(&reports[s]);
   };
 
   // One pipeline chunk per shard: shards build concurrently and land in
@@ -105,26 +184,526 @@ std::unique_ptr<ShardedStore> ShardedStore::Build(
     pipeline.Submit([&, s](int) { build_shard(s); }, [] {});
   }
   pipeline.Finish();
+
+  // Health bookkeeping: per-shard stats/coverage plus the store-wide
+  // baseline the staleness trigger compares against.
+  store->generations_.assign(nshards, 0);
+  store->tombstones_.assign(nshards, nullptr);
+  store->meta_.resize(nshards);
+  for (size_t s = 0; s < nshards; ++s) {
+    store->meta_[s].stats = reports[s].stats;
+    store->meta_[s].unused_dict_fraction =
+        reports[s].unused_dictionary_fraction;
+    store->baseline_stats_.Merge(reports[s].stats);
+  }
+
+  // The append dictionary: sampled across the whole build-time corpus, so
+  // tail seals encode against content representative of the initial crawl
+  // — and go stale as the crawl drifts (§3.6), which is exactly what the
+  // compactor's coverage-decay trigger watches for.
+  store->append_dict_ = DictionaryBuilder::BuildSampled(
+      collection.data(), shard_dict_bytes, options.sample_bytes);
+
+  {
+    std::lock_guard<std::mutex> lock(store->writer_mu_);
+    store->next_sequence_ = 0;
+    store->PublishLocked();
+  }
   return store;
 }
 
+ShardedStore::~ShardedStore() {
+  StopCompactor();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  tail_builder_.reset();  // drains any in-flight tail encode chunks
+}
+
+std::shared_ptr<const CorpusEpoch> ShardedStore::epoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+void ShardedStore::PublishLocked() {
+  auto next = std::shared_ptr<CorpusEpoch>(new CorpusEpoch());
+  next->sequence_ = next_sequence_++;
+  next->shards_ = shards_;
+  next->generations_ = generations_;
+  next->router_ = router_;
+  next->tombstones_ = tombstones_;
+  next->tail_tombstones_ = tail_tombstones_;
+  next->deleted_docs_ = deleted_docs_;
+  if (!tail_docs_.empty()) {
+    auto tail = std::make_shared<TailSegment>();
+    tail->docs = tail_docs_;
+    tail->bytes = tail_bytes_;
+    next->tail_ = std::move(tail);
+  }
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  epoch_ = std::move(next);
+}
+
+std::string ShardedStore::name() const {
+  auto snapshot = epoch();
+  const std::string coding = snapshot->num_shards() == 0
+                                 ? std::string("rlz")
+                                 : snapshot->shard(0).name();
+  return "sharded-" + coding + "/" + std::to_string(snapshot->num_shards());
+}
+
+Status ShardedStore::Get(size_t id, std::string* doc, SimDisk* disk,
+                         DecodeScratch* scratch) const {
+  return epoch()->Get(id, doc, disk, scratch);
+}
+
+Status ShardedStore::GetRange(size_t id, size_t offset, size_t length,
+                              std::string* text, SimDisk* disk,
+                              DecodeScratch* scratch) const {
+  return epoch()->GetRange(id, offset, length, text, disk, scratch);
+}
+
+bool ShardedStore::IsLive(size_t id) const {
+  auto snapshot = epoch();
+  return id < snapshot->num_docs() && !snapshot->IsDeleted(id);
+}
+
+ShardHealth ShardedStore::shard_health(int s) const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  RLZ_CHECK_LT(static_cast<size_t>(s), meta_.size());
+  const ShardMeta& meta = meta_[static_cast<size_t>(s)];
+  ShardHealth health;
+  health.generation = meta.generation;
+  health.tombstoned_payload_bytes = meta.tombstoned_payload_bytes;
+  health.unused_dict_fraction = meta.unused_dict_fraction;
+  health.stats = meta.stats;
+  return health;
+}
+
+FactorStats ShardedStore::baseline_stats() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return baseline_stats_;
+}
+
+// --- Mutation path --------------------------------------------------------
+
+Status ShardedStore::ResetTailBuilderLocked() {
+  if (append_dict_ == nullptr || !append_dict_->has_matcher()) {
+    return Status::InvalidArgument(
+        "sharded store: no append dictionary (v1 manifest or serving-only "
+        "open); appends are disabled");
+  }
+  ArchiveBuilderOptions builder_options;
+  builder_options.coding = options_.coding;
+  builder_options.track_coverage = true;
+  builder_options.num_threads = std::max(1, options_.live.tail_builder_threads);
+  tail_builder_ =
+      std::make_unique<RlzArchiveBuilder>(append_dict_, builder_options);
+  return Status::OK();
+}
+
+StatusOr<size_t> ShardedStore::Append(std::string_view doc) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const bool incremental = options_.live.reuse_append_dictionary;
+  if (incremental && tail_builder_ == nullptr) {
+    RLZ_RETURN_IF_ERROR(ResetTailBuilderLocked());
+  }
+  if (!incremental && (append_dict_ == nullptr || !append_dict_->has_matcher())) {
+    // Fresh-dictionary seals still need the matcher-capable append
+    // dictionary as the fallback for an all-deleted seal; gate up front
+    // so Append fails cleanly on read-only opens.
+    return Status::InvalidArgument(
+        "sharded store: no append dictionary (v1 manifest or serving-only "
+        "open); appends are disabled");
+  }
+  auto owned = std::make_shared<const std::string>(doc);
+  if (incremental) {
+    // The borrowed bytes stay alive in tail_docs_ until the seal's
+    // Finish() — the zero-copy incremental encode path (DESIGN.md §7).
+    tail_builder_->AddBorrowedDocument(*owned);
+  }
+  tail_bytes_ += owned->size();
+  tail_docs_.push_back(std::move(owned));
+  const size_t id = router_->num_docs() + tail_docs_.size() - 1;
+  PublishLocked();
+  if (options_.live.tail_seal_bytes > 0 &&
+      tail_bytes_ >= options_.live.tail_seal_bytes) {
+    RLZ_RETURN_IF_ERROR(SealTailLocked());
+  }
+  return id;
+}
+
+Status ShardedStore::SealTail() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return SealTailLocked();
+}
+
+Status ShardedStore::SealTailLocked() {
+  if (tail_docs_.empty()) return Status::OK();
+
+  ArchiveBuildReport report;
+  std::shared_ptr<const RlzArchive> sealed;
+  if (options_.live.reuse_append_dictionary && tail_builder_ != nullptr) {
+    // The incremental path: every Append already encoded through the open
+    // builder, so sealing is a drain + finish.
+    sealed = std::move(*tail_builder_).Finish(&report);
+    tail_builder_.reset();
+  } else {
+    // Fresh-dictionary seal: sample a dictionary from the tail's own
+    // documents and encode them against it.
+    std::string text;
+    text.reserve(tail_bytes_);
+    for (const auto& d : tail_docs_) text.append(*d);
+    std::shared_ptr<const Dictionary> dict = DictionaryBuilder::BuildSampled(
+        text.empty() ? std::string_view(" ") : std::string_view(text),
+        shard_dict_bytes_, options_.sample_bytes);
+    ArchiveBuilderOptions builder_options;
+    builder_options.coding = options_.coding;
+    builder_options.track_coverage = true;
+    builder_options.num_threads =
+        std::max(1, options_.live.tail_builder_threads);
+    RlzArchiveBuilder builder(std::move(dict), builder_options);
+    for (const auto& d : tail_docs_) builder.AddBorrowedDocument(*d);
+    sealed = std::move(builder).Finish(&report);
+  }
+
+  // Health record for the new shard; tail documents deleted before the
+  // seal carry their tombstones (and their now-stored-but-dead encoded
+  // bytes) into the sealed shard.
+  ShardMeta meta;
+  meta.stats = report.stats;
+  meta.unused_dict_fraction = report.unused_dictionary_fraction;
+  if (tail_tombstones_ != nullptr) {
+    for (size_t i = 0; i < tail_tombstones_->size(); ++i) {
+      if (tail_tombstones_->Test(i)) {
+        meta.tombstoned_payload_bytes += sealed->doc_map().size(i);
+      }
+    }
+  }
+
+  // Router growth: the sealed shard owns the next contiguous id range.
+  std::vector<size_t> starts;
+  starts.reserve(shards_.size() + 2);
+  for (size_t s = 0; s <= shards_.size(); ++s) {
+    starts.push_back(router_->start(s));
+  }
+  starts.push_back(router_->num_docs() + tail_docs_.size());
+
+  shards_.push_back(std::move(sealed));
+  generations_.push_back(0);
+  meta_.push_back(meta);
+  tombstones_.push_back(tail_tombstones_);
+  router_ = std::make_shared<const ShardRouter>(std::move(starts));
+  tail_docs_.clear();
+  tail_bytes_ = 0;
+  tail_tombstones_.reset();
+
+  PublishLocked();
+  return Status::OK();
+}
+
+Status ShardedStore::Delete(size_t id) {
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const size_t sealed = router_->num_docs();
+    const size_t total = sealed + tail_docs_.size();
+    if (id >= total) {
+      return Status::OutOfRange("sharded store: bad doc id");
+    }
+    if (id < sealed) {
+      const size_t s = router_->shard_of(id);
+      const size_t local = id - router_->start(s);
+      const size_t shard_docs = router_->start(s + 1) - router_->start(s);
+      Bitmap bm = tombstones_[s] != nullptr ? *tombstones_[s]
+                                            : Bitmap(shard_docs);
+      if (bm.Test(local)) {
+        return Status::NotFound("sharded store: document already deleted");
+      }
+      bm.Set(local);
+      tombstones_[s] = std::make_shared<const Bitmap>(std::move(bm));
+      meta_[s].tombstoned_payload_bytes += shards_[s]->doc_map().size(local);
+    } else {
+      const size_t local = id - sealed;
+      // The tail bitmap is sized lazily to the tail's current length;
+      // bits past an older bitmap's end are live by construction.
+      Bitmap bm(tail_docs_.size());
+      if (tail_tombstones_ != nullptr) {
+        for (size_t i = 0; i < tail_tombstones_->size(); ++i) {
+          if (tail_tombstones_->Test(i)) bm.Set(i);
+        }
+      }
+      if (bm.Test(local)) {
+        return Status::NotFound("sharded store: document already deleted");
+      }
+      bm.Set(local);
+      tail_tombstones_ = std::make_shared<const Bitmap>(std::move(bm));
+    }
+    ++deleted_docs_;
+    PublishLocked();
+  }
+  // After the tombstoning epoch is published: a cached decode of this id
+  // must not outlive the delete (DESIGN.md §11 invariant I3).
+  NotifyEviction(id);
+  return Status::OK();
+}
+
+void ShardedStore::SetEvictionListener(EvictionListener listener) const {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  listener_ = std::move(listener);
+}
+
+void ShardedStore::NotifyEviction(size_t id) const {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  if (listener_) listener_(id);
+}
+
+// --- Compaction -----------------------------------------------------------
+
+int ShardedStore::PickCompactionVictimLocked(
+    CompactionReport::Reason* reason) const {
+  const LiveStoreOptions& live = options_.live;
+  int victim = -1;
+  double victim_score = 0.0;
+  CompactionReport::Reason victim_reason = CompactionReport::Reason::kNone;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const uint64_t payload = shards_[s]->payload_bytes();
+    if (payload == 0) continue;
+    const double tomb_frac =
+        static_cast<double>(meta_[s].tombstoned_payload_bytes) /
+        static_cast<double>(payload);
+    const double decay = meta_[s].stats.avg_factor_decay(baseline_stats_);
+    const bool stale =
+        meta_[s].unused_dict_fraction >= live.compact_stale_unused_fraction ||
+        decay >= live.compact_stale_decay;
+    // Tombstone reclamation scores by wasted-byte fraction; staleness by
+    // how far the dictionary has decayed. Either trigger qualifies; the
+    // worst offender wins.
+    double score = 0.0;
+    CompactionReport::Reason shard_reason = CompactionReport::Reason::kNone;
+    if (meta_[s].tombstoned_payload_bytes > 0 &&
+        tomb_frac >= live.compact_tombstone_fraction) {
+      score = tomb_frac;
+      shard_reason = CompactionReport::Reason::kTombstones;
+    }
+    if (stale) {
+      const double stale_score =
+          std::max(meta_[s].unused_dict_fraction, decay);
+      if (stale_score > score) {
+        score = stale_score;
+        shard_reason = CompactionReport::Reason::kStaleDictionary;
+      }
+    }
+    if (shard_reason != CompactionReport::Reason::kNone &&
+        (victim < 0 || score > victim_score)) {
+      victim = static_cast<int>(s);
+      victim_score = score;
+      victim_reason = shard_reason;
+    }
+  }
+  *reason = victim_reason;
+  return victim;
+}
+
+StatusOr<CompactionReport> ShardedStore::CompactOnce() {
+  // One rebuild at a time; mutators never wait on this lock.
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  CompactionReport report;
+
+  std::shared_ptr<const CorpusEpoch> snapshot;
+  int victim = -1;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    victim = PickCompactionVictimLocked(&report.reason);
+    if (victim < 0) return report;
+    snapshot = [&] {
+      std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+      return epoch_;
+    }();
+  }
+
+  // Offline rebuild against the pinned snapshot: decode every live
+  // document, re-sample a fresh dictionary from exactly that text, and
+  // re-encode — tombstoned ids shrink to empty entries (their id stays
+  // allocated; the tombstone bitmap still answers NotFound). Mutators and
+  // readers run concurrently throughout.
+  const RlzArchive& old_shard = snapshot->shard(victim);
+  const Bitmap* dead = snapshot->tombstones(victim);
+  const size_t shard_docs = old_shard.num_docs();
+  const size_t shard_start = snapshot->router().start(victim);
+  std::string text;
+  std::vector<size_t> sizes(shard_docs, 0);
+  {
+    DecodeScratch scratch;
+    std::string buf;
+    for (size_t i = 0; i < shard_docs; ++i) {
+      if (dead != nullptr && i < dead->size() && dead->Test(i)) continue;
+      const Status status =
+          old_shard.Get(i, &buf, /*disk=*/nullptr, &scratch);
+      if (!status.ok()) return status;
+      text.append(buf);
+      sizes[i] = buf.size();
+    }
+  }
+  std::shared_ptr<const Dictionary> dict = DictionaryBuilder::BuildSampled(
+      text.empty() ? std::string_view(" ") : std::string_view(text),
+      shard_dict_bytes_, options_.sample_bytes);
+  ArchiveBuilderOptions builder_options;
+  builder_options.coding = options_.coding;
+  builder_options.track_coverage = true;
+  builder_options.num_threads = std::max(1, options_.live.compact_threads);
+  RlzArchiveBuilder builder(std::move(dict), builder_options);
+  size_t offset = 0;
+  size_t live_docs = 0;
+  for (size_t i = 0; i < shard_docs; ++i) {
+    if (dead != nullptr && i < dead->size() && dead->Test(i)) {
+      builder.AddBorrowedDocument(std::string_view());
+      continue;
+    }
+    builder.AddBorrowedDocument(std::string_view(text).substr(offset,
+                                                              sizes[i]));
+    offset += sizes[i];
+    ++live_docs;
+  }
+  ArchiveBuildReport rebuild_report;
+  std::shared_ptr<const RlzArchive> rebuilt =
+      std::move(builder).Finish(&rebuild_report);
+
+  // Swap the rewrite into the next epoch. Deletes that landed on this
+  // shard during the rebuild were encoded live above; they stay pending
+  // (tombstoned-but-stored) and a later pass reclaims them.
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    report.bytes_before = shards_[victim]->stored_bytes();
+    report.bytes_after = rebuilt->stored_bytes();
+    shards_[victim] = std::move(rebuilt);
+    generations_[victim] += 1;
+    ShardMeta& meta = meta_[victim];
+    meta.generation = generations_[victim];
+    meta.stats = rebuild_report.stats;
+    meta.unused_dict_fraction = rebuild_report.unused_dictionary_fraction;
+    meta.tombstoned_payload_bytes = 0;
+    const Bitmap* now_dead = tombstones_[victim].get();
+    if (now_dead != nullptr) {
+      const DocMap& map = shards_[victim]->doc_map();
+      for (size_t i = 0; i < now_dead->size(); ++i) {
+        if (!now_dead->Test(i)) continue;
+        const bool reclaimed =
+            dead != nullptr && i < dead->size() && dead->Test(i);
+        if (!reclaimed) meta.tombstoned_payload_bytes += map.size(i);
+      }
+    }
+    report.generation = generations_[victim];
+    PublishLocked();
+  }
+
+  report.compacted = true;
+  report.shard = victim;
+  report.live_docs = live_docs;
+  report.dead_docs = shard_docs - live_docs;
+  // Reclaimed ids were tombstoned long before this pass (their cache
+  // entries were erased at Delete time); re-notify anyway so a listener
+  // attached later than the delete cannot serve bytes the store no
+  // longer holds.
+  if (dead != nullptr) {
+    for (size_t i = 0; i < dead->size(); ++i) {
+      if (dead->Test(i)) NotifyEviction(shard_start + i);
+    }
+  }
+  return report;
+}
+
+void ShardedStore::StartCompactor(std::chrono::milliseconds interval) {
+  std::lock_guard<std::mutex> lock(compactor_mu_);
+  if (compactor_.joinable()) return;
+  compactor_stop_.store(false);
+  compactor_ = std::thread(&ShardedStore::CompactorLoop, this, interval);
+}
+
+void ShardedStore::StopCompactor() {
+  std::lock_guard<std::mutex> lock(compactor_mu_);
+  if (!compactor_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> wait_lock(compactor_wait_mu_);
+    compactor_stop_.store(true);
+  }
+  compactor_cv_.notify_all();
+  compactor_.join();
+  compactor_ = std::thread();
+}
+
+void ShardedStore::CompactorLoop(std::chrono::milliseconds interval) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(compactor_wait_mu_);
+      compactor_cv_.wait_for(lock, interval,
+                             [&] { return compactor_stop_.load(); });
+      if (compactor_stop_.load()) return;
+    }
+    // A failed pass (e.g. decode Corruption) is retried next interval;
+    // the store itself is untouched — the rebuild never swaps on error.
+    (void)CompactOnce();
+  }
+}
+
+// --- Persistence ----------------------------------------------------------
+
 Status ShardedStore::Save(const std::string& path) const {
+  // A consistent snapshot: the epoch pins the shards/tombstones/tail, and
+  // the health records are copied under the same writer lock that every
+  // mutation holds while publishing.
+  std::shared_ptr<const CorpusEpoch> snapshot;
+  std::vector<ShardMeta> meta;
+  FactorStats baseline;
+  std::string append_dict_text;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    {
+      std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+      snapshot = epoch_;
+    }
+    meta = meta_;
+    baseline = baseline_stats_;
+    if (append_dict_ != nullptr) {
+      append_dict_text.assign(append_dict_->text());
+    }
+  }
+
   std::string dir;
   std::string base;
   SplitPath(path, &dir, &base);
+  const size_t nshards = static_cast<size_t>(snapshot->num_shards());
   // Shards first, manifest last: a torn save leaves orphan shard files,
   // never a manifest that names missing ones.
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    RLZ_RETURN_IF_ERROR(shards_[s]->Save(dir + ShardFileName(base, s)));
+  for (size_t s = 0; s < nshards; ++s) {
+    RLZ_RETURN_IF_ERROR(
+        snapshot->shard(static_cast<int>(s)).Save(dir + ShardFileName(base, s)));
   }
   EnvelopeWriter writer(kFormatId, kFormatVersion);
-  writer.PutVarint64(shards_.size());
-  for (size_t s = 0; s <= shards_.size(); ++s) {
-    writer.PutVarint64(router_.start(s));
+  // The v1-compatible prefix: shard count, boundaries, shard file names.
+  writer.PutVarint64(nshards);
+  for (size_t s = 0; s <= nshards; ++s) {
+    writer.PutVarint64(snapshot->router().start(s));
   }
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (size_t s = 0; s < nshards; ++s) {
     writer.PutLengthPrefixed(ShardFileName(base, s));
   }
+  // v2 sections: the epoch and its mutation state.
+  writer.PutVarint64(snapshot->sequence());
+  for (size_t s = 0; s < nshards; ++s) {
+    writer.PutVarint64(snapshot->shard_generation(static_cast<int>(s)));
+    writer.PutVarint64(meta[s].tombstoned_payload_bytes);
+    writer.PutVarint64(DoubleBits(meta[s].unused_dict_fraction));
+    PutStats(meta[s].stats, &writer);
+  }
+  PutStats(baseline, &writer);
+  for (size_t s = 0; s < nshards; ++s) {
+    PutTombstones(snapshot->tombstones(static_cast<int>(s)), &writer);
+  }
+  PutTombstones(snapshot->tail_tombstones(), &writer);
+  const TailSegment* tail = snapshot->tail();
+  writer.PutVarint64(tail == nullptr ? 0 : tail->docs.size());
+  if (tail != nullptr) {
+    for (const auto& doc : tail->docs) writer.PutLengthPrefixed(*doc);
+  }
+  writer.PutLengthPrefixed(append_dict_text);
   return std::move(writer).WriteTo(path);
 }
 
@@ -152,7 +731,7 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::FromEnvelope(
                                 ": manifest boundaries not monotone");
     }
   }
-  store->router_ = ShardRouter(std::move(starts));
+  store->router_ = std::make_shared<const ShardRouter>(std::move(starts));
   std::string dir;
   std::string base;
   SplitPath(path, &dir, &base);
@@ -167,7 +746,83 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::FromEnvelope(
     }
     shard_paths[s] = dir + std::string(name);
   }
+
+  // v2 sections: epoch sequence, per-shard health, tombstones, the raw
+  // open tail, and the append dictionary. A v1 manifest is a build-once
+  // snapshot: sequence 0, generation 0, nothing deleted, empty tail, no
+  // append dictionary (appends disabled until rebuilt).
+  store->generations_.assign(nshards, 0);
+  store->tombstones_.assign(nshards, nullptr);
+  store->meta_.resize(nshards);
+  uint64_t sequence = 0;
+  std::string_view append_dict_text;
+  if (envelope.version() >= 2) {
+    RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&sequence));
+    for (size_t s = 0; s < nshards; ++s) {
+      RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&store->generations_[s]));
+      ShardMeta& meta = store->meta_[s];
+      meta.generation = store->generations_[s];
+      RLZ_RETURN_IF_ERROR(
+          reader.ReadVarint64(&meta.tombstoned_payload_bytes));
+      uint64_t fraction_bits = 0;
+      RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&fraction_bits));
+      meta.unused_dict_fraction = DoubleFromBits(fraction_bits);
+      RLZ_RETURN_IF_ERROR(ReadStats(&reader, &meta.stats));
+    }
+    RLZ_RETURN_IF_ERROR(ReadStats(&reader, &store->baseline_stats_));
+    for (size_t s = 0; s < nshards; ++s) {
+      const size_t shard_docs =
+          store->router_->start(s + 1) - store->router_->start(s);
+      RLZ_RETURN_IF_ERROR(ReadTombstones(&reader, shard_docs,
+                                         envelope.context(),
+                                         &store->tombstones_[s]));
+      if (store->tombstones_[s] != nullptr) {
+        store->deleted_docs_ += store->tombstones_[s]->CountSet();
+      }
+    }
+    uint64_t tail_count = 0;
+    {
+      // The tail tombstone section precedes the tail documents, so its
+      // bitmap bound comes from the doc count read after it; parse the
+      // raw section first and validate once the count is known.
+      std::shared_ptr<const Bitmap> tail_tombstones;
+      // A tail bitmap can never address more docs than bytes remain in
+      // the body (each doc costs at least one length byte).
+      RLZ_RETURN_IF_ERROR(ReadTombstones(&reader, reader.remaining(),
+                                         envelope.context(),
+                                         &tail_tombstones));
+      RLZ_RETURN_IF_ERROR(reader.ReadVarint64(&tail_count));
+      if (tail_count > reader.remaining()) {
+        return Status::Corruption(envelope.context() +
+                                  ": bad manifest tail count");
+      }
+      if (tail_tombstones != nullptr &&
+          tail_tombstones->size() > 0) {
+        // Re-bound the bitmap against the real tail size.
+        uint64_t max_index = 0;
+        for (size_t i = 0; i < tail_tombstones->size(); ++i) {
+          if (tail_tombstones->Test(i)) max_index = i;
+        }
+        if (max_index >= tail_count) {
+          return Status::Corruption(envelope.context() +
+                                    ": tail tombstone out of range");
+        }
+        store->deleted_docs_ += tail_tombstones->CountSet();
+      }
+      store->tail_tombstones_ = std::move(tail_tombstones);
+    }
+    store->tail_docs_.reserve(tail_count);
+    for (uint64_t i = 0; i < tail_count; ++i) {
+      std::string_view doc;
+      RLZ_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&doc));
+      store->tail_docs_.push_back(
+          std::make_shared<const std::string>(doc));
+      store->tail_bytes_ += doc.size();
+    }
+    RLZ_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&append_dict_text));
+  }
   RLZ_RETURN_IF_ERROR(reader.ExpectConsumed());
+  store->next_sequence_ = sequence;
 
   // Shard files open in parallel: each is an independent rlz container,
   // and the suffix-array rebuild (when requested) dominates the open
@@ -204,11 +859,35 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::FromEnvelope(
   }
   for (size_t s = 0; s < nshards; ++s) {
     if (store->shards_[s]->num_docs() !=
-        store->router_.start(s + 1) - store->router_.start(s)) {
+        store->router_->start(s + 1) - store->router_->start(s)) {
       return Status::Corruption(shard_paths[s] +
                                 ": shard document count disagrees with "
                                 "the manifest");
     }
+  }
+
+  // Restore the mutation path: the coding comes from shard 0 (every shard
+  // encodes with the same pair), the append dictionary from its persisted
+  // text (matcher-less on a serving-only open — appends then fail
+  // cleanly), and the open tail re-encodes through a fresh builder.
+  store->options_.coding = store->shards_[0]->coder().coding();
+  store->shard_dict_bytes_ =
+      std::max<uint64_t>(1, store->shards_[0]->dictionary().size());
+  if (!append_dict_text.empty()) {
+    store->append_dict_ = std::make_shared<const Dictionary>(
+        std::string(append_dict_text), options.build_suffix_array);
+  }
+  {
+    std::lock_guard<std::mutex> lock(store->writer_mu_);
+    if (!store->tail_docs_.empty() && store->append_dict_ != nullptr &&
+        store->append_dict_->has_matcher() &&
+        store->options_.live.reuse_append_dictionary) {
+      RLZ_RETURN_IF_ERROR(store->ResetTailBuilderLocked());
+      for (const auto& doc : store->tail_docs_) {
+        store->tail_builder_->AddBorrowedDocument(*doc);
+      }
+    }
+    store->PublishLocked();
   }
   return store;
 }
@@ -217,63 +896,6 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
     const std::string& path, const OpenOptions& options) {
   RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope, ReadEnvelopeFile(path));
   return FromEnvelope(envelope, path, options);
-}
-
-std::string ShardedStore::name() const {
-  const std::string coding =
-      shards_.empty() ? std::string("rlz") : shards_[0]->name();
-  return "sharded-" + coding + "/" + std::to_string(num_shards());
-}
-
-size_t ShardedStore::shard_of(size_t id) const {
-  RLZ_DCHECK_LT(id, num_docs());
-  return router_.shard_of(id);
-}
-
-namespace {
-
-// Charges the factor-stream read of shard-local doc `local` at the
-// shard's device base, exactly mirroring what RlzArchive::Get/GetRange
-// would charge at shard-local offsets.
-void ChargeShardRead(const RlzArchive& shard, size_t shard_index,
-                     size_t local, SimDisk* disk) {
-  if (disk == nullptr) return;
-  const DocMap& map = shard.doc_map();
-  disk->Read(ShardedStore::kSimDeviceSpacing * shard_index +
-                 map.offset(local),
-             map.size(local));
-}
-
-}  // namespace
-
-Status ShardedStore::Get(size_t id, std::string* doc, SimDisk* disk,
-                         DecodeScratch* scratch) const {
-  if (id >= num_docs()) {
-    return Status::OutOfRange("sharded store: bad doc id");
-  }
-  const size_t s = shard_of(id);
-  const size_t local = id - router_.start(s);
-  ChargeShardRead(*shards_[s], s, local, disk);
-  return shards_[s]->Get(local, doc, /*disk=*/nullptr, scratch);
-}
-
-Status ShardedStore::GetRange(size_t id, size_t offset, size_t length,
-                              std::string* text, SimDisk* disk,
-                              DecodeScratch* scratch) const {
-  if (id >= num_docs()) {
-    return Status::OutOfRange("sharded store: bad doc id");
-  }
-  const size_t s = shard_of(id);
-  const size_t local = id - router_.start(s);
-  ChargeShardRead(*shards_[s], s, local, disk);
-  return shards_[s]->GetRange(local, offset, length, text, /*disk=*/nullptr,
-                              scratch);
-}
-
-uint64_t ShardedStore::stored_bytes() const {
-  uint64_t bytes = 0;
-  for (const auto& shard : shards_) bytes += shard->stored_bytes();
-  return bytes;
 }
 
 }  // namespace rlz

@@ -2,53 +2,64 @@
 #define RLZ_SERVE_SHARDED_STORE_H_
 
 /// \file
-/// N independent RLZ shards behind one Archive interface (DESIGN.md §6).
+/// The live sharded corpus: N independent RLZ shards plus an appendable
+/// tail segment behind one Archive interface, published to readers as
+/// immutable epoch snapshots (DESIGN.md §6, §11).
 
-#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/factor_coder.h"
+#include "core/factorizer.h"
 #include "core/rlz_archive.h"
 #include "corpus/collection.h"
+#include "serve/corpus_epoch.h"
+#include "serve/shard_router.h"
 #include "store/archive.h"
 #include "store/open_archive.h"
 
 namespace rlz {
 
-/// The doc-id → shard map of a ShardedStore: N+1 monotone range boundaries
-/// (`start(0) == 0`, `start(num_shards()) == num_docs()`), routed by binary
-/// search. Immutable after construction and trivially shareable across
-/// threads; the serving layer borrows it (ShardedStore::router()) to route
-/// requests to shard-affine worker queues without going through the
-/// Archive interface (DESIGN.md §10).
-class ShardRouter {
- public:
-  /// An empty router: zero shards, zero documents.
-  ShardRouter() = default;
-  /// Wraps the N+1 boundaries; `starts[0]` must be 0 and the sequence
-  /// must be non-decreasing (callers validate — the router only routes).
-  explicit ShardRouter(std::vector<size_t> starts)
-      : starts_(std::move(starts)) {}
+class RlzArchiveBuilder;
 
-  /// The shard owning doc `id` (`id` must be < num_docs()).
-  size_t shard_of(size_t id) const {
-    // First boundary strictly greater than id, minus one.
-    const auto it = std::upper_bound(starts_.begin(), starts_.end(), id);
-    return static_cast<size_t>(it - starts_.begin()) - 1;
-  }
-  /// Number of shards routed over.
-  size_t num_shards() const {
-    return starts_.empty() ? 0 : starts_.size() - 1;
-  }
-  /// Total documents across all shards.
-  size_t num_docs() const { return starts_.empty() ? 0 : starts_.back(); }
-  /// First doc id of shard `s`; `start(num_shards()) == num_docs()`.
-  size_t start(size_t s) const { return starts_[s]; }
-
- private:
-  std::vector<size_t> starts_;
+/// Mutation-path knobs of a live ShardedStore (DESIGN.md §11).
+struct LiveStoreOptions {
+  /// Raw tail bytes that trigger an automatic seal: once the open tail
+  /// segment holds at least this much appended text, the Append that
+  /// crossed the threshold seals it into a new compressed shard before
+  /// returning. 0 disables auto-seal (callers seal explicitly).
+  size_t tail_seal_bytes = 1 << 20;
+  /// Worker threads of the incremental tail encoder (the per-append
+  /// RlzArchiveBuilder). 1 encodes each append synchronously — the §3.6
+  /// dynamic setting, with live factor stats; more workers encode tail
+  /// chunks on the build pipeline in the background.
+  int tail_builder_threads = 1;
+  /// Worker threads for a compaction rebuild.
+  int compact_threads = 1;
+  /// Compaction trigger: a shard whose tombstoned-but-still-stored
+  /// payload fraction reaches this is tombstone-heavy.
+  double compact_tombstone_fraction = 0.25;
+  /// Compaction trigger: a shard whose dictionary has at least this
+  /// fraction of never-referenced bytes (coverage decay, §3.6) is
+  /// stale-dictionary.
+  double compact_stale_unused_fraction = 0.5;
+  /// Compaction trigger: a shard whose average factor length decayed by
+  /// at least this fraction against the store's build-time baseline
+  /// (FactorStats::avg_factor_decay) is stale-dictionary.
+  double compact_stale_decay = 0.5;
+  /// When true, sealed tails reuse the store's append dictionary (cheap
+  /// seals, but the dictionary goes stale as content drifts — the §3.6
+  /// setting compaction recovers from). When false, every seal samples a
+  /// fresh dictionary from its own tail documents.
+  bool reuse_append_dictionary = true;
 };
 
 /// Build-time knobs for ShardedStore::Build.
@@ -75,27 +86,90 @@ struct ShardedStoreOptions {
   /// (DESIGN.md §7). The default 1 is right when shards already saturate
   /// the machine; raise it for few-shard builds on many-core hosts.
   int threads_per_shard = 1;
+  /// Mutation-path knobs (tail sealing, compaction triggers).
+  LiveStoreOptions live;
+};
+
+/// What one compaction pass did (ShardedStore::CompactOnce).
+struct CompactionReport {
+  /// Why a shard was rewritten (or kNone when no shard crossed a
+  /// threshold).
+  enum class Reason {
+    kNone,             ///< no shard needed compaction
+    kTombstones,       ///< tombstoned payload fraction crossed the trigger
+    kStaleDictionary,  ///< dictionary coverage/factor-length decay trigger
+  };
+
+  /// True when a shard was rewritten and swapped into a new epoch.
+  bool compacted = false;
+  /// The rewritten shard's index (-1 when not compacted).
+  int shard = -1;
+  /// The rewritten shard's new generation.
+  uint64_t generation = 0;
+  /// Which trigger fired.
+  Reason reason = Reason::kNone;
+  /// The shard's stored bytes before the rewrite.
+  uint64_t bytes_before = 0;
+  /// The shard's stored bytes after the rewrite.
+  uint64_t bytes_after = 0;
+  /// Live documents re-encoded into the rewrite.
+  size_t live_docs = 0;
+  /// Tombstoned ids whose payload the rewrite reclaimed.
+  size_t dead_docs = 0;
+};
+
+/// Health and provenance of one sealed shard — the compactor's scoring
+/// input (ShardedStore::shard_health).
+struct ShardHealth {
+  /// Rewrite generation (0 = as first sealed; +1 per compaction swap).
+  uint64_t generation = 0;
+  /// Encoded payload bytes owned by tombstoned ids that a rewrite has not
+  /// yet reclaimed.
+  uint64_t tombstoned_payload_bytes = 0;
+  /// Fraction of the shard's dictionary never referenced by any factor
+  /// (coverage decay; 1.0 - Bitmap::FractionSet of the build coverage).
+  double unused_dict_fraction = 0.0;
+  /// Factor statistics of the shard's most recent (re)build.
+  FactorStats stats;
 };
 
 /// Partitions a collection into independent RlzArchive shards behind the
 /// Archive interface — the scale-out unit of the serving layer (DESIGN.md
-/// §6). Each shard samples its own dictionary from its own documents and
-/// owns a disjoint contiguous doc-id range; the router is a binary search
-/// over the N+1 range boundaries. Shards share nothing, so Get/GetRange
-/// inherit RlzArchive's lock-free concurrent reads, and a future
-/// multi-machine split falls out of the same boundaries.
+/// §6) — and keeps the corpus *live*: documents can be appended (routed
+/// to an open tail segment encoded incrementally through the build
+/// pipeline), deleted (tombstoned), and compacted (a tombstone-heavy or
+/// stale-dictionary shard is rewritten in the background and swapped into
+/// the next epoch).
 ///
-/// SimDisk accounting models each shard as its own device: a real
+/// Concurrency model (DESIGN.md §11): all reads resolve against an
+/// immutable CorpusEpoch published through an atomically swapped
+/// shared_ptr. Get/GetRange pin the current epoch for the duration of the
+/// call, so decode never races a mutation; writers (Append/Delete/seal/
+/// compaction publish) serialize on an internal mutex and never block
+/// readers. Any number of threads may read concurrently with any number
+/// of mutators.
+///
+/// SimDisk accounting models each sealed shard as its own device: a real
 /// deployment stores one file per shard. The store charges each read at
 /// the shard-local payload offset plus a per-shard base far larger than
 /// any readahead window (kSimDeviceSpacing), so a cross-shard jump always
-/// pays a seek and intra-shard sequential runs stay sequential.
+/// pays a seek and intra-shard sequential runs stay sequential. The open
+/// tail is memory-resident (a memtable) and charges nothing.
 class ShardedStore final : public Archive {
  public:
+  /// Signature of the cache-invalidation hook (see SetEvictionListener).
+  using EvictionListener = std::function<void(size_t id)>;
+
   /// Partitions `collection`, samples one dictionary per shard, and
-  /// builds every shard (concurrently per options.build_threads).
+  /// builds every shard (concurrently per options.build_threads). Also
+  /// samples the append dictionary that future tail seals encode against
+  /// and publishes epoch 0.
   static std::unique_ptr<ShardedStore> Build(
       const Collection& collection, const ShardedStoreOptions& options = {});
+
+  /// Joins the background compactor (if running) and drains the tail
+  /// encoder.
+  ~ShardedStore() override;
 
   /// The scratch-less convenience overloads stay visible alongside the
   /// scratch-aware overrides below.
@@ -104,32 +178,113 @@ class ShardedStore final : public Archive {
 
   /// "sharded-<shard coding>/<N>".
   std::string name() const override;
-  /// Total documents across all shards.
-  size_t num_docs() const override { return router_.num_docs(); }
-  /// Routes to the owning shard and decodes the document there, passing
-  /// the caller's `scratch` through to the shard's decode.
+  /// Total documents across sealed shards and the open tail, including
+  /// tombstoned ids (ids are permanent; see CorpusEpoch).
+  size_t num_docs() const override { return epoch()->num_docs(); }
+  /// Pins the current epoch and decodes the document from that snapshot.
+  /// Returns NotFound for a tombstoned id.
   Status Get(size_t id, std::string* doc, SimDisk* disk,
              DecodeScratch* scratch) const override;
-  /// Routes to the owning shard and decodes only the requested range.
+  /// Pins the current epoch and decodes only the requested range.
   Status GetRange(size_t id, size_t offset, size_t length, std::string* text,
                   SimDisk* disk, DecodeScratch* scratch) const override;
-  /// Sum of every shard's stored bytes (payload + map + dictionary).
-  uint64_t stored_bytes() const override;
+  /// Sum of every sealed shard's stored bytes plus the raw open tail.
+  uint64_t stored_bytes() const override { return epoch()->stored_bytes(); }
 
-  /// Number of shards.
-  int num_shards() const { return static_cast<int>(shards_.size()); }
-  /// The shard holding doc `id` (id must be < num_docs()).
-  size_t shard_of(size_t id) const;
-  /// Shard `s`'s archive (s must be < num_shards()).
-  const RlzArchive& shard(int s) const { return *shards_[s]; }
-  /// First doc id owned by shard `s`; starts(num_shards()) == num_docs().
+  // --- Mutation API (DESIGN.md §11) -------------------------------------
+
+  /// Appends one document to the open tail segment and publishes the
+  /// epoch that contains it. Returns the new document's permanent id.
+  /// The document is encoded incrementally through the tail's
+  /// RlzArchiveBuilder (synchronously with one tail worker; on the build
+  /// pipeline with more), and its raw bytes serve reads until the tail
+  /// seals. Crossing LiveStoreOptions::tail_seal_bytes seals the tail
+  /// before returning. Thread-safe against concurrent readers and other
+  /// mutators. Fails with InvalidArgument on a store opened without an
+  /// append dictionary (a v1 manifest or a serving-only open).
+  StatusOr<size_t> Append(std::string_view doc);
+
+  /// Tombstones document `id` and publishes the epoch that hides it:
+  /// after Delete returns, new Gets return NotFound (readers pinned to an
+  /// earlier epoch still see the document — snapshot isolation). The
+  /// payload bytes are reclaimed by a later compaction, not here.
+  /// Returns OutOfRange for an unknown id, NotFound if already deleted.
+  Status Delete(size_t id);
+
+  /// True if `id` resolves to a non-tombstoned document in the current
+  /// epoch (the serving layer's post-insert cache check).
+  bool IsLive(size_t id) const;
+
+  /// Seals the open tail into a new compressed shard (growing the router
+  /// by one range) and publishes the epoch containing it. No-op when the
+  /// tail is empty. Called automatically when an Append crosses
+  /// LiveStoreOptions::tail_seal_bytes.
+  Status SealTail();
+
+  /// One compaction pass: scores every sealed shard (tombstoned-payload
+  /// fraction, dictionary staleness), rewrites the worst shard that
+  /// crossed a trigger — re-sampling a fresh dictionary from its live
+  /// documents, reclaiming tombstoned payload — and swaps it into the
+  /// next epoch. The rebuild runs against a pinned epoch without blocking
+  /// mutators; only the final swap takes the writer lock. Readers pinned
+  /// to older epochs keep decoding from the pre-compaction shard until
+  /// they drain. Returns a report (compacted == false when no shard
+  /// crossed a trigger).
+  StatusOr<CompactionReport> CompactOnce();
+
+  /// Starts a background thread that runs CompactOnce every `interval`
+  /// until StopCompactor (or destruction). No-op if already running.
+  void StartCompactor(std::chrono::milliseconds interval);
+
+  /// Stops and joins the background compactor, if running.
+  void StopCompactor();
+
+  /// Registers (or, with nullptr, clears) the invalidation hook the
+  /// mutation path calls with each tombstoned id — after the tombstoning
+  /// epoch is published — and with each id whose payload a compaction
+  /// reclaimed. The serving layer uses it to erase stale decode-cache
+  /// entries (LruCache::Erase). At most one listener; clearing blocks
+  /// until any in-flight callback returns, so the previous listener's
+  /// captures can be destroyed safely after this returns. Registration is
+  /// const: observers do not mutate corpus state.
+  void SetEvictionListener(EvictionListener listener) const;
+
+  // --- Epoch and introspection ------------------------------------------
+
+  /// Pins the current epoch: the returned snapshot (and every document in
+  /// it) stays byte-identical and decodable for as long as the pointer is
+  /// held, regardless of later appends, deletes, seals, or compactions.
+  std::shared_ptr<const CorpusEpoch> epoch() const;
+
+  /// The current epoch's publication sequence number.
+  uint64_t epoch_sequence() const { return epoch()->sequence(); }
+
+  /// Number of sealed shards in the current epoch.
+  int num_shards() const { return epoch()->num_shards(); }
+  /// The shard holding doc `id` in the current epoch (id must be <
+  /// sealed docs).
+  size_t shard_of(size_t id) const { return epoch()->router().shard_of(id); }
+  /// Shard `s` of the current epoch (s must be < num_shards()). The
+  /// reference stays valid while the store lives (shards are replaced,
+  /// never destroyed, while any epoch can reach them) — but prefer
+  /// epoch() for multi-call consistency.
+  const RlzArchive& shard(int s) const { return epoch()->shard(s); }
+  /// First doc id owned by shard `s` in the current epoch.
   size_t starts(int s) const {
-    return router_.start(static_cast<size_t>(s));
+    return epoch()->router().start(static_cast<size_t>(s));
   }
-  /// The doc-id → shard map. Borrowed by the serving layer to route
-  /// requests to shard-affine worker queues; valid for this store's
-  /// lifetime.
-  const ShardRouter& router() const { return router_; }
+  /// Shared doc-id → shard routing snapshot of the current epoch. The
+  /// serving layer refreshes this per submission: routing from a stale
+  /// snapshot is a locality miss, never an error (DESIGN.md §10).
+  std::shared_ptr<const ShardRouter> router_snapshot() const {
+    return epoch()->router_ptr();
+  }
+  /// Health counters of sealed shard `s` in the current epoch — the
+  /// compaction triggers' inputs.
+  ShardHealth shard_health(int s) const;
+  /// The store-wide build-time factor statistics the staleness trigger
+  /// compares against (FactorStats::avg_factor_decay).
+  FactorStats baseline_stats() const;
 
   /// Simulated address-space stride between shard devices (1 TiB): far
   /// beyond any SimDiskOptions::sequential_gap, and far above the v1
@@ -138,25 +293,33 @@ class ShardedStore final : public Archive {
 
   /// On-disk format id of the manifest envelope ("sharded").
   static constexpr char kFormatId[] = "sharded";
-  /// Current manifest format version.
-  static constexpr uint32_t kFormatVersion = 1;
+  /// Current manifest format version. Version 1 (read-compat) is the
+  /// build-once manifest: boundaries and shard file names only. Version 2
+  /// adds the epoch sequence, per-shard generations and health, tombstone
+  /// sections, the raw open-tail documents, and the append dictionary —
+  /// Save/Open round-trips a live epoch.
+  static constexpr uint32_t kFormatVersion = 2;
 
-  /// Serializes the store as one file per shard plus a manifest: each
-  /// shard is written as an rlz container at `path + ".shardNNNN"`, then
-  /// the manifest (shard boundaries and relative shard file names) is
-  /// written at `path` — last, so a crash mid-save never leaves a
-  /// manifest pointing at missing shards. The directory can be moved as
-  /// a unit: shard names are stored relative to the manifest.
+  /// Serializes the current epoch as one file per shard plus a manifest:
+  /// each sealed shard is written as an rlz container at
+  /// `path + ".shardNNNN"`, then the manifest (epoch sequence, shard
+  /// boundaries, generations, relative shard file names, tombstones, raw
+  /// tail documents, append dictionary) is written at `path` — last, so a
+  /// crash mid-save never leaves a manifest pointing at missing shards.
+  /// The directory can be moved as a unit: shard names are stored
+  /// relative to the manifest.
   Status Save(const std::string& path) const override;
 
   /// Opens a store written by Save: reads the manifest, then loads every
   /// shard file in parallel (options.open_threads workers; by default one
-  /// per shard, capped at the hardware parallelism). A serving-only
-  /// reopen passes
-  /// OpenOptions::build_suffix_array = false and skips every shard's
-  /// suffix-array rebuild. Fails with IOError if a shard file named by
-  /// the manifest is missing, Corruption if a shard's document count
-  /// disagrees with the manifest.
+  /// per shard, capped at the hardware parallelism). A v2 manifest
+  /// restores the full epoch: tombstones, generations, the open tail
+  /// (re-encoded through a fresh tail builder), and the append
+  /// dictionary. A serving-only reopen passes
+  /// OpenOptions::build_suffix_array = false, skips every suffix-array
+  /// rebuild, and disables Append (InvalidArgument). Fails with
+  /// IOError if a shard file named by the manifest is missing, Corruption
+  /// if a shard's document count disagrees with the manifest.
   static StatusOr<std::unique_ptr<ShardedStore>> Open(
       const std::string& path, const OpenOptions& options = {});
 
@@ -167,10 +330,74 @@ class ShardedStore final : public Archive {
       const OpenOptions& options);
 
  private:
+  /// Mutable per-shard bookkeeping behind the published ShardHealth.
+  struct ShardMeta {
+    uint64_t generation = 0;
+    uint64_t tombstoned_payload_bytes = 0;
+    double unused_dict_fraction = 0.0;
+    FactorStats stats;
+  };
+
   ShardedStore() = default;
 
-  std::vector<std::unique_ptr<RlzArchive>> shards_;
-  ShardRouter router_;  // num_shards()+1 boundaries, start(0) == 0
+  /// Builds the epoch that reflects the current writer state and swaps it
+  /// in. Requires writer_mu_.
+  void PublishLocked();
+  /// Seals the open tail into a new shard. Requires writer_mu_.
+  Status SealTailLocked();
+  /// Creates the open-tail builder for the next segment. Requires
+  /// writer_mu_; returns InvalidArgument without an append dictionary.
+  Status ResetTailBuilderLocked();
+  /// Invokes the eviction listener (if any) for `id`, outside writer_mu_.
+  void NotifyEviction(size_t id) const;
+  /// Background compactor loop.
+  void CompactorLoop(std::chrono::milliseconds interval);
+  /// Scores sealed shards against the compaction triggers; fills the
+  /// reason and returns the victim index, or -1. Requires writer_mu_.
+  int PickCompactionVictimLocked(CompactionReport::Reason* reason) const;
+
+  ShardedStoreOptions options_;  // build-time + live knobs
+
+  // The published epoch: readers pin it with a shared_ptr copy under
+  // epoch_mu_ (held for the copy only); PublishLocked swaps it under the
+  // same mutex. All other members below are writer state.
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<const CorpusEpoch> epoch_;
+
+  // Writer state, guarded by writer_mu_: the mutable mirror of the
+  // current epoch that the next PublishLocked snapshots.
+  mutable std::mutex writer_mu_;
+  uint64_t next_sequence_ = 1;
+  std::vector<std::shared_ptr<const RlzArchive>> shards_;
+  std::vector<uint64_t> generations_;
+  std::vector<ShardMeta> meta_;
+  std::shared_ptr<const ShardRouter> router_;
+  std::vector<std::shared_ptr<const Bitmap>> tombstones_;
+  std::shared_ptr<const Bitmap> tail_tombstones_;
+  std::vector<std::shared_ptr<const std::string>> tail_docs_;
+  uint64_t tail_bytes_ = 0;
+  uint64_t deleted_docs_ = 0;
+  FactorStats baseline_stats_;
+  // Per-shard dictionary budget (dict_bytes / initial shard count): the
+  // sample size for fresh-dictionary seals and compaction re-samples.
+  size_t shard_dict_bytes_ = 1 << 20;
+  std::shared_ptr<const Dictionary> append_dict_;  // null: appends disabled
+  std::unique_ptr<RlzArchiveBuilder> tail_builder_;
+
+  // One compaction rebuild at a time; the rebuild holds compact_mu_ but
+  // not writer_mu_, so mutators keep running while it decodes/re-encodes.
+  std::mutex compact_mu_;
+  std::thread compactor_;
+  std::mutex compactor_mu_;       // guards compactor_ start/stop/join
+  std::mutex compactor_wait_mu_;  // guards the loop's interval wait
+  std::condition_variable compactor_cv_;
+  std::atomic<bool> compactor_stop_{false};
+
+  // Eviction listener: registration and every invocation hold
+  // listener_mu_, so clearing the listener synchronizes with in-flight
+  // callbacks. Mutable: observers register through a const store.
+  mutable std::mutex listener_mu_;
+  mutable EvictionListener listener_;
 };
 
 }  // namespace rlz

@@ -83,6 +83,15 @@ class Bitmap {
     return count;
   }
 
+  /// Fraction of bits set (CountSet() / size()); 0.0 for an empty bitmap.
+  /// The dictionary-coverage reading: FractionSet of a build's coverage
+  /// bitmap is the used fraction, 1.0 minus it the unused (stale) one.
+  double FractionSet() const {
+    return bits_ == 0
+               ? 0.0
+               : static_cast<double>(CountSet()) / static_cast<double>(bits_);
+  }
+
   /// Exact bitwise equality (sizes and every bit).
   bool operator==(const Bitmap& other) const {
     return bits_ == other.bits_ && words_ == other.words_;

@@ -18,10 +18,11 @@ namespace rlz {
 /// a hit costs one refcount bump, and an entry evicted while a reader still
 /// holds it stays alive until the reader drops it.
 ///
-/// This is the decode cache of the serving layer (DESIGN.md §6): archives
-/// are immutable, so a key's value never changes and no invalidation
-/// protocol is needed — Insert on an existing key keeps (and returns) the
-/// resident value.
+/// This is the decode cache of the serving layer (DESIGN.md §6): a key's
+/// value never changes while the key is valid, so Insert on an existing
+/// key keeps (and returns) the resident value. A *live* corpus can retire
+/// a key outright (Delete tombstones the document, DESIGN.md §11) — Erase
+/// is the invalidation hook for exactly that case.
 class LruCache {
  public:
   /// Charged against the capacity per entry on top of the value bytes,
@@ -32,7 +33,8 @@ class LruCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    uint64_t evictions = 0;
+    uint64_t evictions = 0;  // capacity evictions (LRU victims)
+    uint64_t erased = 0;     // explicit Erase() invalidations
     uint64_t entries = 0;
     uint64_t bytes = 0;           // charged bytes: values + entry overhead
     uint64_t capacity_bytes = 0;  // total across shards
@@ -110,6 +112,22 @@ class LruCache {
     return owned;
   }
 
+  /// Removes `key` if present; returns whether an entry was dropped.
+  /// Readers already holding the value keep it alive (snapshot isolation:
+  /// erasure stops future hits, it does not revoke handed-out bytes).
+  /// Counted separately from capacity evictions in Stats::erased.
+  bool Erase(uint64_t key) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it == s.index.end()) return false;
+    s.bytes -= it->second->value->size() + kEntryOverheadBytes;
+    s.lru.erase(it->second);
+    s.index.erase(it);
+    ++s.erased;
+    return true;
+  }
+
   /// Drops every entry. Counters are preserved.
   void Clear() {
     for (Shard& s : shards_) {
@@ -128,6 +146,7 @@ class LruCache {
       total.hits += s.hits;
       total.misses += s.misses;
       total.evictions += s.evictions;
+      total.erased += s.erased;
       total.entries += s.index.size();
       total.bytes += s.bytes;
     }
@@ -150,6 +169,7 @@ class LruCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t erased = 0;
   };
 
   Shard& shard(uint64_t key) { return shards_[key & mask_]; }

@@ -95,6 +95,16 @@ TEST(BitmapTest, OrWithMergesPartitionsExactly) {
   EXPECT_EQ(merged.CountSet(), full.CountSet());
 }
 
+TEST(BitmapTest, FractionSetTracksCoverage) {
+  Bitmap bitmap(100);
+  EXPECT_DOUBLE_EQ(bitmap.FractionSet(), 0.0);
+  bitmap.SetRange(0, 25);
+  EXPECT_DOUBLE_EQ(bitmap.FractionSet(), 0.25);
+  bitmap.SetRange(0, 100);
+  EXPECT_DOUBLE_EQ(bitmap.FractionSet(), 1.0);
+  EXPECT_DOUBLE_EQ(Bitmap().FractionSet(), 0.0);  // empty: defined as 0
+}
+
 TEST(BitmapTest, EqualityIsExact) {
   Bitmap a(65);
   Bitmap b(65);
@@ -124,6 +134,24 @@ TEST(FactorStatsTest, MergeSumsAllCounters) {
   EXPECT_EQ(a.num_literals, 4u);
   EXPECT_EQ(a.text_bytes, 1500u);
   EXPECT_DOUBLE_EQ(a.avg_factor_length(), 100.0);
+}
+
+TEST(FactorStatsTest, AvgFactorDecayMeasuresStaleness) {
+  // The live store's staleness trigger (DESIGN.md §11): decay is the
+  // fractional drop in average factor length against a baseline build.
+  FactorStats baseline;
+  baseline.num_factors = 10;
+  baseline.text_bytes = 1000;  // avg 100
+  FactorStats decayed;
+  decayed.num_factors = 40;
+  decayed.text_bytes = 1000;  // avg 25: a 75% drop
+  EXPECT_DOUBLE_EQ(decayed.avg_factor_decay(baseline), 0.75);
+  // As-good-or-better factors never report decay.
+  EXPECT_DOUBLE_EQ(baseline.avg_factor_decay(baseline), 0.0);
+  EXPECT_DOUBLE_EQ(baseline.avg_factor_decay(decayed), 0.0);
+  // Degenerate inputs (no factors on either side) are defined as 0.
+  EXPECT_DOUBLE_EQ(FactorStats().avg_factor_decay(baseline), 0.0);
+  EXPECT_DOUBLE_EQ(baseline.avg_factor_decay(FactorStats()), 0.0);
 }
 
 // ---------------------------------------------------------------------------

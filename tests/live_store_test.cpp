@@ -1,0 +1,686 @@
+// Live-corpus tests (DESIGN.md §11): epoch snapshots, Append/Delete/seal,
+// background compaction, manifest v2 round trips, and the concurrency
+// regression suite for the mutation path. Every *Concurrent* test here is
+// also run under ThreadSanitizer by the `tsan` CI job (ctest label:
+// concurrency) — the epoch-pinning invariants only mean something if they
+// hold with readers, mutators, and the compactor genuinely racing.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "serve/corpus_epoch.h"
+#include "serve/doc_service.h"
+#include "serve/sharded_store.h"
+#include "store/format.h"
+#include "util/random.h"
+
+namespace rlz {
+namespace {
+
+Collection TestCollection(size_t target_bytes, uint64_t seed) {
+  CorpusOptions options;
+  options.target_bytes = target_bytes;
+  options.seed = seed;
+  return GenerateCorpus(options).collection;
+}
+
+// A small live store: 2 shards over ~256 KB, no auto-seal (tests seal
+// explicitly unless they opt in).
+std::unique_ptr<ShardedStore> SmallLiveStore(
+    const Collection& collection, size_t tail_seal_bytes = 0) {
+  ShardedStoreOptions options;
+  options.num_shards = 2;
+  options.dict_bytes = 1 << 16;
+  options.live.tail_seal_bytes = tail_seal_bytes;
+  return ShardedStore::Build(collection, options);
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------------
+// Append / tail serving
+
+TEST(LiveStoreTest, AppendAssignsDenseIdsAndServesRawTail) {
+  const Collection collection = TestCollection(1 << 18, 11);
+  auto store = SmallLiveStore(collection);
+  const size_t built = store->num_docs();
+  const uint64_t seq0 = store->epoch_sequence();
+
+  const Collection extra = TestCollection(1 << 16, 12);
+  for (size_t i = 0; i < extra.num_docs(); ++i) {
+    auto id = store->Append(extra.doc(i));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(id.value(), built + i);
+  }
+  EXPECT_EQ(store->num_docs(), built + extra.num_docs());
+  EXPECT_GT(store->epoch_sequence(), seq0);  // every append published
+
+  // Built docs and tail docs both serve byte-identically.
+  std::string doc;
+  ASSERT_TRUE(store->Get(0, &doc).ok());
+  EXPECT_EQ(doc, collection.doc(0));
+  for (size_t i = 0; i < extra.num_docs(); ++i) {
+    ASSERT_TRUE(store->Get(built + i, &doc).ok());
+    EXPECT_EQ(doc, extra.doc(i));
+  }
+  // Tail ranges clamp like archive ranges do.
+  std::string slice;
+  ASSERT_TRUE(store->GetRange(built, 3, 10, &slice).ok());
+  EXPECT_EQ(slice, std::string(extra.doc(0)).substr(3, 10));
+}
+
+TEST(LiveStoreTest, SealTailGrowsRouterAndKeepsBytes) {
+  const Collection collection = TestCollection(1 << 18, 21);
+  auto store = SmallLiveStore(collection);
+  const size_t built = store->num_docs();
+  const int shards_before = store->num_shards();
+
+  const Collection extra = TestCollection(1 << 16, 22);
+  for (size_t i = 0; i < extra.num_docs(); ++i) {
+    ASSERT_TRUE(store->Append(extra.doc(i)).ok());
+  }
+  ASSERT_TRUE(store->SealTail().ok());
+  EXPECT_EQ(store->num_shards(), shards_before + 1);
+  EXPECT_EQ(store->epoch()->tail_docs(), 0u);
+  // The new shard owns exactly the sealed range.
+  auto router = store->router_snapshot();
+  EXPECT_EQ(router->start(static_cast<size_t>(shards_before)), built);
+  EXPECT_EQ(router->num_docs(), built + extra.num_docs());
+
+  std::string doc;
+  for (size_t i = 0; i < extra.num_docs(); ++i) {
+    ASSERT_TRUE(store->Get(built + i, &doc).ok());
+    EXPECT_EQ(doc, extra.doc(i));
+  }
+  // Sealing an empty tail is a no-op.
+  const uint64_t seq = store->epoch_sequence();
+  ASSERT_TRUE(store->SealTail().ok());
+  EXPECT_EQ(store->epoch_sequence(), seq);
+}
+
+TEST(LiveStoreTest, AutoSealAtThreshold) {
+  const Collection collection = TestCollection(1 << 18, 31);
+  auto store = SmallLiveStore(collection, /*tail_seal_bytes=*/1 << 14);
+  const int shards_before = store->num_shards();
+  const Collection extra = TestCollection(1 << 16, 32);
+  for (size_t i = 0; i < extra.num_docs(); ++i) {
+    ASSERT_TRUE(store->Append(extra.doc(i)).ok());
+  }
+  EXPECT_GT(store->num_shards(), shards_before);
+  std::string doc;
+  const size_t built = collection.num_docs();
+  for (size_t i = 0; i < extra.num_docs(); ++i) {
+    ASSERT_TRUE(store->Get(built + i, &doc).ok());
+    EXPECT_EQ(doc, extra.doc(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delete / tombstones
+
+TEST(LiveStoreTest, DeleteTombstonesWithoutReusingIds) {
+  const Collection collection = TestCollection(1 << 18, 41);
+  auto store = SmallLiveStore(collection);
+  const size_t victim = collection.num_docs() / 2;
+
+  EXPECT_TRUE(store->IsLive(victim));
+  ASSERT_TRUE(store->Delete(victim).ok());
+  EXPECT_FALSE(store->IsLive(victim));
+  EXPECT_EQ(store->num_docs(), collection.num_docs());  // id not reused
+
+  std::string doc;
+  EXPECT_EQ(store->Get(victim, &doc).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store->GetRange(victim, 0, 8, &doc).code(),
+            StatusCode::kNotFound);
+  // Neighbours are untouched.
+  ASSERT_TRUE(store->Get(victim - 1, &doc).ok());
+  EXPECT_EQ(doc, collection.doc(victim - 1));
+
+  // Double delete and out-of-range ids fail crisply.
+  EXPECT_EQ(store->Delete(victim).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store->Delete(store->num_docs()).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(LiveStoreTest, TailDeleteSurvivesSeal) {
+  const Collection collection = TestCollection(1 << 17, 51);
+  auto store = SmallLiveStore(collection);
+  const size_t built = store->num_docs();
+  const Collection extra = TestCollection(1 << 17, 52);
+  ASSERT_GE(extra.num_docs(), 2u);
+  for (size_t i = 0; i < extra.num_docs(); ++i) {
+    ASSERT_TRUE(store->Append(extra.doc(i)).ok());
+  }
+  ASSERT_TRUE(store->Delete(built + 1).ok());
+  std::string doc;
+  EXPECT_EQ(store->Get(built + 1, &doc).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store->SealTail().ok());
+  EXPECT_EQ(store->Get(built + 1, &doc).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store->Get(built, &doc).ok());
+  EXPECT_EQ(doc, extra.doc(0));
+}
+
+TEST(LiveStoreTest, PinnedEpochIsSnapshotIsolated) {
+  const Collection collection = TestCollection(1 << 18, 61);
+  auto store = SmallLiveStore(collection);
+  const size_t victim = 3;
+
+  // Pin before the mutations.
+  std::shared_ptr<const CorpusEpoch> pinned = store->epoch();
+  ASSERT_TRUE(store->Delete(victim).ok());
+  ASSERT_TRUE(store->Append("new document after the pin").ok());
+
+  // The pinned epoch still serves the deleted doc and cannot see the
+  // append; the current epoch shows the opposite.
+  std::string doc;
+  ASSERT_TRUE(pinned->Get(victim, &doc, nullptr, nullptr).ok());
+  EXPECT_EQ(doc, collection.doc(victim));
+  EXPECT_EQ(pinned->num_docs(), collection.num_docs());
+  EXPECT_EQ(
+      pinned->Get(collection.num_docs(), &doc, nullptr, nullptr).code(),
+      StatusCode::kOutOfRange);
+  EXPECT_EQ(store->Get(victim, &doc).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store->Get(collection.num_docs(), &doc).ok());
+  EXPECT_EQ(doc, "new document after the pin");
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+
+TEST(LiveStoreTest, CompactionReclaimsTombstonedPayload) {
+  const Collection collection = TestCollection(1 << 18, 71);
+  ShardedStoreOptions options;
+  options.num_shards = 2;
+  options.dict_bytes = 1 << 16;
+  options.live.compact_tombstone_fraction = 0.10;
+  auto store = ShardedStore::Build(collection, options);
+
+  // Nothing to do on a healthy store.
+  auto idle = store->CompactOnce();
+  ASSERT_TRUE(idle.ok());
+  EXPECT_FALSE(idle.value().compacted);
+
+  // Tombstone a third of shard 0.
+  const size_t shard0_docs = store->router_snapshot()->start(1);
+  std::vector<size_t> deleted;
+  for (size_t id = 0; id < shard0_docs; id += 3) {
+    ASSERT_TRUE(store->Delete(id).ok());
+    deleted.push_back(id);
+  }
+  ASSERT_GT(store->shard_health(0).tombstoned_payload_bytes, 0u);
+
+  auto report = store->CompactOnce();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().compacted);
+  EXPECT_EQ(report.value().shard, 0);
+  EXPECT_EQ(report.value().reason, CompactionReport::Reason::kTombstones);
+  EXPECT_EQ(report.value().generation, 1u);
+  EXPECT_LT(report.value().bytes_after, report.value().bytes_before);
+  EXPECT_EQ(report.value().dead_docs, deleted.size());
+  EXPECT_EQ(store->shard_health(0).tombstoned_payload_bytes, 0u);
+  EXPECT_EQ(store->epoch()->shard_generation(0), 1u);
+
+  // Live docs are byte-identical through the rewrite; dead ids stay dead.
+  std::string doc;
+  for (size_t id = 0; id < shard0_docs; ++id) {
+    if (id % 3 == 0) {
+      EXPECT_EQ(store->Get(id, &doc).code(), StatusCode::kNotFound);
+    } else {
+      ASSERT_TRUE(store->Get(id, &doc).ok());
+      EXPECT_EQ(doc, collection.doc(id));
+    }
+  }
+}
+
+TEST(LiveStoreTest, PinnedReadersDrainAcrossCompactionSwap) {
+  const Collection collection = TestCollection(1 << 18, 81);
+  ShardedStoreOptions options;
+  options.num_shards = 2;
+  options.dict_bytes = 1 << 16;
+  options.live.compact_tombstone_fraction = 0.05;
+  auto store = ShardedStore::Build(collection, options);
+
+  const size_t shard0_docs = store->router_snapshot()->start(1);
+  std::shared_ptr<const CorpusEpoch> pinned = store->epoch();
+  for (size_t id = 0; id < shard0_docs; id += 4) {
+    ASSERT_TRUE(store->Delete(id).ok());
+  }
+  auto report = store->CompactOnce();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().compacted);
+
+  // The pinned epoch still decodes every document — including the ones
+  // the compaction just reclaimed — from the pre-compaction shard.
+  std::string doc;
+  for (size_t id = 0; id < shard0_docs; ++id) {
+    ASSERT_TRUE(pinned->Get(id, &doc, nullptr, nullptr).ok());
+    EXPECT_EQ(doc, collection.doc(id));
+  }
+  EXPECT_EQ(pinned->shard_generation(0), 0u);
+  EXPECT_EQ(store->epoch()->shard_generation(0), 1u);
+}
+
+TEST(LiveStoreTest, StaleDictionarySealTriggersResample) {
+  // Build on corpus A, then append *drifted* content (a different seed —
+  // new hosts, new vocabulary) with reuse_append_dictionary: the sealed
+  // tail encodes against A's dictionary and comes out stale (§3.6).
+  const Collection collection = TestCollection(1 << 18, 91);
+  ShardedStoreOptions options;
+  options.num_shards = 2;
+  options.dict_bytes = 1 << 16;
+  options.live.reuse_append_dictionary = true;
+  // Only the staleness trigger is armed.
+  options.live.compact_tombstone_fraction = 2.0;
+  options.live.compact_stale_unused_fraction = 2.0;
+  options.live.compact_stale_decay = 0.30;
+  auto store = ShardedStore::Build(collection, options);
+
+  const Collection drifted = TestCollection(1 << 17, 4242);
+  for (size_t i = 0; i < drifted.num_docs(); ++i) {
+    ASSERT_TRUE(store->Append(drifted.doc(i)).ok());
+  }
+  ASSERT_TRUE(store->SealTail().ok());
+  const int stale_shard = store->num_shards() - 1;
+
+  // The drifted shard's factors are measurably shorter than the
+  // build-time baseline.
+  const ShardHealth health = store->shard_health(stale_shard);
+  EXPECT_GE(health.stats.avg_factor_decay(store->baseline_stats()), 0.30)
+      << "drifted content should decay factor length vs the baseline";
+
+  const uint64_t stale_bytes_before =
+      store->epoch()->shard(stale_shard).stored_bytes();
+  auto report = store->CompactOnce();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().compacted);
+  EXPECT_EQ(report.value().shard, stale_shard);
+  EXPECT_EQ(report.value().reason,
+            CompactionReport::Reason::kStaleDictionary);
+  // Re-sampling the dictionary from the drifted content itself must
+  // compress it better than the stale append dictionary did.
+  EXPECT_LT(report.value().bytes_after, stale_bytes_before);
+
+  // And the rewrite is no longer stale: a second pass finds nothing.
+  auto second = store->CompactOnce();
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().compacted);
+
+  std::string doc;
+  const size_t built = collection.num_docs();
+  for (size_t i = 0; i < drifted.num_docs(); ++i) {
+    ASSERT_TRUE(store->Get(built + i, &doc).ok());
+    EXPECT_EQ(doc, drifted.doc(i));
+  }
+}
+
+TEST(LiveStoreTest, CompactionOfFullyDeletedShardYieldsEmptyRewrite) {
+  const Collection collection = TestCollection(1 << 17, 101);
+  ShardedStoreOptions options;
+  options.num_shards = 2;
+  options.dict_bytes = 1 << 15;
+  options.live.compact_tombstone_fraction = 0.5;
+  auto store = ShardedStore::Build(collection, options);
+  const size_t shard0_docs = store->router_snapshot()->start(1);
+  for (size_t id = 0; id < shard0_docs; ++id) {
+    ASSERT_TRUE(store->Delete(id).ok());
+  }
+  auto report = store->CompactOnce();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().compacted);
+  EXPECT_EQ(report.value().live_docs, 0u);
+  EXPECT_EQ(report.value().dead_docs, shard0_docs);
+  // Ids stay allocated and tombstoned; the rest of the corpus is intact.
+  std::string doc;
+  EXPECT_EQ(store->Get(0, &doc).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store->Get(shard0_docs, &doc).ok());
+  EXPECT_EQ(doc, collection.doc(shard0_docs));
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (manifest v2 + v1 read-compat)
+
+TEST(LiveStoreTest, SaveOpenRoundTripsLiveEpoch) {
+  const Collection collection = TestCollection(1 << 18, 111);
+  auto store = SmallLiveStore(collection);
+  const size_t built = store->num_docs();
+
+  // A genuinely live state: a sealed extra shard, deletes in both a
+  // sealed shard and the open tail, and unsealed tail documents.
+  const Collection extra = TestCollection(1 << 17, 112);
+  ASSERT_GE(extra.num_docs(), 4u);
+  size_t i = 0;
+  for (; i < extra.num_docs() / 2; ++i) {
+    ASSERT_TRUE(store->Append(extra.doc(i)).ok());
+  }
+  ASSERT_TRUE(store->SealTail().ok());
+  for (; i < extra.num_docs(); ++i) {
+    ASSERT_TRUE(store->Append(extra.doc(i)).ok());
+  }
+  ASSERT_TRUE(store->Delete(2).ok());                      // sealed shard
+  ASSERT_TRUE(store->Delete(store->num_docs() - 1).ok());  // open tail
+
+  const std::string path = TempPath("live_roundtrip.sharded");
+  ASSERT_TRUE(store->Save(path).ok());
+  auto reopened_or = ShardedStore::Open(path);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+
+  EXPECT_EQ(reopened->num_docs(), store->num_docs());
+  EXPECT_EQ(reopened->num_shards(), store->num_shards());
+  EXPECT_EQ(reopened->epoch_sequence(), store->epoch_sequence());
+  EXPECT_EQ(reopened->epoch()->deleted_docs(),
+            store->epoch()->deleted_docs());
+  std::string expected;
+  std::string actual;
+  for (size_t id = 0; id < store->num_docs(); ++id) {
+    const Status original = store->Get(id, &expected);
+    const Status restored = reopened->Get(id, &actual);
+    ASSERT_EQ(original.code(), restored.code()) << "id " << id;
+    if (original.ok()) {
+      EXPECT_EQ(actual, expected) << "id " << id;
+    }
+  }
+
+  // The reopened store is still live: appends, deletes, and seals work.
+  auto id = reopened->Append("appended after reopen");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(reopened->Get(id.value(), &actual).ok());
+  EXPECT_EQ(actual, "appended after reopen");
+  ASSERT_TRUE(reopened->SealTail().ok());
+  ASSERT_TRUE(reopened->Get(id.value(), &actual).ok());
+  EXPECT_EQ(actual, "appended after reopen");
+  (void)built;
+}
+
+TEST(LiveStoreTest, ServingOnlyOpenDisablesAppends) {
+  const Collection collection = TestCollection(1 << 17, 121);
+  auto store = SmallLiveStore(collection);
+  ASSERT_TRUE(store->Append("tail doc").ok());
+  const std::string path = TempPath("live_serving_only.sharded");
+  ASSERT_TRUE(store->Save(path).ok());
+
+  OpenOptions options;
+  options.build_suffix_array = false;
+  auto reopened_or = ShardedStore::Open(path, options);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+
+  // Serving works — including the raw tail doc — but mutation is gated.
+  std::string doc;
+  ASSERT_TRUE(reopened->Get(0, &doc).ok());
+  EXPECT_EQ(doc, collection.doc(0));
+  ASSERT_TRUE(reopened->Get(collection.num_docs(), &doc).ok());
+  EXPECT_EQ(doc, "tail doc");
+  EXPECT_EQ(reopened->Append("nope").status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Save from a serving-only open still preserves the append dictionary,
+  // so a later full open is appendable again.
+  const std::string path2 = TempPath("live_serving_only2.sharded");
+  ASSERT_TRUE(reopened->Save(path2).ok());
+  auto full_or = ShardedStore::Open(path2);
+  ASSERT_TRUE(full_or.ok());
+  EXPECT_TRUE(full_or.value()->Append("yes").ok());
+}
+
+TEST(LiveStoreTest, ReadsV1ManifestAsFrozenStore) {
+  // Write shard files via a v2 Save, then hand-craft the v1 manifest the
+  // pre-epoch format produced: shard count, boundaries, names — nothing
+  // else. The store must open frozen: serving works, appends are gated.
+  const Collection collection = TestCollection(1 << 17, 131);
+  auto store = SmallLiveStore(collection);
+  const std::string path = TempPath("live_v1_compat.sharded");
+  ASSERT_TRUE(store->Save(path).ok());
+
+  auto router = store->router_snapshot();
+  EnvelopeWriter writer(ShardedStore::kFormatId, /*version=*/1);
+  const size_t nshards = router->num_shards();
+  writer.PutVarint64(nshards);
+  for (size_t s = 0; s <= nshards; ++s) writer.PutVarint64(router->start(s));
+  for (size_t s = 0; s < nshards; ++s) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".shard%04llu",
+                  static_cast<unsigned long long>(s));
+    writer.PutLengthPrefixed("live_v1_compat.sharded" + std::string(suffix));
+  }
+  ASSERT_TRUE(std::move(writer).WriteTo(path).ok());
+
+  auto reopened_or = ShardedStore::Open(path);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  EXPECT_EQ(reopened->num_docs(), collection.num_docs());
+  EXPECT_EQ(reopened->epoch_sequence(), 0u);
+  std::string doc;
+  ASSERT_TRUE(reopened->Get(1, &doc).ok());
+  EXPECT_EQ(doc, collection.doc(1));
+  EXPECT_EQ(reopened->Append("frozen").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// DocService integration: live routing + cache invalidation
+
+TEST(LiveStoreTest, ServiceInvalidatesCacheOnDelete) {
+  const Collection collection = TestCollection(1 << 17, 141);
+  auto store = SmallLiveStore(collection);
+  DocServiceOptions options;
+  options.num_threads = 2;
+  DocService service(store.get(), options);
+
+  // Warm the cache, then delete: the eviction hook must erase the entry
+  // and subsequent requests must see NotFound, not stale cached bytes.
+  const size_t victim = 1;
+  GetResult warm = service.Get(victim).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(*warm.text, collection.doc(victim));
+  ASSERT_TRUE(store->Delete(victim).ok());
+  EXPECT_GE(service.Stats().cache.erased, 1u);
+  GetResult after = service.Get(victim).get();
+  EXPECT_EQ(after.status.code(), StatusCode::kNotFound);
+
+  // Appended documents are servable through the same service without any
+  // reconstruction — the router snapshot refreshes per submission.
+  auto id = store->Append("live append through the service");
+  ASSERT_TRUE(id.ok());
+  GetResult appended = service.Get(id.value()).get();
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(*appended.text, "live append through the service");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency regression suite (run under TSan in CI)
+
+// Readers pin epochs while appenders, deleters, and the background
+// compactor publish new ones. Invariant: against a pinned epoch, every id
+// either decodes to exactly its expected bytes or is NotFound-because-
+// tombstoned *in that epoch* — never torn bytes, never a transient error.
+TEST(LiveStoreTest, ConcurrentReadersAppsDeletesCompactions) {
+  const Collection collection = TestCollection(1 << 18, 151);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 2;
+  store_options.dict_bytes = 1 << 16;
+  store_options.live.tail_seal_bytes = 1 << 15;  // seals happen mid-test
+  store_options.live.compact_tombstone_fraction = 0.05;
+  auto store = ShardedStore::Build(collection, store_options);
+  const size_t built = store->num_docs();
+
+  const Collection extra = TestCollection(1 << 17, 152);
+  // Expected bytes for every id that will ever exist.
+  std::vector<std::string> expected;
+  expected.reserve(built + extra.num_docs());
+  for (size_t i = 0; i < built; ++i) expected.emplace_back(collection.doc(i));
+  for (size_t i = 0; i < extra.num_docs(); ++i) {
+    expected.emplace_back(extra.doc(i));
+  }
+
+  store->StartCompactor(std::chrono::milliseconds(1));
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+
+  std::thread appender([&] {
+    for (size_t i = 0; i < extra.num_docs(); ++i) {
+      auto id = store->Append(extra.doc(i));
+      ASSERT_TRUE(id.ok());
+      ASSERT_EQ(id.value(), built + i);
+    }
+  });
+  std::thread deleter([&] {
+    // Delete every 5th built doc — enough to trip the compactor's
+    // tombstone trigger repeatedly while readers run.
+    for (size_t id = 0; id < built; id += 5) {
+      const Status status = store->Delete(id);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      std::string doc;
+      DecodeScratch scratch;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::shared_ptr<const CorpusEpoch> epoch = store->epoch();
+        for (int k = 0; k < 32; ++k) {
+          const size_t id = rng.Uniform(epoch->num_docs());
+          const Status status =
+              epoch->Get(id, &doc, /*disk=*/nullptr, &scratch);
+          if (epoch->IsDeleted(id)) {
+            ASSERT_EQ(status.code(), StatusCode::kNotFound);
+          } else {
+            ASSERT_TRUE(status.ok()) << status.ToString();
+            ASSERT_EQ(doc, expected[id]) << "id " << id << " epoch "
+                                         << epoch->sequence();
+          }
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  appender.join();
+  deleter.join();
+  // Let readers observe the final state (post-append, post-delete,
+  // possibly mid-compaction) before stopping.
+  while (reads.load(std::memory_order_acquire) < 20000) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  store->StopCompactor();
+
+  // Final consistency: every id answers correctly in the final epoch.
+  std::shared_ptr<const CorpusEpoch> final_epoch = store->epoch();
+  ASSERT_EQ(final_epoch->num_docs(), built + extra.num_docs());
+  std::string doc;
+  for (size_t id = 0; id < final_epoch->num_docs(); ++id) {
+    if (id < built && id % 5 == 0) {
+      EXPECT_EQ(final_epoch->Get(id, &doc, nullptr, nullptr).code(),
+                StatusCode::kNotFound);
+    } else {
+      ASSERT_TRUE(final_epoch->Get(id, &doc, nullptr, nullptr).ok());
+      EXPECT_EQ(doc, expected[id]);
+    }
+  }
+}
+
+// The service-level version: batched readers through DocService (decode
+// cache on) against concurrent appends, deletes, and compaction. After a
+// delete is published, no request may serve the stale cached bytes.
+TEST(LiveStoreTest, ConcurrentServiceReadsWithMutations) {
+  const Collection collection = TestCollection(1 << 18, 161);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 2;
+  store_options.dict_bytes = 1 << 16;
+  store_options.live.tail_seal_bytes = 1 << 15;
+  store_options.live.compact_tombstone_fraction = 0.05;
+  auto store = ShardedStore::Build(collection, store_options);
+  const size_t built = store->num_docs();
+
+  DocServiceOptions service_options;
+  service_options.num_threads = 4;
+  DocService service(store.get(), service_options);
+  store->StartCompactor(std::chrono::milliseconds(1));
+
+  const Collection extra = TestCollection(1 << 16, 162);
+  std::vector<std::string> expected;
+  for (size_t i = 0; i < built; ++i) expected.emplace_back(collection.doc(i));
+  for (size_t i = 0; i < extra.num_docs(); ++i) {
+    expected.emplace_back(extra.doc(i));
+  }
+  // Deleted ids flip their flag *before* Delete is issued, so a reader
+  // that later observes the doc can only have raced the publish (allowed:
+  // it decoded from an earlier epoch) — but once deleted_done is set,
+  // every id in deleted_set must be NotFound.
+  std::vector<std::atomic<bool>> deleting(built);
+  for (auto& flag : deleting) flag.store(false);
+
+  std::thread appender([&] {
+    for (size_t i = 0; i < extra.num_docs(); ++i) {
+      ASSERT_TRUE(store->Append(extra.doc(i)).ok());
+    }
+  });
+  std::thread deleter([&] {
+    for (size_t id = 0; id < built; id += 7) {
+      deleting[id].store(true, std::memory_order_release);
+      ASSERT_TRUE(store->Delete(id).ok());
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(2000 + t);
+      ServeBatch batch;
+      std::vector<size_t> ids(16);
+      for (int round = 0; round < 200; ++round) {
+        const size_t limit = store->num_docs();
+        for (size_t& id : ids) id = rng.Uniform(limit);
+        service.SubmitBatch(ids, &batch);
+        const std::vector<GetResult>& results = batch.Wait();
+        for (size_t i = 0; i < ids.size(); ++i) {
+          const size_t id = ids[i];
+          if (results[i].ok()) {
+            // Served bytes must be the id's true bytes — a delete racing
+            // in is fine, but the text can never be torn or swapped.
+            ASSERT_EQ(*results[i].text, expected[id]) << "id " << id;
+          } else {
+            // NotFound requires the delete to have at least started.
+            ASSERT_EQ(results[i].status.code(), StatusCode::kNotFound);
+            ASSERT_TRUE(id < built &&
+                        deleting[id].load(std::memory_order_acquire))
+                << "id " << id;
+          }
+        }
+      }
+    });
+  }
+
+  appender.join();
+  deleter.join();
+  for (std::thread& client : clients) client.join();
+  store->StopCompactor();
+  service.Drain();
+
+  // Deletes are fully published: the service must answer NotFound for
+  // every deleted id (stale cache entries were erased by the hook or the
+  // post-insert recheck).
+  for (size_t id = 0; id < built; id += 7) {
+    GetResult result = service.Get(id).get();
+    EXPECT_EQ(result.status.code(), StatusCode::kNotFound) << "id " << id;
+  }
+  EXPECT_GT(service.Stats().requests, 0u);
+}
+
+}  // namespace
+}  // namespace rlz

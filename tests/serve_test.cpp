@@ -106,6 +106,27 @@ TEST(LruCacheTest, InsertOnExistingKeyKeepsResidentValue) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
+TEST(LruCacheTest, EraseInvalidatesAndCountsSeparately) {
+  // The live-corpus invalidation hook (DESIGN.md §11): Delete retires a
+  // key outright, distinct from capacity eviction.
+  LruCache cache(1 << 10, 1);
+  auto resident = cache.Insert(9, "doomed");
+  EXPECT_TRUE(cache.Erase(9));
+  EXPECT_EQ(cache.Get(9), nullptr);
+  EXPECT_FALSE(cache.Erase(9));  // already gone
+  const LruCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.erased, 1u);
+  EXPECT_EQ(stats.evictions, 0u);  // not a capacity eviction
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);  // the charge was released
+  // A reader that grabbed the value before the erase keeps its bytes.
+  EXPECT_EQ(*resident, "doomed");
+  // The key is insertable again (a *new* document would get a new id in
+  // the live store, but the cache itself does not care).
+  cache.Insert(9, "fresh");
+  EXPECT_EQ(*cache.Get(9), "fresh");
+}
+
 TEST(LruCacheTest, ClearDropsEntriesKeepsCounters) {
   LruCache cache(1 << 10, 2);
   cache.Insert(1, "a");
@@ -594,7 +615,9 @@ TEST(ShardedStoreTest, RouterMatchesShardOf) {
   ShardedStoreOptions options;
   options.num_shards = 4;
   auto store = ShardedStore::Build(collection, options);
-  const ShardRouter& router = store->router();
+  const std::shared_ptr<const ShardRouter> router_snapshot =
+      store->router_snapshot();
+  const ShardRouter& router = *router_snapshot;
   ASSERT_EQ(router.num_shards(), static_cast<size_t>(store->num_shards()));
   EXPECT_EQ(router.num_docs(), store->num_docs());
   EXPECT_EQ(router.start(0), 0u);
@@ -653,7 +676,7 @@ TEST(DocServiceTest, WorkStealingDrainsSkewedRouting) {
   DocService service(store.get(), options);
   // Every id lives in shard 0, so routing sends everything to one worker
   // queue; the three idle peers must steal to share the load.
-  const size_t shard0_docs = store->router().start(1);
+  const size_t shard0_docs = store->router_snapshot()->start(1);
   ASSERT_GT(shard0_docs, 0u);
   ServeBatch batch;
   std::vector<size_t> ids(64);
