@@ -1,0 +1,398 @@
+// Durability-cost benchmark (DESIGN.md §12): measures what crash safety
+// costs on the mutation path and what recovery costs at startup.
+//
+//   appends/s vs fsync policy — the same append workload against a
+//       durable ShardedStore under fsync_every_n = 1 (every acked
+//       mutation durable), 8, and 64 (group commit, loss bounded to the
+//       unsynced batch). The spread is the price of the WAL's durability
+//       knob, EXPERIMENTS.md "Durability cost".
+//   cold start — reopening the same directory three ways: OpenDurable
+//       with the whole workload still in the WAL (replay-bound),
+//       OpenDurable after a checkpoint (load-bound), and a plain saved
+//       manifest through read-all vs mmap opens (the zero-copy story of
+//       DESIGN.md §10 extended to real files).
+//
+// Results are printed and written as JSON (default BENCH_recovery.json).
+//
+//   ./build/bench/recovery_bench                 full run
+//   ./build/bench/recovery_bench --smoke         small corpus + gate:
+//         every recovered store must serve the acked workload back
+//         byte-identically, else exit 1 (run by the perf-smoke CI job)
+//   ./build/bench/recovery_bench --crash-smoke   bounded kill-at-fsync
+//         sweep through FaultFs (release-mode CI sanity): recovery after
+//         every injected crash must yield a durable prefix of the acked
+//         appends, else exit 1
+//   ./build/bench/recovery_bench --out FILE      JSON destination
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "io/fault_fs.h"
+#include "io/file.h"
+#include "serve/sharded_store.h"
+#include "store/open_archive.h"
+#include "store/wal/wal_writer.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace rlz {
+namespace bench {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::unique_ptr<ShardedStore> BuildStore(const Collection& collection) {
+  ShardedStoreOptions options;
+  options.num_shards = 4;
+  options.dict_bytes = 1 << 16;
+  options.live.tail_seal_bytes = 0;  // keep every append in the WAL'd tail
+  return ShardedStore::Build(collection, options);
+}
+
+struct PolicyResult {
+  std::string name;
+  uint64_t fsync_every_n = 1;
+  double appends_per_s = 0;
+  double append_mb_per_s = 0;
+  double recover_ms = 0;
+  double replays_per_s = 0;
+};
+
+// One append workload under one fsync policy, then a cold-start reopen
+// that replays the whole workload from the WAL.
+PolicyResult RunPolicy(const Collection& collection,
+                       const std::vector<std::string>& docs,
+                       const std::string& name, uint64_t fsync_every_n,
+                       bool* gate_pass) {
+  PolicyResult result;
+  result.name = name;
+  result.fsync_every_n = fsync_every_n;
+  const std::string dir = FreshDir("rlz_recovery_bench_" + name);
+  size_t base = 0;
+  uint64_t appended_bytes = 0;
+  {
+    auto store = BuildStore(collection);
+    base = store->num_docs();
+    wal::WalWriterOptions wal_options;
+    wal_options.fsync_every_n = fsync_every_n;
+    const Status status = store->MakeDurable(dir, wal_options);
+    RLZ_CHECK(status.ok()) << status.ToString();
+    Timer append_timer;
+    for (const std::string& doc : docs) {
+      RLZ_CHECK(store->Append(doc).ok());
+      appended_bytes += doc.size();
+    }
+    // The trailing barrier: every policy pays for full durability before
+    // the clock stops, so relaxed policies are not credited for work
+    // they left unsynced.
+    RLZ_CHECK(store->SyncWal().ok());
+    const double seconds = append_timer.ElapsedSeconds();
+    result.appends_per_s = docs.size() / seconds;
+    result.append_mb_per_s = appended_bytes / (1024.0 * 1024.0) / seconds;
+  }
+
+  Timer recover_timer;
+  ShardedStore::RecoveryReport report;
+  auto reopened = ShardedStore::OpenDurable(dir, {}, {}, nullptr, &report);
+  RLZ_CHECK(reopened.ok()) << reopened.status().ToString();
+  result.recover_ms = recover_timer.ElapsedMillis();
+  result.replays_per_s = report.replayed_records / (result.recover_ms / 1e3);
+
+  // The gate: the recovered store serves the acked workload back
+  // byte-identically.
+  if (reopened.value()->num_docs() != base + docs.size() ||
+      report.replayed_records != docs.size()) {
+    std::fprintf(stderr, "GATE FAIL %s: recovered %zu docs, replayed %llu\n",
+                 name.c_str(), reopened.value()->num_docs(),
+                 static_cast<unsigned long long>(report.replayed_records));
+    *gate_pass = false;
+  }
+  std::string doc;
+  for (size_t i = 0; i < docs.size(); i += 97) {
+    const Status status = reopened.value()->Get(base + i, &doc);
+    if (!status.ok() || doc != docs[i]) {
+      std::fprintf(stderr, "GATE FAIL %s: doc %zu mismatch\n", name.c_str(),
+                   base + i);
+      *gate_pass = false;
+      break;
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+struct ColdStartResult {
+  double checkpointed_open_ms = 0;  // OpenDurable, empty WAL
+  double readall_open_ms = 0;       // plain manifest, read-all
+  double mmap_open_ms = 0;          // plain manifest, mmap
+};
+
+ColdStartResult RunColdStart(const Collection& collection, int repeats,
+                             bool* gate_pass) {
+  ColdStartResult result;
+
+  // Checkpointed durable open: everything covered, nothing to replay.
+  const std::string dir = FreshDir("rlz_recovery_bench_cold");
+  {
+    auto store = BuildStore(collection);
+    RLZ_CHECK(store->MakeDurable(dir).ok());
+  }
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    auto reopened = ShardedStore::OpenDurable(dir);
+    RLZ_CHECK(reopened.ok()) << reopened.status().ToString();
+    result.checkpointed_open_ms += timer.ElapsedMillis() / repeats;
+  }
+  std::filesystem::remove_all(dir);
+
+  // Saved manifest: read-all vs mmap opens of identical bytes.
+  const std::string save_dir = FreshDir("rlz_recovery_bench_save");
+  std::filesystem::create_directories(save_dir);
+  const std::string manifest = save_dir + "/store.sharded";
+  {
+    auto store = BuildStore(collection);
+    RLZ_CHECK(store->Save(manifest).ok());
+  }
+  std::string readall_doc;
+  std::string mmap_doc;
+  for (int r = 0; r < repeats; ++r) {
+    {
+      Timer timer;
+      auto opened = ShardedStore::Open(manifest);
+      RLZ_CHECK(opened.ok()) << opened.status().ToString();
+      result.readall_open_ms += timer.ElapsedMillis() / repeats;
+      RLZ_CHECK(opened.value()->Get(0, &readall_doc).ok());
+    }
+    {
+      OpenOptions options;
+      options.use_mmap = true;
+      Timer timer;
+      auto opened = ShardedStore::Open(manifest, options);
+      RLZ_CHECK(opened.ok()) << opened.status().ToString();
+      result.mmap_open_ms += timer.ElapsedMillis() / repeats;
+      RLZ_CHECK(opened.value()->Get(0, &mmap_doc).ok());
+    }
+  }
+  if (readall_doc != mmap_doc || readall_doc != collection.doc(0)) {
+    std::fprintf(stderr, "GATE FAIL cold-start: mmap/read-all mismatch\n");
+    *gate_pass = false;
+  }
+  std::filesystem::remove_all(save_dir);
+  return result;
+}
+
+void Run(bool smoke, const std::string& out_path) {
+  CorpusOptions corpus_options;
+  corpus_options.target_bytes = smoke ? (1u << 20) : (8u << 20);
+  corpus_options.seed = 20110613;
+  const Collection collection = GenerateCorpus(corpus_options).collection;
+
+  CorpusOptions tail_options;
+  tail_options.target_bytes = smoke ? (1u << 19) : (2u << 20);
+  tail_options.seed = 20110614;
+  const Collection tail = GenerateCorpus(tail_options).collection;
+  std::vector<std::string> docs;
+  const size_t target_appends = smoke ? 400 : 4000;
+  for (size_t i = 0; i < target_appends; ++i) {
+    docs.emplace_back(tail.doc(i % tail.num_docs()));
+  }
+
+  std::printf("recovery_bench (%s): base %zu docs, %zu appends\n",
+              smoke ? "smoke" : "full", collection.num_docs(), docs.size());
+
+  bool gate_pass = true;
+  std::vector<PolicyResult> policies;
+  policies.push_back(RunPolicy(collection, docs, "fsync_1", 1, &gate_pass));
+  policies.push_back(RunPolicy(collection, docs, "fsync_8", 8, &gate_pass));
+  policies.push_back(RunPolicy(collection, docs, "fsync_64", 64, &gate_pass));
+  for (const PolicyResult& p : policies) {
+    std::printf(
+        "  %-9s %8.0f appends/s  %6.1f MB/s  recover %6.1f ms "
+        "(%.0f records/s)\n",
+        p.name.c_str(), p.appends_per_s, p.append_mb_per_s, p.recover_ms,
+        p.replays_per_s);
+  }
+
+  const ColdStartResult cold =
+      RunColdStart(collection, smoke ? 3 : 5, &gate_pass);
+  std::printf(
+      "  cold start: checkpointed %.1f ms, read-all %.1f ms, mmap %.1f ms\n",
+      cold.checkpointed_open_ms, cold.readall_open_ms, cold.mmap_open_ms);
+
+  std::string json;
+  json.append("{\n  \"bench\": \"recovery\",\n");
+  json.append(smoke ? "  \"mode\": \"smoke\",\n" : "  \"mode\": \"full\",\n");
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"corpus\": {\"docs\": %zu, \"bytes\": %llu, "
+                "\"appends\": %zu, \"seed\": %llu},\n",
+                collection.num_docs(),
+                static_cast<unsigned long long>(collection.size_bytes()),
+                docs.size(),
+                static_cast<unsigned long long>(corpus_options.seed));
+  json.append(buf);
+  json.append("  \"fsync_policies\": {\n");
+  for (size_t i = 0; i < policies.size(); ++i) {
+    const PolicyResult& p = policies[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%s\": {\"fsync_every_n\": %llu, "
+                  "\"appends_per_s\": %.0f, \"append_mb_per_s\": %.2f, "
+                  "\"recover_ms\": %.2f, \"replays_per_s\": %.0f}%s\n",
+                  p.name.c_str(),
+                  static_cast<unsigned long long>(p.fsync_every_n),
+                  p.appends_per_s, p.append_mb_per_s, p.recover_ms,
+                  p.replays_per_s, i + 1 < policies.size() ? "," : "");
+    json.append(buf);
+  }
+  json.append("  },\n");
+  std::snprintf(buf, sizeof(buf),
+                "  \"cold_start_ms\": {\"checkpointed\": %.2f, "
+                "\"readall\": %.2f, \"mmap\": %.2f},\n",
+                cold.checkpointed_open_ms, cold.readall_open_ms,
+                cold.mmap_open_ms);
+  json.append(buf);
+  std::snprintf(buf, sizeof(buf), "  \"gate\": \"%s\"\n}\n",
+                gate_pass ? "pass" : "fail");
+  json.append(buf);
+
+  const Status write_status = WriteFile(out_path, json);
+  RLZ_CHECK(write_status.ok()) << write_status.ToString();
+  std::printf("wrote %s\n", out_path.c_str());
+  if (smoke && !gate_pass) std::exit(1);
+}
+
+// Bounded kill-at-every-fsync sweep through FaultFs — the release-CI
+// cousin of tests/recovery_test.cpp's exhaustive suites. Appends under
+// fsync_every_n = 1; kills the writer at up to kMaxKills barriers (both
+// entering and leaving each); after every crash the recovered store must
+// hold every acked append byte-identically.
+void RunCrashSmoke() {
+  constexpr int kMaxKills = 24;
+  constexpr size_t kAppends = 6;
+  CorpusOptions corpus_options;
+  corpus_options.target_bytes = 1u << 18;
+  corpus_options.seed = 20110615;
+  const Collection collection = GenerateCorpus(corpus_options).collection;
+  std::vector<std::string> docs;
+  for (size_t i = 0; i < kAppends; ++i) {
+    docs.push_back("crash smoke doc " + std::to_string(i));
+  }
+
+  auto run_workload = [&](const std::shared_ptr<FaultFs>& fs,
+                          bool* made_durable) {
+    auto store = BuildStore(collection);
+    *made_durable = store->MakeDurable("/store", {}, fs).ok();
+    size_t acked = 0;
+    if (!*made_durable) return acked;
+    for (const std::string& doc : docs) {
+      if (!store->Append(doc).ok()) break;
+      ++acked;
+    }
+    return acked;
+  };
+
+  int total_barriers = 0;
+  size_t base = 0;
+  {
+    auto fs = std::make_shared<FaultFs>();
+    bool made_durable = false;
+    const size_t acked = run_workload(fs, &made_durable);
+    RLZ_CHECK(made_durable && acked == docs.size());
+    total_barriers = fs->sync_count();
+    base = BuildStore(collection)->num_docs();
+  }
+  const int kills = total_barriers < kMaxKills ? total_barriers : kMaxKills;
+  // Spread the kill points across the whole workload so the bounded
+  // sweep still covers MakeDurable, steady-state appends, and the tail.
+  int failures = 0;
+  int sweeps = 0;
+  for (int i = 0; i < kills; ++i) {
+    const int k = 1 + (i * total_barriers) / kills;
+    for (const bool before : {true, false}) {
+      ++sweeps;
+      auto fs = std::make_shared<FaultFs>();
+      fs->ArmCrash(k, before);
+      bool made_durable = false;
+      const size_t acked = run_workload(fs, &made_durable);
+      auto reopened = ShardedStore::OpenDurable(
+          "/store", OpenOptions{}, wal::WalWriterOptions{},
+          fs->DurableClone(), nullptr);
+      if (!made_durable) {
+        continue;  // crash inside MakeDurable: nothing was promised
+      }
+      if (!reopened.ok()) {
+        std::fprintf(stderr, "CRASH-SMOKE FAIL k=%d before=%d: %s\n", k,
+                     before, reopened.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      const size_t recovered = reopened.value()->num_docs() - base;
+      // acked appends must survive; one in-flight append may also have
+      // reached the disk before the crash.
+      if (recovered < acked || recovered > acked + 1) {
+        std::fprintf(stderr,
+                     "CRASH-SMOKE FAIL k=%d before=%d: acked %zu, "
+                     "recovered %zu\n",
+                     k, before, acked, recovered);
+        ++failures;
+        continue;
+      }
+      std::string doc;
+      for (size_t i2 = 0; i2 < recovered; ++i2) {
+        const Status status = reopened.value()->Get(base + i2, &doc);
+        if (!status.ok() || doc != docs[i2]) {
+          std::fprintf(stderr, "CRASH-SMOKE FAIL k=%d before=%d: doc %zu\n",
+                       k, before, i2);
+          ++failures;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("crash smoke: %d kill points (%d barriers total), %d sweeps, "
+              "%d failures\n",
+              kills, total_barriers, sweeps, failures);
+  if (failures > 0) std::exit(1);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rlz
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool crash_smoke = false;
+  std::string out_path = "BENCH_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--crash-smoke") == 0) {
+      crash_smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--crash-smoke] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (crash_smoke) {
+    rlz::bench::RunCrashSmoke();
+    return 0;
+  }
+  rlz::bench::Run(smoke, out_path);
+  return 0;
+}

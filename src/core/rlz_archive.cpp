@@ -4,6 +4,7 @@
 
 #include "codecs/int_codecs.h"
 #include "io/file.h"
+#include "io/mmap_file.h"
 #include "store/format.h"
 #include "util/crc32.h"
 #include "util/logging.h"
@@ -61,7 +62,7 @@ Status RlzArchive::CheckFormatLimits(uint64_t dict_bytes, uint64_t num_docs,
   return Status::OK();
 }
 
-Status RlzArchive::Save(const std::string& path) const {
+std::string RlzArchive::Serialize() const {
   EnvelopeWriter writer(kFormatId, kFormatVersion);
   writer.PutByte(static_cast<uint8_t>(coder_.coding().pos));
   writer.PutByte(static_cast<uint8_t>(coder_.coding().len));
@@ -71,7 +72,11 @@ Status RlzArchive::Save(const std::string& path) const {
     writer.PutVarint64(map_.size(i));
   }
   writer.PutBytes(payload());
-  return std::move(writer).WriteTo(path);
+  return std::move(writer).Seal();
+}
+
+Status RlzArchive::Save(const std::string& path) const {
+  return WriteFile(path, Serialize());
 }
 
 StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::FromEnvelope(
@@ -106,12 +111,14 @@ StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::FromEnvelope(
 
 StatusOr<std::unique_ptr<RlzArchive>> RlzArchive::Load(
     const std::string& path, const OpenOptions& options) {
-  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
-  if (IsLegacyRlzV1(raw)) {
-    return LoadLegacyV1(std::move(raw), path, options);
+  RLZ_ASSIGN_OR_RETURN(RawContainerFile raw, ReadContainerFile(path, options));
+  if (IsLegacyRlzV1(raw.view)) {
+    return LoadLegacyV1(std::string(raw.view), path, options);
   }
-  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope,
-                       ParsedEnvelope::FromBytes(std::move(raw), path));
+  RLZ_ASSIGN_OR_RETURN(
+      ParsedEnvelope envelope,
+      ParsedEnvelope::FromView(raw.view, raw.owner, path));
+  if (raw.map != nullptr) raw.map->Advise(MmapFile::Access::kRandom);
   return FromEnvelope(envelope, options);
 }
 

@@ -144,6 +144,12 @@ class RlzArchive final : public Archive {
   /// suffix array is derived data and rebuilt on load.
   Status Save(const std::string& path) const override;
 
+  /// The complete container bytes Save would write — for callers that
+  /// need to route the write through their own FileSystem (the durable
+  /// store's checkpoint path writes shards behind explicit fsync
+  /// barriers; DESIGN.md §12).
+  std::string Serialize() const;
+
   /// Writes the pre-envelope v1 layout. Retained so read-compat with
   /// files written by older builds stays testable; new code uses Save.
   /// Returns InvalidArgument if the archive exceeds the v1 format limits
@@ -215,8 +221,8 @@ class RlzArchive final : public Archive {
   std::shared_ptr<const Dictionary> dict_;
   FactorCoder coder_;
   std::string owned_payload_;           // build path
-  std::shared_ptr<const std::string> backing_;  // open path: file bytes
-  std::string_view payload_view_;       // into *backing_
+  std::shared_ptr<const void> backing_;  // open path: keeps file bytes alive
+  std::string_view payload_view_;        // into the backed bytes
   DocMap map_;
 };
 

@@ -1,0 +1,241 @@
+#include "io/fault_fs.h"
+
+#include <utility>
+
+namespace rlz {
+namespace {
+
+// Parent directory of `path` ("" for a bare name), matching SplitPath
+// conventions elsewhere: everything before the last '/'.
+std::string ParentOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string BaseOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+Status InjectedCrash() {
+  return Status::IOError("injected crash: file system is dead");
+}
+
+}  // namespace
+
+// The handle keeps the FaultFs alive; every operation re-checks the
+// crash flag so a handle opened before the crash dies with it.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(std::shared_ptr<FaultFs> fs,
+                    std::shared_ptr<FaultFs::Node> node)
+      : fs_(std::move(fs)), node_(std::move(node)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    RLZ_RETURN_IF_ERROR(fs_->CheckAliveLocked());
+    if (closed_) return Status::IOError("fault fs: append on closed file");
+    node_->content.append(data);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    RLZ_RETURN_IF_ERROR(fs_->CheckAliveLocked());
+    if (closed_) return Status::IOError("fault fs: sync on closed file");
+    return fs_->SyncNodeLocked(node_);
+  }
+
+  Status Close() override {
+    closed_ = true;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FaultFs> fs_;
+  std::shared_ptr<FaultFs::Node> node_;
+  bool closed_ = false;
+};
+
+FaultFs::FaultFs() { dirs_.insert(""); }
+
+FaultFs::~FaultFs() = default;
+
+Status FaultFs::CheckAliveLocked() const {
+  if (crashed_) return InjectedCrash();
+  return Status::OK();
+}
+
+Status FaultFs::BarrierLocked() {
+  ++sync_count_;
+  if (crash_at_ > 0 && sync_count_ == crash_at_) {
+    crashed_ = true;
+    // The `before` variant dies entering the barrier: nothing syncs and
+    // the caller sees the failure. The `after` variant completes this
+    // one barrier (the caller applies its effects and returns OK) and
+    // everything later finds the fs dead.
+    if (crash_before_) return InjectedCrash();
+  }
+  return Status::OK();
+}
+
+Status FaultFs::SyncNodeLocked(const std::shared_ptr<Node>& node) {
+  RLZ_RETURN_IF_ERROR(BarrierLocked());
+  node->synced_bytes = node->content.size();
+  return Status::OK();
+}
+
+StatusOr<std::string> FaultFs::Read(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RLZ_RETURN_IF_ERROR(CheckAliveLocked());
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::IOError("fault fs: cannot open " + path);
+  }
+  return it->second->content;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultFs::Create(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RLZ_RETURN_IF_ERROR(CheckAliveLocked());
+  if (dirs_.count(ParentOf(path)) == 0) {
+    return Status::IOError("fault fs: no such directory for " + path);
+  }
+  auto node = std::make_shared<Node>();
+  live_[path] = node;
+  pending_.push_back({PendingOp::Kind::kCreate, path, "", node});
+  // shared_from_this is not worth the base-class gymnastics here: the
+  // handle only needs the fs to outlive it, which the aliasing
+  // constructor against `this`'s members cannot express — tests hold the
+  // FaultFs in a shared_ptr, so hand the handle a non-owning alias.
+  return std::unique_ptr<WritableFile>(new FaultWritableFile(
+      std::shared_ptr<FaultFs>(std::shared_ptr<FaultFs>(), this), node));
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RLZ_RETURN_IF_ERROR(CheckAliveLocked());
+  auto it = live_.find(from);
+  if (it == live_.end()) {
+    return Status::IOError("fault fs: cannot rename missing " + from);
+  }
+  std::shared_ptr<Node> node = it->second;
+  live_.erase(it);
+  live_[to] = node;
+  pending_.push_back({PendingOp::Kind::kRename, from, to, node});
+  return Status::OK();
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RLZ_RETURN_IF_ERROR(CheckAliveLocked());
+  if (live_.erase(path) == 0) {
+    return Status::IOError("fault fs: cannot remove missing " + path);
+  }
+  pending_.push_back({PendingOp::Kind::kRemove, path, "", nullptr});
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> FaultFs::List(
+    const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RLZ_RETURN_IF_ERROR(CheckAliveLocked());
+  if (dirs_.count(dir) == 0) {
+    return Status::IOError("fault fs: cannot list " + dir);
+  }
+  std::vector<std::string> names;
+  for (const auto& [path, node] : live_) {
+    if (ParentOf(path) == dir) names.push_back(BaseOf(path));
+  }
+  return names;
+}
+
+Status FaultFs::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RLZ_RETURN_IF_ERROR(CheckAliveLocked());
+  // Directory creation is modeled as immediately durable: the protocols
+  // under test create their directory once, before any barrier matters.
+  dirs_.insert(dir);
+  return Status::OK();
+}
+
+Status FaultFs::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RLZ_RETURN_IF_ERROR(CheckAliveLocked());
+  RLZ_RETURN_IF_ERROR(BarrierLocked());
+  // Apply, in order, every pending namespace op whose parent is `dir`.
+  std::vector<PendingOp> keep;
+  keep.reserve(pending_.size());
+  for (PendingOp& op : pending_) {
+    const std::string& anchor =
+        op.kind == PendingOp::Kind::kRename ? op.to : op.from;
+    if (ParentOf(anchor) != dir) {
+      keep.push_back(std::move(op));
+      continue;
+    }
+    switch (op.kind) {
+      case PendingOp::Kind::kCreate:
+        durable_[op.from] = op.node;
+        break;
+      case PendingOp::Kind::kRename:
+        durable_.erase(op.from);
+        durable_[op.to] = op.node;
+        break;
+      case PendingOp::Kind::kRemove:
+        durable_.erase(op.from);
+        break;
+    }
+  }
+  pending_ = std::move(keep);
+  return Status::OK();
+}
+
+bool FaultFs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return false;
+  return live_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+void FaultFs::ArmCrash(int at_sync, bool before) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_ = at_sync;
+  crash_before_ = before;
+  sync_count_ = 0;
+  crashed_ = false;
+}
+
+bool FaultFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+int FaultFs::sync_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_count_;
+}
+
+std::shared_ptr<FaultFs> FaultFs::DurableClone() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto clone = std::make_shared<FaultFs>();
+  clone->dirs_ = dirs_;
+  for (const auto& [path, node] : durable_) {
+    auto copy = std::make_shared<Node>();
+    copy->content = node->content.substr(0, node->synced_bytes);
+    copy->synced_bytes = copy->content.size();
+    clone->live_[path] = copy;
+    clone->durable_[path] = copy;
+  }
+  return clone;
+}
+
+StatusOr<std::string> FaultFs::DurableRead(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = durable_.find(path);
+  if (it == durable_.end()) {
+    return Status::IOError("fault fs: " + path + " is not durable");
+  }
+  return it->second->content.substr(0, it->second->synced_bytes);
+}
+
+}  // namespace rlz

@@ -1,0 +1,125 @@
+#ifndef RLZ_IO_FAULT_FS_H_
+#define RLZ_IO_FAULT_FS_H_
+
+/// \file
+/// An in-memory FileSystem with crash injection at fsync boundaries —
+/// the engine of the durability test suite (DESIGN.md §12,
+/// tests/recovery_test.cpp).
+///
+/// FaultFs models the durability rules a journaling POSIX file system
+/// actually provides, conservatively:
+///
+///   - WritableFile::Sync makes the file's *contents up to that point*
+///     durable; bytes appended after the last Sync are lost on crash.
+///   - Namespace operations (Create, Rename, Remove) take effect
+///     immediately for the running process but survive a crash only
+///     after SyncDir on the parent directory.
+///
+/// A test arms a crash at the K-th durability barrier (any Sync or
+/// SyncDir, counted together). The `before` variant drops the barrier —
+/// it fails without syncing, as if the process died entering fsync; the
+/// `after` variant completes the barrier and then kills everything that
+/// follows. Every subsequent operation returns IOError("injected
+/// crash"). DurableClone() then reconstructs exactly what a fresh
+/// process would find on disk: durable directory entries only, each file
+/// truncated to its last-synced length. Running recovery against the
+/// clone at every K in [1, sync_count()] is the "kill at every fsync
+/// boundary" sweep.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/file_system.h"
+
+namespace rlz {
+
+/// See the file comment. All operations are thread-safe behind one
+/// mutex; the crash counter spans every file and directory.
+class FaultFs final : public FileSystem {
+ public:
+  FaultFs();
+  ~FaultFs() override;
+
+  // --- FileSystem -------------------------------------------------------
+  StatusOr<std::string> Read(const std::string& path) const override;
+  StatusOr<std::unique_ptr<WritableFile>> Create(
+      const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  StatusOr<std::vector<std::string>> List(
+      const std::string& dir) const override;
+  Status CreateDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+  bool Exists(const std::string& path) const override;
+
+  // --- Fault injection --------------------------------------------------
+
+  /// Arms a crash at the `at_sync`-th durability barrier from now
+  /// (1-based, counting WritableFile::Sync and SyncDir together). With
+  /// `before` the barrier itself fails and syncs nothing; without it the
+  /// barrier completes and the crash hits immediately after. Re-arming
+  /// resets the counter.
+  void ArmCrash(int at_sync, bool before);
+
+  /// True once an armed crash has triggered (every later call fails).
+  bool crashed() const;
+
+  /// Durability barriers performed since construction (or the last
+  /// ArmCrash). Run the workload once unarmed to learn the sweep bound.
+  int sync_count() const;
+
+  /// The file system a fresh process would see after the crash: durable
+  /// namespace entries only, contents truncated to their last-synced
+  /// prefix. The clone starts unarmed and uncrashed — recovery runs
+  /// against it like a normal reopen. Also valid before any crash (the
+  /// durable view of the current state).
+  std::shared_ptr<FaultFs> DurableClone() const;
+
+  /// Last-synced contents of `path` in the durable view (what
+  /// DurableClone would expose). IOError if not durably present.
+  StatusOr<std::string> DurableRead(const std::string& path) const;
+
+ private:
+  friend class FaultWritableFile;
+
+  // One file's storage. `content` is what the running process sees;
+  // `synced_bytes` is the durable prefix.
+  struct Node {
+    std::string content;
+    size_t synced_bytes = 0;
+  };
+
+  // A namespace change not yet covered by SyncDir on its parent.
+  struct PendingOp {
+    enum class Kind { kCreate, kRename, kRemove } kind;
+    std::string from;  // created/removed path, or rename source
+    std::string to;    // rename target (kRename only)
+    std::shared_ptr<Node> node;
+  };
+
+  // Both return the injected-crash error if a crash has triggered.
+  Status CheckAliveLocked() const;
+  // Counts one durability barrier; returns false (and the error) if an
+  // armed crash fires *before* the barrier may take effect.
+  Status BarrierLocked();
+
+  Status SyncNodeLocked(const std::shared_ptr<Node>& node);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Node>> live_;     // process view
+  std::map<std::string, std::shared_ptr<Node>> durable_;  // post-crash view
+  std::set<std::string> dirs_;  // directories (durable immediately)
+  std::vector<PendingOp> pending_;
+  int sync_count_ = 0;
+  int crash_at_ = 0;  // 0 = unarmed
+  bool crash_before_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_IO_FAULT_FS_H_

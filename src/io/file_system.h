@@ -1,0 +1,92 @@
+#ifndef RLZ_IO_FILE_SYSTEM_H_
+#define RLZ_IO_FILE_SYSTEM_H_
+
+/// \file
+/// The file-system abstraction behind the durability layer (DESIGN.md
+/// §12).
+///
+/// Everything the WAL and checkpoint protocol writes goes through a
+/// FileSystem, never through bare fopen/fwrite, for two reasons. First,
+/// durability is explicit: WritableFile::Sync is the fsync barrier an
+/// acknowledged write must cross, and SyncDir is the directory barrier
+/// that makes creates/renames/removes survive a crash — the distinction
+/// POSIX actually draws, and the one the checkpoint rename protocol
+/// depends on. Second, fault injection: FaultFs (io/fault_fs.h)
+/// implements this interface in memory and can kill the writer at any
+/// fsync boundary, which is what makes the crash-recovery suite
+/// (tests/recovery_test.cpp) deterministic instead of a fork-and-kill
+/// lottery.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rlz {
+
+/// A sequential append-only file handle. Append buffers through the OS;
+/// nothing is durable until Sync returns OK. Close without Sync is a
+/// valid way to write data whose loss is acceptable (the caller decides
+/// where the durability barriers go).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the current end of file.
+  virtual Status Append(std::string_view data) = 0;
+  /// Durability barrier: everything appended so far survives a crash
+  /// once this returns OK (fdatasync semantics — file *contents*; the
+  /// file's directory entry needs FileSystem::SyncDir).
+  virtual Status Sync() = 0;
+  /// Closes the handle. Idempotent; called by the destructor if needed.
+  virtual Status Close() = 0;
+};
+
+/// File operations the durability layer needs, in the smallest interface
+/// that still expresses real crash semantics. Paths are plain strings;
+/// directories are created with CreateDir and listed non-recursively.
+///
+/// Thread-safety: implementations must allow concurrent calls on
+/// distinct files; callers serialize access to any single WritableFile.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Reads an entire file.
+  virtual StatusOr<std::string> Read(const std::string& path) const = 0;
+  /// Creates (or truncates) `path` for appending. The new directory
+  /// entry is durable only after SyncDir on the parent.
+  virtual StatusOr<std::unique_ptr<WritableFile>> Create(
+      const std::string& path) = 0;
+  /// Atomically replaces `to` with `from`. Durable after SyncDir on the
+  /// parent directory — the checkpoint CURRENT-swap barrier.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  /// Removes a file. Durable after SyncDir on the parent.
+  virtual Status Remove(const std::string& path) = 0;
+  /// Names (not paths) of the entries in `dir`, unordered.
+  virtual StatusOr<std::vector<std::string>> List(
+      const std::string& dir) const = 0;
+  /// Creates `dir` (parents must exist). OK if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+  /// Directory durability barrier: entries created, renamed, or removed
+  /// in `dir` survive a crash once this returns OK.
+  virtual Status SyncDir(const std::string& dir) = 0;
+  /// True if `path` names an existing file or directory.
+  virtual bool Exists(const std::string& path) const = 0;
+
+  /// Create + Append + Sync + Close in one call — the idiom for writing
+  /// a complete file behind one durability barrier (checkpoint shards,
+  /// manifests). The directory entry still needs SyncDir.
+  Status WriteFileSynced(const std::string& path, std::string_view data);
+};
+
+/// The process-wide POSIX file system (open/write/fsync/rename). The
+/// returned pointer is a shared singleton; passing nullptr as a
+/// FileSystem argument anywhere in the durability layer means this.
+std::shared_ptr<FileSystem> DefaultFileSystem();
+
+}  // namespace rlz
+
+#endif  // RLZ_IO_FILE_SYSTEM_H_

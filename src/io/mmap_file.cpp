@@ -1,0 +1,78 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rlz {
+
+StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError("cannot stat " + path + ": " +
+                                          std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MmapFile(nullptr, 0);
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the inode
+  if (data == MAP_FAILED) {
+    return Status::IOError("cannot mmap " + path + ": " +
+                           std::strerror(errno));
+  }
+  return MmapFile(data, size);
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MmapFile::Advise(Access access) const {
+  if (data_ == nullptr) return;
+  int advice = MADV_NORMAL;
+  switch (access) {
+    case Access::kNormal:
+      advice = MADV_NORMAL;
+      break;
+    case Access::kSequential:
+      advice = MADV_SEQUENTIAL;
+      break;
+    case Access::kRandom:
+      advice = MADV_RANDOM;
+      break;
+    case Access::kWillNeed:
+      advice = MADV_WILLNEED;
+      break;
+  }
+  (void)::madvise(data_, size_, advice);
+}
+
+}  // namespace rlz

@@ -1,0 +1,66 @@
+#ifndef RLZ_IO_MMAP_FILE_H_
+#define RLZ_IO_MMAP_FILE_H_
+
+/// \file
+/// Read-only memory-mapped files for zero-copy archive opens.
+///
+/// PR 4 made every archive loader borrow its bytes from a shared backing
+/// buffer instead of copying; until now that buffer was always a heap
+/// std::string filled by read(2). MmapFile extends the same zero-copy
+/// story to the page cache: the kernel maps the file, the archive's
+/// string_views point straight into the mapping, and cold-start cost
+/// becomes page faults on the regions actually touched instead of an
+/// up-front read of everything (EXPERIMENTS.md, "Durability cost" —
+/// cold-start mmap vs read-all). Advise() forwards access-pattern hints
+/// to madvise so validation scans read ahead and point lookups don't.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace rlz {
+
+/// A read-only mapping of an entire file. Move-only RAII: the mapping
+/// lives until destruction, and archives keep it alive by holding the
+/// MmapFile (wrapped in a shared_ptr) as their backing token. The file
+/// descriptor is closed as soon as the mapping exists — the mapping
+/// itself keeps the inode alive.
+class MmapFile {
+ public:
+  /// Access-pattern hints forwarded to madvise(2). Best-effort: a kernel
+  /// that rejects the hint does not fail the call.
+  enum class Access { kNormal, kSequential, kRandom, kWillNeed };
+
+  /// Maps `path` read-only. Empty files map successfully to an empty
+  /// view (no mmap call is made; mmap of length 0 is invalid).
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// The mapped bytes. Valid until the MmapFile is destroyed.
+  std::string_view view() const {
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+  size_t size() const { return size_; }
+
+  /// Applies an access-pattern hint to the whole mapping. Best-effort.
+  void Advise(Access access) const;
+
+ private:
+  MmapFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;  // nullptr for empty files; size_ is 0 then
+  size_t size_ = 0;
+};
+
+}  // namespace rlz
+
+#endif  // RLZ_IO_MMAP_FILE_H_

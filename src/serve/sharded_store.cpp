@@ -9,7 +9,9 @@
 #include "build/archive_builder.h"
 #include "build/build_pipeline.h"
 #include "core/dictionary.h"
+#include "io/file.h"
 #include "store/format.h"
+#include "store/wal/wal_reader.h"
 #include "util/logging.h"
 
 namespace rlz {
@@ -216,6 +218,12 @@ ShardedStore::~ShardedStore() {
   StopCompactor();
   std::lock_guard<std::mutex> lock(writer_mu_);
   tail_builder_.reset();  // drains any in-flight tail encode chunks
+  if (wal_ != nullptr) {
+    // Everything acked was already durable per the group-commit policy;
+    // the final sync only narrows a relaxed policy's loss window.
+    (void)wal_->Close();
+    wal_.reset();
+  }
 }
 
 std::shared_ptr<const CorpusEpoch> ShardedStore::epoch() const {
@@ -300,19 +308,12 @@ Status ShardedStore::ResetTailBuilderLocked() {
   return Status::OK();
 }
 
-StatusOr<size_t> ShardedStore::Append(std::string_view doc) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  const bool incremental = options_.live.reuse_append_dictionary;
+Status ShardedStore::ApplyAppendLocked(std::string_view doc, size_t* id) {
+  const bool incremental = options_.live.reuse_append_dictionary &&
+                           append_dict_ != nullptr &&
+                           append_dict_->has_matcher();
   if (incremental && tail_builder_ == nullptr) {
     RLZ_RETURN_IF_ERROR(ResetTailBuilderLocked());
-  }
-  if (!incremental && (append_dict_ == nullptr || !append_dict_->has_matcher())) {
-    // Fresh-dictionary seals still need the matcher-capable append
-    // dictionary as the fallback for an all-deleted seal; gate up front
-    // so Append fails cleanly on read-only opens.
-    return Status::InvalidArgument(
-        "sharded store: no append dictionary (v1 manifest or serving-only "
-        "open); appends are disabled");
   }
   auto owned = std::make_shared<const std::string>(doc);
   if (incremental) {
@@ -322,7 +323,29 @@ StatusOr<size_t> ShardedStore::Append(std::string_view doc) {
   }
   tail_bytes_ += owned->size();
   tail_docs_.push_back(std::move(owned));
-  const size_t id = router_->num_docs() + tail_docs_.size() - 1;
+  *id = router_->num_docs() + tail_docs_.size() - 1;
+  return Status::OK();
+}
+
+StatusOr<size_t> ShardedStore::Append(std::string_view doc) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  RLZ_RETURN_IF_ERROR(CheckWritableLocked());
+  if (append_dict_ == nullptr || !append_dict_->has_matcher()) {
+    // Both seal modes need the matcher-capable append dictionary (the
+    // fresh-dictionary mode as the fallback for an all-deleted seal);
+    // gate up front so Append fails cleanly on serving-only opens.
+    return Status::InvalidArgument(
+        "sharded store: no append dictionary (v1 manifest or serving-only "
+        "open); appends are disabled");
+  }
+  size_t id = 0;
+  RLZ_RETURN_IF_ERROR(ApplyAppendLocked(doc, &id));
+  // Log before publish: once the epoch containing this document is
+  // visible (and the id returned), the WAL record is on its way to disk
+  // — durably there already under fsync_every_n == 1 (DESIGN.md §12).
+  if (wal_ != nullptr) {
+    RLZ_RETURN_IF_ERROR(LogLocked(wal::RecordType::kAppend, doc));
+  }
   PublishLocked();
   if (options_.live.tail_seal_bytes > 0 &&
       tail_bytes_ >= options_.live.tail_seal_bytes) {
@@ -333,10 +356,21 @@ StatusOr<size_t> ShardedStore::Append(std::string_view doc) {
 
 Status ShardedStore::SealTail() {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  RLZ_RETURN_IF_ERROR(CheckWritableLocked());
   return SealTailLocked();
 }
 
 Status ShardedStore::SealTailLocked() {
+  if (tail_docs_.empty()) return Status::OK();
+  if (wal_ != nullptr) {
+    RLZ_RETURN_IF_ERROR(LogLocked(wal::RecordType::kSeal, std::string_view()));
+  }
+  RLZ_RETURN_IF_ERROR(ApplySealLocked());
+  PublishLocked();
+  return Status::OK();
+}
+
+Status ShardedStore::ApplySealLocked() {
   if (tail_docs_.empty()) return Status::OK();
 
   ArchiveBuildReport report;
@@ -390,53 +424,81 @@ Status ShardedStore::SealTailLocked() {
   shards_.push_back(std::move(sealed));
   generations_.push_back(0);
   meta_.push_back(meta);
-  tombstones_.push_back(tail_tombstones_);
+  // The tail bitmap is lazily sized to the tail length at its last
+  // delete; widen it to the full shard so every later bitmap copy (and
+  // Bitmap::Set) stays in range.
+  std::shared_ptr<const Bitmap> sealed_tombstones;
+  if (tail_tombstones_ != nullptr) {
+    Bitmap bm(tail_docs_.size());
+    for (size_t i = 0; i < tail_tombstones_->size(); ++i) {
+      if (tail_tombstones_->Test(i)) bm.Set(i);
+    }
+    sealed_tombstones = std::make_shared<const Bitmap>(std::move(bm));
+  }
+  tombstones_.push_back(std::move(sealed_tombstones));
   router_ = std::make_shared<const ShardRouter>(std::move(starts));
   tail_docs_.clear();
   tail_bytes_ = 0;
   tail_tombstones_.reset();
+  return Status::OK();
+}
 
-  PublishLocked();
+Status ShardedStore::ApplyDeleteLocked(size_t id) {
+  const size_t sealed = router_->num_docs();
+  const size_t total = sealed + tail_docs_.size();
+  if (id >= total) {
+    return Status::OutOfRange("sharded store: bad doc id");
+  }
+  if (id < sealed) {
+    const size_t s = router_->shard_of(id);
+    const size_t local = id - router_->start(s);
+    const size_t shard_docs = router_->start(s + 1) - router_->start(s);
+    // Always copy into a full-width bitmap: a stored bitmap may be
+    // narrower than the shard (older manifests carry the lazily sized
+    // sealed-tail form) and Set past size() is out of range.
+    Bitmap bm(shard_docs);
+    if (tombstones_[s] != nullptr) {
+      const Bitmap& old = *tombstones_[s];
+      for (size_t i = 0; i < old.size() && i < shard_docs; ++i) {
+        if (old.Test(i)) bm.Set(i);
+      }
+    }
+    if (bm.Test(local)) {
+      return Status::NotFound("sharded store: document already deleted");
+    }
+    bm.Set(local);
+    tombstones_[s] = std::make_shared<const Bitmap>(std::move(bm));
+    meta_[s].tombstoned_payload_bytes += shards_[s]->doc_map().size(local);
+  } else {
+    const size_t local = id - sealed;
+    // The tail bitmap is sized lazily to the tail's current length;
+    // bits past an older bitmap's end are live by construction.
+    Bitmap bm(tail_docs_.size());
+    if (tail_tombstones_ != nullptr) {
+      for (size_t i = 0; i < tail_tombstones_->size(); ++i) {
+        if (tail_tombstones_->Test(i)) bm.Set(i);
+      }
+    }
+    if (bm.Test(local)) {
+      return Status::NotFound("sharded store: document already deleted");
+    }
+    bm.Set(local);
+    tail_tombstones_ = std::make_shared<const Bitmap>(std::move(bm));
+  }
+  ++deleted_docs_;
   return Status::OK();
 }
 
 Status ShardedStore::Delete(size_t id) {
   {
     std::lock_guard<std::mutex> lock(writer_mu_);
-    const size_t sealed = router_->num_docs();
-    const size_t total = sealed + tail_docs_.size();
-    if (id >= total) {
-      return Status::OutOfRange("sharded store: bad doc id");
+    RLZ_RETURN_IF_ERROR(CheckWritableLocked());
+    RLZ_RETURN_IF_ERROR(ApplyDeleteLocked(id));
+    if (wal_ != nullptr) {
+      std::string payload;
+      wal::PutFixed64(&payload, id);
+      RLZ_RETURN_IF_ERROR(LogLocked(wal::RecordType::kDelete, payload));
     }
-    if (id < sealed) {
-      const size_t s = router_->shard_of(id);
-      const size_t local = id - router_->start(s);
-      const size_t shard_docs = router_->start(s + 1) - router_->start(s);
-      Bitmap bm = tombstones_[s] != nullptr ? *tombstones_[s]
-                                            : Bitmap(shard_docs);
-      if (bm.Test(local)) {
-        return Status::NotFound("sharded store: document already deleted");
-      }
-      bm.Set(local);
-      tombstones_[s] = std::make_shared<const Bitmap>(std::move(bm));
-      meta_[s].tombstoned_payload_bytes += shards_[s]->doc_map().size(local);
-    } else {
-      const size_t local = id - sealed;
-      // The tail bitmap is sized lazily to the tail's current length;
-      // bits past an older bitmap's end are live by construction.
-      Bitmap bm(tail_docs_.size());
-      if (tail_tombstones_ != nullptr) {
-        for (size_t i = 0; i < tail_tombstones_->size(); ++i) {
-          if (tail_tombstones_->Test(i)) bm.Set(i);
-        }
-      }
-      if (bm.Test(local)) {
-        return Status::NotFound("sharded store: document already deleted");
-      }
-      bm.Set(local);
-      tail_tombstones_ = std::make_shared<const Bitmap>(std::move(bm));
-    }
-    ++deleted_docs_;
     PublishLocked();
   }
   // After the tombstoning epoch is published: a cached decode of this id
@@ -506,11 +568,13 @@ StatusOr<CompactionReport> ShardedStore::CompactOnce() {
   // One rebuild at a time; mutators never wait on this lock.
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
   CompactionReport report;
+  bool durable = false;
 
   std::shared_ptr<const CorpusEpoch> snapshot;
   int victim = -1;
   {
     std::lock_guard<std::mutex> lock(writer_mu_);
+    RLZ_RETURN_IF_ERROR(CheckWritableLocked());
     victim = PickCompactionVictimLocked(&report.reason);
     if (victim < 0) return report;
     snapshot = [&] {
@@ -592,6 +656,15 @@ StatusOr<CompactionReport> ShardedStore::CompactOnce() {
     }
     report.generation = generations_[victim];
     PublishLocked();
+    durable = wal_ != nullptr;
+  }
+
+  // A compaction is not a WAL record — replaying the log over the old
+  // checkpoint reproduces the same logical corpus, just uncompacted. A
+  // fresh checkpoint makes the reclaimed bytes durable so a crash does
+  // not resurrect the pre-compaction shard files forever.
+  if (durable) {
+    RLZ_RETURN_IF_ERROR(Checkpoint());
   }
 
   report.compacted = true;
@@ -676,35 +749,46 @@ Status ShardedStore::Save(const std::string& path) const {
     RLZ_RETURN_IF_ERROR(
         snapshot->shard(static_cast<int>(s)).Save(dir + ShardFileName(base, s)));
   }
+  return WriteFile(
+      path, SerializeManifest(*snapshot, meta, baseline, append_dict_text,
+                              base));
+}
+
+std::string ShardedStore::SerializeManifest(const CorpusEpoch& snapshot,
+                                            const std::vector<ShardMeta>& meta,
+                                            const FactorStats& baseline,
+                                            std::string_view append_dict_text,
+                                            const std::string& shard_base) {
+  const size_t nshards = static_cast<size_t>(snapshot.num_shards());
   EnvelopeWriter writer(kFormatId, kFormatVersion);
   // The v1-compatible prefix: shard count, boundaries, shard file names.
   writer.PutVarint64(nshards);
   for (size_t s = 0; s <= nshards; ++s) {
-    writer.PutVarint64(snapshot->router().start(s));
+    writer.PutVarint64(snapshot.router().start(s));
   }
   for (size_t s = 0; s < nshards; ++s) {
-    writer.PutLengthPrefixed(ShardFileName(base, s));
+    writer.PutLengthPrefixed(ShardFileName(shard_base, s));
   }
   // v2 sections: the epoch and its mutation state.
-  writer.PutVarint64(snapshot->sequence());
+  writer.PutVarint64(snapshot.sequence());
   for (size_t s = 0; s < nshards; ++s) {
-    writer.PutVarint64(snapshot->shard_generation(static_cast<int>(s)));
+    writer.PutVarint64(snapshot.shard_generation(static_cast<int>(s)));
     writer.PutVarint64(meta[s].tombstoned_payload_bytes);
     writer.PutVarint64(DoubleBits(meta[s].unused_dict_fraction));
     PutStats(meta[s].stats, &writer);
   }
   PutStats(baseline, &writer);
   for (size_t s = 0; s < nshards; ++s) {
-    PutTombstones(snapshot->tombstones(static_cast<int>(s)), &writer);
+    PutTombstones(snapshot.tombstones(static_cast<int>(s)), &writer);
   }
-  PutTombstones(snapshot->tail_tombstones(), &writer);
-  const TailSegment* tail = snapshot->tail();
+  PutTombstones(snapshot.tail_tombstones(), &writer);
+  const TailSegment* tail = snapshot.tail();
   writer.PutVarint64(tail == nullptr ? 0 : tail->docs.size());
   if (tail != nullptr) {
     for (const auto& doc : tail->docs) writer.PutLengthPrefixed(*doc);
   }
   writer.PutLengthPrefixed(append_dict_text);
-  return std::move(writer).WriteTo(path);
+  return std::move(writer).Seal();
 }
 
 StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::FromEnvelope(
@@ -896,6 +980,257 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
     const std::string& path, const OpenOptions& options) {
   RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope, ReadEnvelopeFile(path));
   return FromEnvelope(envelope, path, options);
+}
+
+// --- Durability (DESIGN.md §12) -------------------------------------------
+
+Status ShardedStore::CheckWritableLocked() const {
+  if (read_only_) {
+    return Status::InvalidArgument(
+        "sharded store: serving-only durable open is read-only");
+  }
+  return Status::OK();
+}
+
+Status ShardedStore::LogLocked(wal::RecordType type, std::string_view payload) {
+  // A WAL write failure is fail-stop: the in-memory mutation already
+  // happened, so acking it without the log record would break the
+  // durability contract. Callers propagate the error and the store's
+  // next log attempt fails the same way.
+  return wal_->Append(type, payload).status();
+}
+
+Status ShardedStore::MakeDurable(const std::string& dir,
+                                 const wal::WalWriterOptions& wal_options,
+                                 std::shared_ptr<FileSystem> fs) {
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    RLZ_RETURN_IF_ERROR(CheckWritableLocked());
+    if (wal_ != nullptr) {
+      return Status::InvalidArgument("sharded store: already durable");
+    }
+    fs_ = fs != nullptr ? std::move(fs) : DefaultFileSystem();
+    durable_dir_ = dir;
+    wal_options_ = wal_options;
+    RLZ_RETURN_IF_ERROR(fs_->CreateDir(dir));
+    RLZ_ASSIGN_OR_RETURN(
+        wal_, wal::WalWriter::Create(fs_, dir, /*generation=*/1, /*seq=*/0,
+                                     /*start_lsn=*/0, wal_options));
+  }
+  // Checkpoint generation 1 captures the pre-durability state; until its
+  // CURRENT lands the directory is not yet openable, so a crash inside
+  // this call loses nothing that was ever acked as durable.
+  return Checkpoint();
+}
+
+Status ShardedStore::Checkpoint() {
+  // One checkpoint at a time; mutators are blocked only for the
+  // sync-and-roll plus the snapshot copy below, not for the shard writes.
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  std::shared_ptr<const CorpusEpoch> snapshot;
+  std::vector<ShardMeta> meta;
+  FactorStats baseline;
+  std::string append_dict_text;
+  uint64_t generation = 0;
+  uint64_t covered = 0;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    if (wal_ == nullptr) {
+      return Status::InvalidArgument("sharded store: not durable");
+    }
+    // Rolling at the coverage boundary keeps every segment wholly inside
+    // or wholly outside the checkpoint — recovery's segment GC rule
+    // depends on coverage landing exactly between segments.
+    generation = checkpoint_generation_ + 1;
+    covered = wal_->next_lsn();
+    RLZ_RETURN_IF_ERROR(wal_->Roll(generation));
+    {
+      std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+      snapshot = epoch_;
+    }
+    meta = meta_;
+    baseline = baseline_stats_;
+    if (append_dict_ != nullptr) {
+      append_dict_text.assign(append_dict_->text());
+    }
+  }
+
+  // Write-new: every file lands under the next generation, fsync'd,
+  // without touching the live checkpoint. A crash anywhere in here
+  // leaves CURRENT pointing at the old complete checkpoint.
+  const std::string manifest_name =
+      wal::CheckpointManifestFileName(generation);
+  const size_t nshards = static_cast<size_t>(snapshot->num_shards());
+  for (size_t s = 0; s < nshards; ++s) {
+    RLZ_RETURN_IF_ERROR(fs_->WriteFileSynced(
+        durable_dir_ + "/" + ShardFileName(manifest_name, s),
+        snapshot->shard(static_cast<int>(s)).Serialize()));
+  }
+  RLZ_RETURN_IF_ERROR(fs_->WriteFileSynced(
+      durable_dir_ + "/" + manifest_name,
+      SerializeManifest(*snapshot, meta, baseline, append_dict_text,
+                        manifest_name)));
+  wal::CheckpointInfo info;
+  info.generation = generation;
+  info.covered_lsn = covered;
+  info.manifest = manifest_name;
+  RLZ_RETURN_IF_ERROR(wal::WriteCheckpointMeta(*fs_, durable_dir_, info));
+  RLZ_RETURN_IF_ERROR(fs_->SyncDir(durable_dir_));
+  // The commit point: CURRENT flips to the new generation atomically.
+  RLZ_RETURN_IF_ERROR(wal::WriteCurrent(*fs_, durable_dir_, generation));
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    checkpoint_generation_ = generation;
+    covered_lsn_ = covered;
+  }
+  // Best-effort cleanup of the superseded generation and covered WAL.
+  return wal::GarbageCollect(*fs_, durable_dir_, info);
+}
+
+Status ShardedStore::SyncWal() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("sharded store: not durable");
+  }
+  return wal_->Sync();
+}
+
+bool ShardedStore::durable() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return wal_ != nullptr || read_only_;
+}
+
+bool ShardedStore::read_only() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return read_only_;
+}
+
+uint64_t ShardedStore::checkpoint_generation() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return checkpoint_generation_;
+}
+
+StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::OpenFromCheckpoint(
+    const std::string& dir, const wal::CheckpointInfo& info,
+    const OpenOptions& options, const wal::WalWriterOptions& wal_options,
+    const std::shared_ptr<FileSystem>& fs, RecoveryReport* report) {
+  const std::shared_ptr<FileSystem> io =
+      fs != nullptr ? fs
+                    : (options.fs != nullptr ? options.fs
+                                             : DefaultFileSystem());
+  // An injected file system routes the shard opens too; otherwise shard
+  // reads keep the caller's options (use_mmap on a real disk).
+  OpenOptions open_options = options;
+  if (fs != nullptr) open_options.fs = fs;
+
+  const std::string manifest_path = dir + "/" + info.manifest;
+  RLZ_ASSIGN_OR_RETURN(std::string raw, io->Read(manifest_path));
+  RLZ_ASSIGN_OR_RETURN(
+      ParsedEnvelope envelope,
+      ParsedEnvelope::FromBytes(std::move(raw), manifest_path));
+  RLZ_ASSIGN_OR_RETURN(std::unique_ptr<ShardedStore> store,
+                       FromEnvelope(envelope, manifest_path, open_options));
+
+  store->fs_ = io;
+  store->durable_dir_ = dir;
+  store->wal_options_ = wal_options;
+  store->checkpoint_generation_ = info.generation;
+  store->covered_lsn_ = info.covered_lsn;
+  // A serving-only open never writes: no WAL writer, mutations disabled.
+  store->read_only_ = !options.build_suffix_array;
+
+  wal::ReplayResult replay;
+  {
+    std::lock_guard<std::mutex> lock(store->writer_mu_);
+    ShardedStore* raw_store = store.get();
+    auto apply = [raw_store, &dir](uint64_t lsn, wal::RecordType type,
+                                   std::string_view payload) -> Status {
+      (void)lsn;
+      switch (type) {
+        case wal::RecordType::kAppend: {
+          size_t id = 0;
+          return raw_store->ApplyAppendLocked(payload, &id);
+        }
+        case wal::RecordType::kDelete: {
+          if (payload.size() != 8) {
+            return Status::Corruption(dir + ": bad wal delete payload");
+          }
+          const uint64_t id = wal::GetFixed64(payload.data());
+          const Status status =
+              raw_store->ApplyDeleteLocked(static_cast<size_t>(id));
+          if (!status.ok()) {
+            // A logged delete must re-apply over the checkpoint it
+            // followed; an unknown or doubly-deleted id means the log
+            // and checkpoint disagree.
+            return Status::Corruption(dir + ": wal replay delete failed: " +
+                                      status.message());
+          }
+          return Status::OK();
+        }
+        case wal::RecordType::kSeal:
+          // Serving-only recovery leaves the tail raw: sealing would
+          // re-encode (and want the suffix array this open skipped).
+          // Document ids and bytes are identical either way.
+          if (raw_store->read_only_) return Status::OK();
+          return raw_store->ApplySealLocked();
+      }
+      return Status::Corruption(dir + ": unknown wal record type");
+    };
+    RLZ_ASSIGN_OR_RETURN(replay,
+                         wal::ReplayWal(io, dir, info.covered_lsn, apply));
+    if (!store->read_only_) {
+      // Always a fresh segment: recovery never appends to a segment that
+      // existed before the crash, so a re-crash cannot mix old and new
+      // suffixes in one file.
+      RLZ_ASSIGN_OR_RETURN(
+          store->wal_,
+          wal::WalWriter::Create(io, dir, info.generation, replay.next_seq,
+                                 replay.next_lsn, wal_options));
+    }
+    store->PublishLocked();
+  }
+  if (report != nullptr) {
+    report->generation = info.generation;
+    report->replayed_records = replay.replayed;
+    report->next_lsn = replay.next_lsn;
+    report->torn_tail = replay.torn;
+  }
+  return store;
+}
+
+StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::OpenDurable(
+    const std::string& dir, const OpenOptions& options,
+    const wal::WalWriterOptions& wal_options, std::shared_ptr<FileSystem> fs,
+    RecoveryReport* report) {
+  const std::shared_ptr<FileSystem> io =
+      fs != nullptr ? fs
+                    : (options.fs != nullptr ? options.fs
+                                             : DefaultFileSystem());
+  // CURRENT names the live checkpoint; when it is missing or damaged,
+  // every readable meta is a candidate, newest first. Trying candidates
+  // in order turns "CURRENT got corrupted" into a recoverable state
+  // instead of a dead directory.
+  std::vector<wal::CheckpointInfo> candidates;
+  StatusOr<uint64_t> current = wal::ReadCurrent(*io, dir);
+  if (current.ok()) {
+    StatusOr<wal::CheckpointInfo> info =
+        wal::ReadCheckpointMeta(*io, dir, *current);
+    if (info.ok()) candidates.push_back(*std::move(info));
+  }
+  if (candidates.empty()) {
+    RLZ_ASSIGN_OR_RETURN(candidates, wal::ListCheckpoints(*io, dir));
+  }
+  if (candidates.empty()) {
+    return Status::Corruption(dir + ": no usable checkpoint");
+  }
+  Status last = Status::OK();
+  for (const wal::CheckpointInfo& info : candidates) {
+    StatusOr<std::unique_ptr<ShardedStore>> store =
+        OpenFromCheckpoint(dir, info, options, wal_options, fs, report);
+    if (store.ok()) return store;
+    last = store.status();
+  }
+  return last;
 }
 
 }  // namespace rlz

@@ -21,10 +21,13 @@
 #include "core/factorizer.h"
 #include "core/rlz_archive.h"
 #include "corpus/collection.h"
+#include "io/file_system.h"
 #include "serve/corpus_epoch.h"
 #include "serve/shard_router.h"
 #include "store/archive.h"
 #include "store/open_archive.h"
+#include "store/wal/checkpoint.h"
+#include "store/wal/wal_writer.h"
 
 namespace rlz {
 
@@ -329,6 +332,66 @@ class ShardedStore final : public Archive {
       const ParsedEnvelope& envelope, const std::string& path,
       const OpenOptions& options);
 
+  // --- Durability (DESIGN.md §12) ---------------------------------------
+
+  /// What OpenDurable's recovery found.
+  struct RecoveryReport {
+    /// Generation of the checkpoint recovery started from.
+    uint64_t generation = 0;
+    /// WAL records replayed over the checkpoint.
+    uint64_t replayed_records = 0;
+    /// LSN the recovered writer resumes at.
+    uint64_t next_lsn = 0;
+    /// True if the final WAL segment ended in a torn frame (truncated).
+    bool torn_tail = false;
+  };
+
+  /// Attaches crash-safe persistence to this store: creates `dir`,
+  /// starts a write-ahead log, and writes checkpoint generation 1 of the
+  /// current state. From then on every Append/Delete/SealTail is logged
+  /// before its epoch publishes — under the default
+  /// wal::WalWriterOptions (fsync_every_n = 1) an acknowledged mutation
+  /// survives any crash; relaxed group-commit settings bound the loss to
+  /// the unsynced batch. Compaction triggers a fresh checkpoint after
+  /// its swap. `fs` null means the real file system.
+  Status MakeDurable(const std::string& dir,
+                     const wal::WalWriterOptions& wal_options = {},
+                     std::shared_ptr<FileSystem> fs = nullptr);
+
+  /// Opens (and auto-recovers) a durable store directory: finds the most
+  /// recent complete checkpoint (CURRENT, with a scan fallback when
+  /// CURRENT itself is damaged), loads its manifest and shards, replays
+  /// the WAL over it — tolerating a torn final segment — and resumes
+  /// logging. A serving-only open (options.build_suffix_array = false)
+  /// skips suffix-array rebuilds, skips re-sealing (WAL'd tail documents
+  /// stay raw), writes nothing, and disables every mutation (read_only()
+  /// becomes true). `fs` non-null routes ALL I/O — checkpoint, shards,
+  /// WAL — through it (the crash-injection tests' hook); otherwise shard
+  /// reads honor options.use_mmap/options.fs and the WAL uses the real
+  /// file system.
+  static StatusOr<std::unique_ptr<ShardedStore>> OpenDurable(
+      const std::string& dir, const OpenOptions& options = {},
+      const wal::WalWriterOptions& wal_options = {},
+      std::shared_ptr<FileSystem> fs = nullptr,
+      RecoveryReport* report = nullptr);
+
+  /// Writes a new checkpoint of the current epoch (write-new -> fsync ->
+  /// rename; see store/wal/checkpoint.h) and prunes the WAL it covers.
+  /// Mutators are blocked only while the WAL is synced and rolled, not
+  /// while shards are written. InvalidArgument when not durable.
+  Status Checkpoint();
+
+  /// Explicit WAL durability barrier — makes every acknowledged mutation
+  /// durable now regardless of the group-commit policy.
+  Status SyncWal();
+
+  /// True once MakeDurable/OpenDurable attached a WAL to this store.
+  bool durable() const;
+  /// True for a serving-only durable open: every mutation is disabled.
+  bool read_only() const;
+  /// Generation of the live checkpoint (0 when not durable).
+  uint64_t checkpoint_generation() const;
+
  private:
   /// Mutable per-shard bookkeeping behind the published ShardHealth.
   struct ShardMeta {
@@ -343,11 +406,38 @@ class ShardedStore final : public Archive {
   /// Builds the epoch that reflects the current writer state and swaps it
   /// in. Requires writer_mu_.
   void PublishLocked();
-  /// Seals the open tail into a new shard. Requires writer_mu_.
+  /// Logs (when durable) and seals the open tail into a new shard.
+  /// Requires writer_mu_.
   Status SealTailLocked();
   /// Creates the open-tail builder for the next segment. Requires
   /// writer_mu_; returns InvalidArgument without an append dictionary.
   Status ResetTailBuilderLocked();
+
+  // The non-logging mutation cores, shared by the live path (which logs
+  // first) and WAL replay (which must not log, publish per record, or
+  // notify evictions). All require writer_mu_.
+  Status ApplyAppendLocked(std::string_view doc, size_t* id);
+  Status ApplyDeleteLocked(size_t id);
+  Status ApplySealLocked();
+
+  /// InvalidArgument on a read-only (serving-only durable) open.
+  Status CheckWritableLocked() const;
+  /// Appends one WAL record under the group-commit policy. Requires
+  /// writer_mu_ and wal_ != nullptr.
+  Status LogLocked(wal::RecordType type, std::string_view payload);
+  /// The manifest envelope bytes for `snapshot` (shard names derive from
+  /// `shard_base`) — shared by Save and the checkpoint writer so both
+  /// produce the same format.
+  static std::string SerializeManifest(const CorpusEpoch& snapshot,
+                                       const std::vector<ShardMeta>& meta,
+                                       const FactorStats& baseline,
+                                       std::string_view append_dict_text,
+                                       const std::string& shard_base);
+  /// Loads checkpoint `info` from `dir` and replays the WAL over it.
+  static StatusOr<std::unique_ptr<ShardedStore>> OpenFromCheckpoint(
+      const std::string& dir, const wal::CheckpointInfo& info,
+      const OpenOptions& options, const wal::WalWriterOptions& wal_options,
+      const std::shared_ptr<FileSystem>& fs, RecoveryReport* report);
   /// Invokes the eviction listener (if any) for `id`, outside writer_mu_.
   void NotifyEviction(size_t id) const;
   /// Background compactor loop.
@@ -383,6 +473,18 @@ class ShardedStore final : public Archive {
   size_t shard_dict_bytes_ = 1 << 20;
   std::shared_ptr<const Dictionary> append_dict_;  // null: appends disabled
   std::unique_ptr<RlzArchiveBuilder> tail_builder_;
+
+  // Durability state (DESIGN.md §12). wal_ non-null once
+  // MakeDurable/OpenDurable attached a log; all guarded by writer_mu_
+  // except checkpoint_mu_, which serializes whole checkpoints.
+  std::shared_ptr<FileSystem> fs_;
+  std::string durable_dir_;
+  wal::WalWriterOptions wal_options_;
+  std::unique_ptr<wal::WalWriter> wal_;
+  uint64_t checkpoint_generation_ = 0;
+  uint64_t covered_lsn_ = 0;
+  bool read_only_ = false;
+  std::mutex checkpoint_mu_;
 
   // One compaction rebuild at a time; the rebuild holds compact_mu_ but
   // not writer_mu_, so mutators keep running while it decodes/re-encodes.

@@ -122,9 +122,9 @@ class BlockedArchive final : public Archive {
   // across cache misses (keeps RTTI off the per-Get hot path).
   const GzipxCompressor* gzipx_ = nullptr;
   uint64_t block_bytes_;
-  std::string owned_payload_;           // build path
-  std::shared_ptr<const std::string> backing_;  // open path: file bytes
-  std::string_view payload_view_;       // into *backing_
+  std::string owned_payload_;            // build path
+  std::shared_ptr<const void> backing_;  // open path: keeps file bytes alive
+  std::string_view payload_view_;        // into the backed bytes
   std::vector<BlockInfo> blocks_;
   std::vector<DocInfo> docs_;
   // Decoded-block cache, keyed by block index (see class comment).

@@ -167,6 +167,13 @@ Status EnvelopeReader::ExpectConsumed() const {
 
 StatusOr<ParsedEnvelope> ParsedEnvelope::FromBytes(std::string raw,
                                                    std::string context) {
+  auto owned = std::make_shared<const std::string>(std::move(raw));
+  return FromView(std::string_view(*owned), owned, std::move(context));
+}
+
+StatusOr<ParsedEnvelope> ParsedEnvelope::FromView(
+    std::string_view raw, std::shared_ptr<const void> owner,
+    std::string context) {
   if (raw.size() < 4 ||
       std::string_view(raw.data(), 4) != std::string_view(kEnvelopeMagic, 4)) {
     return Status::Corruption(context + ": bad magic");
@@ -193,7 +200,7 @@ StatusOr<ParsedEnvelope> ParsedEnvelope::FromBytes(std::string raw,
   // Header fields are parsed with the same bounds-checked reader as
   // bodies. A truncated file either fails a read here or yields the
   // original body size, which the exact-length check below catches.
-  EnvelopeReader header(std::string_view(raw).substr(5), context);
+  EnvelopeReader header(raw.substr(5), context);
   uint32_t id_length = 0;
   RLZ_RETURN_IF_ERROR(header.ReadVarint32(&id_length));
   if (id_length == 0 || id_length > kMaxFormatIdLength) {
@@ -229,7 +236,8 @@ StatusOr<ParsedEnvelope> ParsedEnvelope::FromBytes(std::string raw,
   envelope.body_offset_ = header_size;
   envelope.body_size_ = body_size;
   envelope.context_ = std::move(context);
-  envelope.raw_ = std::make_shared<const std::string>(std::move(raw));
+  envelope.raw_ = raw;
+  envelope.owner_ = std::move(owner);
   return envelope;
 }
 

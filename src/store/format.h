@@ -162,29 +162,38 @@ class ParsedEnvelope {
   static StatusOr<ParsedEnvelope> FromBytes(std::string raw,
                                             std::string context);
 
+  /// FromBytes over bytes the caller already owns: `raw` must stay valid
+  /// for as long as `owner` is alive (the mmap open path passes the view
+  /// of an MmapFile and a shared handle to it; see DESIGN.md §9/§12).
+  static StatusOr<ParsedEnvelope> FromView(std::string_view raw,
+                                           std::shared_ptr<const void> owner,
+                                           std::string context);
+
   /// The format-id string stored in the header (e.g. "rlz", "blocked").
   const std::string& format_id() const { return format_id_; }
   /// The format version stored in the header.
   uint32_t version() const { return version_; }
   /// The body section (a view into the shared file bytes).
   std::string_view body() const {
-    return std::string_view(*raw_).substr(body_offset_, body_size_);
+    return raw_.substr(body_offset_, body_size_);
   }
   /// A bounds-checked cursor over body(). The envelope must outlive it.
   EnvelopeReader reader() const { return EnvelopeReader(body(), context_); }
   /// The context string the envelope was parsed with.
   const std::string& context() const { return context_; }
 
-  /// Shared ownership of the raw file bytes every body() view points
-  /// into. A format loader that wants to alias body sections instead of
-  /// copying them keeps a copy of this handle alive alongside its views
+  /// Shared ownership of whatever keeps the raw file bytes alive — a
+  /// heap buffer on the read path, an MmapFile on the mmap path. A
+  /// format loader that wants to alias body sections instead of copying
+  /// them keeps a copy of this opaque handle alive alongside its views
   /// (RlzArchive and BlockedArchive do; see DESIGN.md §9).
-  std::shared_ptr<const std::string> backing() const { return raw_; }
+  std::shared_ptr<const void> backing() const { return owner_; }
 
  private:
   ParsedEnvelope() = default;
 
-  std::shared_ptr<const std::string> raw_;
+  std::string_view raw_;  // valid while owner_ is alive
+  std::shared_ptr<const void> owner_;
   std::string format_id_;
   uint32_t version_ = 0;
   size_t body_offset_ = 0;

@@ -6,6 +6,8 @@
 
 #include "core/rlz_archive.h"
 #include "io/file.h"
+#include "io/file_system.h"
+#include "io/mmap_file.h"
 #include "semistatic/semistatic_archive.h"
 #include "serve/sharded_store.h"
 #include "store/ascii_archive.h"
@@ -89,6 +91,33 @@ StatusOr<ArchiveLoader> FindLoader(const std::string& format_id,
 
 }  // namespace
 
+StatusOr<RawContainerFile> ReadContainerFile(const std::string& path,
+                                             const OpenOptions& options) {
+  RawContainerFile raw;
+  if (options.fs != nullptr) {
+    RLZ_ASSIGN_OR_RETURN(std::string bytes, options.fs->Read(path));
+    auto owned = std::make_shared<const std::string>(std::move(bytes));
+    raw.view = std::string_view(*owned);
+    raw.owner = std::move(owned);
+    return raw;
+  }
+  if (options.use_mmap) {
+    RLZ_ASSIGN_OR_RETURN(MmapFile map, MmapFile::Open(path));
+    auto shared = std::make_shared<const MmapFile>(std::move(map));
+    // Every open starts with a front-to-back CRC validation scan.
+    shared->Advise(MmapFile::Access::kSequential);
+    raw.view = shared->view();
+    raw.map = shared.get();
+    raw.owner = std::move(shared);
+    return raw;
+  }
+  RLZ_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  auto owned = std::make_shared<const std::string>(std::move(bytes));
+  raw.view = std::string_view(*owned);
+  raw.owner = std::move(owned);
+  return raw;
+}
+
 void RegisterArchiveFormat(const std::string& format_id,
                            ArchiveLoader loader) {
   std::lock_guard<std::mutex> lock(RegistryMutex());
@@ -96,15 +125,16 @@ void RegisterArchiveFormat(const std::string& format_id,
 }
 
 StatusOr<ArchiveFormatInfo> SniffArchiveFile(const std::string& path) {
-  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  RLZ_ASSIGN_OR_RETURN(RawContainerFile raw, ReadContainerFile(path, {}));
   ArchiveFormatInfo info;
-  if (IsLegacyRlzV1(raw)) {
+  if (IsLegacyRlzV1(raw.view)) {
     info.format_id = RlzArchive::kFormatId;
     info.version = 1;
     return info;
   }
-  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope,
-                       ParsedEnvelope::FromBytes(std::move(raw), path));
+  RLZ_ASSIGN_OR_RETURN(
+      ParsedEnvelope envelope,
+      ParsedEnvelope::FromView(raw.view, std::move(raw.owner), path));
   info.format_id = envelope.format_id();
   info.version = envelope.version();
   return info;
@@ -113,23 +143,28 @@ StatusOr<ArchiveFormatInfo> SniffArchiveFile(const std::string& path) {
 StatusOr<std::unique_ptr<Archive>> OpenArchive(const std::string& path,
                                                const OpenOptions& options,
                                                ArchiveFormatInfo* sniffed) {
-  RLZ_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
-  if (IsLegacyRlzV1(raw)) {
+  RLZ_ASSIGN_OR_RETURN(RawContainerFile raw, ReadContainerFile(path, options));
+  if (IsLegacyRlzV1(raw.view)) {
     if (sniffed != nullptr) {
       sniffed->format_id = RlzArchive::kFormatId;
       sniffed->version = 1;
     }
+    // The legacy loader owns its bytes; a copy off the mapping is fine
+    // for a format that exists only for compatibility.
     RLZ_ASSIGN_OR_RETURN(
         std::unique_ptr<RlzArchive> archive,
-        RlzArchive::LoadLegacyV1(std::move(raw), path, options));
+        RlzArchive::LoadLegacyV1(std::string(raw.view), path, options));
     return std::unique_ptr<Archive>(std::move(archive));
   }
-  RLZ_ASSIGN_OR_RETURN(ParsedEnvelope envelope,
-                       ParsedEnvelope::FromBytes(std::move(raw), path));
+  RLZ_ASSIGN_OR_RETURN(
+      ParsedEnvelope envelope,
+      ParsedEnvelope::FromView(raw.view, raw.owner, path));
   if (sniffed != nullptr) {
     sniffed->format_id = envelope.format_id();
     sniffed->version = envelope.version();
   }
+  // Validation scanned sequentially; serving reads point-access.
+  if (raw.map != nullptr) raw.map->Advise(MmapFile::Access::kRandom);
   RLZ_ASSIGN_OR_RETURN(ArchiveLoader loader,
                        FindLoader(envelope.format_id(), path));
   return loader(path, envelope, options);

@@ -14,6 +14,9 @@
 
 namespace rlz {
 
+class FileSystem;
+class MmapFile;
+
 /// Knobs for opening a saved archive.
 struct OpenOptions {
   /// Rebuild dictionary suffix arrays on open. Serving (Get/GetRange)
@@ -31,7 +34,34 @@ struct OpenOptions {
   /// cache (BlockedArchive). 0 means auto-size to two maximum blocks —
   /// the same default the build constructor uses.
   uint64_t cache_bytes = 0;
+  /// Open container files through mmap instead of reading them onto the
+  /// heap. The archive's zero-copy views then point straight into the
+  /// page cache: cold-start cost becomes demand paging plus one CRC
+  /// validation scan, and warm restarts skip the copy entirely
+  /// (EXPERIMENTS.md, "Durability cost"). Ignored when `fs` is set.
+  bool use_mmap = false;
+  /// File system to read through (null means direct POSIX I/O). The
+  /// durable store's recovery path injects its FileSystem here so
+  /// checkpoint shards written through a FaultFs can be reopened from
+  /// the same (possibly simulated) disk.
+  std::shared_ptr<FileSystem> fs;
 };
+
+/// A container file's raw bytes plus whatever keeps them alive.
+struct RawContainerFile {
+  std::string_view view;
+  std::shared_ptr<const void> owner;
+  /// Non-null on the mmap path: lets callers re-advise the access
+  /// pattern after the sequential validation scan.
+  const MmapFile* map = nullptr;
+};
+
+/// Reads `path` honoring `options.fs` (reads route through the injected
+/// file system) and `options.use_mmap` (page-cache mapping, advised
+/// sequential for the validation scan). The single read entry point for
+/// every archive open — pair with ParsedEnvelope::FromView.
+StatusOr<RawContainerFile> ReadContainerFile(const std::string& path,
+                                             const OpenOptions& options);
 
 /// What SniffArchiveFile learned from a container header.
 struct ArchiveFormatInfo {

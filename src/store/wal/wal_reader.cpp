@@ -1,0 +1,116 @@
+#include "store/wal/wal_reader.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rlz {
+namespace wal {
+namespace {
+
+// Durably replaces `path` with `content` (write-new -> fsync -> rename),
+// the same protocol checkpoints use; for truncating a torn segment.
+Status RewriteFile(FileSystem& fs, const std::string& dir,
+                   const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  RLZ_RETURN_IF_ERROR(fs.WriteFileSynced(tmp, content));
+  RLZ_RETURN_IF_ERROR(fs.Rename(tmp, path));
+  return fs.SyncDir(dir);
+}
+
+}  // namespace
+
+StatusOr<ReplayResult> ReplayWal(const std::shared_ptr<FileSystem>& fs,
+                                 const std::string& dir,
+                                 uint64_t covered_lsn, const ReplayFn& apply) {
+  RLZ_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->List(dir));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseSegmentFileName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  ReplayResult result;
+  result.next_lsn = covered_lsn;
+  if (seqs.empty()) return result;
+  for (size_t i = 1; i < seqs.size(); ++i) {
+    if (seqs[i] != seqs[i - 1] + 1) {
+      return Status::Corruption(dir + ": missing wal segment " +
+                                std::to_string(seqs[i - 1] + 1));
+    }
+  }
+
+  uint64_t lsn = 0;
+  bool have_lsn = false;
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    const bool final_segment = (i + 1 == seqs.size());
+    const std::string path = dir + "/" + SegmentFileName(seqs[i]);
+    RLZ_ASSIGN_OR_RETURN(std::string raw, fs->Read(path));
+
+    StatusOr<SegmentHeader> header = DecodeSegmentHeader(raw, path);
+    if (!header.ok()) {
+      if (final_segment && header.status().code() == StatusCode::kCorruption) {
+        // Crash mid-roll: the segment never became appendable, so nothing
+        // in it was acked. Delete it and reuse its sequence number.
+        RLZ_RETURN_IF_ERROR(fs->Remove(path));
+        RLZ_RETURN_IF_ERROR(fs->SyncDir(dir));
+        result.next_seq = seqs[i];
+        result.next_lsn = have_lsn ? lsn : covered_lsn;
+        return result;
+      }
+      return header.status();
+    }
+
+    if (!have_lsn) {
+      // The oldest surviving segment must reach back to (or before) the
+      // checkpoint's coverage; anything else means acked records between
+      // the checkpoint and this segment are gone.
+      if (header->start_lsn > covered_lsn) {
+        return Status::Corruption(
+            path + ": wal starts at lsn " +
+            std::to_string(header->start_lsn) + " but the checkpoint covers "
+            "only up to " + std::to_string(covered_lsn));
+      }
+      lsn = header->start_lsn;
+      have_lsn = true;
+    } else if (header->start_lsn != lsn) {
+      return Status::Corruption(path + ": wal segment starts at lsn " +
+                                std::to_string(header->start_lsn) +
+                                " but its predecessor ended at " +
+                                std::to_string(lsn));
+    }
+
+    std::string_view rest =
+        std::string_view(raw).substr(kSegmentHeaderSize);
+    for (;;) {
+      ParsedRecord record;
+      const FrameStatus frame = ParseRecord(rest, &record);
+      if (frame == FrameStatus::kEnd) break;
+      if (frame == FrameStatus::kTorn) {
+        if (!final_segment) {
+          return Status::Corruption(path +
+                                    ": torn wal frame in a sealed segment");
+        }
+        // The expected crash signature: drop the torn suffix so this
+        // segment is complete if it ever becomes non-final.
+        const size_t valid = raw.size() - rest.size();
+        RLZ_RETURN_IF_ERROR(
+            RewriteFile(*fs, dir, path, std::string_view(raw).substr(0, valid)));
+        result.torn = true;
+        break;
+      }
+      if (lsn >= covered_lsn && apply != nullptr) {
+        RLZ_RETURN_IF_ERROR(apply(lsn, record.type, record.payload));
+        ++result.replayed;
+      }
+      ++lsn;
+      rest.remove_prefix(record.frame_size);
+    }
+    result.next_seq = seqs[i] + 1;
+  }
+  result.next_lsn = lsn;
+  return result;
+}
+
+}  // namespace wal
+}  // namespace rlz

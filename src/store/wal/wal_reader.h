@@ -1,0 +1,65 @@
+#ifndef RLZ_STORE_WAL_WAL_READER_H_
+#define RLZ_STORE_WAL_WAL_READER_H_
+
+/// \file
+/// Replay side of the write-ahead log (DESIGN.md §12).
+///
+/// ReplayWal walks the segment files of a log directory in sequence
+/// order and invokes a callback for every record at or past the
+/// checkpoint's covered LSN. Damage handling is positional:
+///
+///   - A torn or CRC-bad frame in the FINAL segment is the expected
+///     signature of a crash mid-append: replay stops there, reports
+///     `torn`, and truncates the file to its valid prefix so the segment
+///     is complete if a later crash makes it non-final.
+///   - The same damage in any EARLIER segment is Corruption — the roll
+///     protocol synced that segment before creating its successor, so a
+///     synced frame cannot legitimately vanish.
+///   - An unreadable header on the final segment means the crash hit
+///     mid-roll, before any record in it could have been acked: the
+///     segment is deleted and replay succeeds. On a non-final segment it
+///     is Corruption.
+///   - A gap in the segment sequence numbers, or a segment whose start
+///     LSN does not continue its predecessor, is Corruption.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "io/file_system.h"
+#include "store/wal/wal_format.h"
+#include "util/status.h"
+
+namespace rlz {
+namespace wal {
+
+/// What ReplayWal found.
+struct ReplayResult {
+  /// LSN after the last durable record — where the next writer starts.
+  uint64_t next_lsn = 0;
+  /// Sequence number the next segment should use.
+  uint64_t next_seq = 0;
+  /// Number of records delivered to the callback.
+  uint64_t replayed = 0;
+  /// True if the final segment ended in a torn frame (now truncated).
+  bool torn = false;
+};
+
+/// Record callback: (lsn, type, payload). A non-OK return aborts replay
+/// with that status. `payload` is only valid during the call.
+using ReplayFn =
+    std::function<Status(uint64_t, RecordType, std::string_view)>;
+
+/// Replays every record with lsn >= `covered_lsn` from the segments in
+/// `dir`, repairing a torn final segment in place (see file comment).
+/// `apply` may be null to merely validate the log and locate its end.
+StatusOr<ReplayResult> ReplayWal(const std::shared_ptr<FileSystem>& fs,
+                                 const std::string& dir,
+                                 uint64_t covered_lsn, const ReplayFn& apply);
+
+}  // namespace wal
+}  // namespace rlz
+
+#endif  // RLZ_STORE_WAL_WAL_READER_H_

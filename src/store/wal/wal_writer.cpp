@@ -1,0 +1,101 @@
+#include "store/wal/wal_writer.h"
+
+#include <utility>
+
+namespace rlz {
+namespace wal {
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
+    std::shared_ptr<FileSystem> fs, std::string dir, uint64_t generation,
+    uint64_t seq, uint64_t start_lsn, const WalWriterOptions& options) {
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(std::move(fs), std::move(dir), options));
+  writer->next_lsn_ = start_lsn;
+  RLZ_RETURN_IF_ERROR(writer->OpenSegmentLocked(generation, seq));
+  return writer;
+}
+
+Status WalWriter::OpenSegmentLocked(uint64_t generation, uint64_t seq) {
+  const std::string path = dir_ + "/" + SegmentFileName(seq);
+  RLZ_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       fs_->Create(path));
+  SegmentHeader header;
+  header.generation = generation;
+  header.start_lsn = next_lsn_;
+  RLZ_RETURN_IF_ERROR(file->Append(EncodeSegmentHeader(header)));
+  // The header and the directory entry must be durable before any record
+  // in this segment is acked — see the roll protocol in the file comment.
+  RLZ_RETURN_IF_ERROR(file->Sync());
+  RLZ_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+  file_ = std::move(file);
+  generation_ = generation;
+  seq_ = seq;
+  segment_bytes_ = kSegmentHeaderSize;
+  unsynced_records_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+  return Status::OK();
+}
+
+StatusOr<uint64_t> WalWriter::Append(RecordType type,
+                                     std::string_view payload) {
+  if (file_ == nullptr) {
+    return Status::Internal("wal writer: append after close");
+  }
+  if (segment_bytes_ > kSegmentHeaderSize &&
+      segment_bytes_ + kFrameOverhead + payload.size() >
+          options_.segment_bytes) {
+    RLZ_RETURN_IF_ERROR(Roll(generation_));
+  }
+  const std::string frame = EncodeRecord(type, payload);
+  RLZ_RETURN_IF_ERROR(file_->Append(frame));
+  segment_bytes_ += frame.size();
+  const uint64_t lsn = next_lsn_++;
+  ++unsynced_records_;
+  RLZ_RETURN_IF_ERROR(MaybeSyncLocked());
+  return lsn;
+}
+
+Status WalWriter::MaybeSyncLocked() {
+  if (unsynced_records_ == 0) return Status::OK();
+  bool due = options_.fsync_every_n > 0 &&
+             unsynced_records_ >= options_.fsync_every_n;
+  if (!due && options_.fsync_interval_ms > 0) {
+    const auto elapsed = std::chrono::steady_clock::now() - last_sync_;
+    due = elapsed >= std::chrono::milliseconds(options_.fsync_interval_ms);
+  }
+  if (!due) return Status::OK();
+  return Sync();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) {
+    return Status::Internal("wal writer: sync after close");
+  }
+  RLZ_RETURN_IF_ERROR(file_->Sync());
+  unsynced_records_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  RLZ_RETURN_IF_ERROR(file_->Sync());
+  const Status status = file_->Close();
+  file_ = nullptr;
+  return status;
+}
+
+Status WalWriter::Roll(uint64_t generation) {
+  if (file_ == nullptr) {
+    return Status::Internal("wal writer: roll after close");
+  }
+  // Seal the old segment durably first so recovery's invariant holds:
+  // once a newer segment exists, every older one is complete.
+  RLZ_RETURN_IF_ERROR(file_->Sync());
+  RLZ_RETURN_IF_ERROR(file_->Close());
+  file_ = nullptr;
+  return OpenSegmentLocked(generation, seq_ + 1);
+}
+
+}  // namespace wal
+}  // namespace rlz

@@ -1,0 +1,106 @@
+#ifndef RLZ_STORE_WAL_WAL_WRITER_H_
+#define RLZ_STORE_WAL_WAL_WRITER_H_
+
+/// \file
+/// Appending side of the write-ahead log (DESIGN.md §12).
+///
+/// One WalWriter owns the live tail segment. Appends are framed
+/// (wal_format.h), rolled into a new segment when the current one
+/// reaches its size budget, and made durable under a group-commit
+/// policy: `fsync_every_n` appends per fsync (1 = every append is
+/// durable before it returns — the default and the crash-test setting),
+/// or an `fsync_interval_ms` deadline for throughput-oriented callers
+/// who accept a bounded loss window. Callers needing a hard barrier at
+/// an arbitrary point (checkpoint) use Sync().
+///
+/// Segment-roll protocol: the old segment is synced and closed, the new
+/// one is created, its header written and synced, and the directory
+/// synced — all before any record lands in it. This keeps the invariant
+/// recovery depends on: only the *final* segment may end torn; every
+/// earlier segment is durably complete.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "io/file_system.h"
+#include "store/wal/wal_format.h"
+#include "util/status.h"
+
+namespace rlz {
+namespace wal {
+
+/// Durability policy knobs. The defaults ack nothing that could be lost.
+struct WalWriterOptions {
+  /// Roll to a new segment once the current one exceeds this.
+  uint64_t segment_bytes = 4ull << 20;
+  /// Fsync after every n-th appended record. 1 = sync every append
+  /// (strict durability); larger values batch appends behind one
+  /// barrier and lose at most n-1 acked records on crash.
+  int fsync_every_n = 1;
+  /// If > 0, also fsync whenever this many milliseconds have passed
+  /// since the last barrier — bounds the loss *window* when
+  /// fsync_every_n is large and traffic is slow.
+  int fsync_interval_ms = 0;
+};
+
+/// See the file comment.
+class WalWriter {
+ public:
+  /// Starts a fresh segment `seq` whose first record will carry
+  /// `start_lsn`, stamped with `generation`. The segment (header
+  /// included) and its directory entry are durable when this returns —
+  /// recovery never has to guess whether the newest segment exists.
+  static StatusOr<std::unique_ptr<WalWriter>> Create(
+      std::shared_ptr<FileSystem> fs, std::string dir, uint64_t generation,
+      uint64_t seq, uint64_t start_lsn, const WalWriterOptions& options);
+
+  /// Appends one record and applies the group-commit policy; returns the
+  /// record's LSN. When this returns OK under fsync_every_n == 1 the
+  /// record is durable.
+  StatusOr<uint64_t> Append(RecordType type, std::string_view payload);
+
+  /// Explicit durability barrier over everything appended so far.
+  Status Sync();
+
+  /// Closes the current segment (with a final Sync). The writer is
+  /// unusable afterwards.
+  Status Close();
+
+  /// Rolls to a fresh segment stamped `generation`, regardless of size.
+  /// The checkpoint protocol calls this at the covered LSN so checkpoint
+  /// coverage always lands on a segment boundary.
+  Status Roll(uint64_t generation);
+
+  /// LSN the next appended record will receive.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Sequence number of the segment currently being written.
+  uint64_t segment_seq() const { return seq_; }
+
+ private:
+  WalWriter(std::shared_ptr<FileSystem> fs, std::string dir,
+            const WalWriterOptions& options)
+      : fs_(std::move(fs)), dir_(std::move(dir)), options_(options) {}
+
+  Status OpenSegmentLocked(uint64_t generation, uint64_t seq);
+  Status MaybeSyncLocked();
+
+  std::shared_ptr<FileSystem> fs_;
+  std::string dir_;
+  WalWriterOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t generation_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t next_lsn_ = 0;
+  uint64_t segment_bytes_ = 0;  // bytes written to the current segment
+  int unsynced_records_ = 0;
+  std::chrono::steady_clock::time_point last_sync_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace wal
+}  // namespace rlz
+
+#endif  // RLZ_STORE_WAL_WAL_WRITER_H_

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -465,6 +466,98 @@ TEST(LiveStoreTest, ReadsV1ManifestAsFrozenStore) {
   EXPECT_EQ(doc, collection.doc(1));
   EXPECT_EQ(reopened->Append("frozen").status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(LiveStoreTest, SealedTailTombstonesSurviveManifestRoundTrip) {
+  // Regression: the tail tombstone bitmap is lazily sized to the tail
+  // length at its last delete. Sealing used to carry the narrow bitmap
+  // into the sealed shard, and a later delete in that shard copied it at
+  // the narrow width — Bitmap::Set past size() made CountSet() and the
+  // serialized index list disagree, corrupting every manifest written
+  // afterwards.
+  const Collection collection = TestCollection(1 << 17, 141);
+  auto store = SmallLiveStore(collection);
+  const size_t base = store->num_docs();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store->Append("tail doc " + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store->Delete(base).ok());  // bitmap now sized to tail pos 0
+  ASSERT_TRUE(store->SealTail().ok());
+  ASSERT_TRUE(store->Delete(base + 3).ok());  // beyond the narrow bitmap
+
+  const std::string path = TempPath("live_sealed_tombstones.sharded");
+  ASSERT_TRUE(store->Save(path).ok());
+  auto reopened_or = ShardedStore::Open(path);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  std::string doc;
+  EXPECT_EQ(reopened->Get(base, &doc).code(), StatusCode::kNotFound);
+  EXPECT_EQ(reopened->Get(base + 3, &doc).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(reopened->Get(base + 1, &doc).ok());
+  EXPECT_EQ(doc, "tail doc 1");
+  ASSERT_TRUE(reopened->Get(base + 2, &doc).ok());
+  EXPECT_EQ(doc, "tail doc 2");
+}
+
+// ---------------------------------------------------------------------------
+// Durable (WAL'd) stores
+
+TEST(LiveStoreTest, AckedAppendSurvivesReopenWithoutSave) {
+  // The durability contract from the store's side: once Append returns
+  // OK on a durable store, the document survives a reopen with no Save,
+  // no Checkpoint, and no clean shutdown protocol — recovery replays it
+  // from the WAL.
+  const Collection collection = TestCollection(1 << 17, 151);
+  const std::string dir = TempPath("live_durable_dir");
+  std::filesystem::remove_all(dir);
+  size_t base = 0;
+  {
+    auto store = SmallLiveStore(collection);
+    base = store->num_docs();
+    ASSERT_TRUE(store->MakeDurable(dir).ok());
+    EXPECT_TRUE(store->durable());
+    ASSERT_TRUE(store->Append("acked and durable").ok());
+    ASSERT_TRUE(store->Delete(0).ok());
+  }
+  ShardedStore::RecoveryReport report;
+  auto reopened_or = ShardedStore::OpenDurable(dir, {}, {}, nullptr, &report);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  EXPECT_EQ(report.replayed_records, 2u);
+  std::string doc;
+  ASSERT_TRUE(reopened->Get(base, &doc).ok());
+  EXPECT_EQ(doc, "acked and durable");
+  EXPECT_EQ(reopened->Get(0, &doc).code(), StatusCode::kNotFound);
+}
+
+TEST(LiveStoreTest, PlainSaveOpenStoresStayNonDurable) {
+  // Pre-WAL persistence is untouched by the durability layer: a plain
+  // Save/Open round trip yields a live, writable, non-durable store that
+  // can still opt into a WAL afterwards.
+  const Collection collection = TestCollection(1 << 17, 161);
+  auto store = SmallLiveStore(collection);
+  const std::string path = TempPath("live_non_durable.sharded");
+  ASSERT_TRUE(store->Save(path).ok());
+
+  auto reopened_or = ShardedStore::Open(path);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  EXPECT_FALSE(reopened->durable());
+  EXPECT_FALSE(reopened->read_only());
+  EXPECT_EQ(reopened->Checkpoint().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reopened->SyncWal().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(reopened->Append("still live").ok());
+
+  const std::string dir = TempPath("live_upgraded_dir");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(reopened->MakeDurable(dir).ok());
+  EXPECT_TRUE(reopened->durable());
+  auto durable_or = ShardedStore::OpenDurable(dir);
+  ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+  std::string doc;
+  ASSERT_TRUE(
+      durable_or.value()->Get(collection.num_docs(), &doc).ok());
+  EXPECT_EQ(doc, "still live");
 }
 
 // ---------------------------------------------------------------------------

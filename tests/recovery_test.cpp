@@ -1,0 +1,1269 @@
+// Crash-safe persistence tests (DESIGN.md §12): WAL framing, segment
+// rolls, torn-tail truncation, the checkpoint commit protocol, and — the
+// heart of the suite — kill-at-every-fsync crash injection through
+// FaultFs: the writer is killed at every durability barrier the workload
+// crosses, recovery runs against exactly what a fresh process would find
+// on disk, and the recovered store must hold every acknowledged mutation
+// and nothing that was never appended. The whole file carries the
+// `durability` ctest label and runs under ASan in CI.
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dictionary.h"
+#include "core/rlz_archive.h"
+#include "corpus/generator.h"
+#include "io/fault_fs.h"
+#include "io/file.h"
+#include "io/file_system.h"
+#include "serve/sharded_store.h"
+#include "store/open_archive.h"
+#include "store/wal/checkpoint.h"
+#include "store/wal/wal_format.h"
+#include "store/wal/wal_reader.h"
+#include "store/wal/wal_writer.h"
+#include "util/random.h"
+
+namespace rlz {
+namespace {
+
+Collection TestCollection(size_t target_bytes, uint64_t seed) {
+  CorpusOptions options;
+  options.target_bytes = target_bytes;
+  options.seed = seed;
+  return GenerateCorpus(options).collection;
+}
+
+// A tiny live store, deterministic for a given collection: crash sweeps
+// rebuild it from scratch every iteration.
+std::unique_ptr<ShardedStore> TinyStore(const Collection& collection) {
+  ShardedStoreOptions options;
+  options.num_shards = 2;
+  options.dict_bytes = 1 << 12;
+  options.live.tail_seal_bytes = 0;  // tests seal explicitly
+  return ShardedStore::Build(collection, options);
+}
+
+// A fresh (empty) directory under the test temp root, on the real disk.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadRaw(const std::string& path) {
+  auto raw = ReadFile(path);
+  EXPECT_TRUE(raw.ok()) << path;
+  return raw.ok() ? std::move(raw).value() : std::string();
+}
+
+// The short documents the crash workloads append: small enough that the
+// byte-level fuzz sweeps stay fast.
+std::vector<std::string> SmallDocs(size_t n) {
+  std::vector<std::string> docs;
+  for (size_t i = 0; i < n; ++i) {
+    docs.push_back("tail document " + std::to_string(i) +
+                   " -- the quick brown fox jumps over the lazy dog");
+  }
+  return docs;
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs: the crash-injection harness itself
+
+TEST(FaultFsTest, SyncMakesContentPrefixDurable) {
+  auto fs = std::make_shared<FaultFs>();
+  ASSERT_TRUE(fs->CreateDir("/d").ok());
+  auto file_or = fs->Create("/d/f");
+  ASSERT_TRUE(file_or.ok());
+  auto file = std::move(file_or).value();
+  ASSERT_TRUE(file->Append("synced").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append(" not synced").ok());
+  ASSERT_TRUE(fs->SyncDir("/d").ok());  // the *entry* is durable either way
+
+  // The running process sees everything; a post-crash process sees only
+  // the synced prefix.
+  auto live = fs->Read("/d/f");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, "synced not synced");
+  auto clone = fs->DurableClone();
+  auto durable = clone->Read("/d/f");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, "synced");
+}
+
+TEST(FaultFsTest, NamespaceOpsRequireSyncDir) {
+  auto fs = std::make_shared<FaultFs>();
+  ASSERT_TRUE(fs->CreateDir("/d").ok());
+  {
+    auto file = std::move(fs->Create("/d/a")).value();
+    ASSERT_TRUE(file->Append("aa").ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  // Contents are synced but the directory entry is not: a crash now
+  // loses the file entirely.
+  EXPECT_FALSE(fs->DurableClone()->Exists("/d/a"));
+  ASSERT_TRUE(fs->SyncDir("/d").ok());
+  EXPECT_TRUE(fs->DurableClone()->Exists("/d/a"));
+
+  // Rename: visible immediately, durable only after SyncDir.
+  ASSERT_TRUE(fs->Rename("/d/a", "/d/b").ok());
+  EXPECT_TRUE(fs->Exists("/d/b"));
+  auto before = fs->DurableClone();
+  EXPECT_TRUE(before->Exists("/d/a"));
+  EXPECT_FALSE(before->Exists("/d/b"));
+  ASSERT_TRUE(fs->SyncDir("/d").ok());
+  auto after = fs->DurableClone();
+  EXPECT_FALSE(after->Exists("/d/a"));
+  EXPECT_TRUE(after->Exists("/d/b"));
+}
+
+TEST(FaultFsTest, CrashBeforeBarrierSyncsNothing) {
+  auto fs = std::make_shared<FaultFs>();
+  ASSERT_TRUE(fs->CreateDir("/d").ok());
+  auto file = std::move(fs->Create("/d/f")).value();
+  ASSERT_TRUE(fs->SyncDir("/d").ok());
+  ASSERT_TRUE(file->Append("doomed").ok());
+
+  fs->ArmCrash(/*at_sync=*/1, /*before=*/true);
+  EXPECT_FALSE(file->Sync().ok());  // the barrier itself fails
+  EXPECT_TRUE(fs->crashed());
+  EXPECT_FALSE(file->Append("x").ok());  // everything after is dead
+  auto clone = fs->DurableClone();
+  auto durable = clone->Read("/d/f");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, "");  // the doomed bytes never became durable
+}
+
+TEST(FaultFsTest, CrashAfterBarrierKeepsThatBarrier) {
+  auto fs = std::make_shared<FaultFs>();
+  ASSERT_TRUE(fs->CreateDir("/d").ok());
+  auto file = std::move(fs->Create("/d/f")).value();
+  ASSERT_TRUE(fs->SyncDir("/d").ok());
+  ASSERT_TRUE(file->Append("kept").ok());
+
+  fs->ArmCrash(/*at_sync=*/1, /*before=*/false);
+  EXPECT_TRUE(file->Sync().ok());  // this barrier completes...
+  EXPECT_TRUE(fs->crashed());
+  EXPECT_FALSE(file->Sync().ok());  // ...and the next one is dead
+  auto durable = fs->DurableClone()->Read("/d/f");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, "kept");
+}
+
+// ---------------------------------------------------------------------------
+// WAL on-disk format
+
+TEST(WalFormatTest, SegmentHeaderRoundTripAndDamage) {
+  wal::SegmentHeader header;
+  header.generation = 7;
+  header.start_lsn = 123456789;
+  const std::string encoded = wal::EncodeSegmentHeader(header);
+  ASSERT_EQ(encoded.size(), wal::kSegmentHeaderSize);
+
+  auto decoded = wal::DecodeSegmentHeader(encoded, "test");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->generation, 7u);
+  EXPECT_EQ(decoded->start_lsn, 123456789u);
+
+  // Truncation, bad magic, and a flipped byte are all Corruption; only a
+  // future version is InvalidArgument (an upgrade problem, not damage).
+  EXPECT_EQ(wal::DecodeSegmentHeader(
+                std::string_view(encoded).substr(0, encoded.size() - 1), "t")
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  std::string bad_magic = encoded;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(wal::DecodeSegmentHeader(bad_magic, "t").status().code(),
+            StatusCode::kCorruption);
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string flipped = encoded;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x20);
+    auto status = wal::DecodeSegmentHeader(flipped, "t").status();
+    EXPECT_FALSE(status.ok()) << "byte " << i;
+    EXPECT_TRUE(status.code() == StatusCode::kCorruption ||
+                status.code() == StatusCode::kInvalidArgument)
+        << "byte " << i;
+  }
+}
+
+TEST(WalFormatTest, RecordFrameRoundTripAndTruncation) {
+  const std::string frame =
+      wal::EncodeRecord(wal::RecordType::kAppend, "payload bytes");
+  wal::ParsedRecord record;
+  ASSERT_EQ(wal::ParseRecord(frame, &record), wal::FrameStatus::kOk);
+  EXPECT_EQ(record.type, wal::RecordType::kAppend);
+  EXPECT_EQ(record.payload, "payload bytes");
+  EXPECT_EQ(record.frame_size, frame.size());
+
+  EXPECT_EQ(wal::ParseRecord("", &record), wal::FrameStatus::kEnd);
+  // Every proper prefix is torn, never Ok and never a crash.
+  for (size_t len = 1; len < frame.size(); ++len) {
+    EXPECT_EQ(wal::ParseRecord(std::string_view(frame).substr(0, len),
+                               &record),
+              wal::FrameStatus::kTorn)
+        << "prefix " << len;
+  }
+  // A flipped payload byte fails the CRC.
+  std::string flipped = frame;
+  flipped[6] = static_cast<char>(flipped[6] ^ 0x01);
+  EXPECT_EQ(wal::ParseRecord(flipped, &record), wal::FrameStatus::kTorn);
+  // An unknown type byte is torn even though length and CRC could parse.
+  std::string bad_type = frame;
+  bad_type[0] = 99;
+  EXPECT_EQ(wal::ParseRecord(bad_type, &record), wal::FrameStatus::kTorn);
+}
+
+TEST(WalFormatTest, SegmentFileNameRoundTrip) {
+  uint64_t seq = 0;
+  EXPECT_EQ(wal::SegmentFileName(42), "wal-0000000000000042.log");
+  EXPECT_TRUE(wal::ParseSegmentFileName("wal-0000000000000042.log", &seq));
+  EXPECT_EQ(seq, 42u);
+  EXPECT_FALSE(wal::ParseSegmentFileName("wal-42.log", &seq));
+  EXPECT_FALSE(wal::ParseSegmentFileName("wal-00000000000000x2.log", &seq));
+  EXPECT_FALSE(wal::ParseSegmentFileName("wal-0000000000000042.tmp", &seq));
+  EXPECT_FALSE(wal::ParseSegmentFileName("ckpt-0000000000000001.meta", &seq));
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter / ReplayWal
+
+// Replays `dir` collecting (lsn, type, payload) triples.
+struct ReplayedRecord {
+  uint64_t lsn;
+  wal::RecordType type;
+  std::string payload;
+};
+
+StatusOr<wal::ReplayResult> Replay(const std::shared_ptr<FileSystem>& fs,
+                                   const std::string& dir,
+                                   uint64_t covered_lsn,
+                                   std::vector<ReplayedRecord>* out) {
+  return wal::ReplayWal(
+      fs, dir, covered_lsn,
+      [out](uint64_t lsn, wal::RecordType type, std::string_view payload) {
+        out->push_back({lsn, type, std::string(payload)});
+        return Status::OK();
+      });
+}
+
+TEST(WalTest, AppendAndReplayRoundTrip) {
+  const std::string dir = FreshDir("wal_roundtrip");
+  auto fs = DefaultFileSystem();
+  wal::WalWriterOptions options;
+  auto writer_or = wal::WalWriter::Create(fs, dir, /*generation=*/1,
+                                          /*seq=*/0, /*start_lsn=*/0, options);
+  ASSERT_TRUE(writer_or.ok()) << writer_or.status().ToString();
+  auto writer = std::move(writer_or).value();
+
+  auto lsn0 = writer->Append(wal::RecordType::kAppend, "doc zero");
+  ASSERT_TRUE(lsn0.ok());
+  EXPECT_EQ(*lsn0, 0u);
+  std::string delete_payload;
+  wal::PutFixed64(&delete_payload, 3);
+  ASSERT_TRUE(writer->Append(wal::RecordType::kDelete, delete_payload).ok());
+  auto lsn2 = writer->Append(wal::RecordType::kSeal, "");
+  ASSERT_TRUE(lsn2.ok());
+  EXPECT_EQ(*lsn2, 2u);
+  ASSERT_TRUE(writer->Close().ok());
+
+  std::vector<ReplayedRecord> records;
+  auto result = Replay(fs, dir, /*covered_lsn=*/0, &records);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->next_lsn, 3u);
+  EXPECT_EQ(result->next_seq, 1u);
+  EXPECT_EQ(result->replayed, 3u);
+  EXPECT_FALSE(result->torn);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].lsn, 0u);
+  EXPECT_EQ(records[0].payload, "doc zero");
+  EXPECT_EQ(records[1].type, wal::RecordType::kDelete);
+  EXPECT_EQ(records[2].type, wal::RecordType::kSeal);
+
+  // Replaying from a later coverage point skips what the checkpoint holds.
+  records.clear();
+  result = Replay(fs, dir, /*covered_lsn=*/2, &records);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].lsn, 2u);
+}
+
+TEST(WalTest, RollingKeepsEverySegmentReplayable) {
+  const std::string dir = FreshDir("wal_roll");
+  auto fs = DefaultFileSystem();
+  wal::WalWriterOptions options;
+  options.segment_bytes = 64;  // force a roll on nearly every append
+  auto writer = std::move(wal::WalWriter::Create(fs, dir, 1, 0, 0, options)).value();
+  const size_t n = 20;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(writer
+                    ->Append(wal::RecordType::kAppend,
+                             "record number " + std::to_string(i))
+                    .ok());
+  }
+  EXPECT_GT(writer->segment_seq(), 2u);  // it really rolled
+  ASSERT_TRUE(writer->Close().ok());
+
+  std::vector<ReplayedRecord> records;
+  auto result = Replay(fs, dir, 0, &records);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->next_lsn, n);
+  ASSERT_EQ(records.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(records[i].lsn, i);
+    EXPECT_EQ(records[i].payload, "record number " + std::to_string(i));
+  }
+}
+
+TEST(WalTest, TornFinalFrameTruncatesAndReports) {
+  const std::string dir = FreshDir("wal_torn");
+  auto fs = DefaultFileSystem();
+  auto writer = std::move(wal::WalWriter::Create(fs, dir, 1, 0, 0, {})).value();
+  ASSERT_TRUE(writer->Append(wal::RecordType::kAppend, "kept record").ok());
+  ASSERT_TRUE(writer->Append(wal::RecordType::kAppend, "torn record").ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Tear the last frame: drop its final 3 bytes (inside the CRC).
+  const std::string path = dir + "/" + wal::SegmentFileName(0);
+  const std::string pristine = ReadRaw(path);
+  ASSERT_TRUE(WriteFile(path, std::string_view(pristine)
+                                  .substr(0, pristine.size() - 3))
+                  .ok());
+
+  std::vector<ReplayedRecord> records;
+  auto result = Replay(fs, dir, 0, &records);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->torn);
+  EXPECT_EQ(result->next_lsn, 1u);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "kept record");
+
+  // The torn suffix was truncated away in place: a second replay is
+  // clean, and the file ends exactly at the last valid frame.
+  records.clear();
+  result = Replay(fs, dir, 0, &records);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->torn);
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(WalTest, EveryTruncationOfFinalSegmentRecovers) {
+  // Build one segment's bytes in memory, then replay every possible
+  // truncation point: recovery must yield exactly the complete-frame
+  // prefix (or remove the segment when even the header is gone) — and
+  // must never fail or crash on a pure truncation.
+  wal::SegmentHeader header;
+  header.generation = 1;
+  header.start_lsn = 0;
+  std::string segment = wal::EncodeSegmentHeader(header);
+  std::vector<size_t> frame_ends;  // byte offsets of complete frames
+  for (int i = 0; i < 4; ++i) {
+    segment += wal::EncodeRecord(wal::RecordType::kAppend,
+                                 "record " + std::to_string(i));
+    frame_ends.push_back(segment.size());
+  }
+
+  for (size_t len = 0; len <= segment.size(); ++len) {
+    auto fs = std::make_shared<FaultFs>();
+    ASSERT_TRUE(fs->CreateDir("/w").ok());
+    {
+      auto file = std::move(fs->Create("/w/" + wal::SegmentFileName(0))).value();
+      ASSERT_TRUE(file->Append(std::string_view(segment).substr(0, len)).ok());
+      ASSERT_TRUE(file->Sync().ok());
+    }
+    ASSERT_TRUE(fs->SyncDir("/w").ok());
+
+    std::vector<ReplayedRecord> records;
+    auto result = Replay(fs, "/w", 0, &records);
+    ASSERT_TRUE(result.ok()) << "len " << len << ": "
+                             << result.status().ToString();
+    if (len < wal::kSegmentHeaderSize) {
+      // Crash mid-roll: the unreadable final segment is deleted and its
+      // sequence number reused.
+      EXPECT_EQ(result->next_seq, 0u) << "len " << len;
+      EXPECT_TRUE(records.empty()) << "len " << len;
+      EXPECT_FALSE(fs->Exists("/w/" + wal::SegmentFileName(0)))
+          << "len " << len;
+    } else {
+      const size_t complete =
+          std::count_if(frame_ends.begin(), frame_ends.end(),
+                        [len](size_t end) { return end <= len; });
+      EXPECT_EQ(records.size(), complete) << "len " << len;
+      EXPECT_EQ(result->next_lsn, complete) << "len " << len;
+      const bool on_boundary =
+          len == wal::kSegmentHeaderSize ||
+          std::find(frame_ends.begin(), frame_ends.end(), len) !=
+              frame_ends.end();
+      EXPECT_EQ(result->torn, !on_boundary) << "len " << len;
+    }
+  }
+}
+
+TEST(WalTest, DamageInSealedSegmentIsCorruption) {
+  const std::string dir = FreshDir("wal_sealed_damage");
+  auto fs = DefaultFileSystem();
+  wal::WalWriterOptions options;
+  options.segment_bytes = 64;
+  auto writer = std::move(wal::WalWriter::Create(fs, dir, 1, 0, 0, options)).value();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(writer
+                    ->Append(wal::RecordType::kAppend,
+                             "padding record " + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Flip one payload byte in segment 0 — a sealed (non-final) segment.
+  const std::string path = dir + "/" + wal::SegmentFileName(0);
+  std::string damaged = ReadRaw(path);
+  damaged[wal::kSegmentHeaderSize + 8] ^= 0x01;
+  ASSERT_TRUE(WriteFile(path, damaged).ok());
+
+  std::vector<ReplayedRecord> records;
+  auto result = Replay(fs, dir, 0, &records);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalTest, MissingSegmentIsCorruption) {
+  const std::string dir = FreshDir("wal_gap");
+  auto fs = DefaultFileSystem();
+  wal::WalWriterOptions options;
+  options.segment_bytes = 64;
+  auto writer = std::move(wal::WalWriter::Create(fs, dir, 1, 0, 0, options)).value();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(writer
+                    ->Append(wal::RecordType::kAppend,
+                             "padding record " + std::to_string(i))
+                    .ok());
+  }
+  const uint64_t last_seq = writer->segment_seq();
+  ASSERT_GE(last_seq, 2u);
+  ASSERT_TRUE(writer->Close().ok());
+  ASSERT_TRUE(fs->Remove(dir + "/" + wal::SegmentFileName(1)).ok());
+
+  std::vector<ReplayedRecord> records;
+  auto result = Replay(fs, dir, 0, &records);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint protocol primitives
+
+TEST(CheckpointTest, CurrentPointerRoundTrip) {
+  auto fs = std::make_shared<FaultFs>();
+  ASSERT_TRUE(fs->CreateDir("/c").ok());
+  EXPECT_EQ(wal::ReadCurrent(*fs, "/c").status().code(),
+            StatusCode::kNotFound);
+
+  wal::CheckpointInfo info;
+  info.generation = 3;
+  info.covered_lsn = 17;
+  info.manifest = wal::CheckpointManifestFileName(3);
+  ASSERT_TRUE(wal::WriteCheckpointMeta(*fs, "/c", info).ok());
+  ASSERT_TRUE(wal::WriteCurrent(*fs, "/c", 3).ok());
+
+  auto current = wal::ReadCurrent(*fs, "/c");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 3u);
+  auto read = wal::ReadCheckpointMeta(*fs, "/c", 3);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->covered_lsn, 17u);
+  EXPECT_EQ(read->manifest, info.manifest);
+
+  // The swap is atomic: no CURRENT.tmp survives a completed WriteCurrent
+  // in the durable view.
+  EXPECT_FALSE(fs->DurableClone()->Exists("/c/CURRENT.tmp"));
+}
+
+TEST(CheckpointTest, ListCheckpointsSkipsDamagedMetas) {
+  auto fs = std::make_shared<FaultFs>();
+  ASSERT_TRUE(fs->CreateDir("/c").ok());
+  for (uint64_t gen : {1, 2, 3}) {
+    wal::CheckpointInfo info;
+    info.generation = gen;
+    info.covered_lsn = gen * 10;
+    info.manifest = wal::CheckpointManifestFileName(gen);
+    ASSERT_TRUE(wal::WriteCheckpointMeta(*fs, "/c", info).ok());
+  }
+  // Damage the newest meta: the scan must skip it and fall back to gen 2.
+  {
+    auto file = std::move(fs->Create("/c/" + wal::CheckpointMetaFileName(3))).value();
+    ASSERT_TRUE(file->Append("garbage").ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto list = wal::ListCheckpoints(*fs, "/c");
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0].generation, 2u);  // newest readable first
+  EXPECT_EQ((*list)[1].generation, 1u);
+}
+
+TEST(CheckpointTest, GarbageCollectRemovesSupersededFiles) {
+  auto fs = std::make_shared<FaultFs>();
+  ASSERT_TRUE(fs->CreateDir("/c").ok());
+  auto put = [&](const std::string& name, const std::string& content) {
+    auto file = std::move(fs->Create("/c/" + name)).value();
+    ASSERT_TRUE(file->Append(content).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  };
+  // Old and new checkpoint generations plus a stale tmp.
+  put(wal::CheckpointMetaFileName(1), "old");
+  put(wal::CheckpointManifestFileName(1), "old");
+  put(wal::CheckpointMetaFileName(2), "new");
+  put(wal::CheckpointManifestFileName(2), "new");
+  put("CURRENT.tmp", "stale");
+  // Three segments: [0,5), [5,9), [9,...). With covered_lsn 9 the first
+  // two are fully covered; the final one is live.
+  for (uint64_t seq : {0, 1, 2}) {
+    wal::SegmentHeader header;
+    header.generation = 2;
+    header.start_lsn = seq == 0 ? 0 : (seq == 1 ? 5 : 9);
+    put(wal::SegmentFileName(seq), wal::EncodeSegmentHeader(header));
+  }
+  ASSERT_TRUE(fs->SyncDir("/c").ok());
+
+  wal::CheckpointInfo keep;
+  keep.generation = 2;
+  keep.covered_lsn = 9;
+  keep.manifest = wal::CheckpointManifestFileName(2);
+  ASSERT_TRUE(wal::GarbageCollect(*fs, "/c", keep).ok());
+
+  EXPECT_FALSE(fs->Exists("/c/" + wal::CheckpointMetaFileName(1)));
+  EXPECT_FALSE(fs->Exists("/c/" + wal::CheckpointManifestFileName(1)));
+  EXPECT_FALSE(fs->Exists("/c/CURRENT.tmp"));
+  EXPECT_FALSE(fs->Exists("/c/" + wal::SegmentFileName(0)));
+  EXPECT_FALSE(fs->Exists("/c/" + wal::SegmentFileName(1)));
+  EXPECT_TRUE(fs->Exists("/c/" + wal::SegmentFileName(2)));
+  EXPECT_TRUE(fs->Exists("/c/" + wal::CheckpointMetaFileName(2)));
+  EXPECT_TRUE(fs->Exists("/c/" + wal::CheckpointManifestFileName(2)));
+}
+
+// ---------------------------------------------------------------------------
+// Durable ShardedStore: round trips on a healthy disk
+
+TEST(RecoveryTest, MakeDurableReopensIdentical) {
+  const Collection collection = TestCollection(1 << 14, 201);
+  const std::string dir = FreshDir("recovery_basic");
+  {
+    auto store = TinyStore(collection);
+    ASSERT_TRUE(store->MakeDurable(dir).ok());
+    EXPECT_TRUE(store->durable());
+    EXPECT_FALSE(store->read_only());
+    EXPECT_EQ(store->checkpoint_generation(), 1u);
+  }
+  ShardedStore::RecoveryReport report;
+  auto reopened_or = ShardedStore::OpenDurable(dir, {}, {}, nullptr, &report);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_EQ(report.replayed_records, 0u);  // empty-WAL recovery
+  EXPECT_FALSE(report.torn_tail);
+  ASSERT_EQ(reopened->num_docs(), collection.num_docs());
+  std::string doc;
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    ASSERT_TRUE(reopened->Get(i, &doc).ok());
+    EXPECT_EQ(doc, collection.doc(i));
+  }
+}
+
+TEST(RecoveryTest, AckedAppendsSurviveReopenWithoutSave) {
+  const Collection collection = TestCollection(1 << 14, 211);
+  const std::string dir = FreshDir("recovery_appends");
+  const std::vector<std::string> docs = SmallDocs(5);
+  size_t base = 0;
+  {
+    auto store = TinyStore(collection);
+    base = store->num_docs();
+    ASSERT_TRUE(store->MakeDurable(dir).ok());
+    for (const std::string& doc : docs) {
+      ASSERT_TRUE(store->Append(doc).ok());
+    }
+    // No Save, no Checkpoint, no clean anything beyond the destructor.
+  }
+  ShardedStore::RecoveryReport report;
+  auto reopened_or = ShardedStore::OpenDurable(dir, {}, {}, nullptr, &report);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  EXPECT_EQ(report.replayed_records, docs.size());
+  ASSERT_EQ(reopened->num_docs(), base + docs.size());
+  std::string doc;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    ASSERT_TRUE(reopened->Get(base + i, &doc).ok());
+    EXPECT_EQ(doc, docs[i]);
+  }
+}
+
+TEST(RecoveryTest, DeletesAndSealsReplay) {
+  const Collection collection = TestCollection(1 << 14, 221);
+  const std::string dir = FreshDir("recovery_mixed");
+  const std::vector<std::string> docs = SmallDocs(6);
+  size_t base = 0;
+  int shards_after_seal = 0;
+  {
+    auto store = TinyStore(collection);
+    base = store->num_docs();
+    ASSERT_TRUE(store->MakeDurable(dir).ok());
+    for (size_t i = 0; i < 3; ++i) ASSERT_TRUE(store->Append(docs[i]).ok());
+    ASSERT_TRUE(store->SealTail().ok());
+    shards_after_seal = store->num_shards();
+    for (size_t i = 3; i < docs.size(); ++i) {
+      ASSERT_TRUE(store->Append(docs[i]).ok());
+    }
+    ASSERT_TRUE(store->Delete(0).ok());         // sealed shard
+    ASSERT_TRUE(store->Delete(base + 1).ok());  // sealed tail shard
+    ASSERT_TRUE(store->Delete(base + 4).ok());  // open tail
+  }
+  auto reopened_or = ShardedStore::OpenDurable(dir);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  EXPECT_EQ(reopened->num_shards(), shards_after_seal);
+  ASSERT_EQ(reopened->num_docs(), base + docs.size());
+  std::string doc;
+  EXPECT_EQ(reopened->Get(0, &doc).code(), StatusCode::kNotFound);
+  EXPECT_EQ(reopened->Get(base + 1, &doc).code(), StatusCode::kNotFound);
+  EXPECT_EQ(reopened->Get(base + 4, &doc).code(), StatusCode::kNotFound);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (i == 1 || i == 4) continue;
+    ASSERT_TRUE(reopened->Get(base + i, &doc).ok()) << i;
+    EXPECT_EQ(doc, docs[i]);
+  }
+  // The recovered store is live: it can keep mutating durably.
+  EXPECT_TRUE(reopened->Append("post-recovery doc").ok());
+}
+
+TEST(RecoveryTest, CheckpointPrunesWalAndReopens) {
+  const Collection collection = TestCollection(1 << 14, 231);
+  const std::string dir = FreshDir("recovery_checkpoint");
+  const std::vector<std::string> docs = SmallDocs(4);
+  size_t base = 0;
+  {
+    auto store = TinyStore(collection);
+    base = store->num_docs();
+    ASSERT_TRUE(store->MakeDurable(dir).ok());
+    for (const std::string& doc : docs) ASSERT_TRUE(store->Append(doc).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    EXPECT_EQ(store->checkpoint_generation(), 2u);
+  }
+  // After the checkpoint every pre-checkpoint file is pruned: only
+  // generation-2 checkpoint files and uncovered WAL remain.
+  size_t live_segments = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t value = 0;
+    if (wal::ParseSegmentFileName(name, &value)) {
+      ++live_segments;
+    } else if (name.rfind("ckpt-", 0) == 0) {
+      EXPECT_NE(name.find("0000000000000002"), std::string::npos) << name;
+    }
+  }
+  EXPECT_EQ(live_segments, 1u);  // just the fresh post-roll segment
+
+  ShardedStore::RecoveryReport report;
+  auto reopened_or = ShardedStore::OpenDurable(dir, {}, {}, nullptr, &report);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  EXPECT_EQ(report.generation, 2u);
+  EXPECT_EQ(report.replayed_records, 0u);  // everything was covered
+  ASSERT_EQ(reopened->num_docs(), base + docs.size());
+  std::string doc;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    ASSERT_TRUE(reopened->Get(base + i, &doc).ok());
+    EXPECT_EQ(doc, docs[i]);
+  }
+}
+
+TEST(RecoveryTest, CompactionCheckpointsDurably) {
+  // A bigger collection than the crash sweeps use: compaction needs a
+  // multi-document shard to tombstone.
+  const Collection collection = TestCollection(1 << 18, 241);
+  const std::string dir = FreshDir("recovery_compaction");
+  size_t shard0_docs = 0;
+  uint64_t generation_after = 0;
+  {
+    ShardedStoreOptions options;
+    options.num_shards = 2;
+    options.dict_bytes = 1 << 14;
+    options.live.compact_tombstone_fraction = 0.10;
+    auto store = ShardedStore::Build(collection, options);
+    ASSERT_TRUE(store->MakeDurable(dir).ok());
+    shard0_docs = store->starts(1);
+    ASSERT_GT(shard0_docs, 1u);
+    ASSERT_LT(shard0_docs, store->num_docs());
+    for (size_t i = 0; i < shard0_docs; ++i) {
+      ASSERT_TRUE(store->Delete(i).ok());
+    }
+    auto report = store->CompactOnce();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(report->compacted);
+    generation_after = store->checkpoint_generation();
+    EXPECT_GE(generation_after, 2u);  // the compaction checkpointed
+    std::string live_doc;
+    ASSERT_TRUE(store->Get(shard0_docs, &live_doc).ok())
+        << "pre-shutdown: " << store->Get(shard0_docs, &live_doc).ToString()
+        << " num_docs=" << store->num_docs();
+  }
+  ShardedStore::RecoveryReport report;
+  auto reopened_or = ShardedStore::OpenDurable(dir, {}, {}, nullptr, &report);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  EXPECT_EQ(report.generation, generation_after);
+  std::string doc;
+  EXPECT_EQ(reopened->Get(0, &doc).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(reopened->Get(shard0_docs, &doc).ok())
+      << reopened->Get(shard0_docs, &doc).ToString()
+      << " num_docs=" << reopened->num_docs()
+      << " shard0_docs=" << shard0_docs;
+  EXPECT_EQ(doc, collection.doc(shard0_docs));
+}
+
+TEST(RecoveryTest, ServingOnlyRecoveryIsReadOnly) {
+  const Collection collection = TestCollection(1 << 14, 251);
+  const std::string dir = FreshDir("recovery_serving_only");
+  const std::vector<std::string> docs = SmallDocs(4);
+  size_t base = 0;
+  {
+    auto store = TinyStore(collection);
+    base = store->num_docs();
+    ASSERT_TRUE(store->MakeDurable(dir).ok());
+    for (size_t i = 0; i < 2; ++i) ASSERT_TRUE(store->Append(docs[i]).ok());
+    ASSERT_TRUE(store->SealTail().ok());
+    for (size_t i = 2; i < docs.size(); ++i) {
+      ASSERT_TRUE(store->Append(docs[i]).ok());
+    }
+  }
+  OpenOptions options;
+  options.build_suffix_array = false;
+  auto reopened_or = ShardedStore::OpenDurable(dir, options);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  EXPECT_TRUE(reopened->durable());
+  EXPECT_TRUE(reopened->read_only());
+
+  // Same documents, same bytes — the replayed seal is skipped (the tail
+  // stays raw) but ids and contents are identical.
+  ASSERT_EQ(reopened->num_docs(), base + docs.size());
+  std::string doc;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    ASSERT_TRUE(reopened->Get(base + i, &doc).ok()) << i;
+    EXPECT_EQ(doc, docs[i]);
+  }
+  // Every mutation is disabled, and nothing was written to the dir.
+  EXPECT_EQ(reopened->Append("nope").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reopened->Delete(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reopened->SealTail().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reopened->Checkpoint().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reopened->CompactOnce().status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A full (writable) open of the same directory still works afterwards.
+  auto writable_or = ShardedStore::OpenDurable(dir);
+  ASSERT_TRUE(writable_or.ok()) << writable_or.status().ToString();
+  EXPECT_TRUE((*writable_or)->Append("writable again").ok());
+}
+
+TEST(RecoveryTest, MmapOpenServesByteIdentical) {
+  const Collection collection = TestCollection(1 << 15, 261);
+  const std::string dir = FreshDir("recovery_mmap");
+
+  // Single archive: Save, then Load through mmap.
+  auto dict = DictionaryBuilder::BuildSampled(collection.data(), 1 << 12,
+                                              1024);
+  auto archive = RlzArchive::Build(collection, std::move(dict));
+  const std::string path = dir + "/archive.rlz";
+  ASSERT_TRUE(archive->Save(path).ok());
+  OpenOptions options;
+  options.use_mmap = true;
+  auto mapped_or = RlzArchive::Load(path, options);
+  ASSERT_TRUE(mapped_or.ok()) << mapped_or.status().ToString();
+  auto mapped = std::move(mapped_or).value();
+  std::string doc;
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    ASSERT_TRUE(mapped->Get(i, &doc).ok());
+    EXPECT_EQ(doc, collection.doc(i));
+  }
+
+  // Sharded store: the manifest and every shard open through the map.
+  auto store = TinyStore(collection);
+  const std::string manifest = dir + "/store.sharded";
+  ASSERT_TRUE(store->Save(manifest).ok());
+  auto reopened_or = ShardedStore::Open(manifest, options);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  ASSERT_EQ(reopened->num_docs(), collection.num_docs());
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    ASSERT_TRUE(reopened->Get(i, &doc).ok());
+    EXPECT_EQ(doc, collection.doc(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection: kill the writer at every fsync boundary
+
+// The scripted mixed workload the crash sweeps execute, driving a model
+// of the expected state alongside the store. Op kinds: 'A' append the
+// next doc, 'D' delete (payload = id), 'S' seal, 'C' checkpoint.
+struct ModelOp {
+  char kind;
+  size_t id = 0;  // kDelete only
+};
+
+// The logical corpus a recovered store must match: per-id bytes plus
+// deleted flags. Derived by applying a prefix of the op script.
+struct Model {
+  std::vector<std::string> docs;
+  std::vector<bool> deleted;
+
+  static Model Base(const Collection& collection) {
+    Model model;
+    for (size_t i = 0; i < collection.num_docs(); ++i) {
+      model.docs.emplace_back(collection.doc(i));
+    }
+    model.deleted.assign(model.docs.size(), false);
+    return model;
+  }
+
+  void Apply(const ModelOp& op, const std::vector<std::string>& tail_docs,
+             size_t* next_doc) {
+    switch (op.kind) {
+      case 'A':
+        docs.push_back(tail_docs[(*next_doc)++]);
+        deleted.push_back(false);
+        break;
+      case 'D':
+        deleted[op.id] = true;
+        break;
+      default:  // 'S' and 'C' do not change the logical corpus
+        break;
+    }
+  }
+};
+
+// True if `store` serves exactly the model's corpus.
+bool MatchesModel(const ShardedStore& store, const Model& model,
+                  std::string* why) {
+  if (store.num_docs() != model.docs.size()) {
+    *why = "num_docs " + std::to_string(store.num_docs()) + " vs model " +
+           std::to_string(model.docs.size());
+    return false;
+  }
+  std::string doc;
+  for (size_t i = 0; i < model.docs.size(); ++i) {
+    const Status status = store.Get(i, &doc);
+    if (model.deleted[i]) {
+      if (status.code() != StatusCode::kNotFound) {
+        *why = "id " + std::to_string(i) + " should be deleted";
+        return false;
+      }
+    } else if (!status.ok()) {
+      *why = "id " + std::to_string(i) + ": " + status.ToString();
+      return false;
+    } else if (doc != model.docs[i]) {
+      *why = "id " + std::to_string(i) + " bytes differ";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Runs the scripted workload against a fresh store on `fs`. Returns the
+// number of ops that were acknowledged (the crash, if armed, cuts the
+// script short).
+size_t RunScript(const std::shared_ptr<FaultFs>& fs,
+                 const Collection& collection,
+                 const std::vector<ModelOp>& script,
+                 const std::vector<std::string>& tail_docs,
+                 const wal::WalWriterOptions& wal_options,
+                 bool* made_durable) {
+  auto store = TinyStore(collection);
+  *made_durable = store->MakeDurable("/store", wal_options, fs).ok();
+  if (!*made_durable) return 0;
+  size_t acked = 0;
+  size_t next_doc = 0;
+  for (const ModelOp& op : script) {
+    Status status;
+    switch (op.kind) {
+      case 'A':
+        status = store->Append(tail_docs[next_doc++]).status();
+        break;
+      case 'D':
+        status = store->Delete(op.id);
+        break;
+      case 'S':
+        status = store->SealTail();
+        break;
+      case 'C':
+        status = store->Checkpoint();
+        break;
+    }
+    if (!status.ok()) break;
+    ++acked;
+  }
+  return acked;
+}
+
+// The sweep: run the script once unarmed to learn the barrier count,
+// then kill the writer at every barrier K (both entering and leaving the
+// barrier) and recover from the durable view. The recovered store must
+// match the model after the acked ops — or after acked + 1 when the
+// in-flight op's record reached the disk before the crash.
+void KillAtEveryFsync(const std::vector<ModelOp>& script,
+                      const wal::WalWriterOptions& wal_options,
+                      size_t max_lost_ops) {
+  const Collection collection = TestCollection(1 << 13, 271);
+  const std::vector<std::string> tail_docs = SmallDocs(script.size());
+
+  int total_barriers = 0;
+  {
+    auto fs = std::make_shared<FaultFs>();
+    bool made_durable = false;
+    const size_t acked = RunScript(fs, collection, script, tail_docs,
+                                   wal_options, &made_durable);
+    ASSERT_TRUE(made_durable);
+    ASSERT_EQ(acked, script.size());
+    total_barriers = fs->sync_count();
+  }
+  ASSERT_GT(total_barriers, 0);
+
+  for (int k = 1; k <= total_barriers; ++k) {
+    for (const bool before : {true, false}) {
+      auto fs = std::make_shared<FaultFs>();
+      fs->ArmCrash(k, before);
+      bool made_durable = false;
+      const size_t acked = RunScript(fs, collection, script, tail_docs,
+                                     wal_options, &made_durable);
+      auto clone = fs->DurableClone();
+
+      auto reopened_or = ShardedStore::OpenDurable(
+          "/store", OpenOptions{}, wal_options, clone, nullptr);
+      if (!made_durable) {
+        // The crash hit inside MakeDurable: either checkpoint 1 never
+        // committed (clean failure) or it did (base corpus, no ops).
+        if (reopened_or.ok()) {
+          Model model = Model::Base(collection);
+          std::string why;
+          EXPECT_TRUE(MatchesModel(**reopened_or, model, &why))
+              << "k=" << k << " before=" << before << ": " << why;
+        }
+        continue;
+      }
+      ASSERT_TRUE(reopened_or.ok())
+          << "k=" << k << " before=" << before << ": "
+          << reopened_or.status().ToString();
+      auto reopened = std::move(reopened_or).value();
+
+      // Build the candidate models: everything acked (minus the allowed
+      // group-commit loss window) through acked + 1 in-flight op.
+      const size_t min_ops = acked > max_lost_ops ? acked - max_lost_ops : 0;
+      const size_t max_ops = std::min(acked + 1, script.size());
+      bool matched = false;
+      std::string last_why;
+      Model model = Model::Base(collection);
+      size_t next_doc = 0;
+      size_t applied = 0;
+      for (; applied < min_ops; ++applied) {
+        model.Apply(script[applied], tail_docs, &next_doc);
+      }
+      for (; applied <= max_ops; ++applied) {
+        std::string why;
+        if (MatchesModel(*reopened, model, &why)) {
+          matched = true;
+          break;
+        }
+        last_why = why;
+        if (applied < max_ops) {
+          model.Apply(script[applied], tail_docs, &next_doc);
+        }
+      }
+      EXPECT_TRUE(matched) << "k=" << k << " before=" << before << " acked="
+                           << acked << ": " << last_why;
+    }
+  }
+}
+
+TEST(RecoveryTest, KillAtEveryFsyncDuringAppends) {
+  std::vector<ModelOp> script;
+  for (int i = 0; i < 5; ++i) script.push_back({'A'});
+  KillAtEveryFsync(script, wal::WalWriterOptions{}, /*max_lost_ops=*/0);
+}
+
+TEST(RecoveryTest, KillAtEveryFsyncDuringMixedWorkload) {
+  // Appends around a seal, deletes in sealed and tail ranges, and a
+  // mid-script checkpoint: every fsync boundary of the full durability
+  // protocol gets a kill.
+  const Collection probe = TestCollection(1 << 13, 271);
+  const size_t base = probe.num_docs();
+  std::vector<ModelOp> script;
+  script.push_back({'A'});
+  script.push_back({'A'});
+  script.push_back({'D', 0});         // sealed shard of the base corpus
+  script.push_back({'S'});            // seal the two appends
+  script.push_back({'A'});
+  script.push_back({'D', base + 1});  // the sealed tail shard
+  script.push_back({'C'});            // checkpoint mid-script
+  script.push_back({'A'});
+  script.push_back({'D', base + 3});  // the open tail
+  KillAtEveryFsync(script, wal::WalWriterOptions{}, /*max_lost_ops=*/0);
+}
+
+TEST(RecoveryTest, GroupCommitBoundsLossToUnsyncedBatch) {
+  // With fsync_every_n = 4 an acked mutation may be lost — but only the
+  // tail batch that never reached a barrier, never more.
+  std::vector<ModelOp> script;
+  for (int i = 0; i < 8; ++i) script.push_back({'A'});
+  wal::WalWriterOptions wal_options;
+  wal_options.fsync_every_n = 4;
+  KillAtEveryFsync(script, wal_options, /*max_lost_ops=*/3);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-write and corruption fuzz on the real file system
+
+// Copies a durable store directory so each fuzz iteration mutates a
+// pristine replica (recovery itself rewrites files).
+void CopyDir(const std::string& from, const std::string& to) {
+  std::filesystem::remove_all(to);
+  std::filesystem::copy(from, to,
+                        std::filesystem::copy_options::recursive);
+}
+
+// Builds a durable store directory whose WAL tail holds live records.
+// Returns the base doc count.
+size_t BuildFuzzFixture(const Collection& collection, const std::string& dir,
+                        std::vector<std::string>* docs) {
+  *docs = SmallDocs(4);
+  auto store = TinyStore(collection);
+  const size_t base = store->num_docs();
+  EXPECT_TRUE(store->MakeDurable(dir).ok());
+  for (const std::string& doc : *docs) {
+    EXPECT_TRUE(store->Append(doc).ok());
+  }
+  EXPECT_TRUE(store->Delete(base + 1).ok());
+  return base;
+}
+
+// OpenDurable outcome check shared by the fuzz sweeps: the store either
+// opens (and serves a self-consistent corpus whose every doc matches the
+// attempted sequence) or fails with a clean error — it never crashes and
+// never serves garbage bytes.
+void CheckFuzzOutcome(const std::string& dir, const Collection& collection,
+                      const std::vector<std::string>& docs, size_t base,
+                      const std::string& what) {
+  auto reopened_or = ShardedStore::OpenDurable(dir);
+  if (!reopened_or.ok()) return;  // a clean error is a valid outcome
+  auto reopened = std::move(reopened_or).value();
+  ASSERT_GE(reopened->num_docs(), base) << what;
+  ASSERT_LE(reopened->num_docs(), base + docs.size()) << what;
+  std::string doc;
+  for (size_t i = 0; i < base; ++i) {
+    const Status status = reopened->Get(i, &doc);
+    if (status.ok()) {
+      ASSERT_EQ(doc, collection.doc(i)) << what << " id " << i;
+    }
+  }
+  for (size_t i = base; i < reopened->num_docs(); ++i) {
+    const Status status = reopened->Get(i, &doc);
+    if (status.ok()) {
+      ASSERT_EQ(doc, docs[i - base]) << what << " id " << i;
+    }
+  }
+}
+
+// The newest WAL segment file in `dir`.
+std::string LastSegmentPath(const std::string& dir) {
+  uint64_t best_seq = 0;
+  std::string best;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t seq = 0;
+    if (wal::ParseSegmentFileName(name, &seq) &&
+        (best.empty() || seq > best_seq)) {
+      best_seq = seq;
+      best = entry.path().string();
+    }
+  }
+  return best;
+}
+
+TEST(RecoveryTest, TornTailFuzzEveryPrefixOfLastSegment) {
+  const Collection collection = TestCollection(1 << 13, 281);
+  const std::string pristine = FreshDir("fuzz_trunc_pristine");
+  std::vector<std::string> docs;
+  const size_t base = BuildFuzzFixture(collection, pristine, &docs);
+  const std::string segment = LastSegmentPath(pristine);
+  ASSERT_FALSE(segment.empty());
+  const std::string bytes = ReadRaw(segment);
+  ASSERT_GT(bytes.size(), wal::kSegmentHeaderSize);
+
+  const std::string work = testing::TempDir() + "fuzz_trunc_work";
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    CopyDir(pristine, work);
+    const std::string target =
+        work + "/" + std::filesystem::path(segment).filename().string();
+    ASSERT_TRUE(
+        WriteFile(target, std::string_view(bytes).substr(0, len)).ok());
+    CheckFuzzOutcome(work, collection, docs, base,
+                     "truncated to " + std::to_string(len));
+  }
+}
+
+TEST(RecoveryTest, ByteFlipFuzzLastSegmentNeverCrashes) {
+  const Collection collection = TestCollection(1 << 13, 291);
+  const std::string pristine = FreshDir("fuzz_flip_pristine");
+  std::vector<std::string> docs;
+  const size_t base = BuildFuzzFixture(collection, pristine, &docs);
+  const std::string segment = LastSegmentPath(pristine);
+  ASSERT_FALSE(segment.empty());
+  const std::string bytes = ReadRaw(segment);
+
+  const std::string work = testing::TempDir() + "fuzz_flip_work";
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    CopyDir(pristine, work);
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    const std::string target =
+        work + "/" + std::filesystem::path(segment).filename().string();
+    ASSERT_TRUE(WriteFile(target, flipped).ok());
+    CheckFuzzOutcome(work, collection, docs, base,
+                     "flipped byte " + std::to_string(i));
+  }
+}
+
+TEST(RecoveryTest, ByteFlipFuzzCurrentFallsBackCleanly) {
+  const Collection collection = TestCollection(1 << 13, 301);
+  const std::string pristine = FreshDir("fuzz_current_pristine");
+  std::vector<std::string> docs;
+  const size_t base = BuildFuzzFixture(collection, pristine, &docs);
+  const std::string current = pristine + "/" + wal::kCurrentFileName;
+  const std::string bytes = ReadRaw(current);
+
+  const std::string work = testing::TempDir() + "fuzz_current_work";
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    CopyDir(pristine, work);
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    ASSERT_TRUE(
+        WriteFile(work + "/" + wal::kCurrentFileName, flipped).ok());
+    // A damaged CURRENT falls back to the meta scan, which finds the one
+    // complete checkpoint — so this must always open, fully recovered.
+    auto reopened_or = ShardedStore::OpenDurable(work);
+    ASSERT_TRUE(reopened_or.ok())
+        << "flipped byte " << i << ": " << reopened_or.status().ToString();
+    auto reopened = std::move(reopened_or).value();
+    ASSERT_EQ(reopened->num_docs(), base + docs.size()) << "byte " << i;
+    std::string doc;
+    ASSERT_TRUE(reopened->Get(base, &doc).ok()) << "byte " << i;
+    EXPECT_EQ(doc, docs[0]);
+  }
+}
+
+TEST(RecoveryTest, MissingCurrentScanFallback) {
+  const Collection collection = TestCollection(1 << 13, 311);
+  const std::string dir = FreshDir("fuzz_current_missing");
+  std::vector<std::string> docs;
+  const size_t base = BuildFuzzFixture(collection, dir, &docs);
+  ASSERT_TRUE(std::filesystem::remove(dir + "/" + wal::kCurrentFileName));
+
+  auto reopened_or = ShardedStore::OpenDurable(dir);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  EXPECT_EQ((*reopened_or)->num_docs(), base + docs.size());
+
+  // An empty directory, by contrast, is a clean Corruption.
+  const std::string empty = FreshDir("fuzz_empty_dir");
+  auto empty_or = ShardedStore::OpenDurable(empty);
+  ASSERT_FALSE(empty_or.ok());
+  EXPECT_EQ(empty_or.status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random interleavings replay byte-identically
+
+TEST(RecoveryTest, RandomInterleavingsReplayByteIdentical) {
+  const Collection collection = TestCollection(1 << 14, 321);
+  const Collection extra = TestCollection(1 << 13, 322);
+
+  for (const int writers : {1, 2, 4}) {
+    const std::string dir =
+        FreshDir("recovery_prop_" + std::to_string(writers));
+    std::vector<std::string> expected_docs;
+    std::vector<bool> expected_deleted;
+    {
+      auto store = TinyStore(collection);
+      ASSERT_TRUE(store->MakeDurable(dir).ok());
+
+      auto worker = [&](int worker_id) {
+        Rng rng(1000 * static_cast<uint64_t>(writers) +
+                static_cast<uint64_t>(worker_id));
+        for (int op = 0; op < 16; ++op) {
+          const double dice = rng.NextDouble();
+          if (dice < 0.55) {
+            (void)store->Append(
+                extra.doc(rng.Uniform(extra.num_docs())));
+          } else if (dice < 0.80) {
+            // Deleting an already-deleted or unknown id fails cleanly;
+            // that is part of the interleaving space.
+            (void)store->Delete(rng.Uniform(store->num_docs()));
+          } else if (dice < 0.92) {
+            (void)store->SealTail();
+          } else {
+            (void)store->CompactOnce();
+          }
+        }
+      };
+      std::vector<std::thread> threads;
+      for (int w = 0; w < writers; ++w) threads.emplace_back(worker, w);
+      for (auto& t : threads) t.join();
+
+      // The pre-shutdown truth, id by id.
+      std::string doc;
+      for (size_t id = 0; id < store->num_docs(); ++id) {
+        const Status status = store->Get(id, &doc);
+        if (status.ok()) {
+          expected_docs.push_back(doc);
+          expected_deleted.push_back(false);
+        } else {
+          ASSERT_EQ(status.code(), StatusCode::kNotFound) << "id " << id;
+          expected_docs.emplace_back();
+          expected_deleted.push_back(true);
+        }
+      }
+    }  // clean shutdown
+
+    auto reopened_or = ShardedStore::OpenDurable(dir);
+    ASSERT_TRUE(reopened_or.ok())
+        << "writers=" << writers << ": " << reopened_or.status().ToString();
+    auto reopened = std::move(reopened_or).value();
+    ASSERT_EQ(reopened->num_docs(), expected_docs.size())
+        << "writers=" << writers;
+    std::string doc;
+    for (size_t id = 0; id < expected_docs.size(); ++id) {
+      const Status status = reopened->Get(id, &doc);
+      if (expected_deleted[id]) {
+        EXPECT_EQ(status.code(), StatusCode::kNotFound)
+            << "writers=" << writers << " id " << id;
+      } else {
+        ASSERT_TRUE(status.ok())
+            << "writers=" << writers << " id " << id << ": "
+            << status.ToString();
+        EXPECT_EQ(doc, expected_docs[id])
+            << "writers=" << writers << " id " << id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlz
