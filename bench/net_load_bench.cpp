@@ -1,0 +1,370 @@
+// Network serving load bench (DESIGN.md §13): N client connections, each
+// keeping a pipeline of K requests in flight against one epoll DocServer
+// over loopback TCP, sweeping connections x pipelining depth. The decode
+// cache is large and warmed so rows measure the network front end
+// (framing, event loop, coalescing batcher), not RLZ decode speed.
+//
+// Two request shapes, matching the two serving stories:
+//  - snippet: GetRange of a 400-byte query-biased window (the paper's
+//    snippet path). Tiny payloads make per-request overhead — syscalls,
+//    loopback round trips, frame headers — the dominant cost, which is
+//    exactly what pipelining and request coalescing amortize. These rows
+//    form the sweep and the gate.
+//  - bulk: MultiGet of a 4-document result page (~70 KB of payload).
+//    Throughput here is memcpy/bandwidth-bound, so pipelining buys little
+//    and deep pipelines mostly add queueing; the pair is recorded
+//    ungated to document that boundary honestly.
+//
+// Reports wall-clock requests/s plus client-observed round-trip latency
+// percentiles per row (at depth > 1 latency includes pipeline queueing,
+// which is the point), and writes machine-readable JSON (default
+// BENCH_net.json).
+//
+// The smoke gate asserts the subsystem's reason to exist: at 4
+// connections, snippet depth-16 requests/s must be at least
+// kMinPipelineRatio x depth-1 (best of kGateRepeats runs each). The gate
+// is wall-clock on every host — pipelining amortizes per-request
+// overhead, not cores, so it holds on 1-vCPU runners.
+//
+//   ./build/bench/net_load_bench              full sweep
+//   ./build/bench/net_load_bench --smoke      small corpus, gated subset
+//         (run by the perf-smoke CI job; exit 1 on gate failure)
+//   ./build/bench/net_load_bench --out FILE   JSON destination
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "io/file.h"
+#include "net/doc_server.h"
+#include "net/net_client.h"
+#include "serve/doc_service.h"
+#include "serve/sharded_store.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rlz {
+namespace bench {
+namespace {
+
+// The perf-smoke CI gate: at 4 connections, snippet depth-16 must beat
+// depth-1 by this factor on requests/s.
+constexpr double kMinPipelineRatio = 1.3;
+// Gated rows are measured this many times; the best run gates (absorbs
+// scheduler noise on shared CI runners).
+constexpr int kGateRepeats = 2;
+// Snippet window length (the example's query-biased window).
+constexpr size_t kSnippetBytes = 400;
+// Documents per bulk MultiGet request (a search result page).
+constexpr size_t kPageDocs = 4;
+
+enum class Shape { kSnippet, kBulk };
+
+struct NetLoadResult {
+  double wall_rps = 0.0;  // requests (response frames) per second
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  uint64_t requests = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t batches = 0;    // server-side coalescing window count (delta)
+  uint64_t coalesced = 0;  // doc requests in those windows (delta)
+};
+
+// One closed-loop row: `connections` client threads, each keeping `depth`
+// requests in flight until it has received `requests_per_conn` responses.
+// Latencies are per-response round trips measured at the client. The
+// server (and its warm cache) is shared across rows; batcher counters
+// are reported as deltas.
+NetLoadResult RunRow(net::DocServer& server, size_t num_docs, Shape shape,
+                     int connections, size_t depth,
+                     size_t requests_per_conn) {
+  const net::NetServerStats before = server.stats();
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<uint64_t> bytes(connections, 0);
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client_or = net::NetClient::Connect(server.port());
+      RLZ_CHECK(client_or.ok()) << client_or.status().ToString();
+      auto client = std::move(client_or).value();
+      Rng rng(0xbe7c0de + 31 * static_cast<uint64_t>(c));
+      std::vector<uint64_t> ids(kPageDocs);
+      std::vector<double> sent_at(depth);  // ring of in-flight send times
+      Timer timer;
+      size_t issued = 0;
+      size_t received = 0;
+      auto& lat = latencies[c];
+      lat.reserve(requests_per_conn);
+      const auto send_one = [&] {
+        if (shape == Shape::kSnippet) {
+          client->SendGetRange(rng.Uniform(num_docs), rng.Uniform(1024),
+                               kSnippetBytes);
+        } else {
+          for (auto& id : ids) id = rng.Uniform(num_docs);
+          client->SendMultiGet(ids);
+        }
+        sent_at[issued % depth] = timer.ElapsedSeconds();
+        ++issued;
+      };
+      while (issued < depth && issued < requests_per_conn) send_one();
+      while (received < requests_per_conn) {
+        auto response = client->Receive();
+        RLZ_CHECK(response.ok()) << response.status().ToString();
+        RLZ_CHECK(response->ok()) << response->payload;
+        if (shape == Shape::kSnippet) {
+          RLZ_CHECK(response->payload.size() <= kSnippetBytes);
+          bytes[c] += response->payload.size();
+        } else {
+          RLZ_CHECK(response->elements.size() == kPageDocs);
+          for (const auto& elem : response->elements) {
+            RLZ_CHECK(elem.code == net::WireCode::kOk);
+            bytes[c] += elem.bytes.size();
+          }
+        }
+        lat.push_back(timer.ElapsedSeconds() - sent_at[received % depth]);
+        ++received;
+        if (issued < requests_per_conn) send_one();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+  const net::NetServerStats after = server.stats();
+
+  NetLoadResult result;
+  std::vector<double> merged;
+  for (auto& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  const auto pct = [&](double p) {
+    return merged.empty()
+               ? 0.0
+               : 1e6 * merged[std::min(merged.size() - 1,
+                                       static_cast<size_t>(p * merged.size()))];
+  };
+  result.requests = merged.size();
+  for (uint64_t b : bytes) result.payload_bytes += b;
+  result.wall_rps = result.requests / wall_seconds;
+  result.p50_us = pct(0.50);
+  result.p99_us = pct(0.99);
+  result.p999_us = pct(0.999);
+  result.batches = after.batches - before.batches;
+  result.coalesced = after.coalesced_requests - before.coalesced_requests;
+  return result;
+}
+
+void PrintRow(const char* shape, int connections, size_t depth,
+              const NetLoadResult& r) {
+  std::printf("%-8s %-12d %-8zu %10.0f %9.1f %9.1f %9.1f %8.1f\n", shape,
+              connections, depth, r.wall_rps, r.p50_us, r.p99_us, r.p999_us,
+              r.batches > 0 ? static_cast<double>(r.coalesced) / r.batches
+                            : 0.0);
+}
+
+void AppendJsonRow(const char* shape, int connections, size_t depth,
+                   const NetLoadResult& r, bool last, std::string* json) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"shape\": \"%s\", \"connections\": %d, \"depth\": %zu, "
+      "\"requests\": %llu, \"wall_rps\": %.0f, \"p50_us\": %.1f, "
+      "\"p99_us\": %.1f, \"p999_us\": %.1f, \"payload_bytes\": %llu, "
+      "\"batches\": %llu, \"coalesced\": %llu}%s\n",
+      shape, connections, depth,
+      static_cast<unsigned long long>(r.requests), r.wall_rps, r.p50_us,
+      r.p99_us, r.p999_us,
+      static_cast<unsigned long long>(r.payload_bytes),
+      static_cast<unsigned long long>(r.batches),
+      static_cast<unsigned long long>(r.coalesced), last ? "" : ",");
+  json->append(buf);
+}
+
+int Run(bool smoke, const std::string& out_path) {
+  CorpusOptions corpus_options;
+  corpus_options.target_bytes = smoke ? (4u << 20) : (8u << 20);
+  corpus_options.seed = 20110613;
+  const Corpus corpus = GenerateCorpus(corpus_options);
+  const Collection& collection = corpus.collection;
+
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 4;
+  store_options.dict_bytes = collection.size_bytes() / 100;
+  const auto store = ShardedStore::Build(collection, store_options);
+  const size_t num_docs = collection.num_docs();
+
+  // One service + server for every row: the decode cache holds the whole
+  // collection after warmup, so rows measure the wire, not the decoder.
+  DocServiceOptions service_options;
+  service_options.num_threads = 4;
+  service_options.cache_bytes = 64u << 20;
+  DocService service(store.get(), service_options);
+  net::DocServer server(&service);
+  const Status started = server.Start();
+  RLZ_CHECK(started.ok()) << started.ToString();
+
+  // Correctness spot check before any timing: wire bytes == direct bytes.
+  {
+    auto client_or = net::NetClient::Connect(server.port());
+    RLZ_CHECK(client_or.ok()) << client_or.status().ToString();
+    auto client = std::move(client_or).value();
+    Rng rng(7);
+    for (int i = 0; i < 16; ++i) {
+      const size_t id = rng.Uniform(num_docs);
+      auto wire = client->Get(id);
+      RLZ_CHECK(wire.ok()) << wire.status().ToString();
+      const GetResult direct = service.Get(id).get();
+      RLZ_CHECK(direct.ok()) << direct.status.ToString();
+      RLZ_CHECK(*wire == *direct.text) << "wire/direct mismatch doc " << id;
+    }
+  }
+  // Cache warmup: touch every document once.
+  {
+    ServeBatch batch;
+    std::vector<size_t> ids(num_docs);
+    for (size_t i = 0; i < num_docs; ++i) ids[i] = i;
+    service.SubmitBatch(ids, &batch);
+    for (const GetResult& r : batch.Wait()) {
+      RLZ_CHECK(r.ok()) << r.status.ToString();
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t snippet_requests = smoke ? 3000 : 10000;
+  const size_t bulk_requests = smoke ? 400 : 1500;
+  std::printf("net_load_bench (%s): %zu docs, %.1f MB, %s, hw=%u, "
+              "snippet=%zu B, page=%zu docs\n",
+              smoke ? "smoke" : "full", num_docs,
+              collection.size_bytes() / (1024.0 * 1024.0),
+              store->name().c_str(), hw, kSnippetBytes, kPageDocs);
+  std::printf("%-8s %-12s %-8s %10s %9s %9s %9s %8s\n", "shape",
+              "connections", "depth", "req/s", "p50 us", "p99 us",
+              "p999 us", "avg/bat");
+
+  std::string json;
+  char buf[512];
+  json.append("{\n  \"bench\": \"net_load\",\n");
+  json.append(smoke ? "  \"mode\": \"smoke\",\n" : "  \"mode\": \"full\",\n");
+  std::snprintf(buf, sizeof(buf),
+                "  \"corpus\": {\"docs\": %zu, \"bytes\": %llu, "
+                "\"seed\": %llu},\n",
+                num_docs,
+                static_cast<unsigned long long>(collection.size_bytes()),
+                static_cast<unsigned long long>(corpus_options.seed));
+  json.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "  \"store\": \"%s\",\n  \"host\": "
+                "{\"hardware_concurrency\": %u},\n",
+                store->name().c_str(), hw);
+  json.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "  \"config\": {\"snippet_bytes\": %zu, \"page_docs\": %zu, "
+                "\"snippet_requests_per_conn\": %zu, "
+                "\"bulk_requests_per_conn\": %zu, \"cache_warm\": true},\n",
+                kSnippetBytes, kPageDocs, snippet_requests, bulk_requests);
+  json.append(buf);
+  json.append("  \"rows\": [\n");
+
+  // The snippet sweep. The gated pair (4 connections, depth 1 vs 16) is
+  // measured kGateRepeats times in smoke mode; the best run is recorded
+  // and gates.
+  const std::vector<int> conn_sweep = smoke ? std::vector<int>{1, 4}
+                                            : std::vector<int>{1, 2, 4, 8};
+  const std::vector<size_t> depth_sweep =
+      smoke ? std::vector<size_t>{1, 16} : std::vector<size_t>{1, 4, 16};
+  NetLoadResult gate_shallow, gate_deep;
+  for (const int conns : conn_sweep) {
+    for (const size_t depth : depth_sweep) {
+      const bool gated = conns == 4 && (depth == 1 || depth == 16);
+      NetLoadResult best;
+      const int repeats = (smoke && gated) ? kGateRepeats : 1;
+      for (int rep = 0; rep < repeats; ++rep) {
+        const NetLoadResult r = RunRow(server, num_docs, Shape::kSnippet,
+                                       conns, depth, snippet_requests);
+        if (rep == 0 || r.wall_rps > best.wall_rps) best = r;
+      }
+      if (conns == 4 && depth == 1) gate_shallow = best;
+      if (conns == 4 && depth == 16) gate_deep = best;
+      PrintRow("snippet", conns, depth, best);
+      AppendJsonRow("snippet", conns, depth, best, /*last=*/false, &json);
+    }
+  }
+  // The bulk pair: bandwidth-bound result pages, recorded ungated.
+  for (const size_t depth : {size_t{1}, size_t{16}}) {
+    const NetLoadResult r =
+        RunRow(server, num_docs, Shape::kBulk, 4, depth, bulk_requests);
+    PrintRow("bulk", 4, depth, r);
+    AppendJsonRow("bulk", 4, depth, r, /*last=*/depth == 16, &json);
+  }
+  json.append("  ],\n");
+
+  const net::NetServerStats net_stats = server.stats();
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"server\": {\"connections_accepted\": %llu, "
+      "\"frames_received\": %llu, \"bytes_sent\": %llu, "
+      "\"reads_paused\": %llu, \"protocol_errors\": %llu},\n",
+      static_cast<unsigned long long>(net_stats.connections_accepted),
+      static_cast<unsigned long long>(net_stats.frames_received),
+      static_cast<unsigned long long>(net_stats.bytes_sent),
+      static_cast<unsigned long long>(net_stats.reads_paused),
+      static_cast<unsigned long long>(net_stats.protocol_errors));
+  json.append(buf);
+
+  const double ratio = gate_shallow.wall_rps > 0
+                           ? gate_deep.wall_rps / gate_shallow.wall_rps
+                           : 0.0;
+  const bool gate_pass = ratio >= kMinPipelineRatio;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"gate\": {\"basis\": \"wall\", \"shape\": \"snippet\", "
+      "\"min_pipeline_ratio\": %.2f, \"depth1_rps\": %.0f, "
+      "\"depth16_rps\": %.0f, \"ratio\": %.2f, \"pass\": %s}\n}\n",
+      kMinPipelineRatio, gate_shallow.wall_rps, gate_deep.wall_rps, ratio,
+      gate_pass ? "true" : "false");
+  json.append(buf);
+
+  const Status write_status = WriteFile(out_path, json);
+  RLZ_CHECK(write_status.ok()) << write_status.ToString();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  server.Shutdown();
+  service.Shutdown();
+  if (smoke) {
+    std::printf("smoke gate (wall basis, snippet): 4-conn depth-16 >= "
+                "%.2fx depth-1: %s (%.2fx)\n",
+                kMinPipelineRatio, gate_pass ? "PASS" : "FAIL", ratio);
+    if (!gate_pass) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rlz
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  return rlz::bench::Run(smoke, out_path);
+}

@@ -2,28 +2,42 @@
 // introduction — a search engine that must fetch result documents from a
 // compressed store to build query-biased snippets. This version runs the
 // full serving stack (DESIGN.md §6) against a *reopened* store, the
-// paper's disk-resident deployment: the collection is partitioned into a
+// paper's disk-resident deployment, and — new in this revision — serves
+// it over a real socket: the collection is partitioned into a
 // ShardedStore of independent RLZ shards, saved to disk as a manifest
-// plus shard containers (DESIGN.md §8), and reopened serving-only
-// (OpenOptions::build_suffix_array = false — decoding never touches the
-// suffix arrays, so a restart skips rebuilding them). Requests then flow
-// through a DocService thread pool with an LRU decode cache — MultiGet
-// fetches the result page's documents concurrently, and the snippet
-// windows use the GetRange fast path. A service stats report prints at
-// the end.
+// plus shard containers (DESIGN.md §8), reopened serving-only
+// (OpenOptions::build_suffix_array = false), wrapped in a DocService
+// thread pool with an LRU decode cache, and exposed through the epoll
+// DocServer front end (DESIGN.md §13). Result pages travel the
+// length-prefixed wire protocol as MultiGets; snippet windows use the
+// GetRange fast path; the closing stats report arrives via the Stat
+// command.
 //
 //   ./build/examples/snippet_server [query terms...]
+//       Self-terminating demo: build, serve on an ephemeral loopback
+//       port, answer a few queries through a NetClient, print stats.
+//   ./build/examples/snippet_server --serve [PORT]
+//       Real server: build the store, listen on PORT (default:
+//       ephemeral, printed), serve until stdin reaches EOF.
+//   ./build/examples/snippet_server --client PORT [N [DEPTH]]
+//       Load client for a --serve instance: N pipelined MultiGet
+//       result-page fetches (pipelining depth DEPTH), then p50/p99.
 
 #include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <filesystem>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "corpus/generator.h"
+#include "net/doc_server.h"
+#include "net/net_client.h"
 #include "search/inverted_index.h"
 #include "search/query_log.h"
 #include "search/tokenizer.h"
@@ -56,24 +70,120 @@ std::string Plain(std::string_view html) {
 }
 
 // Query-biased snippet: locate the term in the already-fetched document,
-// then pull only a window around the hit through the service's GetRange
-// path (a cache hit slices the resident copy; a miss decodes just the
-// window's factors).
-std::string MakeSnippet(rlz::DocService& service, uint32_t doc_id,
+// then pull only a window around the hit over the wire through the
+// service's GetRange path (a cache hit slices the resident copy; a miss
+// decodes just the window's factors).
+std::string MakeSnippet(rlz::net::NetClient& client, uint64_t doc_id,
                         std::string_view doc, const std::string& term) {
   std::string lower(doc);
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   const size_t pos = lower.find(term);
   const size_t start = (pos == std::string::npos || pos < 150) ? 0 : pos - 150;
-  rlz::GetResult window = service.GetRange(doc_id, start, 400).get();
+  rlz::StatusOr<std::string> window = client.GetRange(doc_id, start, 400);
   if (!window.ok()) return "";
-  return "..." + Plain(*window.text).substr(0, 120) + "...";
+  return "..." + Plain(*window).substr(0, 120) + "...";
+}
+
+// --client mode: closed-loop pipelined MultiGet load against a --serve
+// instance on `port`. Result-page size is fixed at 3 docs (a search
+// result page); latencies are client-observed round trips, so at depth
+// > 1 they include pipeline queueing.
+int RunClient(uint16_t port, size_t num_requests, size_t depth) {
+  constexpr size_t kPageDocs = 3;
+  auto client_or = rlz::net::NetClient::Connect(port);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "connect to 127.0.0.1:%u failed: %s\n", port,
+                 client_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<rlz::net::NetClient> client = std::move(client_or).value();
+  const auto stat = client->Stat();
+  if (!stat.ok()) {
+    std::fprintf(stderr, "stat failed: %s\n", stat.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t num_docs = stat->archive_docs;
+  if (num_docs == 0) {
+    std::fprintf(stderr, "server reports an empty archive\n");
+    return 1;
+  }
+  std::printf("server holds %llu docs; issuing %zu MultiGets of %zu docs "
+              "at pipeline depth %zu\n",
+              static_cast<unsigned long long>(num_docs), num_requests,
+              kPageDocs, depth);
+
+  std::mt19937_64 rng(12345);
+  std::vector<uint64_t> ids(kPageDocs);
+  std::deque<double> sent_at;
+  std::vector<double> latencies;
+  latencies.reserve(num_requests);
+  rlz::Timer timer;
+  size_t issued = 0;
+  uint64_t payload_bytes = 0;
+  const auto send_one = [&] {
+    for (auto& id : ids) id = rng() % num_docs;
+    client->SendMultiGet(ids);
+    sent_at.push_back(timer.ElapsedSeconds());
+    ++issued;
+  };
+  while (issued < depth && issued < num_requests) send_one();
+  while (latencies.size() < num_requests) {
+    auto response = client->Receive();  // flushes queued sends first
+    if (!response.ok()) {
+      std::fprintf(stderr, "receive failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    if (!response->ok()) {
+      std::fprintf(stderr, "server error: %s\n", response->payload.c_str());
+      return 1;
+    }
+    for (const auto& elem : response->elements) {
+      payload_bytes += elem.bytes.size();
+    }
+    latencies.push_back(timer.ElapsedSeconds() - sent_at.front());
+    sent_at.pop_front();
+    if (issued < num_requests) send_one();
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    return 1e6 * latencies[std::min(latencies.size() - 1,
+                                    static_cast<size_t>(p * latencies.size()))];
+  };
+  std::printf("%zu pages (%zu docs, %.1f MB) in %.3f s: %.0f pages/s\n",
+              num_requests, num_requests * kPageDocs,
+              payload_bytes / (1024.0 * 1024.0), elapsed,
+              num_requests / elapsed);
+  std::printf("latency: p50 %.1f us, p99 %.1f us\n", pct(0.50), pct(0.99));
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Mode dispatch: --client needs no corpus of its own.
+  bool serve_mode = false;
+  uint16_t requested_port = 0;
+  std::vector<std::string> query_terms;
+  if (argc > 1 && std::string(argv[1]) == "--client") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --client PORT [N [DEPTH]]\n", argv[0]);
+      return 1;
+    }
+    const uint16_t port = static_cast<uint16_t>(std::atoi(argv[2]));
+    const size_t n = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
+    const size_t depth = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 16;
+    return RunClient(port, std::max<size_t>(n, 1), std::max<size_t>(depth, 1));
+  }
+  if (argc > 1 && std::string(argv[1]) == "--serve") {
+    serve_mode = true;
+    if (argc > 2) requested_port = static_cast<uint16_t>(std::atoi(argv[2]));
+  } else {
+    for (int i = 1; i < argc; ++i) query_terms.push_back(argv[i]);
+  }
+
   rlz::CorpusOptions corpus_options;
   corpus_options.target_bytes = 8 << 20;
   corpus_options.seed = 99;
@@ -132,12 +242,41 @@ int main(int argc, char** argv) {
   service_options.cache_bytes = 16 << 20;
   rlz::DocService service(store.get(), service_options);
 
-  // Queries: from argv, or sample a few from the collection vocabulary.
+  // The network front end: an epoll loop on a loopback socket feeding
+  // the service through the coalescing batcher (DESIGN.md §13).
+  rlz::net::DocServerOptions server_options;
+  server_options.port = requested_port;
+  rlz::net::DocServer server(&service, server_options);
+  if (const rlz::Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u\n", server.port());
+
+  if (serve_mode) {
+    std::printf("blocking until stdin EOF (pipe or Ctrl-D stops the "
+                "server)...\n");
+    std::fflush(stdout);
+    while (std::fgetc(stdin) != EOF) {
+    }
+    server.Shutdown();
+    service.Shutdown();
+    const rlz::net::NetServerStats net = server.stats();
+    std::printf("served %llu frames over %llu connections (%llu batches, "
+                "%llu coalesced requests)\n",
+                static_cast<unsigned long long>(net.frames_sent),
+                static_cast<unsigned long long>(net.connections_accepted),
+                static_cast<unsigned long long>(net.batches),
+                static_cast<unsigned long long>(net.coalesced_requests));
+    return 0;
+  }
+
+  // Demo mode: queries from argv, or sample a few from the collection
+  // vocabulary, answered through a real client connection so every page
+  // fetch crosses the wire.
   std::vector<std::vector<std::string>> queries;
-  if (argc > 1) {
-    std::vector<std::string> q;
-    for (int i = 1; i < argc; ++i) q.push_back(argv[i]);
-    queries.push_back(q);
+  if (!query_terms.empty()) {
+    queries.push_back(query_terms);
   } else {
     rlz::QueryLogOptions qopts;
     qopts.num_queries = 3;
@@ -145,52 +284,75 @@ int main(int argc, char** argv) {
     queries = rlz::GenerateQueries(index, qopts);
   }
 
-  // One ServeBatch reused across queries: each result page is routed to
-  // the shard-affine worker queues in one batched submission, and the
-  // steady-state fetch loop allocates nothing for completion plumbing
-  // (DESIGN.md §10).
-  rlz::ServeBatch page;
-  std::vector<size_t> ids;
+  auto client_or = rlz::net::NetClient::Connect(server.port());
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "loopback connect failed: %s\n",
+                 client_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<rlz::net::NetClient> client = std::move(client_or).value();
+
+  std::vector<uint64_t> ids;
   for (const auto& query : queries) {
     std::string qstr;
     for (const auto& t : query) qstr += t + " ";
     std::printf("\nquery: %s\n", qstr.c_str());
     const auto hits = index.Query(query, 3);
-    // The whole result page is fetched as one concurrent batch.
+    // The whole result page crosses the wire as one MultiGet frame; the
+    // batcher coalesces it (with anything else in flight) into a single
+    // ServeBatch submission.
     ids.clear();
     for (const auto& hit : hits) ids.push_back(hit.doc);
-    service.SubmitBatch(ids, &page);
-    const std::vector<rlz::GetResult>& docs = page.Wait();
+    auto page = client->MultiGet(ids);
+    if (!page.ok()) {
+      std::fprintf(stderr, "page fetch failed: %s\n",
+                   page.status().ToString().c_str());
+      return 1;
+    }
     for (size_t i = 0; i < hits.size(); ++i) {
-      if (!docs[i].ok()) {
+      if ((*page)[i].code != rlz::net::WireCode::kOk) {
         std::fprintf(stderr, "retrieval failed: %s\n",
-                     docs[i].status.ToString().c_str());
+                     (*page)[i].bytes.c_str());
         return 1;
       }
       std::printf("  [%u] %s (score %.2f)\n      %s\n", hits[i].doc,
                   corpus.urls[hits[i].doc].c_str(), hits[i].score,
-                  MakeSnippet(service, hits[i].doc, *docs[i].text,
+                  MakeSnippet(*client, hits[i].doc, (*page)[i].bytes,
                               query[0]).c_str());
     }
   }
 
-  // Graceful stop: drains accepted requests and joins the workers, after
-  // which Stats() is exact — the front-end's shutdown report.
+  // The shutdown report arrives the way an operator's would: a Stat
+  // frame over the connection, carrying service and network counters.
+  const auto wire = client->Stat();
+  if (!wire.ok()) {
+    std::fprintf(stderr, "stat failed: %s\n", wire.status().ToString().c_str());
+    return 1;
+  }
+  server.Shutdown();
   service.Shutdown();
-  const rlz::ServiceStats stats = service.Stats();
   std::printf(
-      "\nservice: %llu requests (%llu failed), cache %.1f%% hits "
-      "(%llu entries, %.1f MB), disk %.1f ms simulated / %llu seeks\n",
-      static_cast<unsigned long long>(stats.requests),
-      static_cast<unsigned long long>(stats.failures),
-      100.0 * stats.cache.hit_rate(),
-      static_cast<unsigned long long>(stats.cache.entries),
-      stats.cache.bytes / (1024.0 * 1024.0),
-      1e3 * stats.disk_seconds,
-      static_cast<unsigned long long>(stats.disk_seeks));
+      "\nservice: %llu requests (%llu failed), cache %llu hits / %llu "
+      "misses (%llu entries, %.1f MB), disk %.1f ms simulated / %llu "
+      "seeks\n",
+      static_cast<unsigned long long>(wire->requests),
+      static_cast<unsigned long long>(wire->failures),
+      static_cast<unsigned long long>(wire->cache_hits),
+      static_cast<unsigned long long>(wire->cache_misses),
+      static_cast<unsigned long long>(wire->cache_entries),
+      wire->cache_bytes / (1024.0 * 1024.0), 1e3 * wire->disk_seconds,
+      static_cast<unsigned long long>(wire->disk_seeks));
   std::printf(
-      "latency: p50 %.1f us, p99 %.1f us over %d workers (%llu steals)\n",
-      stats.latency_p50_us, stats.latency_p99_us, stats.num_threads,
-      static_cast<unsigned long long>(stats.steals));
+      "latency: p50 %.1f us, p99 %.1f us over %u workers (%llu steals)\n",
+      wire->latency_p50_us, wire->latency_p99_us, wire->num_threads,
+      static_cast<unsigned long long>(wire->steals));
+  std::printf(
+      "network: %llu frames in / %llu out over %llu connections, %llu "
+      "batches coalescing %llu requests\n",
+      static_cast<unsigned long long>(wire->net_frames_received),
+      static_cast<unsigned long long>(wire->net_frames_sent),
+      static_cast<unsigned long long>(wire->net_connections_accepted),
+      static_cast<unsigned long long>(wire->net_batches),
+      static_cast<unsigned long long>(wire->net_coalesced_requests));
   return 0;
 }

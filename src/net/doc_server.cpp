@@ -1,0 +1,539 @@
+#include "net/doc_server.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "serve/doc_service.h"
+#include "util/logging.h"
+
+namespace rlz {
+namespace net {
+namespace {
+
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+}  // namespace
+
+DocServerOptions DocServerOptions::Validated() const {
+  DocServerOptions v = *this;
+  if (v.max_connections < 1) v.max_connections = 1;
+  if (v.max_outbound_bytes < (4u << 10)) v.max_outbound_bytes = 4u << 10;
+  if (v.max_pipelined_requests < 1) v.max_pipelined_requests = 1;
+  if (v.read_chunk_bytes < (4u << 10)) v.read_chunk_bytes = 4u << 10;
+  if (v.drain_timeout_ms < 0) v.drain_timeout_ms = 0;
+  return v;
+}
+
+// Loop-thread-owned per-connection state: the read/write state machine
+// of DESIGN.md §13. No lock guards any field — only the loop touches it.
+struct DocServer::Connection {
+  ScopedFd fd;
+  uint64_t id = 0;
+  std::string in;       // unparsed inbound bytes
+  size_t in_off = 0;    // parsed prefix of `in` (compacted lazily)
+  std::string out;      // serialized, not yet written response bytes
+  size_t out_off = 0;   // written prefix of `out` (compacted lazily)
+  size_t inflight_ops = 0;  // parsed requests not yet answered
+  uint32_t interest = kPollRead;  // current epoll interest set
+  bool bp_paused = false;   // reads paused for backpressure (hysteresis)
+  bool poisoned = false;    // unparseable input: answer error, then close
+  bool read_eof = false;    // peer half-closed: flush what's owed, close
+  NetRequest scratch;       // reused request decoder state
+
+  size_t unflushed() const { return out.size() - out_off; }
+};
+
+DocServer::DocServer(DocService* service, const DocServerOptions& options)
+    : service_(service), options_(options.Validated()) {
+  RLZ_CHECK(service != nullptr);
+}
+
+DocServer::~DocServer() { Shutdown(); }
+
+Status DocServer::Start() {
+  if (started_.load()) return Status::Internal("server already started");
+  if (!poller_.valid()) {
+    return Status::Internal("doc server: epoll unavailable");
+  }
+  RLZ_ASSIGN_OR_RETURN(listen_fd_, ListenLoopback(options_.port, &port_));
+  wake_fd_.Reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wake_fd_.ok()) return Status::IOError("eventfd failed");
+  RLZ_RETURN_IF_ERROR(poller_.Add(listen_fd_.get(), kListenTag, kPollRead));
+  RLZ_RETURN_IF_ERROR(poller_.Add(wake_fd_.get(), kWakeTag, kPollRead));
+  started_.store(true);
+  loop_thread_ = std::thread(&DocServer::LoopThread, this);
+  batcher_thread_ = std::thread(&DocServer::BatcherThread, this);
+  return Status::OK();
+}
+
+void DocServer::Shutdown() {
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (joined_ || !started_.load()) return;
+  shutdown_requested_.store(true, std::memory_order_release);
+  WakeLoop();
+  loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(handoff_mu_);
+    batcher_stop_ = true;
+    handoff_cv_.notify_all();
+  }
+  batcher_thread_.join();
+  joined_ = true;
+}
+
+NetServerStats DocServer::stats() const {
+  NetServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_active = connections_active_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.coalesced_requests =
+      coalesced_requests_.load(std::memory_order_relaxed);
+  s.reads_paused = reads_paused_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DocServer::WakeLoop() {
+  const uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; the result is advisory.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+WireStats DocServer::BuildWireStats() const {
+  const ServiceStats s = service_->Stats();
+  const NetServerStats n = stats();
+  WireStats w;
+  w.requests = s.requests;
+  w.failures = s.failures;
+  w.steals = s.steals;
+  w.queued = s.queued;
+  w.cache_hits = s.cache.hits;
+  w.cache_misses = s.cache.misses;
+  w.cache_evictions = s.cache.evictions;
+  w.cache_erased = s.cache.erased;
+  w.cache_entries = s.cache.entries;
+  w.cache_bytes = s.cache.bytes;
+  w.disk_bytes = s.disk_bytes;
+  w.disk_seeks = s.disk_seeks;
+  w.archive_docs = service_->archive().num_docs();
+  w.disk_seconds = s.disk_seconds;
+  w.cpu_seconds = s.cpu_seconds;
+  w.critical_path_seconds = s.critical_path_seconds;
+  w.latency_p50_us = s.latency_p50_us;
+  w.latency_p99_us = s.latency_p99_us;
+  w.latency_p999_us = s.latency_p999_us;
+  w.num_threads = static_cast<uint32_t>(s.num_threads);
+  w.net_connections_accepted = n.connections_accepted;
+  w.net_connections_active = n.connections_active;
+  w.net_frames_received = n.frames_received;
+  w.net_frames_sent = n.frames_sent;
+  w.net_bytes_received = n.bytes_received;
+  w.net_bytes_sent = n.bytes_sent;
+  w.net_batches = n.batches;
+  w.net_coalesced_requests = n.coalesced_requests;
+  w.net_reads_paused = n.reads_paused;
+  w.net_protocol_errors = n.protocol_errors;
+  return w;
+}
+
+// ---------------------------------------------------------------------
+// Loop thread: accept / read / parse / write / close.
+
+void DocServer::LoopThread() {
+  std::vector<PollerEvent> events;
+  std::chrono::steady_clock::time_point deadline;
+  for (;;) {
+    // Level-triggered wait: -1 while serving (the eventfd wakes us);
+    // a short tick while draining so the deadline is honored even with
+    // a stalled client.
+    if (!poller_.Wait(&events, draining_ ? 20 : -1).ok()) break;
+    for (const PollerEvent& ev : events) {
+      if (ev.tag == kListenTag) {
+        HandleAccept();
+        continue;
+      }
+      if (ev.tag == kWakeTag) {
+        uint64_t drained;
+        while (::read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // Connections may be closed by earlier events of this round; a
+      // stale tag just misses.
+      auto it = connections_.find(ev.tag);
+      if (it == connections_.end()) continue;
+      if (ev.error) {
+        CloseConnection(ev.tag);
+        continue;
+      }
+      if (ev.readable) HandleReadable(it->second.get());
+      it = connections_.find(ev.tag);
+      if (it != connections_.end() && ev.writable) {
+        HandleWritable(it->second.get());
+      }
+    }
+    PumpCompletions();
+    if (!draining_ && shutdown_requested_.load(std::memory_order_acquire)) {
+      // Enter the drain: stop accepting, stop reading, keep answering.
+      draining_ = true;
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(options_.drain_timeout_ms);
+      poller_.Remove(listen_fd_.get());
+      listen_fd_.Reset();
+      std::vector<uint64_t> idle;
+      for (auto& entry : connections_) {
+        if (ReadyToClose(*entry.second)) {
+          idle.push_back(entry.first);
+        } else {
+          UpdateInterest(entry.second.get());
+        }
+      }
+      for (uint64_t id : idle) CloseConnection(id);
+    }
+    if (draining_ &&
+        ((outstanding_ops_ == 0 && connections_.empty()) ||
+         std::chrono::steady_clock::now() >= deadline)) {
+      break;
+    }
+  }
+  // Deadline (or poller failure) force-close: anything still here had
+  // its chance to drain.
+  for (auto& entry : connections_) {
+    poller_.Remove(entry.second->fd.get());
+  }
+  connections_.clear();
+  connections_active_.store(0, std::memory_order_relaxed);
+}
+
+void DocServer::HandleAccept() {
+  for (;;) {
+    StatusOr<ScopedFd> accepted = AcceptConnection(listen_fd_.get());
+    if (!accepted.ok()) return;  // listener error: drop this round
+    ScopedFd fd = std::move(accepted).value();
+    if (!fd.ok()) return;  // nothing pending
+    if (draining_ ||
+        connections_.size() >=
+            static_cast<size_t>(options_.max_connections)) {
+      continue;  // ScopedFd closes: refused by immediate close
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = std::move(fd);
+    if (!poller_.Add(conn->fd.get(), conn->id, kPollRead).ok()) continue;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    connections_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void DocServer::HandleReadable(Connection* conn) {
+  if (conn->poisoned || conn->read_eof || conn->bp_paused || draining_) {
+    return;
+  }
+  char buf[16384];
+  size_t budget = options_.read_chunk_bytes;
+  bool fatal = false;
+  while (budget > 0) {
+    const size_t ask = budget < sizeof(buf) ? budget : sizeof(buf);
+    size_t n = 0;
+    const IoResult r = ReadSome(conn->fd.get(), buf, ask, &n);
+    if (r == IoResult::kOk) {
+      conn->in.append(buf, n);
+      bytes_received_.fetch_add(n, std::memory_order_relaxed);
+      budget -= n;
+      if (n < ask) break;  // socket likely drained
+      continue;
+    }
+    if (r == IoResult::kWouldBlock) break;
+    if (r == IoResult::kClosed) {
+      conn->read_eof = true;
+      break;
+    }
+    fatal = true;  // kError
+    break;
+  }
+  if (fatal) {
+    CloseConnection(conn->id);
+    return;
+  }
+  std::vector<PendingOp> ops;
+  ParseFrames(conn, &ops);
+  if (!ops.empty()) {
+    conn->inflight_ops += ops.size();
+    outstanding_ops_ += ops.size();
+    {
+      std::lock_guard<std::mutex> lock(handoff_mu_);
+      for (PendingOp& op : ops) pending_.push_back(std::move(op));
+      handoff_cv_.notify_one();
+    }
+  }
+  if (ReadyToClose(*conn)) {
+    CloseConnection(conn->id);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void DocServer::ParseFrames(Connection* conn, std::vector<PendingOp>* ops) {
+  while (!conn->poisoned) {
+    const std::string_view buf =
+        std::string_view(conn->in).substr(conn->in_off);
+    MessageType type;
+    uint8_t flags;
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    const ParseResult r =
+        ParseFrame(buf, &type, &flags, &body, &consumed, &error);
+    if (r == ParseResult::kNeedMore) break;
+    PendingOp op;
+    op.conn_id = conn->id;
+    if (r == ParseResult::kError) {
+      // Poison: one in-order error response, then close after flush.
+      // The rest of the inbound buffer is untrustworthy — discard it.
+      conn->poisoned = true;
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn->in.clear();
+      conn->in_off = 0;
+      op.type = MessageType::kError;
+      op.error = error;
+      ops->push_back(std::move(op));
+      return;
+    }
+    conn->in_off += consumed;
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    const Status decoded =
+        DecodeRequestBody(type, flags, body, &conn->scratch);
+    if (!decoded.ok()) {
+      conn->poisoned = true;
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn->in.clear();
+      conn->in_off = 0;
+      op.type = MessageType::kError;
+      op.error = decoded.message();
+      ops->push_back(std::move(op));
+      return;
+    }
+    op.type = conn->scratch.type;
+    op.flags = conn->scratch.flags;
+    op.id = conn->scratch.id;
+    op.offset = conn->scratch.offset;
+    op.length = conn->scratch.length;
+    op.ids = std::move(conn->scratch.ids);
+    ops->push_back(std::move(op));
+  }
+  // Compact the parsed prefix so the buffer cannot grow without bound
+  // across partially-received frames.
+  if (conn->in_off > 0) {
+    conn->in.erase(0, conn->in_off);
+    conn->in_off = 0;
+  }
+}
+
+void DocServer::HandleWritable(Connection* conn) {
+  while (conn->unflushed() > 0) {
+    size_t n = 0;
+    const IoResult r = WriteSome(conn->fd.get(), conn->out.data() + conn->out_off,
+                                 conn->unflushed(), &n);
+    if (r == IoResult::kOk) {
+      conn->out_off += n;
+      bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+      continue;
+    }
+    if (r == IoResult::kWouldBlock) break;
+    CloseConnection(conn->id);  // kClosed / kError: peer is gone
+    return;
+  }
+  if (conn->unflushed() == 0) {
+    conn->out.clear();
+    conn->out_off = 0;
+  } else if (conn->out_off > (1u << 20)) {
+    conn->out.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+  if (ReadyToClose(*conn)) {
+    CloseConnection(conn->id);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void DocServer::PumpCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(handoff_mu_);
+    if (completions_.empty()) return;
+    done.swap(completions_);
+  }
+  for (Completion& c : done) {
+    RLZ_CHECK(outstanding_ops_ > 0);
+    --outstanding_ops_;
+    auto it = connections_.find(c.conn_id);
+    if (it == connections_.end()) continue;  // closed mid-flight: drop
+    Connection* conn = it->second.get();
+    RLZ_CHECK(conn->inflight_ops > 0);
+    --conn->inflight_ops;
+    conn->out.append(c.frame);
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Opportunistic flush, once per touched connection (a second visit
+  // finds the frame already flushed or the connection gone).
+  for (const Completion& c : done) {
+    auto it = connections_.find(c.conn_id);
+    if (it == connections_.end()) continue;
+    if (it->second->unflushed() > 0 || ReadyToClose(*it->second)) {
+      HandleWritable(it->second.get());
+    } else {
+      UpdateInterest(it->second.get());
+    }
+  }
+}
+
+void DocServer::UpdateInterest(Connection* conn) {
+  // Backpressure hysteresis: pause at the bound, resume below half —
+  // so a connection hovering at the cap does not thrash epoll_ctl.
+  const size_t unflushed = conn->unflushed();
+  const bool over = unflushed >= options_.max_outbound_bytes ||
+                    conn->inflight_ops >= options_.max_pipelined_requests;
+  const bool under = unflushed < options_.max_outbound_bytes / 2 + 1 &&
+                     conn->inflight_ops < options_.max_pipelined_requests / 2 + 1;
+  if (!conn->bp_paused && over) {
+    conn->bp_paused = true;
+    reads_paused_.fetch_add(1, std::memory_order_relaxed);
+  } else if (conn->bp_paused && under) {
+    conn->bp_paused = false;
+  }
+  uint32_t interest = kPollNone;
+  if (!conn->poisoned && !conn->read_eof && !conn->bp_paused && !draining_) {
+    interest |= kPollRead;
+  }
+  if (unflushed > 0) interest |= kPollWrite;
+  if (interest == conn->interest) return;
+  if (poller_.Modify(conn->fd.get(), conn->id, interest).ok()) {
+    conn->interest = interest;
+  }
+}
+
+bool DocServer::ReadyToClose(const Connection& conn) const {
+  if (conn.inflight_ops > 0 || conn.unflushed() > 0) return false;
+  return conn.poisoned || conn.read_eof || draining_;
+}
+
+void DocServer::CloseConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  poller_.Remove(it->second->fd.get());
+  connections_.erase(it);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Batcher thread: coalesce parsed requests into DocService submissions,
+// serialize the responses in request order.
+
+void DocServer::BatcherThread() {
+  ServeBatch batch;               // reused: steady-state allocation-free
+  std::vector<PendingOp> ops;     // the coalescing window
+  std::vector<BatchItem> items;   // flattened doc requests
+  std::vector<MultiGetOut> mgout; // per-MultiGet response staging
+  std::vector<Completion> done;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(handoff_mu_);
+      handoff_cv_.wait(lock,
+                       [&] { return !pending_.empty() || batcher_stop_; });
+      if (pending_.empty() && batcher_stop_) return;
+      // Everything parsed since the last round is one coalescing
+      // window: requests that arrived across connections while the
+      // previous batch decoded ride the next submission together.
+      ops.clear();
+      ops.swap(pending_);
+    }
+    items.clear();
+    for (const PendingOp& op : ops) {
+      switch (op.type) {
+        case MessageType::kGet:
+          items.push_back({op.id, 0, 0, false});
+          break;
+        case MessageType::kGetRange:
+          items.push_back({op.id, op.offset, op.length, true});
+          break;
+        case MessageType::kMultiGet:
+          for (uint64_t id : op.ids) items.push_back({id, 0, 0, false});
+          break;
+        default:  // kStat / kError: no decode work
+          break;
+      }
+    }
+    if (!items.empty()) {
+      service_->SubmitBatch(items.data(), items.size(), &batch);
+      batch.Wait();
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_requests_.fetch_add(items.size(),
+                                    std::memory_order_relaxed);
+    }
+    done.clear();
+    size_t cursor = 0;
+    for (const PendingOp& op : ops) {
+      Completion c;
+      c.conn_id = op.conn_id;
+      const bool crc = (op.flags & kFlagCrc) != 0;
+      switch (op.type) {
+        case MessageType::kGet:
+        case MessageType::kGetRange: {
+          const GetResult& r = batch.results()[cursor++];
+          if (r.ok()) {
+            EncodeDocResponse(op.type, WireCode::kOk, *r.text, crc,
+                              &c.frame);
+          } else {
+            EncodeDocResponse(op.type, ToWireCode(r.status),
+                              r.status.message(), crc, &c.frame);
+          }
+          break;
+        }
+        case MessageType::kMultiGet: {
+          mgout.clear();
+          for (size_t i = 0; i < op.ids.size(); ++i) {
+            const GetResult& r = batch.results()[cursor++];
+            MultiGetOut o;
+            if (r.ok()) {
+              o.bytes = *r.text;
+            } else {
+              o.code = ToWireCode(r.status);
+              o.bytes = r.status.message();
+            }
+            mgout.push_back(o);
+          }
+          EncodeMultiGetResponse(mgout.data(), mgout.size(), crc, &c.frame);
+          break;
+        }
+        case MessageType::kStat:
+          EncodeStatResponse(BuildWireStats(), crc, &c.frame);
+          break;
+        case MessageType::kError:
+          EncodeDocResponse(MessageType::kError, WireCode::kInvalidArgument,
+                            op.error, /*crc=*/false, &c.frame);
+          break;
+      }
+      done.push_back(std::move(c));
+    }
+    {
+      std::lock_guard<std::mutex> lock(handoff_mu_);
+      for (Completion& c : done) completions_.push_back(std::move(c));
+    }
+    WakeLoop();
+  }
+}
+
+}  // namespace net
+}  // namespace rlz

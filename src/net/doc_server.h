@@ -1,0 +1,229 @@
+#ifndef RLZ_NET_DOC_SERVER_H_
+#define RLZ_NET_DOC_SERVER_H_
+
+/// \file
+/// The network front end (DESIGN.md §13): an epoll event loop accepting
+/// loopback TCP connections that speak the length-prefixed protocol of
+/// net/protocol.h, plus a batcher thread that coalesces requests
+/// arriving across connections into DocService batched submissions.
+///
+/// Threading: the *loop thread* owns every connection (accept, read,
+/// parse, write, close — no locks on connection state); the *batcher
+/// thread* owns one reused ServeBatch and the DocService submission;
+/// they meet at two mutex-guarded vectors (parsed ops in, serialized
+/// response frames out) and an eventfd that wakes the loop. DocService
+/// workers never touch a socket.
+///
+/// Backpressure: each connection has a bounded outbound buffer and a
+/// bounded count of parsed-but-unanswered requests; crossing either
+/// bound pauses reading that socket (its bytes stay in the kernel
+/// buffer, eventually stalling the sender via TCP flow control) until
+/// the buffer drains below half. Queued work is therefore bounded by
+/// connections × the two per-connection caps, independent of how fast
+/// clients write.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/poller.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace rlz {
+
+class DocService;
+
+namespace net {
+
+/// Knobs for DocServer. Every bound has a documented floor applied by
+/// Validated(); zero/negative values are clamped, not trusted.
+struct DocServerOptions {
+  /// TCP port to listen on (loopback only); 0 picks an ephemeral port,
+  /// readable from port() after Start().
+  uint16_t port = 0;
+  /// Accepted connections beyond this are closed immediately. Floor: 1.
+  int max_connections = 1024;
+  /// Outbound-buffer backpressure bound per connection: once this many
+  /// un-flushed response bytes accumulate, the connection's reads pause
+  /// until the buffer drains below half. Floor: 4 KB.
+  size_t max_outbound_bytes = 4u << 20;
+  /// Pipelining backpressure bound per connection: parsed requests not
+  /// yet answered. Crossing it pauses reads until half are answered.
+  /// Floor: 1.
+  size_t max_pipelined_requests = 1024;
+  /// Read quantum per poll round per connection (level-triggered: the
+  /// remainder is picked up next round, so one firehose connection
+  /// cannot starve the loop). Floor: 4 KB.
+  size_t read_chunk_bytes = 64u << 10;
+  /// Graceful-drain deadline for Shutdown(): connections still
+  /// unflushed after this are closed anyway. Floor: 0 (immediate).
+  int drain_timeout_ms = 5000;
+
+  /// Returns a copy with every knob clamped to its documented floor
+  /// (the DocServer constructor applies this, mirroring
+  /// DocServiceOptions::Validated).
+  DocServerOptions Validated() const;
+};
+
+/// Server-side network counters (monotonic since Start, except
+/// connections_active). Also travel on the wire inside the Stat
+/// response (WireStats net_* fields).
+struct NetServerStats {
+  /// Connections accepted.
+  uint64_t connections_accepted = 0;
+  /// Connections currently open.
+  uint64_t connections_active = 0;
+  /// Request frames parsed.
+  uint64_t frames_received = 0;
+  /// Response frames serialized.
+  uint64_t frames_sent = 0;
+  /// Bytes read off sockets.
+  uint64_t bytes_received = 0;
+  /// Bytes written to sockets.
+  uint64_t bytes_sent = 0;
+  /// ServeBatch submissions made by the batcher.
+  uint64_t batches = 0;
+  /// Document requests coalesced into those submissions.
+  uint64_t coalesced_requests = 0;
+  /// Times a connection's reads were paused for backpressure.
+  uint64_t reads_paused = 0;
+  /// Connections poisoned by unparseable input.
+  uint64_t protocol_errors = 0;
+};
+
+/// The socket front end over a DocService (DESIGN.md §13). Start() binds
+/// and spawns the loop and batcher threads; Shutdown() stops accepting,
+/// answers everything already parsed, flushes, and joins. The service
+/// (and its archive) must outlive the server.
+class DocServer {
+ public:
+  /// Prepares a server over `service` (not owned). No sockets exist
+  /// until Start().
+  explicit DocServer(DocService* service, const DocServerOptions& options = {});
+  /// Shutdown(), then releases everything.
+  ~DocServer();
+
+  DocServer(const DocServer&) = delete;
+  DocServer& operator=(const DocServer&) = delete;
+
+  /// Binds the loopback listen socket and spawns the loop and batcher
+  /// threads. Fails (and leaves the object inert) when the port is
+  /// taken or fd resources are exhausted.
+  Status Start();
+
+  /// The bound TCP port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting and reading, answer every request
+  /// already parsed, flush every outbound buffer (up to
+  /// drain_timeout_ms), close all connections, join both threads.
+  /// Idempotent; safe to call concurrently with serving traffic.
+  void Shutdown();
+
+  /// Counters snapshot; never blocks serving (atomics, like
+  /// DocService::Stats).
+  NetServerStats stats() const;
+
+  /// The validated options this server runs with.
+  const DocServerOptions& options() const { return options_; }
+
+ private:
+  // One parsed request (or a poisoned-connection error marker) on its
+  // way to the batcher, in per-connection parse order.
+  struct PendingOp {
+    uint64_t conn_id = 0;
+    MessageType type = MessageType::kGet;
+    uint8_t flags = 0;
+    uint64_t id = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    std::vector<uint64_t> ids;  // kMultiGet
+    std::string error;          // kError: the parse failure to report
+  };
+
+  // One serialized response frame on its way back to the loop.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string frame;
+  };
+
+  struct Connection;
+
+  void LoopThread();
+  void BatcherThread();
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  // Parses every complete frame in conn->in into pending ops; poisons
+  // the connection on malformed input.
+  void ParseFrames(Connection* conn, std::vector<PendingOp>* ops);
+  // Delivers serialized frames into their connections' outbound buffers.
+  void PumpCompletions();
+  // Recomputes and applies a connection's epoll interest set from its
+  // pause/flush state.
+  void UpdateInterest(Connection* conn);
+  // True when the connection has nothing left to say (no unanswered
+  // ops, empty outbound buffer) and should close (poisoned, peer EOF,
+  // or server draining).
+  bool ReadyToClose(const Connection& conn) const;
+  void CloseConnection(uint64_t conn_id);
+  // Wakes the loop thread (eventfd write); callable from any thread.
+  void WakeLoop();
+  // Builds the wire Stat payload: DocService stats + net counters.
+  WireStats BuildWireStats() const;
+
+  DocService* service_;
+  DocServerOptions options_;  // validated copy
+  uint16_t port_ = 0;
+
+  Poller poller_;
+  ScopedFd listen_fd_;
+  ScopedFd wake_fd_;  // eventfd: completions ready / shutdown requested
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wakeup
+  // Parsed ops not yet answered with a delivered completion; loop-thread
+  // only (drain termination condition).
+  size_t outstanding_ops_ = 0;
+  // Loop-thread view of the drain state (set once shutdown_requested_
+  // is observed; connections stop reading and close when flushed).
+  bool draining_ = false;
+
+  std::mutex handoff_mu_;
+  std::condition_variable handoff_cv_;  // batcher: ops arrived / stop
+  std::vector<PendingOp> pending_;      // loop -> batcher (guarded)
+  std::vector<Completion> completions_; // batcher -> loop (guarded)
+  bool batcher_stop_ = false;           // guarded by handoff_mu_
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> started_{false};
+
+  // Counters (relaxed atomics; see NetServerStats).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> coalesced_requests_{0};
+  std::atomic<uint64_t> reads_paused_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+
+  std::mutex join_mu_;  // Shutdown is idempotent
+  bool joined_ = false;
+  std::thread loop_thread_;
+  std::thread batcher_thread_;
+};
+
+}  // namespace net
+}  // namespace rlz
+
+#endif  // RLZ_NET_DOC_SERVER_H_

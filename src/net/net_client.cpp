@@ -1,0 +1,148 @@
+#include "net/net_client.h"
+
+#include <utility>
+
+namespace rlz {
+namespace net {
+namespace {
+
+// Projects a non-OK wire code back onto the Status a direct DocService
+// call would have returned.
+Status FromWire(WireCode code, const std::string& message) {
+  switch (code) {
+    case WireCode::kOk: return Status::OK();
+    case WireCode::kInvalidArgument: return Status::InvalidArgument(message);
+    case WireCode::kNotFound: return Status::NotFound(message);
+    case WireCode::kOutOfRange: return Status::OutOfRange(message);
+    case WireCode::kCorruption: return Status::Corruption(message);
+    case WireCode::kIOError: return Status::IOError(message);
+    case WireCode::kUnimplemented: return Status::Unimplemented(message);
+    case WireCode::kInternal: return Status::Internal(message);
+    case WireCode::kUnavailable: return Status::Unavailable(message);
+  }
+  return Status::Internal(message);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
+    uint16_t port, const NetClientOptions& options) {
+  RLZ_ASSIGN_OR_RETURN(ScopedFd fd, ConnectLoopback(port));
+  return std::unique_ptr<NetClient>(new NetClient(std::move(fd), options));
+}
+
+void NetClient::SendGet(uint64_t id) {
+  EncodeGetRequest(id, options_.use_crc, &send_buf_);
+}
+
+void NetClient::SendMultiGet(const std::vector<uint64_t>& ids) {
+  EncodeMultiGetRequest(ids.data(), ids.size(), options_.use_crc,
+                        &send_buf_);
+}
+
+void NetClient::SendGetRange(uint64_t id, uint64_t offset, uint64_t length) {
+  EncodeGetRangeRequest(id, offset, length, options_.use_crc, &send_buf_);
+}
+
+void NetClient::SendStat() { EncodeStatRequest(options_.use_crc, &send_buf_); }
+
+void NetClient::SendRaw(std::string_view bytes) {
+  send_buf_.append(bytes.data(), bytes.size());
+}
+
+Status NetClient::Flush() {
+  if (send_buf_.empty()) return Status::OK();
+  RLZ_RETURN_IF_ERROR(WriteAll(fd_.get(), send_buf_.data(), send_buf_.size()));
+  send_buf_.clear();
+  return Status::OK();
+}
+
+StatusOr<NetResponse> NetClient::Receive() {
+  RLZ_RETURN_IF_ERROR(Flush());
+  for (;;) {
+    MessageType type;
+    uint8_t flags;
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    const ParseResult r =
+        ParseFrame(recv_buf_, &type, &flags, &body, &consumed, &error);
+    if (r == ParseResult::kError) {
+      return Status::Corruption("malformed response frame: " + error);
+    }
+    if (r == ParseResult::kFrame) {
+      NetResponse response;
+      RLZ_RETURN_IF_ERROR(DecodeResponseBody(type, flags, body, &response));
+      recv_buf_.erase(0, consumed);
+      return response;
+    }
+    char buf[16384];
+    size_t n = 0;
+    switch (ReadSome(fd_.get(), buf, sizeof(buf), &n)) {
+      case IoResult::kOk:
+        recv_buf_.append(buf, n);
+        break;
+      case IoResult::kWouldBlock:
+        // Blocking socket: only possible under a receive timeout, which
+        // the client does not set; retry.
+        break;
+      case IoResult::kClosed:
+        return Status::Unavailable("connection closed by server");
+      case IoResult::kError:
+        return Status::IOError("socket read failed");
+    }
+  }
+}
+
+StatusOr<std::string> NetClient::Get(uint64_t id) {
+  SendGet(id);
+  RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
+  if (response.type != MessageType::kGet &&
+      response.type != MessageType::kError) {
+    return Status::Internal("out-of-order response type");
+  }
+  if (!response.ok()) return FromWire(response.code, response.payload);
+  return std::move(response.payload);
+}
+
+StatusOr<std::string> NetClient::GetRange(uint64_t id, uint64_t offset,
+                                          uint64_t length) {
+  SendGetRange(id, offset, length);
+  RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
+  if (response.type != MessageType::kGetRange &&
+      response.type != MessageType::kError) {
+    return Status::Internal("out-of-order response type");
+  }
+  if (!response.ok()) return FromWire(response.code, response.payload);
+  return std::move(response.payload);
+}
+
+StatusOr<std::vector<MultiGetElement>> NetClient::MultiGet(
+    const std::vector<uint64_t>& ids) {
+  SendMultiGet(ids);
+  RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
+  if (response.type != MessageType::kMultiGet) {
+    if (response.type == MessageType::kError) {
+      return FromWire(response.code, response.payload);
+    }
+    return Status::Internal("out-of-order response type");
+  }
+  if (!response.ok()) return FromWire(response.code, response.payload);
+  return std::move(response.elements);
+}
+
+StatusOr<WireStats> NetClient::Stat() {
+  SendStat();
+  RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
+  if (response.type != MessageType::kStat) {
+    if (response.type == MessageType::kError) {
+      return FromWire(response.code, response.payload);
+    }
+    return Status::Internal("out-of-order response type");
+  }
+  if (!response.ok()) return FromWire(response.code, response.payload);
+  return response.stats;
+}
+
+}  // namespace net
+}  // namespace rlz

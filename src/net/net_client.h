@@ -1,0 +1,87 @@
+#ifndef RLZ_NET_NET_CLIENT_H_
+#define RLZ_NET_NET_CLIENT_H_
+
+/// \file
+/// The blocking client of the network front end (DESIGN.md §13), used
+/// by tests, the load bench, and snippet_server's --client mode. Sends
+/// buffer locally until Flush()/Receive(), so a pipelined burst (N
+/// Send* calls, then N Receive() calls) reaches the kernel as one
+/// write — the client-side half of request coalescing. One NetClient
+/// belongs to one thread; open one per connection.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace rlz {
+namespace net {
+
+/// Knobs for NetClient::Connect.
+struct NetClientOptions {
+  /// Stamp every request frame with a CRC32 (the server verifies it and
+  /// answers with CRC-stamped responses).
+  bool use_crc = false;
+};
+
+/// A pipelined loopback connection to a DocServer. Responses arrive in
+/// request order; interleave Send*/Receive freely up to the server's
+/// pipelining bound.
+class NetClient {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  static StatusOr<std::unique_ptr<NetClient>> Connect(
+      uint16_t port, const NetClientOptions& options = {});
+  ~NetClient() = default;
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Queues a Get request for `id`.
+  void SendGet(uint64_t id);
+  /// Queues a MultiGet request for `ids`.
+  void SendMultiGet(const std::vector<uint64_t>& ids);
+  /// Queues a GetRange request for bytes [offset, offset+length) of `id`.
+  void SendGetRange(uint64_t id, uint64_t offset, uint64_t length);
+  /// Queues a Stat request.
+  void SendStat();
+  /// Queues raw bytes verbatim (test hook for malformed frames).
+  void SendRaw(std::string_view bytes);
+
+  /// Writes every queued request to the socket.
+  Status Flush();
+
+  /// Returns the next response in request order, flushing queued sends
+  /// first. Unavailable when the server closed the connection.
+  StatusOr<NetResponse> Receive();
+
+  /// Round-trip convenience: Get one document's bytes (non-OK wire
+  /// codes become the equivalent Status).
+  StatusOr<std::string> Get(uint64_t id);
+  /// Round-trip convenience: one byte range.
+  StatusOr<std::string> GetRange(uint64_t id, uint64_t offset,
+                                 uint64_t length);
+  /// Round-trip convenience: one MultiGet (per-element codes inside).
+  StatusOr<std::vector<MultiGetElement>> MultiGet(
+      const std::vector<uint64_t>& ids);
+  /// Round-trip convenience: one Stat snapshot.
+  StatusOr<WireStats> Stat();
+
+ private:
+  explicit NetClient(ScopedFd fd, const NetClientOptions& options)
+      : fd_(std::move(fd)), options_(options) {}
+
+  ScopedFd fd_;
+  NetClientOptions options_;
+  std::string send_buf_;  // queued request frames
+  std::string recv_buf_;  // unparsed response bytes
+};
+
+}  // namespace net
+}  // namespace rlz
+
+#endif  // RLZ_NET_NET_CLIENT_H_

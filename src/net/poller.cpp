@@ -1,0 +1,86 @@
+#include "net/poller.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+
+namespace rlz {
+namespace net {
+namespace {
+
+Status ErrnoStatus(const char* op) {
+  return Status::IOError(std::string(op) + ": " + ::strerror(errno));
+}
+
+uint32_t ToEpoll(uint32_t events, bool edge_triggered) {
+  uint32_t out = 0;
+  if (events & kPollRead) out |= EPOLLIN;
+  if (events & kPollWrite) out |= EPOLLOUT;
+  if (edge_triggered) out |= EPOLLET;
+  // EPOLLRDHUP makes a half-closed peer visible as readable-EOF without
+  // waiting for a write to fail.
+  return out | EPOLLRDHUP;
+}
+
+}  // namespace
+
+Poller::Poller() : epoll_fd_(::epoll_create1(0)) {}
+
+Status Poller::Add(int fd, uint64_t tag, uint32_t events,
+                   bool edge_triggered) {
+  if (!valid()) return Status::Internal("poller: epoll_create1 failed");
+  epoll_event ev;
+  ::memset(&ev, 0, sizeof(ev));
+  ev.events = ToEpoll(events, edge_triggered);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status Poller::Modify(int fd, uint64_t tag, uint32_t events,
+                      bool edge_triggered) {
+  if (!valid()) return Status::Internal("poller: epoll_create1 failed");
+  epoll_event ev;
+  ::memset(&ev, 0, sizeof(ev));
+  ev.events = ToEpoll(events, edge_triggered);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+Status Poller::Remove(int fd) {
+  if (!valid()) return Status::Internal("poller: epoll_create1 failed");
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return ErrnoStatus("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+Status Poller::Wait(std::vector<PollerEvent>* events, int timeout_ms) {
+  events->clear();
+  if (!valid()) return Status::Internal("poller: epoll_create1 failed");
+  epoll_event raw[64];
+  int n;
+  for (;;) {
+    n = ::epoll_wait(epoll_fd_.get(), raw, 64, timeout_ms);
+    if (n >= 0) break;
+    if (errno != EINTR) return ErrnoStatus("epoll_wait");
+  }
+  events->reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    PollerEvent ev;
+    ev.tag = raw[i].data.u64;
+    ev.readable = (raw[i].events & (EPOLLIN | EPOLLRDHUP)) != 0;
+    ev.writable = (raw[i].events & EPOLLOUT) != 0;
+    ev.error = (raw[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    events->push_back(ev);
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace rlz

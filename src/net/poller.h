@@ -1,0 +1,82 @@
+#ifndef RLZ_NET_POLLER_H_
+#define RLZ_NET_POLLER_H_
+
+/// \file
+/// Readiness notification for the network front end (DESIGN.md §13): a
+/// thin ownership-free abstraction over epoll. The event loop registers
+/// file descriptors with an interest set (read/write, level- or
+/// edge-triggered) and an opaque tag, and Wait() reports which tags are
+/// ready. Keeping the poller mechanism-only (no callbacks, no fd
+/// ownership) leaves connection lifetime entirely to the event loop,
+/// which is where it can be reasoned about.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace rlz {
+namespace net {
+
+/// Interest/readiness bit set used by Poller (combinable).
+enum PollEvents : uint32_t {
+  kPollNone = 0,       ///< no interest (still registered, reports errors)
+  kPollRead = 1u << 0, ///< readable (or a pending accept on a listener)
+  kPollWrite = 1u << 1,///< writable
+};
+
+/// One ready descriptor reported by Poller::Wait.
+struct PollerEvent {
+  /// The opaque tag the fd was registered with (e.g. a connection id).
+  uint64_t tag = 0;
+  /// Ready-to-read (includes peer hangup, which reads as EOF).
+  bool readable = false;
+  /// Ready-to-write.
+  bool writable = false;
+  /// Error or hangup condition on the descriptor (EPOLLERR/EPOLLHUP);
+  /// the owner should read to collect the error/EOF and close.
+  bool error = false;
+};
+
+/// Level-triggered by default: a descriptor keeps reporting ready until
+/// drained, so a loop iteration may service it partially and pick the
+/// rest up next round (the server relies on this to cap per-connection
+/// read quanta). Edge-triggered registration is available for callers
+/// that drain to EAGAIN in one pass.
+class Poller {
+ public:
+  /// Creates the epoll instance (aborts only on resource exhaustion —
+  /// construction failure leaves valid() false and Add/Wait failing).
+  Poller();
+  ~Poller() = default;
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// True when the underlying epoll instance was created successfully.
+  bool valid() const { return epoll_fd_.ok(); }
+
+  /// Registers `fd` with interest `events` (PollEvents bits) under `tag`.
+  /// `edge_triggered` opts this fd into EPOLLET.
+  Status Add(int fd, uint64_t tag, uint32_t events,
+             bool edge_triggered = false);
+  /// Replaces the interest set (and tag) of an already-registered fd.
+  Status Modify(int fd, uint64_t tag, uint32_t events,
+                bool edge_triggered = false);
+  /// Unregisters `fd`. Safe to call for fds about to be closed.
+  Status Remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) and fills `*events`
+  /// with the ready set (cleared first). Returns OK on timeout with an
+  /// empty vector; EINTR is retried internally.
+  Status Wait(std::vector<PollerEvent>* events, int timeout_ms);
+
+ private:
+  ScopedFd epoll_fd_;
+};
+
+}  // namespace net
+}  // namespace rlz
+
+#endif  // RLZ_NET_POLLER_H_

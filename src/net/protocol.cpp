@@ -1,0 +1,361 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace rlz {
+namespace net {
+namespace {
+
+// The wire is little-endian; so is every platform this library targets
+// (the same assumption the container format makes).
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "wire protocol assumes a little-endian host");
+
+template <typename T>
+void Put(T value, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool Get(std::string_view* in, T* value) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(value, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+// Opens a frame: appends the length placeholder and the body header,
+// returning the offset of the placeholder for CloseFrame to patch.
+size_t OpenFrame(MessageType type, bool crc, std::string* out) {
+  const size_t at = out->size();
+  Put<uint32_t>(0, out);
+  Put<uint8_t>(static_cast<uint8_t>(type), out);
+  Put<uint8_t>(crc ? kFlagCrc : 0, out);
+  return at;
+}
+
+// Closes a frame opened at `at`: appends the CRC when requested (over
+// the body written so far) and patches the length prefix.
+void CloseFrame(size_t at, bool crc, std::string* out) {
+  if (crc) {
+    const uint32_t sum =
+        Crc32(out->data() + at + sizeof(uint32_t),
+              out->size() - at - sizeof(uint32_t));
+    Put<uint32_t>(sum, out);
+  }
+  const uint32_t body_len =
+      static_cast<uint32_t>(out->size() - at - sizeof(uint32_t));
+  std::memcpy(out->data() + at, &body_len, sizeof(body_len));
+}
+
+constexpr uint8_t kStatVersion = 1;
+
+}  // namespace
+
+WireCode ToWireCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return WireCode::kOk;
+    case StatusCode::kInvalidArgument: return WireCode::kInvalidArgument;
+    case StatusCode::kNotFound: return WireCode::kNotFound;
+    case StatusCode::kOutOfRange: return WireCode::kOutOfRange;
+    case StatusCode::kCorruption: return WireCode::kCorruption;
+    case StatusCode::kIOError: return WireCode::kIOError;
+    case StatusCode::kUnimplemented: return WireCode::kUnimplemented;
+    case StatusCode::kInternal: return WireCode::kInternal;
+    case StatusCode::kUnavailable: return WireCode::kUnavailable;
+  }
+  return WireCode::kInternal;
+}
+
+const char* WireCodeToString(WireCode code) {
+  switch (code) {
+    case WireCode::kOk: return "OK";
+    case WireCode::kInvalidArgument: return "InvalidArgument";
+    case WireCode::kNotFound: return "NotFound";
+    case WireCode::kOutOfRange: return "OutOfRange";
+    case WireCode::kCorruption: return "Corruption";
+    case WireCode::kIOError: return "IOError";
+    case WireCode::kUnimplemented: return "Unimplemented";
+    case WireCode::kInternal: return "Internal";
+    case WireCode::kUnavailable: return "Unavailable";
+  }
+  return "Unknown";
+}
+
+void EncodeGetRequest(uint64_t id, bool crc, std::string* out) {
+  const size_t at = OpenFrame(MessageType::kGet, crc, out);
+  Put<uint64_t>(id, out);
+  CloseFrame(at, crc, out);
+}
+
+void EncodeMultiGetRequest(const uint64_t* ids, size_t n, bool crc,
+                           std::string* out) {
+  const size_t at = OpenFrame(MessageType::kMultiGet, crc, out);
+  Put<uint32_t>(static_cast<uint32_t>(n), out);
+  for (size_t i = 0; i < n; ++i) Put<uint64_t>(ids[i], out);
+  CloseFrame(at, crc, out);
+}
+
+void EncodeGetRangeRequest(uint64_t id, uint64_t offset, uint64_t length,
+                           bool crc, std::string* out) {
+  const size_t at = OpenFrame(MessageType::kGetRange, crc, out);
+  Put<uint64_t>(id, out);
+  Put<uint64_t>(offset, out);
+  Put<uint64_t>(length, out);
+  CloseFrame(at, crc, out);
+}
+
+void EncodeStatRequest(bool crc, std::string* out) {
+  const size_t at = OpenFrame(MessageType::kStat, crc, out);
+  CloseFrame(at, crc, out);
+}
+
+void EncodeDocResponse(MessageType type, WireCode code,
+                       std::string_view body, bool crc, std::string* out) {
+  const size_t at = OpenFrame(type, crc, out);
+  Put<uint8_t>(static_cast<uint8_t>(code), out);
+  out->append(body.data(), body.size());
+  CloseFrame(at, crc, out);
+}
+
+void EncodeMultiGetResponse(const MultiGetOut* elements, size_t n, bool crc,
+                            std::string* out) {
+  const size_t at = OpenFrame(MessageType::kMultiGet, crc, out);
+  Put<uint8_t>(static_cast<uint8_t>(WireCode::kOk), out);
+  Put<uint32_t>(static_cast<uint32_t>(n), out);
+  for (size_t i = 0; i < n; ++i) {
+    Put<uint8_t>(static_cast<uint8_t>(elements[i].code), out);
+    Put<uint32_t>(static_cast<uint32_t>(elements[i].bytes.size()), out);
+    out->append(elements[i].bytes.data(), elements[i].bytes.size());
+  }
+  CloseFrame(at, crc, out);
+}
+
+void EncodeStatResponse(const WireStats& stats, bool crc, std::string* out) {
+  const size_t at = OpenFrame(MessageType::kStat, crc, out);
+  Put<uint8_t>(static_cast<uint8_t>(WireCode::kOk), out);
+  Put<uint8_t>(kStatVersion, out);
+  Put<uint64_t>(stats.requests, out);
+  Put<uint64_t>(stats.failures, out);
+  Put<uint64_t>(stats.steals, out);
+  Put<uint64_t>(stats.queued, out);
+  Put<uint64_t>(stats.cache_hits, out);
+  Put<uint64_t>(stats.cache_misses, out);
+  Put<uint64_t>(stats.cache_evictions, out);
+  Put<uint64_t>(stats.cache_erased, out);
+  Put<uint64_t>(stats.cache_entries, out);
+  Put<uint64_t>(stats.cache_bytes, out);
+  Put<uint64_t>(stats.disk_bytes, out);
+  Put<uint64_t>(stats.disk_seeks, out);
+  Put<uint64_t>(stats.archive_docs, out);
+  Put<double>(stats.disk_seconds, out);
+  Put<double>(stats.cpu_seconds, out);
+  Put<double>(stats.critical_path_seconds, out);
+  Put<double>(stats.latency_p50_us, out);
+  Put<double>(stats.latency_p99_us, out);
+  Put<double>(stats.latency_p999_us, out);
+  Put<uint32_t>(stats.num_threads, out);
+  Put<uint64_t>(stats.net_connections_accepted, out);
+  Put<uint64_t>(stats.net_connections_active, out);
+  Put<uint64_t>(stats.net_frames_received, out);
+  Put<uint64_t>(stats.net_frames_sent, out);
+  Put<uint64_t>(stats.net_bytes_received, out);
+  Put<uint64_t>(stats.net_bytes_sent, out);
+  Put<uint64_t>(stats.net_batches, out);
+  Put<uint64_t>(stats.net_coalesced_requests, out);
+  Put<uint64_t>(stats.net_reads_paused, out);
+  Put<uint64_t>(stats.net_protocol_errors, out);
+  CloseFrame(at, crc, out);
+}
+
+ParseResult ParseFrame(std::string_view buf, MessageType* type,
+                       uint8_t* flags, std::string_view* body,
+                       size_t* consumed, std::string* error) {
+  *consumed = 0;
+  if (buf.size() < sizeof(uint32_t)) return ParseResult::kNeedMore;
+  uint32_t body_len;
+  std::memcpy(&body_len, buf.data(), sizeof(body_len));
+  if (body_len > kMaxFrameBytes) {
+    *error = "frame length " + std::to_string(body_len) +
+             " exceeds the protocol limit";
+    return ParseResult::kError;
+  }
+  if (body_len < 2) {
+    *error = "frame body shorter than its two-byte header";
+    return ParseResult::kError;
+  }
+  if (buf.size() < sizeof(uint32_t) + body_len) return ParseResult::kNeedMore;
+  const uint8_t raw_type = static_cast<uint8_t>(buf[4]);
+  const uint8_t raw_flags = static_cast<uint8_t>(buf[5]);
+  if (raw_type < static_cast<uint8_t>(MessageType::kGet) ||
+      raw_type > static_cast<uint8_t>(MessageType::kError)) {
+    *error = "unknown frame type " + std::to_string(raw_type);
+    return ParseResult::kError;
+  }
+  if ((raw_flags & ~kFlagCrc) != 0) {
+    *error = "unknown frame flags " + std::to_string(raw_flags);
+    return ParseResult::kError;
+  }
+  std::string_view payload = buf.substr(6, body_len - 2);
+  if (raw_flags & kFlagCrc) {
+    if (payload.size() < sizeof(uint32_t)) {
+      *error = "CRC flag set on a frame too short to carry one";
+      return ParseResult::kError;
+    }
+    uint32_t expected;
+    std::memcpy(&expected, payload.data() + payload.size() - sizeof(uint32_t),
+                sizeof(expected));
+    // The CRC covers the body (type, flags, payload) up to itself.
+    const uint32_t actual =
+        Crc32(buf.data() + sizeof(uint32_t),
+              2 + payload.size() - sizeof(uint32_t));
+    if (expected != actual) {
+      *error = "frame CRC mismatch";
+      return ParseResult::kError;
+    }
+    payload.remove_suffix(sizeof(uint32_t));
+  }
+  *type = static_cast<MessageType>(raw_type);
+  *flags = raw_flags;
+  *body = payload;
+  *consumed = sizeof(uint32_t) + body_len;
+  return ParseResult::kFrame;
+}
+
+Status DecodeRequestBody(MessageType type, uint8_t flags,
+                         std::string_view body, NetRequest* out) {
+  out->type = type;
+  out->flags = flags;
+  out->id = out->offset = out->length = 0;
+  out->ids.clear();
+  switch (type) {
+    case MessageType::kGet:
+      if (body.size() != sizeof(uint64_t) || !Get(&body, &out->id)) {
+        return Status::InvalidArgument("Get request payload malformed");
+      }
+      return Status::OK();
+    case MessageType::kMultiGet: {
+      uint32_t count;
+      if (!Get(&body, &count)) {
+        return Status::InvalidArgument("MultiGet request payload malformed");
+      }
+      if (count > kMaxMultiGetIds) {
+        return Status::InvalidArgument("MultiGet id count exceeds limit");
+      }
+      if (body.size() != static_cast<size_t>(count) * sizeof(uint64_t)) {
+        return Status::InvalidArgument(
+            "MultiGet payload size disagrees with its id count");
+      }
+      out->ids.resize(count);
+      for (uint32_t i = 0; i < count; ++i) Get(&body, &out->ids[i]);
+      return Status::OK();
+    }
+    case MessageType::kGetRange:
+      if (body.size() != 3 * sizeof(uint64_t) || !Get(&body, &out->id) ||
+          !Get(&body, &out->offset) || !Get(&body, &out->length)) {
+        return Status::InvalidArgument("GetRange request payload malformed");
+      }
+      return Status::OK();
+    case MessageType::kStat:
+      if (!body.empty()) {
+        return Status::InvalidArgument("Stat request carries a payload");
+      }
+      return Status::OK();
+    case MessageType::kError:
+      return Status::InvalidArgument("kError is not a request type");
+  }
+  return Status::InvalidArgument("unknown request type");
+}
+
+Status DecodeResponseBody(MessageType type, uint8_t flags,
+                          std::string_view body, NetResponse* out) {
+  out->type = type;
+  out->flags = flags;
+  out->payload.clear();
+  out->elements.clear();
+  out->stats = WireStats();
+  uint8_t code;
+  if (!Get(&body, &code)) {
+    return Status::InvalidArgument("response missing its status byte");
+  }
+  if (code > static_cast<uint8_t>(WireCode::kUnavailable)) {
+    return Status::InvalidArgument("response status byte out of range");
+  }
+  out->code = static_cast<WireCode>(code);
+  switch (type) {
+    case MessageType::kGet:
+    case MessageType::kGetRange:
+    case MessageType::kError:
+      out->payload.assign(body.data(), body.size());
+      return Status::OK();
+    case MessageType::kMultiGet: {
+      uint32_t count;
+      if (!Get(&body, &count)) {
+        return Status::InvalidArgument("MultiGet response payload malformed");
+      }
+      if (count > kMaxMultiGetIds) {
+        return Status::InvalidArgument(
+            "MultiGet response element count exceeds limit");
+      }
+      out->elements.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint8_t elem_code;
+        uint32_t len;
+        if (!Get(&body, &elem_code) || !Get(&body, &len) ||
+            body.size() < len ||
+            elem_code > static_cast<uint8_t>(WireCode::kUnavailable)) {
+          return Status::InvalidArgument(
+              "MultiGet response element malformed");
+        }
+        MultiGetElement elem;
+        elem.code = static_cast<WireCode>(elem_code);
+        elem.bytes.assign(body.data(), len);
+        body.remove_prefix(len);
+        out->elements.push_back(std::move(elem));
+      }
+      if (!body.empty()) {
+        return Status::InvalidArgument(
+            "MultiGet response has trailing bytes");
+      }
+      return Status::OK();
+    }
+    case MessageType::kStat: {
+      uint8_t version;
+      if (!Get(&body, &version) || version != kStatVersion) {
+        return Status::InvalidArgument("Stat response version unsupported");
+      }
+      WireStats& s = out->stats;
+      const bool ok =
+          Get(&body, &s.requests) && Get(&body, &s.failures) &&
+          Get(&body, &s.steals) && Get(&body, &s.queued) &&
+          Get(&body, &s.cache_hits) && Get(&body, &s.cache_misses) &&
+          Get(&body, &s.cache_evictions) && Get(&body, &s.cache_erased) &&
+          Get(&body, &s.cache_entries) && Get(&body, &s.cache_bytes) &&
+          Get(&body, &s.disk_bytes) && Get(&body, &s.disk_seeks) &&
+          Get(&body, &s.archive_docs) && Get(&body, &s.disk_seconds) &&
+          Get(&body, &s.cpu_seconds) &&
+          Get(&body, &s.critical_path_seconds) &&
+          Get(&body, &s.latency_p50_us) && Get(&body, &s.latency_p99_us) &&
+          Get(&body, &s.latency_p999_us) && Get(&body, &s.num_threads) &&
+          Get(&body, &s.net_connections_accepted) &&
+          Get(&body, &s.net_connections_active) &&
+          Get(&body, &s.net_frames_received) &&
+          Get(&body, &s.net_frames_sent) &&
+          Get(&body, &s.net_bytes_received) &&
+          Get(&body, &s.net_bytes_sent) && Get(&body, &s.net_batches) &&
+          Get(&body, &s.net_coalesced_requests) &&
+          Get(&body, &s.net_reads_paused) &&
+          Get(&body, &s.net_protocol_errors);
+      if (!ok || !body.empty()) {
+        return Status::InvalidArgument("Stat response payload malformed");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown response type");
+}
+
+}  // namespace net
+}  // namespace rlz

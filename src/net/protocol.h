@@ -1,0 +1,242 @@
+#ifndef RLZ_NET_PROTOCOL_H_
+#define RLZ_NET_PROTOCOL_H_
+
+/// \file
+/// The wire protocol of the network front end (DESIGN.md §13): tiny
+/// length-prefixed binary frames, little-endian throughout.
+///
+/// Every frame is `[u32 body_len][u8 type][u8 flags][payload]` where
+/// body_len counts everything after the length field. When `flags` has
+/// kFlagCrc set, the last four payload bytes are a CRC32 over the body
+/// up to (excluding) the CRC itself; the parser verifies and strips it.
+/// Responses reuse the same envelope with the request's type echoed and
+/// a leading status-code byte in the payload, so one incremental parser
+/// serves both directions. Requests on one connection are answered in
+/// order (pipelining matches responses positionally, as in Redis), so
+/// no sequence numbers travel on the wire.
+///
+/// Malformed input (oversized length, unknown type, short payload, CRC
+/// mismatch, inconsistent counts) is a parse *error*, distinct from
+/// "need more bytes": the connection that produced it is poisoned — the
+/// server answers with a kError frame when it still can, then closes.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rlz {
+namespace net {
+
+/// Frame type tags. Responses echo the request's tag; kError is a
+/// server-originated response to an unparseable request.
+enum class MessageType : uint8_t {
+  kGet = 1,       ///< one whole document by id
+  kMultiGet = 2,  ///< a batch of documents by id
+  kGetRange = 3,  ///< a byte range of one document (the snippet path)
+  kStat = 4,      ///< service + network counters snapshot
+  kError = 5,     ///< response-only: the request could not be parsed
+};
+
+/// Frame flag bits (`flags` header byte).
+constexpr uint8_t kFlagCrc = 0x01;
+
+/// Largest accepted frame body; anything longer is a protocol error
+/// (memory-safety bound against hostile length prefixes).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Largest accepted MultiGet id count (bounds allocation before the
+/// body-size consistency check can catch a lying count).
+constexpr uint32_t kMaxMultiGetIds = 1u << 20;
+
+/// Wire status codes: StatusCode projected onto one stable byte.
+enum class WireCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kUnavailable = 8,
+};
+
+/// Maps a Status onto its wire byte (unknown future codes → kInternal).
+WireCode ToWireCode(const Status& status);
+/// Human-readable name of a wire code (mirrors StatusCodeToString).
+const char* WireCodeToString(WireCode code);
+
+/// A decoded request frame. `ids` is reused across decodes (cleared,
+/// not reallocated), keeping the per-frame parse allocation-free once
+/// warm.
+struct NetRequest {
+  /// Request kind.
+  MessageType type = MessageType::kGet;
+  /// Echoed into the response (the server answers CRC with CRC).
+  uint8_t flags = 0;
+  /// Document id (kGet, kGetRange).
+  uint64_t id = 0;
+  /// Range start (kGetRange).
+  uint64_t offset = 0;
+  /// Range length (kGetRange).
+  uint64_t length = 0;
+  /// Batch ids (kMultiGet).
+  std::vector<uint64_t> ids;
+};
+
+/// The Stat response payload: the DocService ServiceStats snapshot plus
+/// the server's own network counters, field-for-field on the wire
+/// (version-tagged so either side can reject a future layout).
+struct WireStats {
+  /// Requests executed by the DocService workers.
+  uint64_t requests = 0;
+  /// Requests that completed with a non-OK status.
+  uint64_t failures = 0;
+  /// Requests popped from another worker's queue.
+  uint64_t steals = 0;
+  /// Requests sitting in worker queues at snapshot time.
+  uint64_t queued = 0;
+  /// Decode-cache hits.
+  uint64_t cache_hits = 0;
+  /// Decode-cache misses.
+  uint64_t cache_misses = 0;
+  /// Decode-cache capacity evictions.
+  uint64_t cache_evictions = 0;
+  /// Decode-cache explicit invalidations (live-store deletes).
+  uint64_t cache_erased = 0;
+  /// Decode-cache resident entries.
+  uint64_t cache_entries = 0;
+  /// Decode-cache charged bytes.
+  uint64_t cache_bytes = 0;
+  /// Bytes charged to the simulated disks.
+  uint64_t disk_bytes = 0;
+  /// Seeks charged to the simulated disks.
+  uint64_t disk_seeks = 0;
+  /// Documents in the served archive (lets a thin client pick ids).
+  uint64_t archive_docs = 0;
+  /// Simulated disk seconds.
+  double disk_seconds = 0.0;
+  /// Worker thread-CPU seconds.
+  double cpu_seconds = 0.0;
+  /// Modeled makespan seconds (DESIGN.md §6).
+  double critical_path_seconds = 0.0;
+  /// Request latency p50, microseconds.
+  double latency_p50_us = 0.0;
+  /// Request latency p99, microseconds.
+  double latency_p99_us = 0.0;
+  /// Request latency p99.9, microseconds.
+  double latency_p999_us = 0.0;
+  /// DocService worker-pool size.
+  uint32_t num_threads = 0;
+  /// Connections accepted since the server started.
+  uint64_t net_connections_accepted = 0;
+  /// Connections currently open.
+  uint64_t net_connections_active = 0;
+  /// Request frames parsed.
+  uint64_t net_frames_received = 0;
+  /// Response frames written.
+  uint64_t net_frames_sent = 0;
+  /// Bytes read off sockets.
+  uint64_t net_bytes_received = 0;
+  /// Bytes written to sockets.
+  uint64_t net_bytes_sent = 0;
+  /// ServeBatch submissions the batcher made.
+  uint64_t net_batches = 0;
+  /// Doc requests coalesced into those submissions (avg batch size =
+  /// coalesced / batches).
+  uint64_t net_coalesced_requests = 0;
+  /// Times a connection's reads were paused for outbound backpressure.
+  uint64_t net_reads_paused = 0;
+  /// Connections dropped for unparseable input.
+  uint64_t net_protocol_errors = 0;
+};
+
+/// One element of a MultiGet response: a per-id status byte and, when
+/// OK, the document bytes (an error message otherwise).
+struct MultiGetElement {
+  /// Per-id outcome.
+  WireCode code = WireCode::kOk;
+  /// Document bytes (code == kOk) or error message.
+  std::string bytes;
+};
+
+/// A decoded response frame (client side). Which members are meaningful
+/// depends on `type`: payload for kGet/kGetRange/kError, elements for
+/// kMultiGet, stats for kStat.
+struct NetResponse {
+  /// Echo of the request type (kError for unparseable requests).
+  MessageType type = MessageType::kError;
+  /// Frame flags as received.
+  uint8_t flags = 0;
+  /// Overall outcome (per-element codes qualify kMultiGet).
+  WireCode code = WireCode::kInternal;
+  /// Document bytes (kGet/kGetRange, code kOk) or error message.
+  std::string payload;
+  /// Per-id results (kMultiGet).
+  std::vector<MultiGetElement> elements;
+  /// Counters snapshot (kStat).
+  WireStats stats;
+
+  /// True when the overall code is kOk.
+  bool ok() const { return code == WireCode::kOk; }
+};
+
+/// Appends a Get request frame for `id` to `*out`.
+void EncodeGetRequest(uint64_t id, bool crc, std::string* out);
+/// Appends a MultiGet request frame for `ids[0..n)` to `*out`.
+void EncodeMultiGetRequest(const uint64_t* ids, size_t n, bool crc,
+                           std::string* out);
+/// Appends a GetRange request frame to `*out`.
+void EncodeGetRangeRequest(uint64_t id, uint64_t offset, uint64_t length,
+                           bool crc, std::string* out);
+/// Appends a Stat request frame to `*out`.
+void EncodeStatRequest(bool crc, std::string* out);
+
+/// Appends a kGet/kGetRange/kError response frame: `body` is the
+/// document bytes when `code` is kOk, an error message otherwise.
+void EncodeDocResponse(MessageType type, WireCode code,
+                       std::string_view body, bool crc, std::string* out);
+
+/// Input view for one MultiGet response element.
+struct MultiGetOut {
+  /// Per-id outcome.
+  WireCode code = WireCode::kOk;
+  /// Document bytes or error message (borrowed; copied into the frame).
+  std::string_view bytes;
+};
+/// Appends a kMultiGet response frame carrying `elements[0..n)`.
+void EncodeMultiGetResponse(const MultiGetOut* elements, size_t n, bool crc,
+                            std::string* out);
+/// Appends a kStat response frame carrying `stats`.
+void EncodeStatResponse(const WireStats& stats, bool crc, std::string* out);
+
+/// Outcome of one ParseFrame attempt.
+enum class ParseResult {
+  kFrame,     ///< one complete frame extracted
+  kNeedMore,  ///< the buffer holds only a frame prefix — read more
+  kError,     ///< malformed input; the connection is poisoned
+};
+
+/// Extracts one frame from the front of `buf` (an accumulation buffer).
+/// On kFrame: `*type`/`*flags` hold the header, `*body` views the
+/// payload (CRC verified and stripped; aliases `buf`), and `*consumed`
+/// is the byte count to drop from the buffer. On kError, `*error` says
+/// why. kNeedMore touches only `*consumed` (set to 0).
+ParseResult ParseFrame(std::string_view buf, MessageType* type,
+                       uint8_t* flags, std::string_view* body,
+                       size_t* consumed, std::string* error);
+
+/// Decodes a request payload (server side). `out->ids` is reused.
+Status DecodeRequestBody(MessageType type, uint8_t flags,
+                         std::string_view body, NetRequest* out);
+/// Decodes a response payload (client side).
+Status DecodeResponseBody(MessageType type, uint8_t flags,
+                          std::string_view body, NetResponse* out);
+
+}  // namespace net
+}  // namespace rlz
+
+#endif  // RLZ_NET_PROTOCOL_H_

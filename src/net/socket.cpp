@@ -1,0 +1,158 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace rlz {
+namespace net {
+namespace {
+
+Status ErrnoStatus(const char* op) {
+  return Status::IOError(std::string(op) + ": " + ::strerror(errno));
+}
+
+}  // namespace
+
+void ScopedFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+StatusOr<ScopedFd> ListenLoopback(uint16_t port, uint16_t* bound_port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.ok()) return ErrnoStatus("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+  addr.sin_port = ::htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd.get(), SOMAXCONN) < 0) return ErrnoStatus("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  if (bound_port != nullptr) *bound_port = ::ntohs(addr.sin_port);
+  RLZ_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+StatusOr<ScopedFd> AcceptConnection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      ScopedFd conn(fd);
+      RLZ_RETURN_IF_ERROR(SetNonBlocking(fd));
+      const int one = 1;
+      // Best effort: serving works (slower) without NODELAY.
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ScopedFd();
+    // A connection that died between readiness and accept is not a
+    // listener failure; report "none pending" and let the loop continue.
+    if (errno == ECONNABORTED) return ScopedFd();
+    return ErrnoStatus("accept");
+  }
+}
+
+StatusOr<ScopedFd> ConnectLoopback(uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.ok()) return ErrnoStatus("socket");
+  sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+  addr.sin_port = ::htons(port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+IoResult ReadSome(int fd, void* buf, size_t len, size_t* n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, len, 0);
+    if (got > 0) {
+      *n = static_cast<size_t>(got);
+      return IoResult::kOk;
+    }
+    if (got == 0) return IoResult::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    if (errno == ECONNRESET) return IoResult::kClosed;
+    return IoResult::kError;
+  }
+}
+
+IoResult WriteSome(int fd, const void* buf, size_t len, size_t* n) {
+  for (;;) {
+    const ssize_t put = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (put >= 0) {
+      *n = static_cast<size_t>(put);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    if (errno == EPIPE || errno == ECONNRESET) return IoResult::kClosed;
+    return IoResult::kError;
+  }
+}
+
+Status WriteAll(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  size_t remaining = len;
+  while (remaining > 0) {
+    size_t n = 0;
+    switch (WriteSome(fd, p, remaining, &n)) {
+      case IoResult::kOk:
+        p += n;
+        remaining -= n;
+        break;
+      case IoResult::kWouldBlock:
+        // Blocking socket: kWouldBlock only under SO_SNDTIMEO, which the
+        // client does not set; treat as transient and retry.
+        break;
+      case IoResult::kClosed:
+        return Status::Unavailable("connection closed by peer");
+      case IoResult::kError:
+        return ErrnoStatus("send");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace rlz

@@ -1,0 +1,93 @@
+#ifndef RLZ_NET_SOCKET_H_
+#define RLZ_NET_SOCKET_H_
+
+/// \file
+/// Non-blocking TCP socket primitives for the network front end
+/// (DESIGN.md §13): an owning fd wrapper plus the small set of socket
+/// operations the event loop and client need, all returning Status
+/// instead of errno so no caller touches raw POSIX error handling.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rlz {
+namespace net {
+
+/// Owning file-descriptor handle: closes on destruction, movable,
+/// non-copyable. -1 means "no fd".
+class ScopedFd {
+ public:
+  /// Wraps `fd` (-1 for empty).
+  explicit ScopedFd(int fd = -1) : fd_(fd) {}
+  /// Closes the held fd (if any).
+  ~ScopedFd() { Reset(); }
+
+  /// Takes ownership from `other`, which becomes empty.
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  /// Closes the held fd, then takes ownership from `other`.
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) Reset(other.Release());
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  /// The held fd, or -1.
+  int get() const { return fd_; }
+  /// True when a valid fd is held.
+  bool ok() const { return fd_ >= 0; }
+  /// Relinquishes ownership and returns the fd without closing it.
+  int Release() { return std::exchange(fd_, -1); }
+  /// Closes the held fd and adopts `fd` (default: become empty).
+  void Reset(int fd = -1);
+
+ private:
+  int fd_;
+};
+
+/// Puts `fd` into non-blocking mode (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
+/// Creates a non-blocking loopback (127.0.0.1) listen socket on `port`
+/// (0 picks an ephemeral port) with SO_REUSEADDR. On success returns the
+/// socket and stores the actually-bound port in `*bound_port`.
+StatusOr<ScopedFd> ListenLoopback(uint16_t port, uint16_t* bound_port);
+
+/// Accepts one pending connection from non-blocking listen socket
+/// `listen_fd`, returned already non-blocking with TCP_NODELAY set.
+/// Returns an empty ScopedFd (ok() == false) when no connection is
+/// pending (EAGAIN) — distinct from an error Status.
+StatusOr<ScopedFd> AcceptConnection(int listen_fd);
+
+/// Connects a blocking TCP socket to 127.0.0.1:`port` with TCP_NODELAY
+/// (the client side; the server side is non-blocking throughout).
+StatusOr<ScopedFd> ConnectLoopback(uint16_t port);
+
+/// Outcome of one non-blocking read/write attempt.
+enum class IoResult {
+  kOk,        ///< made progress (`*n` bytes)
+  kWouldBlock,///< no progress possible now (EAGAIN/EWOULDBLOCK)
+  kClosed,    ///< peer closed the connection (read side: EOF; write: EPIPE)
+  kError,     ///< unrecoverable socket error
+};
+
+/// Reads up to `len` bytes into `buf`; `*n` receives the byte count on
+/// kOk. Retries EINTR internally.
+IoResult ReadSome(int fd, void* buf, size_t len, size_t* n);
+
+/// Writes up to `len` bytes from `buf` with MSG_NOSIGNAL (a dead peer
+/// yields kClosed, never SIGPIPE); `*n` receives the byte count on kOk.
+/// Retries EINTR internally.
+IoResult WriteSome(int fd, const void* buf, size_t len, size_t* n);
+
+/// Writes all `len` bytes to blocking socket `fd` (the client's send
+/// path), retrying partial writes; IOError/kClosed become a Status.
+Status WriteAll(int fd, const void* buf, size_t len);
+
+}  // namespace net
+}  // namespace rlz
+
+#endif  // RLZ_NET_SOCKET_H_

@@ -180,8 +180,39 @@ void DocService::SubmitBatch(const std::vector<size_t>& ids,
   SubmitBatch(ids.data(), ids.size(), batch);
 }
 
+namespace {
+
+// Adapters for SubmitBatchImpl: a raw id array viewed as whole-document
+// items, and a BatchItem array viewed as itself. Both are trivially
+// copyable views — nothing is materialized.
+struct IdsAsItems {
+  const size_t* ids;
+  BatchItem operator[](size_t i) const {
+    BatchItem item;
+    item.id = ids[i];
+    return item;
+  }
+};
+
+struct ItemsView {
+  const BatchItem* items;
+  const BatchItem& operator[](size_t i) const { return items[i]; }
+};
+
+}  // namespace
+
 void DocService::SubmitBatch(const size_t* ids, size_t count,
                              ServeBatch* batch) {
+  SubmitBatchImpl(IdsAsItems{ids}, count, batch);
+}
+
+void DocService::SubmitBatch(const BatchItem* items, size_t count,
+                             ServeBatch* batch) {
+  SubmitBatchImpl(ItemsView{items}, count, batch);
+}
+
+template <typename View>
+void DocService::SubmitBatchImpl(View view, size_t count, ServeBatch* batch) {
   RLZ_CHECK(batch != nullptr);
   batch->Wait();  // a reused batch must be idle before it is re-armed
   batch->results_.clear();
@@ -203,7 +234,7 @@ void DocService::SubmitBatch(const size_t* ids, size_t count,
   std::vector<uint32_t>& routes = batch->routes_;
   routes.resize(count);
   for (size_t i = 0; i < count; ++i) {
-    routes[i] = static_cast<uint32_t>(WorkerOf(ids[i], router.get()));
+    routes[i] = static_cast<uint32_t>(WorkerOf(view[i].id, router.get()));
   }
   // One staging pass per destination: the whole per-worker group is
   // enqueued under a single lock acquisition of that worker's queue.
@@ -212,8 +243,12 @@ void DocService::SubmitBatch(const size_t* ids, size_t count,
     stage.clear();
     for (size_t i = 0; i < count; ++i) {
       if (routes[i] != static_cast<uint32_t>(w)) continue;
+      const BatchItem item = view[i];
       ServeRequest request;
-      request.id = ids[i];
+      request.id = item.id;
+      request.offset = item.offset;
+      request.length = item.length;
+      request.is_range = item.is_range;
       request.enqueue_ns = now_ns;
       request.out = &batch->results_[i];
       request.batch = batch;
@@ -414,6 +449,7 @@ ServiceStats DocService::Stats() const {
   ServiceStats stats;
   stats.num_threads = static_cast<int>(workers_.size());
   stats.cache = cache_.stats();
+  stats.queued = queued_.load(std::memory_order_relaxed);
   LatencyHistogram::Snapshot latency;
   for (const auto& worker : workers_) {
     stats.requests += worker->requests.load(std::memory_order_relaxed);

@@ -83,6 +83,10 @@ struct ServiceStats {
   uint64_t failures = 0;
   /// Requests a worker popped from another worker's queue.
   uint64_t steals = 0;
+  /// Requests sitting in worker queues at snapshot time (enqueued, not
+  /// yet popped) — the live backlog an operator polls a running server
+  /// for; exact at a traffic boundary, racy mid-flight like the rest.
+  uint64_t queued = 0;
   /// Decode-cache counters (hits/misses/evictions).
   LruCache::Stats cache;
   /// Simulated disk time summed over per-worker SimDisks.
@@ -107,6 +111,21 @@ struct ServiceStats {
   double latency_p999_us = 0.0;
   /// Worker-pool size the service ran with.
   int num_threads = 0;
+};
+
+/// One request of a mixed batched submission: a whole document
+/// (is_range false, offset/length ignored) or a byte range (the snippet
+/// path). Plain data so network front ends can stage requests of either
+/// kind into one coalesced submission (DESIGN.md §13).
+struct BatchItem {
+  /// Document id.
+  size_t id = 0;
+  /// Range start (is_range only).
+  size_t offset = 0;
+  /// Range length (is_range only).
+  size_t length = 0;
+  /// False: whole-document Get; true: GetRange.
+  bool is_range = false;
 };
 
 /// A reusable completion buffer for batched submission (DESIGN.md §10).
@@ -222,6 +241,13 @@ class DocService {
   /// As above, over a raw id array.
   void SubmitBatch(const size_t* ids, size_t count, ServeBatch* batch);
 
+  /// As above, over mixed whole-document and range requests — the
+  /// network front end's coalescing path (DESIGN.md §13): requests
+  /// arriving across connections are staged as BatchItems and submitted
+  /// as one batch, so ranges ride the same shard-affine queues and
+  /// completion buffer as whole documents.
+  void SubmitBatch(const BatchItem* items, size_t count, ServeBatch* batch);
+
   /// Blocks until the service is momentarily idle (no queued or executing
   /// requests). Under sustained submission from other threads this keeps
   /// waiting — call it at a traffic boundary (as the bench and tests do)
@@ -273,6 +299,11 @@ class DocService {
   /// Accounts `n` accepted requests; false (with the count rolled back)
   /// when the service is stopping.
   bool Accept(size_t n);
+  /// The shared core of the SubmitBatch overloads: `view[i]` yields the
+  /// BatchItem for position i (materialized nowhere — the ids overload
+  /// adapts its array on the fly, staying allocation-free).
+  template <typename View>
+  void SubmitBatchImpl(View view, size_t count, ServeBatch* batch);
   /// Enqueues one routed request, spilling to peers when the preferred
   /// queue is full and blocking when every queue is full.
   void PushWithBackpressure(const ServeRequest& request, int dest);

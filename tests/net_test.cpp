@@ -1,0 +1,643 @@
+// Network front-end tests (DESIGN.md §13): the wire protocol's strict
+// incremental parser (truncation, garbage, lying lengths, CRC), and the
+// epoll DocServer end to end over real loopback sockets — pipelined
+// multi-connection byte-identity against direct DocService calls,
+// poisoned-connection isolation, read backpressure, graceful drain with
+// requests in flight, and the Stat command. The multi-threaded tests run
+// under ThreadSanitizer via the `concurrency` ctest label.
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "net/doc_server.h"
+#include "net/net_client.h"
+#include "net/protocol.h"
+#include "serve/doc_service.h"
+#include "serve/sharded_store.h"
+#include "util/random.h"
+
+namespace rlz {
+namespace net {
+namespace {
+
+Collection TestCollection(size_t target_bytes, uint64_t seed) {
+  CorpusOptions options;
+  options.target_bytes = target_bytes;
+  options.seed = seed;
+  return GenerateCorpus(options).collection;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: encoders against the strict parser.
+
+// Runs one encoded buffer through ParseFrame + DecodeRequestBody.
+Status ParseRequest(const std::string& wire, NetRequest* out) {
+  MessageType type;
+  uint8_t flags;
+  std::string_view body;
+  size_t consumed = 0;
+  std::string error;
+  const ParseResult r =
+      ParseFrame(wire, &type, &flags, &body, &consumed, &error);
+  if (r != ParseResult::kFrame) return Status::InvalidArgument(error);
+  EXPECT_EQ(consumed, wire.size());
+  return DecodeRequestBody(type, flags, body, out);
+}
+
+ParseResult ParseOnly(std::string_view wire) {
+  MessageType type;
+  uint8_t flags;
+  std::string_view body;
+  size_t consumed = 0;
+  std::string error;
+  return ParseFrame(wire, &type, &flags, &body, &consumed, &error);
+}
+
+TEST(ProtocolTest, RequestRoundTrips) {
+  for (const bool crc : {false, true}) {
+    SCOPED_TRACE(crc ? "crc" : "plain");
+    std::string wire;
+    NetRequest req;
+
+    wire.clear();
+    EncodeGetRequest(42, crc, &wire);
+    ASSERT_TRUE(ParseRequest(wire, &req).ok());
+    EXPECT_EQ(req.type, MessageType::kGet);
+    EXPECT_EQ(req.id, 42u);
+
+    wire.clear();
+    const std::vector<uint64_t> ids = {0, 7, 1u << 20, ~0ull};
+    EncodeMultiGetRequest(ids.data(), ids.size(), crc, &wire);
+    ASSERT_TRUE(ParseRequest(wire, &req).ok());
+    EXPECT_EQ(req.type, MessageType::kMultiGet);
+    EXPECT_EQ(req.ids, ids);
+
+    wire.clear();
+    EncodeGetRangeRequest(9, 100, 400, crc, &wire);
+    ASSERT_TRUE(ParseRequest(wire, &req).ok());
+    EXPECT_EQ(req.type, MessageType::kGetRange);
+    EXPECT_EQ(req.id, 9u);
+    EXPECT_EQ(req.offset, 100u);
+    EXPECT_EQ(req.length, 400u);
+
+    wire.clear();
+    EncodeStatRequest(crc, &wire);
+    ASSERT_TRUE(ParseRequest(wire, &req).ok());
+    EXPECT_EQ(req.type, MessageType::kStat);
+  }
+}
+
+TEST(ProtocolTest, BackToBackFramesParseIndividually) {
+  std::string wire;
+  EncodeGetRequest(1, false, &wire);
+  const size_t first = wire.size();
+  EncodeGetRequest(2, true, &wire);
+
+  MessageType type;
+  uint8_t flags;
+  std::string_view body;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseFrame(wire, &type, &flags, &body, &consumed, &error),
+            ParseResult::kFrame);
+  EXPECT_EQ(consumed, first);
+  ASSERT_EQ(ParseFrame(std::string_view(wire).substr(consumed), &type, &flags,
+                       &body, &consumed, &error),
+            ParseResult::kFrame);
+  EXPECT_EQ(consumed, wire.size() - first);
+  EXPECT_EQ(flags & kFlagCrc, kFlagCrc);
+}
+
+TEST(ProtocolTest, ResponseRoundTrips) {
+  for (const bool crc : {false, true}) {
+    SCOPED_TRACE(crc ? "crc" : "plain");
+    std::string wire;
+    NetResponse resp;
+
+    // Document response, OK.
+    wire.clear();
+    EncodeDocResponse(MessageType::kGet, WireCode::kOk, "the doc", crc,
+                      &wire);
+    MessageType type;
+    uint8_t flags;
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(ParseFrame(wire, &type, &flags, &body, &consumed, &error),
+              ParseResult::kFrame);
+    ASSERT_TRUE(DecodeResponseBody(type, flags, body, &resp).ok());
+    EXPECT_TRUE(resp.ok());
+    EXPECT_EQ(resp.payload, "the doc");
+
+    // Document response, error code + message.
+    wire.clear();
+    EncodeDocResponse(MessageType::kGetRange, WireCode::kNotFound, "gone",
+                      crc, &wire);
+    ASSERT_EQ(ParseFrame(wire, &type, &flags, &body, &consumed, &error),
+              ParseResult::kFrame);
+    ASSERT_TRUE(DecodeResponseBody(type, flags, body, &resp).ok());
+    EXPECT_EQ(resp.code, WireCode::kNotFound);
+    EXPECT_EQ(resp.payload, "gone");
+
+    // MultiGet response with mixed per-element codes.
+    wire.clear();
+    const MultiGetOut elements[] = {
+        {WireCode::kOk, "alpha"},
+        {WireCode::kNotFound, "no such doc"},
+        {WireCode::kOk, ""},
+    };
+    EncodeMultiGetResponse(elements, 3, crc, &wire);
+    ASSERT_EQ(ParseFrame(wire, &type, &flags, &body, &consumed, &error),
+              ParseResult::kFrame);
+    ASSERT_TRUE(DecodeResponseBody(type, flags, body, &resp).ok());
+    EXPECT_TRUE(resp.ok());
+    ASSERT_EQ(resp.elements.size(), 3u);
+    EXPECT_EQ(resp.elements[0].bytes, "alpha");
+    EXPECT_EQ(resp.elements[1].code, WireCode::kNotFound);
+    EXPECT_EQ(resp.elements[1].bytes, "no such doc");
+    EXPECT_EQ(resp.elements[2].bytes, "");
+
+    // Stat response: every field survives the trip.
+    wire.clear();
+    WireStats stats;
+    stats.requests = 101;
+    stats.failures = 2;
+    stats.steals = 3;
+    stats.queued = 4;
+    stats.cache_hits = 5;
+    stats.cache_bytes = 1 << 20;
+    stats.archive_docs = 455;
+    stats.disk_seconds = 0.25;
+    stats.latency_p99_us = 1234.5;
+    stats.num_threads = 8;
+    stats.net_frames_received = 77;
+    stats.net_reads_paused = 6;
+    EncodeStatResponse(stats, crc, &wire);
+    ASSERT_EQ(ParseFrame(wire, &type, &flags, &body, &consumed, &error),
+              ParseResult::kFrame);
+    ASSERT_TRUE(DecodeResponseBody(type, flags, body, &resp).ok());
+    EXPECT_TRUE(resp.ok());
+    EXPECT_EQ(resp.stats.requests, 101u);
+    EXPECT_EQ(resp.stats.failures, 2u);
+    EXPECT_EQ(resp.stats.steals, 3u);
+    EXPECT_EQ(resp.stats.queued, 4u);
+    EXPECT_EQ(resp.stats.cache_hits, 5u);
+    EXPECT_EQ(resp.stats.cache_bytes, 1u << 20);
+    EXPECT_EQ(resp.stats.archive_docs, 455u);
+    EXPECT_DOUBLE_EQ(resp.stats.disk_seconds, 0.25);
+    EXPECT_DOUBLE_EQ(resp.stats.latency_p99_us, 1234.5);
+    EXPECT_EQ(resp.stats.num_threads, 8u);
+    EXPECT_EQ(resp.stats.net_frames_received, 77u);
+    EXPECT_EQ(resp.stats.net_reads_paused, 6u);
+  }
+}
+
+TEST(ProtocolTest, EveryTruncationIsNeedMoreNeverError) {
+  // A strict parser must distinguish "short read" from "garbage": every
+  // proper prefix of every valid frame asks for more bytes.
+  std::vector<std::string> frames;
+  std::string wire;
+  const std::vector<uint64_t> ids = {1, 2, 3};
+  for (const bool crc : {false, true}) {
+    wire.clear();
+    EncodeGetRequest(7, crc, &wire);
+    frames.push_back(wire);
+    wire.clear();
+    EncodeMultiGetRequest(ids.data(), ids.size(), crc, &wire);
+    frames.push_back(wire);
+    wire.clear();
+    EncodeGetRangeRequest(7, 8, 9, crc, &wire);
+    frames.push_back(wire);
+    wire.clear();
+    EncodeStatRequest(crc, &wire);
+    frames.push_back(wire);
+    wire.clear();
+    EncodeDocResponse(MessageType::kGet, WireCode::kOk, "payload", crc,
+                      &wire);
+    frames.push_back(wire);
+  }
+  for (const std::string& frame : frames) {
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      EXPECT_EQ(ParseOnly(std::string_view(frame).substr(0, cut)),
+                ParseResult::kNeedMore)
+          << "prefix of " << cut << " of " << frame.size();
+    }
+    EXPECT_EQ(ParseOnly(frame), ParseResult::kFrame);
+  }
+}
+
+std::string FrameWithHeader(uint32_t body_len, uint8_t type, uint8_t flags,
+                            std::string_view payload) {
+  std::string wire;
+  wire.append(reinterpret_cast<const char*>(&body_len), sizeof(body_len));
+  wire.push_back(static_cast<char>(type));
+  wire.push_back(static_cast<char>(flags));
+  wire.append(payload.data(), payload.size());
+  return wire;
+}
+
+TEST(ProtocolTest, MalformedFramesAreErrorsNotCrashes) {
+  // Hostile length prefix: claims more than the protocol bound.
+  EXPECT_EQ(ParseOnly(FrameWithHeader(kMaxFrameBytes + 1, 1, 0, "")),
+            ParseResult::kError);
+  // Length too short to hold the type/flags header.
+  EXPECT_EQ(ParseOnly(FrameWithHeader(0, 1, 0, "")), ParseResult::kError);
+  EXPECT_EQ(ParseOnly(FrameWithHeader(1, 1, 0, "")), ParseResult::kError);
+  // Unknown type / unknown flag bits.
+  EXPECT_EQ(ParseOnly(FrameWithHeader(2, 0, 0, "")), ParseResult::kError);
+  EXPECT_EQ(ParseOnly(FrameWithHeader(2, 99, 0, "")), ParseResult::kError);
+  EXPECT_EQ(ParseOnly(FrameWithHeader(2, 1, 0x80, "")), ParseResult::kError);
+  // CRC flag on a frame too short to carry a CRC.
+  EXPECT_EQ(ParseOnly(FrameWithHeader(4, 1, kFlagCrc, "xy")),
+            ParseResult::kError);
+  // Corrupted CRC: flip one payload byte of a valid CRC'd frame.
+  std::string wire;
+  EncodeGetRequest(7, /*crc=*/true, &wire);
+  wire[8] ^= 0x01;
+  EXPECT_EQ(ParseOnly(wire), ParseResult::kError);
+}
+
+TEST(ProtocolTest, MalformedBodiesAreDecodeErrors) {
+  NetRequest req;
+  // Get payload of the wrong size.
+  EXPECT_FALSE(
+      DecodeRequestBody(MessageType::kGet, 0, "short", &req).ok());
+  // MultiGet count that disagrees with the payload it brought.
+  std::string body;
+  const uint32_t lying_count = 10;
+  body.append(reinterpret_cast<const char*>(&lying_count),
+              sizeof(lying_count));
+  body.append(8, '\0');  // one id, not ten
+  EXPECT_FALSE(
+      DecodeRequestBody(MessageType::kMultiGet, 0, body, &req).ok());
+  // MultiGet count over the allocation bound.
+  body.clear();
+  const uint32_t huge_count = kMaxMultiGetIds + 1;
+  body.append(reinterpret_cast<const char*>(&huge_count),
+              sizeof(huge_count));
+  EXPECT_FALSE(
+      DecodeRequestBody(MessageType::kMultiGet, 0, body, &req).ok());
+  // Stat with a payload, kError as a request.
+  EXPECT_FALSE(DecodeRequestBody(MessageType::kStat, 0, "x", &req).ok());
+  EXPECT_FALSE(DecodeRequestBody(MessageType::kError, 0, "", &req).ok());
+  // GetRange short one field.
+  EXPECT_FALSE(DecodeRequestBody(MessageType::kGetRange, 0,
+                                 std::string(16, '\0'), &req)
+                   .ok());
+}
+
+TEST(ProtocolTest, WireCodeRoundTripsStatus) {
+  EXPECT_EQ(ToWireCode(Status::OK()), WireCode::kOk);
+  EXPECT_EQ(ToWireCode(Status::NotFound("x")), WireCode::kNotFound);
+  EXPECT_EQ(ToWireCode(Status::InvalidArgument("x")),
+            WireCode::kInvalidArgument);
+  EXPECT_EQ(ToWireCode(Status::OutOfRange("x")), WireCode::kOutOfRange);
+  EXPECT_EQ(ToWireCode(Status::Unavailable("x")), WireCode::kUnavailable);
+  EXPECT_STREQ(WireCodeToString(WireCode::kNotFound), "NotFound");
+}
+
+// ---------------------------------------------------------------------------
+// DocServer end to end over loopback.
+
+// A built store + service + started server, torn down in reverse order.
+class ServerHarness {
+ public:
+  explicit ServerHarness(DocServerOptions server_options = {},
+                         size_t corpus_bytes = 1 << 20)
+      : collection_(TestCollection(corpus_bytes, /*seed=*/11)) {
+    ShardedStoreOptions store_options;
+    store_options.num_shards = 4;
+    store_options.dict_bytes = collection_.size_bytes() / 64;
+    store_ = ShardedStore::Build(collection_, store_options);
+    DocServiceOptions service_options;
+    service_options.num_threads = 4;
+    service_options.cache_bytes = 8 << 20;
+    service_ = std::make_unique<DocService>(store_.get(), service_options);
+    server_ = std::make_unique<DocServer>(service_.get(), server_options);
+    const Status started = server_->Start();
+    RLZ_CHECK(started.ok()) << started.ToString();
+  }
+
+  ~ServerHarness() {
+    server_->Shutdown();
+    service_->Shutdown();
+  }
+
+  const Collection& collection() const { return collection_; }
+  DocService& service() { return *service_; }
+  DocServer& server() { return *server_; }
+  uint16_t port() const { return server_->port(); }
+
+  std::unique_ptr<NetClient> Connect(NetClientOptions options = {}) {
+    auto client = NetClient::Connect(server_->port(), options);
+    RLZ_CHECK(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+ private:
+  Collection collection_;
+  std::unique_ptr<ShardedStore> store_;
+  std::unique_ptr<DocService> service_;
+  std::unique_ptr<DocServer> server_;
+};
+
+TEST(DocServerTest, GetMatchesCollection) {
+  ServerHarness harness;
+  auto client = harness.Connect();
+  for (const size_t id : {size_t{0}, size_t{1},
+                          harness.collection().num_docs() - 1}) {
+    auto doc = client->Get(id);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ(*doc, harness.collection().doc(id)) << "doc " << id;
+  }
+}
+
+TEST(DocServerTest, GetRangeMatchesSubstring) {
+  ServerHarness harness;
+  auto client = harness.Connect();
+  const std::string_view doc = harness.collection().doc(3);
+  ASSERT_GT(doc.size(), 10u);
+  auto window = client->GetRange(3, 5, doc.size() - 7);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(*window, doc.substr(5, doc.size() - 7));
+  // Degenerate range: empty but well-formed.
+  auto empty = client->GetRange(3, 0, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+}
+
+TEST(DocServerTest, ErrorsTravelAsWireCodes) {
+  ServerHarness harness;
+  auto client = harness.Connect();
+  const size_t bogus = harness.collection().num_docs() + 100;
+  // The wire result must carry the same status class as the direct call.
+  const GetResult direct = harness.service().Get(bogus).get();
+  ASSERT_FALSE(direct.ok());
+  auto wire = client->Get(bogus);
+  ASSERT_FALSE(wire.ok());
+  EXPECT_EQ(wire.status().code(), direct.status.code());
+  // A MultiGet mixing good and bad ids reports per-element codes.
+  auto mixed = client->MultiGet({0, bogus, 1});
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  ASSERT_EQ(mixed->size(), 3u);
+  EXPECT_EQ((*mixed)[0].code, WireCode::kOk);
+  EXPECT_EQ((*mixed)[0].bytes, harness.collection().doc(0));
+  EXPECT_EQ((*mixed)[1].code, ToWireCode(direct.status));
+  EXPECT_EQ((*mixed)[2].code, WireCode::kOk);
+  EXPECT_EQ((*mixed)[2].bytes, harness.collection().doc(1));
+}
+
+TEST(DocServerTest, CrcEndToEnd) {
+  ServerHarness harness;
+  NetClientOptions crc;
+  crc.use_crc = true;
+  auto client = harness.Connect(crc);
+  // The server verifies the request CRC and answers with a CRC the
+  // client's parser verifies in turn.
+  auto doc = client->Get(2);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(*doc, harness.collection().doc(2));
+}
+
+TEST(DocServerTest, ConcurrentPipelinedConnectionsMatchDirect) {
+  // The acceptance bar of this subsystem: several connections, each
+  // deeply pipelined, every payload byte-identical to the collection.
+  ServerHarness harness;
+  constexpr int kConnections = 6;
+  constexpr int kRounds = 40;
+  constexpr size_t kDepth = 8;
+  const size_t num_docs = harness.collection().num_docs();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kConnections);
+  for (int t = 0; t < kConnections; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = harness.Connect();
+      Rng rng(1000 + t);
+      std::vector<uint64_t> ids(3);
+      std::vector<std::vector<uint64_t>> inflight;
+      for (int round = 0; round < kRounds; ++round) {
+        inflight.clear();
+        for (size_t d = 0; d < kDepth; ++d) {
+          for (auto& id : ids) id = rng.Next() % num_docs;
+          client->SendMultiGet(ids);
+          inflight.push_back(ids);
+        }
+        for (size_t d = 0; d < kDepth; ++d) {
+          auto response = client->Receive();
+          if (!response.ok() || !response->ok() ||
+              response->elements.size() != inflight[d].size()) {
+            ++failures;
+            return;
+          }
+          for (size_t i = 0; i < inflight[d].size(); ++i) {
+            if (response->elements[i].code != WireCode::kOk ||
+                response->elements[i].bytes !=
+                    harness.collection().doc(inflight[d][i])) {
+              ++failures;
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  const NetServerStats stats = harness.server().stats();
+  EXPECT_EQ(stats.connections_accepted, static_cast<uint64_t>(kConnections));
+  EXPECT_EQ(stats.coalesced_requests,
+            static_cast<uint64_t>(kConnections) * kRounds * kDepth * 3);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  // Pipelining must actually coalesce: strictly fewer batches than doc
+  // requests (equality would mean no batching at all).
+  EXPECT_LT(stats.batches, stats.coalesced_requests);
+}
+
+TEST(DocServerTest, MalformedFrameGetsErrorThenCloseOthersUnaffected) {
+  ServerHarness harness;
+  auto healthy = harness.Connect();
+  auto hostile = harness.Connect();
+  // An in-protocol request, then garbage with a valid length prefix.
+  hostile->SendGet(0);
+  hostile->SendRaw(FrameWithHeader(2, /*type=*/0x63, 0, ""));
+  // The parsed request is answered...
+  auto first = hostile->Receive();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->ok());
+  EXPECT_EQ(first->payload, harness.collection().doc(0));
+  // ...the poison draws one kError frame...
+  auto second = hostile->Receive();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->type, MessageType::kError);
+  EXPECT_EQ(second->code, WireCode::kInvalidArgument);
+  // ...and then the connection is gone.
+  auto third = hostile->Receive();
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kUnavailable);
+  // The healthy connection never notices.
+  auto doc = healthy->Get(1);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(*doc, harness.collection().doc(1));
+  EXPECT_GE(harness.server().stats().protocol_errors, 1u);
+}
+
+TEST(DocServerTest, GarbageFloodsNeverCrash) {
+  ServerHarness harness;
+  Rng rng(77);
+  for (int round = 0; round < 8; ++round) {
+    auto client = harness.Connect();
+    std::string junk(512, '\0');
+    for (auto& c : junk) c = static_cast<char>(rng.Next());
+    client->SendRaw(junk);
+    // Whatever the junk decoded as, the server answers with frames or a
+    // close — never a hang or a crash. Drain until the close.
+    for (int i = 0; i < 64; ++i) {
+      if (!client->Receive().ok()) break;
+    }
+  }
+  // The server is still alive and serving.
+  auto client = harness.Connect();
+  auto doc = client->Get(0);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(*doc, harness.collection().doc(0));
+}
+
+TEST(DocServerTest, BackpressurePausesReadsAndLosesNothing) {
+  // Tiny outbound bound and pipelining cap: a deep burst must trip both
+  // forms of backpressure, yet every response arrives intact and in
+  // order once the client starts draining.
+  DocServerOptions options;
+  options.max_outbound_bytes = 1;      // clamps to the 4 KB floor
+  options.max_pipelined_requests = 4;
+  ServerHarness harness(options);
+  EXPECT_EQ(harness.server().options().max_outbound_bytes, 4u << 10);
+  auto client = harness.Connect();
+  constexpr size_t kBurst = 64;
+  for (size_t i = 0; i < kBurst; ++i) {
+    client->SendGet(i % harness.collection().num_docs());
+  }
+  ASSERT_TRUE(client->Flush().ok());
+  for (size_t i = 0; i < kBurst; ++i) {
+    auto doc = client->Receive();
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    ASSERT_TRUE(doc->ok());
+    EXPECT_EQ(doc->payload,
+              harness.collection().doc(i % harness.collection().num_docs()))
+        << "response " << i;
+  }
+  EXPECT_GE(harness.server().stats().reads_paused, 1u);
+}
+
+TEST(DocServerTest, DrainAnswersEverythingParsed) {
+  ServerHarness harness;
+  auto client = harness.Connect();
+  constexpr size_t kBurst = 32;
+  std::vector<uint64_t> ids = {0, 1, 2};
+  for (size_t i = 0; i < kBurst; ++i) client->SendMultiGet(ids);
+  ASSERT_TRUE(client->Flush().ok());
+  // Shutdown races the in-flight burst: every request the server had
+  // parsed must still be answered (correctly) before the close.
+  harness.server().Shutdown();
+  size_t answered = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    auto response = client->Receive();
+    if (!response.ok()) break;
+    ASSERT_TRUE(response->ok());
+    ASSERT_EQ(response->elements.size(), ids.size());
+    for (size_t k = 0; k < ids.size(); ++k) {
+      EXPECT_EQ(response->elements[k].bytes,
+                harness.collection().doc(ids[k]));
+    }
+    ++answered;
+  }
+  // No hard lower bound (the race decides how much was parsed), but the
+  // server must have closed cleanly either way.
+  auto after = client->Receive();
+  EXPECT_FALSE(after.ok());
+  SUCCEED() << answered << " of " << kBurst << " answered before close";
+}
+
+TEST(DocServerTest, ShutdownIsIdempotent) {
+  ServerHarness harness;
+  auto client = harness.Connect();
+  ASSERT_TRUE(client->Get(0).ok());
+  harness.server().Shutdown();
+  harness.server().Shutdown();  // second call: no-op, no deadlock
+}
+
+TEST(DocServerTest, StatCarriesServiceAndNetworkCounters) {
+  ServerHarness harness;
+  auto client = harness.Connect();
+  for (uint64_t id = 0; id < 5; ++id) ASSERT_TRUE(client->Get(id).ok());
+  auto stats = client->Stat();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->archive_docs, harness.collection().num_docs());
+  EXPECT_EQ(stats->num_threads, 4u);
+  EXPECT_GE(stats->requests, 5u);
+  EXPECT_GE(stats->net_frames_received, 6u);  // 5 Gets + the Stat itself
+  EXPECT_GE(stats->net_frames_sent, 5u);
+  EXPECT_EQ(stats->net_connections_active, 1u);
+  EXPECT_GE(stats->net_batches, 1u);
+  EXPECT_GE(stats->net_coalesced_requests, 5u);
+  EXPECT_GT(stats->net_bytes_received, 0u);
+  EXPECT_GT(stats->net_bytes_sent, 0u);
+  // The wire stats agree with the in-process service view.
+  const ServiceStats direct = harness.service().Stats();
+  EXPECT_GE(direct.requests, stats->requests - 1);
+}
+
+// ---------------------------------------------------------------------------
+// The BatchItem submission path the batcher uses (mixed whole-doc and
+// range requests in one ServeBatch).
+
+TEST(DocServiceBatchItemTest, MixedItemsMatchDirectCalls) {
+  const Collection collection = TestCollection(1 << 20, 13);
+  ShardedStoreOptions store_options;
+  store_options.num_shards = 4;
+  store_options.dict_bytes = collection.size_bytes() / 64;
+  auto store = ShardedStore::Build(collection, store_options);
+  DocServiceOptions service_options;
+  service_options.num_threads = 4;
+  DocService service(store.get(), service_options);
+
+  std::vector<BatchItem> items;
+  BatchItem whole;
+  whole.id = 2;
+  items.push_back(whole);
+  BatchItem range;
+  range.id = 5;
+  range.offset = 3;
+  range.length = 40;
+  range.is_range = true;
+  items.push_back(range);
+  BatchItem bogus;
+  bogus.id = collection.num_docs() + 9;
+  items.push_back(bogus);
+
+  ServeBatch batch;
+  service.SubmitBatch(items.data(), items.size(), &batch);
+  const std::vector<GetResult>& results = batch.Wait();
+  ASSERT_EQ(results.size(), items.size());
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(*results[0].text, collection.doc(2));
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_EQ(*results[1].text, collection.doc(5).substr(3, 40));
+  EXPECT_FALSE(results[2].ok());
+
+  // The live-backlog gauge exists and settles to zero once drained.
+  service.Drain();
+  EXPECT_EQ(service.Stats().queued, 0u);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace rlz
