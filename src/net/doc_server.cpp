@@ -3,7 +3,9 @@
 #include <sys/eventfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <unordered_set>
 #include <utility>
 
 #include "serve/doc_service.h"
@@ -16,6 +18,22 @@ namespace {
 constexpr uint64_t kListenTag = 0;
 constexpr uint64_t kWakeTag = 1;
 
+// Steady-clock stamps for the timeout sweep (ms) and request deadlines
+// (ns, the clock ServeRequest::deadline_ns is compared against).
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 DocServerOptions DocServerOptions::Validated() const {
@@ -25,6 +43,10 @@ DocServerOptions DocServerOptions::Validated() const {
   if (v.max_pipelined_requests < 1) v.max_pipelined_requests = 1;
   if (v.read_chunk_bytes < (4u << 10)) v.read_chunk_bytes = 4u << 10;
   if (v.drain_timeout_ms < 0) v.drain_timeout_ms = 0;
+  if (v.idle_timeout_ms < 0) v.idle_timeout_ms = 0;
+  if (v.header_timeout_ms < 0) v.header_timeout_ms = 0;
+  if (v.write_stall_timeout_ms < 0) v.write_stall_timeout_ms = 0;
+  if (v.max_best_effort_per_conn < 1) v.max_best_effort_per_conn = 1;
   return v;
 }
 
@@ -38,10 +60,15 @@ struct DocServer::Connection {
   std::string out;      // serialized, not yet written response bytes
   size_t out_off = 0;   // written prefix of `out` (compacted lazily)
   size_t inflight_ops = 0;  // parsed requests not yet answered
+  size_t best_effort_inflight = 0;  // of those, best-effort (budgeted)
   uint32_t interest = kPollRead;  // current epoll interest set
   bool bp_paused = false;   // reads paused for backpressure (hysteresis)
   bool poisoned = false;    // unparseable input: answer error, then close
   bool read_eof = false;    // peer half-closed: flush what's owed, close
+  // Timeout-sweep clocks (DESIGN.md §14), all NowMs() stamps:
+  uint64_t last_activity_ms = 0;   // last byte in or out
+  uint64_t partial_since_ms = 0;   // partial frame held since; 0 = none
+  uint64_t write_progress_ms = 0;  // outbound last advanced; 0 = idle
   NetRequest scratch;       // reused request decoder state
 
   size_t unflushed() const { return out.size() - out_off; }
@@ -99,6 +126,14 @@ NetServerStats DocServer::stats() const {
       coalesced_requests_.load(std::memory_order_relaxed);
   s.reads_paused = reads_paused_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.sheds = sheds_.load(std::memory_order_relaxed);
+  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  s.header_timeout_closed =
+      header_timeout_closed_.load(std::memory_order_relaxed);
+  s.write_stall_closed = write_stall_closed_.load(std::memory_order_relaxed);
+  s.high_priority_frames =
+      high_priority_frames_.load(std::memory_order_relaxed);
+  s.best_effort_frames = best_effort_frames_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -143,6 +178,14 @@ WireStats DocServer::BuildWireStats() const {
   w.net_coalesced_requests = n.coalesced_requests;
   w.net_reads_paused = n.reads_paused;
   w.net_protocol_errors = n.protocol_errors;
+  w.shed = s.shed;
+  w.expired = s.expired;
+  w.net_sheds = n.sheds;
+  w.net_idle_closed = n.idle_closed;
+  w.net_header_timeout_closed = n.header_timeout_closed;
+  w.net_write_stall_closed = n.write_stall_closed;
+  w.net_high_priority_frames = n.high_priority_frames;
+  w.net_best_effort_frames = n.best_effort_frames;
   return w;
 }
 
@@ -153,10 +196,13 @@ void DocServer::LoopThread() {
   std::vector<PollerEvent> events;
   std::chrono::steady_clock::time_point deadline;
   for (;;) {
-    // Level-triggered wait: -1 while serving (the eventfd wakes us);
-    // a short tick while draining so the deadline is honored even with
-    // a stalled client.
-    if (!poller_.Wait(&events, draining_ ? 20 : -1).ok()) break;
+    // Level-triggered wait: while serving, block until the eventfd (or a
+    // socket) wakes us, bounded by the timeout-sweep tick; a short tick
+    // while draining so the deadline is honored even with a stalled
+    // client. The reserve sizes Poller::Wait's report batch (see its
+    // contract) so a fully-ready server drains in one syscall.
+    events.reserve(connections_.size() + 2);
+    if (!poller_.Wait(&events, draining_ ? 20 : TimeoutTickMs()).ok()) break;
     for (const PollerEvent& ev : events) {
       if (ev.tag == kListenTag) {
         HandleAccept();
@@ -183,6 +229,7 @@ void DocServer::LoopThread() {
       }
     }
     PumpCompletions();
+    if (!draining_) SweepTimeouts();
     if (!draining_ && shutdown_requested_.load(std::memory_order_acquire)) {
       // Enter the drain: stop accepting, stop reading, keep answering.
       draining_ = true;
@@ -229,6 +276,7 @@ void DocServer::HandleAccept() {
     auto conn = std::make_unique<Connection>();
     conn->id = next_conn_id_++;
     conn->fd = std::move(fd);
+    conn->last_activity_ms = NowMs();
     if (!poller_.Add(conn->fd.get(), conn->id, kPollRead).ok()) continue;
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     connections_active_.fetch_add(1, std::memory_order_relaxed);
@@ -243,6 +291,7 @@ void DocServer::HandleReadable(Connection* conn) {
   char buf[16384];
   size_t budget = options_.read_chunk_bytes;
   bool fatal = false;
+  bool progress = false;
   while (budget > 0) {
     const size_t ask = budget < sizeof(buf) ? budget : sizeof(buf);
     size_t n = 0;
@@ -251,6 +300,7 @@ void DocServer::HandleReadable(Connection* conn) {
       conn->in.append(buf, n);
       bytes_received_.fetch_add(n, std::memory_order_relaxed);
       budget -= n;
+      progress = true;
       if (n < ask) break;  // socket likely drained
       continue;
     }
@@ -266,8 +316,17 @@ void DocServer::HandleReadable(Connection* conn) {
     CloseConnection(conn->id);
     return;
   }
+  if (progress) conn->last_activity_ms = NowMs();
   std::vector<PendingOp> ops;
   ParseFrames(conn, &ops);
+  // Slow-loris clock: arm while a partial frame sits in the buffer,
+  // disarm only when a complete frame clears it — trickled bytes reset
+  // the idle clock but never this one.
+  if (conn->in.size() == conn->in_off) {
+    conn->partial_since_ms = 0;
+  } else if (conn->partial_since_ms == 0) {
+    conn->partial_since_ms = NowMs();
+  }
   if (!ops.empty()) {
     conn->inflight_ops += ops.size();
     outstanding_ops_ += ops.size();
@@ -329,6 +388,30 @@ void DocServer::ParseFrames(Connection* conn, std::vector<PendingOp>* ops) {
     op.id = conn->scratch.id;
     op.offset = conn->scratch.offset;
     op.length = conn->scratch.length;
+    op.priority = conn->scratch.priority;
+    if (conn->scratch.deadline_ms != 0) {
+      op.deadline_ns = NowNs() + static_cast<uint64_t>(
+                                     conn->scratch.deadline_ms) *
+                                     1'000'000;
+    }
+    if (op.priority == RequestPriority::kHigh) {
+      high_priority_frames_.fetch_add(1, std::memory_order_relaxed);
+    } else if (op.priority == RequestPriority::kBestEffort) {
+      best_effort_frames_.fetch_add(1, std::memory_order_relaxed);
+      // Per-connection best-effort budget: over-budget doc requests are
+      // shed right here, before any decode work — the op still flows
+      // through the batcher so its kUnavailable answer stays in
+      // per-connection request order.
+      if (op.type != MessageType::kStat) {
+        if (conn->best_effort_inflight >= options_.max_best_effort_per_conn) {
+          op.reject = WireCode::kUnavailable;
+          op.error = "overloaded: best-effort budget exhausted";
+          sheds_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++conn->best_effort_inflight;
+        }
+      }
+    }
     op.ids = std::move(conn->scratch.ids);
     ops->push_back(std::move(op));
   }
@@ -348,6 +431,9 @@ void DocServer::HandleWritable(Connection* conn) {
     if (r == IoResult::kOk) {
       conn->out_off += n;
       bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+      const uint64_t now = NowMs();
+      conn->last_activity_ms = now;
+      conn->write_progress_ms = now;
       continue;
     }
     if (r == IoResult::kWouldBlock) break;
@@ -357,6 +443,7 @@ void DocServer::HandleWritable(Connection* conn) {
   if (conn->unflushed() == 0) {
     conn->out.clear();
     conn->out_off = 0;
+    conn->write_progress_ms = 0;  // nothing owed: stall clock disarmed
   } else if (conn->out_off > (1u << 20)) {
     conn->out.erase(0, conn->out_off);
     conn->out_off = 0;
@@ -383,6 +470,12 @@ void DocServer::PumpCompletions() {
     Connection* conn = it->second.get();
     RLZ_CHECK(conn->inflight_ops > 0);
     --conn->inflight_ops;
+    if (c.best_effort && conn->best_effort_inflight > 0) {
+      --conn->best_effort_inflight;
+    }
+    // Arm the write-stall clock when this frame starts a fresh outbound
+    // buffer (a peer that never drains it is reaped by the sweep).
+    if (conn->unflushed() == 0) conn->write_progress_ms = NowMs();
     conn->out.append(c.frame);
     frames_sent_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -437,15 +530,85 @@ void DocServer::CloseConnection(uint64_t conn_id) {
   connections_active_.fetch_sub(1, std::memory_order_relaxed);
 }
 
+int DocServer::TimeoutTickMs() const {
+  int min_armed = 0;
+  const auto consider = [&min_armed](int t) {
+    if (t > 0 && (min_armed == 0 || t < min_armed)) min_armed = t;
+  };
+  consider(options_.idle_timeout_ms);
+  consider(options_.header_timeout_ms);
+  consider(options_.write_stall_timeout_ms);
+  if (min_armed == 0) return -1;  // nothing armed: block indefinitely
+  // A quarter of the smallest armed timeout keeps sweep lag under 25%
+  // of the bound without spinning; clamped so tiny test timeouts do not
+  // busy-poll and huge ones still sweep at least once a second.
+  return std::clamp(min_armed / 4, 10, 1000);
+}
+
+void DocServer::SweepTimeouts() {
+  if (TimeoutTickMs() < 0) return;
+  const uint64_t now = NowMs();
+  std::vector<uint64_t> doomed;
+  for (const auto& entry : connections_) {
+    const Connection& c = *entry.second;
+    // Slow loris first: a partial frame held past the header deadline is
+    // reaped even though its trickled bytes keep last_activity fresh.
+    if (options_.header_timeout_ms > 0 && c.partial_since_ms != 0 &&
+        now - c.partial_since_ms >=
+            static_cast<uint64_t>(options_.header_timeout_ms)) {
+      header_timeout_closed_.fetch_add(1, std::memory_order_relaxed);
+      doomed.push_back(entry.first);
+      continue;
+    }
+    // Write stall: the peer stopped draining bytes it is owed.
+    if (options_.write_stall_timeout_ms > 0 && c.unflushed() > 0 &&
+        c.write_progress_ms != 0 &&
+        now - c.write_progress_ms >=
+            static_cast<uint64_t>(options_.write_stall_timeout_ms)) {
+      write_stall_closed_.fetch_add(1, std::memory_order_relaxed);
+      doomed.push_back(entry.first);
+      continue;
+    }
+    // Idle: quiet in both directions and owed nothing.
+    if (options_.idle_timeout_ms > 0 && c.inflight_ops == 0 &&
+        c.unflushed() == 0 &&
+        now - c.last_activity_ms >=
+            static_cast<uint64_t>(options_.idle_timeout_ms)) {
+      idle_closed_.fetch_add(1, std::memory_order_relaxed);
+      doomed.push_back(entry.first);
+    }
+  }
+  for (uint64_t id : doomed) CloseConnection(id);
+}
+
 // ---------------------------------------------------------------------
-// Batcher thread: coalesce parsed requests into DocService submissions,
-// serialize the responses in request order.
+// Batcher thread: coalesce parsed requests into per-priority DocService
+// submissions, serialize the responses in per-connection request order.
+//
+// Priority without inversion (DESIGN.md §14): each coalescing window is
+// split into one ServeBatch per class, all submitted together (the
+// queue's strict-priority pop does the actual ordering), then waited
+// high → normal → best-effort. After each class completes, an emission
+// pass walks the window in arrival order and releases every response
+// that is ready AND not behind an unanswered earlier request on the
+// same connection — positional pipelining requires per-connection
+// responses in request order, but responses for *different* connections
+// need not wait for the best-effort stragglers.
 
 void DocServer::BatcherThread() {
-  ServeBatch batch;               // reused: steady-state allocation-free
-  std::vector<PendingOp> ops;     // the coalescing window
-  std::vector<BatchItem> items;   // flattened doc requests
-  std::vector<MultiGetOut> mgout; // per-MultiGet response staging
+  ServeBatch batches[kNumPriorities];  // reused: steady-state alloc-free
+  std::vector<PendingOp> ops;          // the coalescing window
+  std::vector<BatchItem> items[kNumPriorities];
+  // Per-op result location: which class batch, at what offset. cls -1 =
+  // no service work (Stat, poison error, parse-time reject).
+  struct OpPlan {
+    int cls = -1;
+    size_t off = 0;
+  };
+  std::vector<OpPlan> plan;
+  std::vector<char> emitted;           // per-op: response already sent
+  std::unordered_set<uint64_t> blocked; // conns waiting on an earlier op
+  std::vector<MultiGetOut> mgout;      // per-MultiGet response staging
   std::vector<Completion> done;
   for (;;) {
     {
@@ -459,79 +622,140 @@ void DocServer::BatcherThread() {
       ops.clear();
       ops.swap(pending_);
     }
-    items.clear();
-    for (const PendingOp& op : ops) {
+    const size_t n = ops.size();
+    plan.assign(n, OpPlan{});
+    emitted.assign(n, 0);
+    for (auto& class_items : items) class_items.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const PendingOp& op = ops[i];
+      if (op.reject != WireCode::kOk) continue;  // answered without decode
+      const int cls = static_cast<int>(op.priority);
       switch (op.type) {
         case MessageType::kGet:
-          items.push_back({op.id, 0, 0, false});
+          plan[i] = {cls, items[cls].size()};
+          items[cls].push_back(
+              {op.id, 0, 0, false, op.priority, op.deadline_ns});
           break;
         case MessageType::kGetRange:
-          items.push_back({op.id, op.offset, op.length, true});
+          plan[i] = {cls, items[cls].size()};
+          items[cls].push_back({op.id, op.offset, op.length, true,
+                                op.priority, op.deadline_ns});
           break;
         case MessageType::kMultiGet:
-          for (uint64_t id : op.ids) items.push_back({id, 0, 0, false});
+          plan[i] = {cls, items[cls].size()};
+          for (uint64_t id : op.ids) {
+            items[cls].push_back(
+                {id, 0, 0, false, op.priority, op.deadline_ns});
+          }
           break;
         default:  // kStat / kError: no decode work
           break;
       }
     }
-    if (!items.empty()) {
-      service_->SubmitBatch(items.data(), items.size(), &batch);
-      batch.Wait();
+    size_t total_items = 0;
+    for (auto& class_items : items) total_items += class_items.size();
+    for (int cls = 0; cls < kNumPriorities; ++cls) {
+      if (items[cls].empty()) continue;
+      service_->SubmitBatch(items[cls].data(), items[cls].size(),
+                            &batches[cls]);
       batches_.fetch_add(1, std::memory_order_relaxed);
-      coalesced_requests_.fetch_add(items.size(),
-                                    std::memory_order_relaxed);
     }
-    done.clear();
-    size_t cursor = 0;
-    for (const PendingOp& op : ops) {
-      Completion c;
-      c.conn_id = op.conn_id;
-      const bool crc = (op.flags & kFlagCrc) != 0;
-      switch (op.type) {
-        case MessageType::kGet:
-        case MessageType::kGetRange: {
-          const GetResult& r = batch.results()[cursor++];
-          if (r.ok()) {
-            EncodeDocResponse(op.type, WireCode::kOk, *r.text, crc,
-                              &c.frame);
-          } else {
-            EncodeDocResponse(op.type, ToWireCode(r.status),
-                              r.status.message(), crc, &c.frame);
-          }
-          break;
-        }
-        case MessageType::kMultiGet: {
-          mgout.clear();
-          for (size_t i = 0; i < op.ids.size(); ++i) {
-            const GetResult& r = batch.results()[cursor++];
-            MultiGetOut o;
-            if (r.ok()) {
-              o.bytes = *r.text;
-            } else {
-              o.code = ToWireCode(r.status);
-              o.bytes = r.status.message();
-            }
-            mgout.push_back(o);
-          }
-          EncodeMultiGetResponse(mgout.data(), mgout.size(), crc, &c.frame);
-          break;
-        }
-        case MessageType::kStat:
-          EncodeStatResponse(BuildWireStats(), crc, &c.frame);
-          break;
-        case MessageType::kError:
-          EncodeDocResponse(MessageType::kError, WireCode::kInvalidArgument,
-                            op.error, /*crc=*/false, &c.frame);
-          break;
+    if (total_items > 0) {
+      coalesced_requests_.fetch_add(total_items, std::memory_order_relaxed);
+    }
+    size_t remaining = n;
+    bool cls_ready[kNumPriorities];
+    for (int cls = 0; cls < kNumPriorities; ++cls) {
+      cls_ready[cls] = items[cls].empty();
+    }
+    for (int stage = 0; stage < kNumPriorities && remaining > 0; ++stage) {
+      if (!items[stage].empty()) {
+        batches[stage].Wait();
+        cls_ready[stage] = true;
+      } else if (stage > 0) {
+        continue;  // nothing new became ready since the last pass
       }
-      done.push_back(std::move(c));
+      done.clear();
+      blocked.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (emitted[i]) continue;
+        const PendingOp& op = ops[i];
+        if (blocked.count(op.conn_id) != 0) continue;
+        if (plan[i].cls >= 0 && !cls_ready[plan[i].cls]) {
+          blocked.insert(op.conn_id);
+          continue;
+        }
+        Completion c;
+        c.conn_id = op.conn_id;
+        // Mirror of the ParseFrames budget increment, so the loop
+        // releases exactly what was charged.
+        c.best_effort = op.priority == RequestPriority::kBestEffort &&
+                        op.type != MessageType::kStat &&
+                        op.reject == WireCode::kOk;
+        const bool crc = (op.flags & kFlagCrc) != 0;
+        if (op.reject != WireCode::kOk) {
+          EncodeRejectResponse(op.type, op.reject,
+                               service_->SuggestedRetryAfterMs(), op.error,
+                               crc, &c.frame);
+        } else {
+          switch (op.type) {
+            case MessageType::kGet:
+            case MessageType::kGetRange: {
+              const GetResult& r =
+                  batches[plan[i].cls].results()[plan[i].off];
+              if (r.ok()) {
+                EncodeDocResponse(op.type, WireCode::kOk, *r.text, crc,
+                                  &c.frame);
+              } else if (r.status.code() == StatusCode::kUnavailable) {
+                // Admission shed: attach the retry-after hint.
+                EncodeRejectResponse(op.type, WireCode::kUnavailable,
+                                     service_->SuggestedRetryAfterMs(),
+                                     r.status.message(), crc, &c.frame);
+              } else {
+                EncodeDocResponse(op.type, ToWireCode(r.status),
+                                  r.status.message(), crc, &c.frame);
+              }
+              break;
+            }
+            case MessageType::kMultiGet: {
+              mgout.clear();
+              for (size_t k = 0; k < op.ids.size(); ++k) {
+                const GetResult& r =
+                    batches[plan[i].cls].results()[plan[i].off + k];
+                MultiGetOut o;
+                if (r.ok()) {
+                  o.bytes = *r.text;
+                } else {
+                  o.code = ToWireCode(r.status);
+                  o.bytes = r.status.message();
+                }
+                mgout.push_back(o);
+              }
+              EncodeMultiGetResponse(mgout.data(), mgout.size(), crc,
+                                     &c.frame);
+              break;
+            }
+            case MessageType::kStat:
+              EncodeStatResponse(BuildWireStats(), crc, &c.frame);
+              break;
+            case MessageType::kError:
+              EncodeDocResponse(MessageType::kError,
+                                WireCode::kInvalidArgument, op.error,
+                                /*crc=*/false, &c.frame);
+              break;
+          }
+        }
+        emitted[i] = 1;
+        --remaining;
+        done.push_back(std::move(c));
+      }
+      if (done.empty()) continue;
+      {
+        std::lock_guard<std::mutex> lock(handoff_mu_);
+        for (Completion& c : done) completions_.push_back(std::move(c));
+      }
+      WakeLoop();
     }
-    {
-      std::lock_guard<std::mutex> lock(handoff_mu_);
-      for (Completion& c : done) completions_.push_back(std::move(c));
-    }
-    WakeLoop();
   }
 }
 

@@ -21,6 +21,14 @@
 /// the buffer drains below half. Queued work is therefore bounded by
 /// connections × the two per-connection caps, independent of how fast
 /// clients write.
+///
+/// Overload protection (DESIGN.md §14): request frames carry a priority
+/// class routed into DocService's weighted admission; best-effort
+/// requests over the per-connection budget (or past the service's
+/// queue-latency watermark) are shed with kUnavailable + a retry-after
+/// hint; expired-in-queue requests complete kDeadlineExceeded without
+/// decoding; and a periodic sweep closes idle, slow-loris (partial
+/// frame held past the header deadline), and write-stalled connections.
 
 #include <atomic>
 #include <condition_variable>
@@ -66,6 +74,23 @@ struct DocServerOptions {
   /// Graceful-drain deadline for Shutdown(): connections still
   /// unflushed after this are closed anyway. Floor: 0 (immediate).
   int drain_timeout_ms = 5000;
+  /// Idle-connection timeout (ms): a connection with no traffic in
+  /// either direction and nothing owed to it for this long is closed
+  /// (DESIGN.md §14). 0 disables.
+  int idle_timeout_ms = 120'000;
+  /// Header deadline (ms): a connection holding a *partial* frame —
+  /// bytes received but no complete frame parsed — past this is closed.
+  /// This is the slow-loris defense: trickling one byte at a time resets
+  /// the idle clock but never this one. 0 disables.
+  int header_timeout_ms = 30'000;
+  /// Write-stall deadline (ms): a connection whose outbound buffer made
+  /// no progress for this long (peer stopped draining) is closed. 0
+  /// disables.
+  int write_stall_timeout_ms = 30'000;
+  /// Per-connection budget of parsed-but-unanswered best-effort
+  /// requests: excess best-effort frames are shed at parse time with
+  /// kUnavailable + retry-after, before any decode work. Floor: 1.
+  size_t max_best_effort_per_conn = 64;
 
   /// Returns a copy with every knob clamped to its documented floor
   /// (the DocServer constructor applies this, mirroring
@@ -97,6 +122,18 @@ struct NetServerStats {
   uint64_t reads_paused = 0;
   /// Connections poisoned by unparseable input.
   uint64_t protocol_errors = 0;
+  /// Requests shed at parse time (per-connection best-effort budget).
+  uint64_t sheds = 0;
+  /// Connections closed by the idle timeout.
+  uint64_t idle_closed = 0;
+  /// Connections closed by the header (slow-loris) deadline.
+  uint64_t header_timeout_closed = 0;
+  /// Connections closed by the write-stall deadline.
+  uint64_t write_stall_closed = 0;
+  /// Request frames flagged high priority.
+  uint64_t high_priority_frames = 0;
+  /// Request frames flagged best-effort.
+  uint64_t best_effort_frames = 0;
 };
 
 /// The socket front end over a DocService (DESIGN.md §13). Start() binds
@@ -145,13 +182,19 @@ class DocServer {
     uint64_t id = 0;
     uint64_t offset = 0;
     uint64_t length = 0;
+    RequestPriority priority = RequestPriority::kNormal;
+    uint64_t deadline_ns = 0;   // absolute steady-clock expiry; 0 = none
+    // Non-kOk: rejected at parse time (per-connection budget) — the
+    // batcher answers with this code + retry-after, no decode.
+    WireCode reject = WireCode::kOk;
     std::vector<uint64_t> ids;  // kMultiGet
-    std::string error;          // kError: the parse failure to report
+    std::string error;          // kError/reject: the message to report
   };
 
   // One serialized response frame on its way back to the loop.
   struct Completion {
     uint64_t conn_id = 0;
+    bool best_effort = false;  // releases the per-conn best-effort budget
     std::string frame;
   };
 
@@ -175,6 +218,14 @@ class DocServer {
   // or server draining).
   bool ReadyToClose(const Connection& conn) const;
   void CloseConnection(uint64_t conn_id);
+  // The loop's poll timeout (ms) while serving: -1 when no
+  // idle/header/write-stall timeout is armed, else a fraction of the
+  // smallest armed timeout so sweeps run often enough to honor it.
+  int TimeoutTickMs() const;
+  // Closes every connection past an armed timeout (DESIGN.md §14):
+  // idle (quiet and owed nothing), header deadline (partial frame held
+  // too long — slow loris), write stall (outbound bytes not draining).
+  void SweepTimeouts();
   // Wakes the loop thread (eventfd write); callable from any thread.
   void WakeLoop();
   // Builds the wire Stat payload: DocService stats + net counters.
@@ -216,6 +267,12 @@ class DocServer {
   std::atomic<uint64_t> coalesced_requests_{0};
   std::atomic<uint64_t> reads_paused_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> sheds_{0};
+  std::atomic<uint64_t> idle_closed_{0};
+  std::atomic<uint64_t> header_timeout_closed_{0};
+  std::atomic<uint64_t> write_stall_closed_{0};
+  std::atomic<uint64_t> high_priority_frames_{0};
+  std::atomic<uint64_t> best_effort_frames_{0};
 
   std::mutex join_mu_;  // Shutdown is idempotent
   bool joined_ = false;

@@ -1,5 +1,8 @@
 #include "net/net_client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace rlz {
@@ -19,29 +22,68 @@ Status FromWire(WireCode code, const std::string& message) {
     case WireCode::kUnimplemented: return Status::Unimplemented(message);
     case WireCode::kInternal: return Status::Internal(message);
     case WireCode::kUnavailable: return Status::Unavailable(message);
+    case WireCode::kDeadlineExceeded: return Status::DeadlineExceeded(message);
   }
   return Status::Internal(message);
 }
 
 }  // namespace
 
+uint32_t RetryBackoffMs(int attempt, uint32_t base_ms, uint32_t cap_ms,
+                        uint32_t retry_after_ms, Rng* rng) {
+  // Capped exponential: base << attempt, saturating at cap (shift guarded
+  // so a large attempt count cannot overflow into a tiny backoff).
+  uint64_t nominal = attempt >= 32 ? cap_ms
+                                   : static_cast<uint64_t>(base_ms)
+                                         << attempt;
+  nominal = std::min<uint64_t>(nominal, cap_ms);
+  if (nominal == 0) nominal = 1;
+  // Jitter into [nominal/2, nominal] so shed clients desynchronize.
+  const uint64_t half = nominal / 2;
+  const uint64_t jittered = half + rng->Uniform(nominal - half + 1);
+  // The server's hint is a floor: it knows the backlog better than the
+  // attempt counter does.
+  return static_cast<uint32_t>(
+      std::max<uint64_t>(jittered, retry_after_ms));
+}
+
 StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
     uint16_t port, const NetClientOptions& options) {
   RLZ_ASSIGN_OR_RETURN(ScopedFd fd, ConnectLoopback(port));
+  if (options.deadline_ms != 0) {
+    RLZ_RETURN_IF_ERROR(SetRecvTimeout(fd.get(), options.deadline_ms));
+  }
   return std::unique_ptr<NetClient>(new NetClient(std::move(fd), options));
 }
 
+RequestOptions NetClient::EncodeOptions() const {
+  RequestOptions opts;
+  opts.crc = options_.use_crc;
+  opts.priority = options_.priority;
+  opts.deadline_ms = options_.deadline_ms;
+  return opts;
+}
+
+bool NetClient::ShouldRetryShed(const NetResponse& response, int attempt) {
+  if (response.code != WireCode::kUnavailable) return false;
+  if (attempt >= options_.max_retries) return false;
+  const uint32_t delay_ms = RetryBackoffMs(
+      attempt, options_.retry_backoff_base_ms, options_.retry_backoff_cap_ms,
+      response.retry_after_ms, &rng_);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  return true;
+}
+
 void NetClient::SendGet(uint64_t id) {
-  EncodeGetRequest(id, options_.use_crc, &send_buf_);
+  EncodeGetRequest(id, EncodeOptions(), &send_buf_);
 }
 
 void NetClient::SendMultiGet(const std::vector<uint64_t>& ids) {
-  EncodeMultiGetRequest(ids.data(), ids.size(), options_.use_crc,
-                        &send_buf_);
+  EncodeMultiGetRequest(ids.data(), ids.size(), EncodeOptions(), &send_buf_);
 }
 
 void NetClient::SendGetRange(uint64_t id, uint64_t offset, uint64_t length) {
-  EncodeGetRangeRequest(id, offset, length, options_.use_crc, &send_buf_);
+  EncodeGetRangeRequest(id, offset, length, EncodeOptions(), &send_buf_);
 }
 
 void NetClient::SendStat() { EncodeStatRequest(options_.use_crc, &send_buf_); }
@@ -83,8 +125,13 @@ StatusOr<NetResponse> NetClient::Receive() {
         recv_buf_.append(buf, n);
         break;
       case IoResult::kWouldBlock:
-        // Blocking socket: only possible under a receive timeout, which
-        // the client does not set; retry.
+        // Blocking socket: kWouldBlock means the SO_RCVTIMEO receive
+        // timeout fired (set iff a deadline is configured) — the server
+        // is hung or the response is past its deadline.
+        if (options_.deadline_ms != 0) {
+          return Status::DeadlineExceeded(
+              "no response within the configured deadline");
+        }
         break;
       case IoResult::kClosed:
         return Status::Unavailable("connection closed by server");
@@ -95,40 +142,49 @@ StatusOr<NetResponse> NetClient::Receive() {
 }
 
 StatusOr<std::string> NetClient::Get(uint64_t id) {
-  SendGet(id);
-  RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
-  if (response.type != MessageType::kGet &&
-      response.type != MessageType::kError) {
-    return Status::Internal("out-of-order response type");
+  for (int attempt = 0;; ++attempt) {
+    SendGet(id);
+    RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
+    if (response.type != MessageType::kGet &&
+        response.type != MessageType::kError) {
+      return Status::Internal("out-of-order response type");
+    }
+    if (response.ok()) return std::move(response.payload);
+    if (ShouldRetryShed(response, attempt)) continue;
+    return FromWire(response.code, response.payload);
   }
-  if (!response.ok()) return FromWire(response.code, response.payload);
-  return std::move(response.payload);
 }
 
 StatusOr<std::string> NetClient::GetRange(uint64_t id, uint64_t offset,
                                           uint64_t length) {
-  SendGetRange(id, offset, length);
-  RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
-  if (response.type != MessageType::kGetRange &&
-      response.type != MessageType::kError) {
-    return Status::Internal("out-of-order response type");
+  for (int attempt = 0;; ++attempt) {
+    SendGetRange(id, offset, length);
+    RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
+    if (response.type != MessageType::kGetRange &&
+        response.type != MessageType::kError) {
+      return Status::Internal("out-of-order response type");
+    }
+    if (response.ok()) return std::move(response.payload);
+    if (ShouldRetryShed(response, attempt)) continue;
+    return FromWire(response.code, response.payload);
   }
-  if (!response.ok()) return FromWire(response.code, response.payload);
-  return std::move(response.payload);
 }
 
 StatusOr<std::vector<MultiGetElement>> NetClient::MultiGet(
     const std::vector<uint64_t>& ids) {
-  SendMultiGet(ids);
-  RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
-  if (response.type != MessageType::kMultiGet) {
-    if (response.type == MessageType::kError) {
-      return FromWire(response.code, response.payload);
+  for (int attempt = 0;; ++attempt) {
+    SendMultiGet(ids);
+    RLZ_ASSIGN_OR_RETURN(NetResponse response, Receive());
+    if (response.type != MessageType::kMultiGet &&
+        response.type != MessageType::kError) {
+      return Status::Internal("out-of-order response type");
     }
-    return Status::Internal("out-of-order response type");
+    if (response.type == MessageType::kMultiGet && response.ok()) {
+      return std::move(response.elements);
+    }
+    if (ShouldRetryShed(response, attempt)) continue;
+    return FromWire(response.code, response.payload);
   }
-  if (!response.ok()) return FromWire(response.code, response.payload);
-  return std::move(response.elements);
 }
 
 StatusOr<WireStats> NetClient::Stat() {

@@ -16,6 +16,7 @@
 
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace rlz {
@@ -26,7 +27,33 @@ struct NetClientOptions {
   /// Stamp every request frame with a CRC32 (the server verifies it and
   /// answers with CRC-stamped responses).
   bool use_crc = false;
+  /// Priority class stamped on every request frame (DESIGN.md §14).
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Per-request deadline in ms; 0 = none. Non-zero does two things:
+  /// every request carries the deadline on the wire (the server expires
+  /// it in queue), and the socket gets a receive timeout of the same
+  /// length, so a hung server surfaces Status::DeadlineExceeded from
+  /// Receive() instead of blocking forever.
+  uint32_t deadline_ms = 0;
+  /// Retries of the round-trip convenience methods (Get/GetRange/
+  /// MultiGet) when the server sheds the request with kUnavailable:
+  /// each retry re-sends after a capped-exponential backoff with jitter,
+  /// floored at the server's retry-after hint. 0 (default) = sheds
+  /// surface immediately as Status::Unavailable.
+  int max_retries = 0;
+  /// First retry's nominal backoff (ms); doubles per attempt.
+  uint32_t retry_backoff_base_ms = 2;
+  /// Backoff growth stops at this bound (ms).
+  uint32_t retry_backoff_cap_ms = 250;
 };
+
+/// The delay (ms) before retry number `attempt` (0-based): capped
+/// exponential `min(cap, base << attempt)`, jittered uniformly into
+/// [b/2, b] so synchronized shed clients don't re-flood in lockstep,
+/// floored at the server's `retry_after_ms` hint. Free function so the
+/// policy is unit-testable without a socket.
+uint32_t RetryBackoffMs(int attempt, uint32_t base_ms, uint32_t cap_ms,
+                        uint32_t retry_after_ms, Rng* rng);
 
 /// A pipelined loopback connection to a DocServer. Responses arrive in
 /// request order; interleave Send*/Receive freely up to the server's
@@ -60,7 +87,8 @@ class NetClient {
   StatusOr<NetResponse> Receive();
 
   /// Round-trip convenience: Get one document's bytes (non-OK wire
-  /// codes become the equivalent Status).
+  /// codes become the equivalent Status). With max_retries > 0, a
+  /// load-shed kUnavailable response is retried with backoff.
   StatusOr<std::string> Get(uint64_t id);
   /// Round-trip convenience: one byte range.
   StatusOr<std::string> GetRange(uint64_t id, uint64_t offset,
@@ -73,10 +101,20 @@ class NetClient {
 
  private:
   explicit NetClient(ScopedFd fd, const NetClientOptions& options)
-      : fd_(std::move(fd)), options_(options) {}
+      : fd_(std::move(fd)),
+        options_(options),
+        rng_(static_cast<uint64_t>(fd_.get()) * 0x9E3779B97F4A7C15ULL + 1) {}
+
+  /// The v2 encoder knobs derived from options_ (CRC, priority,
+  /// deadline).
+  RequestOptions EncodeOptions() const;
+  /// True when `response` is a shed the convenience methods should retry
+  /// (wire kUnavailable with retries left); sleeps the backoff.
+  bool ShouldRetryShed(const NetResponse& response, int attempt);
 
   ScopedFd fd_;
   NetClientOptions options_;
+  Rng rng_;  // jitter source for retry backoff
   std::string send_buf_;  // queued request frames
   std::string recv_buf_;  // unparsed response bytes
 };

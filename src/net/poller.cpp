@@ -4,6 +4,8 @@
 #include <string.h>
 #include <sys/epoll.h>
 
+#include <algorithm>
+
 namespace rlz {
 namespace net {
 namespace {
@@ -25,6 +27,8 @@ uint32_t ToEpoll(uint32_t events, bool edge_triggered) {
 }  // namespace
 
 Poller::Poller() : epoll_fd_(::epoll_create1(0)) {}
+
+Poller::~Poller() = default;
 
 Status Poller::Add(int fd, uint64_t tag, uint32_t events,
                    bool edge_triggered) {
@@ -63,10 +67,20 @@ Status Poller::Remove(int fd) {
 Status Poller::Wait(std::vector<PollerEvent>* events, int timeout_ms) {
   events->clear();
   if (!valid()) return Status::Internal("poller: epoll_create1 failed");
-  epoll_event raw[64];
+  // Batch size follows the caller's reserve (see the header contract):
+  // a loop that reserved for its connection count drains a fully-ready
+  // server in one syscall instead of 64 at a time. The buffer only
+  // grows — steady state reuses it allocation-free.
+  const size_t want = std::max<size_t>(events->capacity(), 64);
+  if (want > raw_capacity_) {
+    raw_events_ = std::make_unique<epoll_event[]>(want);
+    raw_capacity_ = want;
+  }
+  epoll_event* raw = raw_events_.get();
   int n;
   for (;;) {
-    n = ::epoll_wait(epoll_fd_.get(), raw, 64, timeout_ms);
+    n = ::epoll_wait(epoll_fd_.get(), raw, static_cast<int>(raw_capacity_),
+                     timeout_ms);
     if (n >= 0) break;
     if (errno != EINTR) return ErrnoStatus("epoll_wait");
   }

@@ -11,10 +11,13 @@
 /// which is where it can be reasoned about.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/socket.h"
 #include "util/status.h"
+
+struct epoll_event;  // <sys/epoll.h> stays out of this header
 
 namespace rlz {
 namespace net {
@@ -49,7 +52,7 @@ class Poller {
   /// Creates the epoll instance (aborts only on resource exhaustion —
   /// construction failure leaves valid() false and Add/Wait failing).
   Poller();
-  ~Poller() = default;
+  ~Poller();  // out-of-line: raw_events_ deletes an incomplete type here
 
   Poller(const Poller&) = delete;
   Poller& operator=(const Poller&) = delete;
@@ -70,10 +73,22 @@ class Poller {
   /// Blocks up to `timeout_ms` (-1 = indefinitely) and fills `*events`
   /// with the ready set (cleared first). Returns OK on timeout with an
   /// empty vector; EINTR is retried internally.
+  ///
+  /// Contract: one Wait() reports at most max(events->capacity(), 64)
+  /// ready descriptors — reserve the events vector for the connection
+  /// count to drain large ready sets in one call. A too-small batch is
+  /// never lost readiness: level-triggered fds report again on the next
+  /// Wait(), and the kernel round-robins its ready list, so every ready
+  /// fd is reached across successive calls.
   Status Wait(std::vector<PollerEvent>* events, int timeout_ms);
 
  private:
   ScopedFd epoll_fd_;
+  // Kernel-facing batch buffer, sized from the caller's capacity at each
+  // Wait (grown, never shrunk). Heap-held so the header does not need
+  // <sys/epoll.h>.
+  std::unique_ptr<epoll_event[]> raw_events_;
+  size_t raw_capacity_ = 0;
 };
 
 }  // namespace net

@@ -28,11 +28,31 @@ bool Get(std::string_view* in, T* value) {
 
 // Opens a frame: appends the length placeholder and the body header,
 // returning the offset of the placeholder for CloseFrame to patch.
-size_t OpenFrame(MessageType type, bool crc, std::string* out) {
+size_t OpenFrameFlags(MessageType type, uint8_t flags, std::string* out) {
   const size_t at = out->size();
   Put<uint32_t>(0, out);
   Put<uint8_t>(static_cast<uint8_t>(type), out);
-  Put<uint8_t>(crc ? kFlagCrc : 0, out);
+  Put<uint8_t>(flags, out);
+  return at;
+}
+
+size_t OpenFrame(MessageType type, bool crc, std::string* out) {
+  return OpenFrameFlags(type, crc ? kFlagCrc : 0, out);
+}
+
+// The flags byte of a v2 request and, when a deadline rides along, the
+// payload prefix carrying it.
+uint8_t RequestFlags(const RequestOptions& opts) {
+  uint8_t flags = opts.crc ? kFlagCrc : 0;
+  flags |= PriorityToWireBits(opts.priority);
+  if (opts.deadline_ms != 0) flags |= kFlagDeadline;
+  return flags;
+}
+
+size_t OpenRequestFrame(MessageType type, const RequestOptions& opts,
+                        std::string* out) {
+  const size_t at = OpenFrameFlags(type, RequestFlags(opts), out);
+  if (opts.deadline_ms != 0) Put<uint32_t>(opts.deadline_ms, out);
   return at;
 }
 
@@ -50,9 +70,31 @@ void CloseFrame(size_t at, bool crc, std::string* out) {
   std::memcpy(out->data() + at, &body_len, sizeof(body_len));
 }
 
-constexpr uint8_t kStatVersion = 1;
+// v2 appended the overload counters (shed/expired/net_* defenses); a v1
+// peer rejects the version byte rather than misreading the layout.
+constexpr uint8_t kStatVersion = 2;
 
 }  // namespace
+
+uint8_t PriorityToWireBits(RequestPriority priority) {
+  // Wire values: 0 = normal (so a v1 client's zero flags mean kNormal),
+  // 1 = high, 2 = best-effort, 3 = reserved.
+  switch (priority) {
+    case RequestPriority::kNormal: return 0;
+    case RequestPriority::kHigh: return 1u << kFlagPriorityShift;
+    case RequestPriority::kBestEffort: return 2u << kFlagPriorityShift;
+  }
+  return 0;
+}
+
+bool PriorityFromWire(uint8_t flags, RequestPriority* priority) {
+  switch ((flags & kFlagPriorityMask) >> kFlagPriorityShift) {
+    case 0: *priority = RequestPriority::kNormal; return true;
+    case 1: *priority = RequestPriority::kHigh; return true;
+    case 2: *priority = RequestPriority::kBestEffort; return true;
+  }
+  return false;  // 3 is reserved
+}
 
 WireCode ToWireCode(const Status& status) {
   switch (status.code()) {
@@ -65,6 +107,7 @@ WireCode ToWireCode(const Status& status) {
     case StatusCode::kUnimplemented: return WireCode::kUnimplemented;
     case StatusCode::kInternal: return WireCode::kInternal;
     case StatusCode::kUnavailable: return WireCode::kUnavailable;
+    case StatusCode::kDeadlineExceeded: return WireCode::kDeadlineExceeded;
   }
   return WireCode::kInternal;
 }
@@ -80,31 +123,53 @@ const char* WireCodeToString(WireCode code) {
     case WireCode::kUnimplemented: return "Unimplemented";
     case WireCode::kInternal: return "Internal";
     case WireCode::kUnavailable: return "Unavailable";
+    case WireCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
 
-void EncodeGetRequest(uint64_t id, bool crc, std::string* out) {
-  const size_t at = OpenFrame(MessageType::kGet, crc, out);
+void EncodeGetRequest(uint64_t id, const RequestOptions& opts,
+                      std::string* out) {
+  const size_t at = OpenRequestFrame(MessageType::kGet, opts, out);
   Put<uint64_t>(id, out);
-  CloseFrame(at, crc, out);
+  CloseFrame(at, opts.crc, out);
+}
+
+void EncodeGetRequest(uint64_t id, bool crc, std::string* out) {
+  RequestOptions opts;
+  opts.crc = crc;
+  EncodeGetRequest(id, opts, out);
+}
+
+void EncodeMultiGetRequest(const uint64_t* ids, size_t n,
+                           const RequestOptions& opts, std::string* out) {
+  const size_t at = OpenRequestFrame(MessageType::kMultiGet, opts, out);
+  Put<uint32_t>(static_cast<uint32_t>(n), out);
+  for (size_t i = 0; i < n; ++i) Put<uint64_t>(ids[i], out);
+  CloseFrame(at, opts.crc, out);
 }
 
 void EncodeMultiGetRequest(const uint64_t* ids, size_t n, bool crc,
                            std::string* out) {
-  const size_t at = OpenFrame(MessageType::kMultiGet, crc, out);
-  Put<uint32_t>(static_cast<uint32_t>(n), out);
-  for (size_t i = 0; i < n; ++i) Put<uint64_t>(ids[i], out);
-  CloseFrame(at, crc, out);
+  RequestOptions opts;
+  opts.crc = crc;
+  EncodeMultiGetRequest(ids, n, opts, out);
+}
+
+void EncodeGetRangeRequest(uint64_t id, uint64_t offset, uint64_t length,
+                           const RequestOptions& opts, std::string* out) {
+  const size_t at = OpenRequestFrame(MessageType::kGetRange, opts, out);
+  Put<uint64_t>(id, out);
+  Put<uint64_t>(offset, out);
+  Put<uint64_t>(length, out);
+  CloseFrame(at, opts.crc, out);
 }
 
 void EncodeGetRangeRequest(uint64_t id, uint64_t offset, uint64_t length,
                            bool crc, std::string* out) {
-  const size_t at = OpenFrame(MessageType::kGetRange, crc, out);
-  Put<uint64_t>(id, out);
-  Put<uint64_t>(offset, out);
-  Put<uint64_t>(length, out);
-  CloseFrame(at, crc, out);
+  RequestOptions opts;
+  opts.crc = crc;
+  EncodeGetRangeRequest(id, offset, length, opts, out);
 }
 
 void EncodeStatRequest(bool crc, std::string* out) {
@@ -117,6 +182,17 @@ void EncodeDocResponse(MessageType type, WireCode code,
   const size_t at = OpenFrame(type, crc, out);
   Put<uint8_t>(static_cast<uint8_t>(code), out);
   out->append(body.data(), body.size());
+  CloseFrame(at, crc, out);
+}
+
+void EncodeRejectResponse(MessageType type, WireCode code,
+                          uint32_t retry_after_ms, std::string_view message,
+                          bool crc, std::string* out) {
+  const uint8_t flags = (crc ? kFlagCrc : 0) | kFlagRetryAfter;
+  const size_t at = OpenFrameFlags(type, flags, out);
+  Put<uint8_t>(static_cast<uint8_t>(code), out);
+  Put<uint32_t>(retry_after_ms, out);
+  out->append(message.data(), message.size());
   CloseFrame(at, crc, out);
 }
 
@@ -167,6 +243,14 @@ void EncodeStatResponse(const WireStats& stats, bool crc, std::string* out) {
   Put<uint64_t>(stats.net_coalesced_requests, out);
   Put<uint64_t>(stats.net_reads_paused, out);
   Put<uint64_t>(stats.net_protocol_errors, out);
+  Put<uint64_t>(stats.shed, out);
+  Put<uint64_t>(stats.expired, out);
+  Put<uint64_t>(stats.net_sheds, out);
+  Put<uint64_t>(stats.net_idle_closed, out);
+  Put<uint64_t>(stats.net_header_timeout_closed, out);
+  Put<uint64_t>(stats.net_write_stall_closed, out);
+  Put<uint64_t>(stats.net_high_priority_frames, out);
+  Put<uint64_t>(stats.net_best_effort_frames, out);
   CloseFrame(at, crc, out);
 }
 
@@ -194,7 +278,7 @@ ParseResult ParseFrame(std::string_view buf, MessageType* type,
     *error = "unknown frame type " + std::to_string(raw_type);
     return ParseResult::kError;
   }
-  if ((raw_flags & ~kFlagCrc) != 0) {
+  if ((raw_flags & ~kKnownFlags) != 0) {
     *error = "unknown frame flags " + std::to_string(raw_flags);
     return ParseResult::kError;
   }
@@ -229,7 +313,17 @@ Status DecodeRequestBody(MessageType type, uint8_t flags,
   out->type = type;
   out->flags = flags;
   out->id = out->offset = out->length = 0;
+  out->deadline_ms = 0;
   out->ids.clear();
+  if (!PriorityFromWire(flags, &out->priority)) {
+    return Status::InvalidArgument("reserved priority bits in frame flags");
+  }
+  if (flags & kFlagDeadline) {
+    if (!Get(&body, &out->deadline_ms)) {
+      return Status::InvalidArgument(
+          "deadline flag set on a frame too short to carry one");
+    }
+  }
   switch (type) {
     case MessageType::kGet:
       if (body.size() != sizeof(uint64_t) || !Get(&body, &out->id)) {
@@ -273,6 +367,7 @@ Status DecodeResponseBody(MessageType type, uint8_t flags,
                           std::string_view body, NetResponse* out) {
   out->type = type;
   out->flags = flags;
+  out->retry_after_ms = 0;
   out->payload.clear();
   out->elements.clear();
   out->stats = WireStats();
@@ -280,10 +375,24 @@ Status DecodeResponseBody(MessageType type, uint8_t flags,
   if (!Get(&body, &code)) {
     return Status::InvalidArgument("response missing its status byte");
   }
-  if (code > static_cast<uint8_t>(WireCode::kUnavailable)) {
+  if (code > static_cast<uint8_t>(WireCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("response status byte out of range");
   }
   out->code = static_cast<WireCode>(code);
+  if (flags & kFlagRetryAfter) {
+    if (!Get(&body, &out->retry_after_ms)) {
+      return Status::InvalidArgument(
+          "retry-after flag set on a frame too short to carry one");
+    }
+  }
+  // Any rejected request (load shed, expired, unparseable) may be
+  // answered with a whole-request error frame whose payload is just a
+  // message — including MultiGet and Stat, whose structured payloads
+  // exist only when the overall code is kOk.
+  if (out->code != WireCode::kOk) {
+    out->payload.assign(body.data(), body.size());
+    return Status::OK();
+  }
   switch (type) {
     case MessageType::kGet:
     case MessageType::kGetRange:
@@ -347,7 +456,13 @@ Status DecodeResponseBody(MessageType type, uint8_t flags,
           Get(&body, &s.net_bytes_sent) && Get(&body, &s.net_batches) &&
           Get(&body, &s.net_coalesced_requests) &&
           Get(&body, &s.net_reads_paused) &&
-          Get(&body, &s.net_protocol_errors);
+          Get(&body, &s.net_protocol_errors) && Get(&body, &s.shed) &&
+          Get(&body, &s.expired) && Get(&body, &s.net_sheds) &&
+          Get(&body, &s.net_idle_closed) &&
+          Get(&body, &s.net_header_timeout_closed) &&
+          Get(&body, &s.net_write_stall_closed) &&
+          Get(&body, &s.net_high_priority_frames) &&
+          Get(&body, &s.net_best_effort_frames);
       if (!ok || !body.empty()) {
         return Status::InvalidArgument("Stat response payload malformed");
       }

@@ -15,6 +15,16 @@
 /// order (pipelining matches responses positionally, as in Redis), so
 /// no sequence numbers travel on the wire.
 ///
+/// Protocol v2 (DESIGN.md §14) widens the flags byte, all of it
+/// backward-compatible for v1 clients whose extra bits were required to
+/// be zero: bits 1–2 carry the request's priority class (0 = normal, so
+/// v1 clients land on kNormal; 3 is reserved and rejected), and bit 3 is
+/// overloaded by direction — on a request (kFlagDeadline) the payload
+/// begins with a u32 relative deadline in milliseconds; on a response
+/// (kFlagRetryAfter) the payload after the status byte begins with a u32
+/// retry-after hint in milliseconds (attached to load-shed
+/// kUnavailable responses).
+///
 /// Malformed input (oversized length, unknown type, short payload, CRC
 /// mismatch, inconsistent counts) is a parse *error*, distinct from
 /// "need more bytes": the connection that produced it is poisoned — the
@@ -25,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "serve/request_queue.h"  // RequestPriority travels on the wire
 #include "util/status.h"
 
 namespace rlz {
@@ -40,8 +51,28 @@ enum class MessageType : uint8_t {
   kError = 5,     ///< response-only: the request could not be parsed
 };
 
-/// Frame flag bits (`flags` header byte).
+/// Frame flag bits (`flags` header byte). v1 defined only kFlagCrc and
+/// rejected every other bit; v2 uses bits 1–3 as documented in the file
+/// header, which is why a v1 frame decodes identically under v2.
 constexpr uint8_t kFlagCrc = 0x01;
+/// Bits 1–2: the request's priority class on the wire.
+constexpr uint8_t kFlagPriorityMask = 0x06;
+/// Shift of the priority field within the flags byte.
+constexpr int kFlagPriorityShift = 1;
+/// Bit 3 on a request: payload begins with a u32 deadline (ms, relative).
+constexpr uint8_t kFlagDeadline = 0x08;
+/// Bit 3 on a response: payload (after the status byte) begins with a
+/// u32 retry-after hint (ms).
+constexpr uint8_t kFlagRetryAfter = 0x08;
+/// Every flag bit v2 understands; others are a protocol error.
+constexpr uint8_t kKnownFlags = 0x0F;
+
+/// Priority class → its wire bit pattern (within kFlagPriorityMask,
+/// already shifted). kNormal maps to 0 so v1 clients are normal class.
+uint8_t PriorityToWireBits(RequestPriority priority);
+/// Decodes the priority field of `flags`. False for the reserved wire
+/// value 3 (a protocol error at the caller).
+bool PriorityFromWire(uint8_t flags, RequestPriority* priority);
 
 /// Largest accepted frame body; anything longer is a protocol error
 /// (memory-safety bound against hostile length prefixes).
@@ -62,6 +93,7 @@ enum class WireCode : uint8_t {
   kUnimplemented = 6,
   kInternal = 7,
   kUnavailable = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Maps a Status onto its wire byte (unknown future codes → kInternal).
@@ -83,8 +115,24 @@ struct NetRequest {
   uint64_t offset = 0;
   /// Range length (kGetRange).
   uint64_t length = 0;
+  /// Priority class from the flags byte (kNormal for v1 clients).
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Relative deadline (ms) from the kFlagDeadline prefix; 0 = none.
+  uint32_t deadline_ms = 0;
   /// Batch ids (kMultiGet).
   std::vector<uint64_t> ids;
+};
+
+/// Per-request knobs of the v2 encoders. The v1 `bool crc` encoder
+/// signatures survive as wrappers over this (priority normal, no
+/// deadline) — existing call sites encode byte-identical v1 frames.
+struct RequestOptions {
+  /// Append and set the CRC32 trailer (kFlagCrc).
+  bool crc = false;
+  /// Priority class (flags bits 1–2).
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Relative deadline in ms (kFlagDeadline payload prefix); 0 = none.
+  uint32_t deadline_ms = 0;
 };
 
 /// The Stat response payload: the DocService ServiceStats snapshot plus
@@ -152,6 +200,24 @@ struct WireStats {
   uint64_t net_reads_paused = 0;
   /// Connections dropped for unparseable input.
   uint64_t net_protocol_errors = 0;
+  // --- v2 fields (Stat version 2, DESIGN.md §14) ---
+  /// Best-effort requests shed by DocService admission.
+  uint64_t shed = 0;
+  /// Requests expired in queue (kDeadlineExceeded without decoding).
+  uint64_t expired = 0;
+  /// Requests the server shed at parse time (per-connection budget).
+  uint64_t net_sheds = 0;
+  /// Connections closed by the idle timeout.
+  uint64_t net_idle_closed = 0;
+  /// Connections closed for holding a partial frame past the header
+  /// deadline (slow-loris).
+  uint64_t net_header_timeout_closed = 0;
+  /// Connections closed for not draining their outbound buffer.
+  uint64_t net_write_stall_closed = 0;
+  /// Request frames that arrived flagged high priority.
+  uint64_t net_high_priority_frames = 0;
+  /// Request frames that arrived flagged best-effort.
+  uint64_t net_best_effort_frames = 0;
 };
 
 /// One element of a MultiGet response: a per-id status byte and, when
@@ -173,6 +239,9 @@ struct NetResponse {
   uint8_t flags = 0;
   /// Overall outcome (per-element codes qualify kMultiGet).
   WireCode code = WireCode::kInternal;
+  /// Retry-after hint in ms (kFlagRetryAfter responses — load sheds);
+  /// 0 when absent.
+  uint32_t retry_after_ms = 0;
   /// Document bytes (kGet/kGetRange, code kOk) or error message.
   std::string payload;
   /// Per-id results (kMultiGet).
@@ -185,11 +254,20 @@ struct NetResponse {
 };
 
 /// Appends a Get request frame for `id` to `*out`.
+void EncodeGetRequest(uint64_t id, const RequestOptions& opts,
+                      std::string* out);
+/// As above, v1 shape: CRC only, normal priority, no deadline.
 void EncodeGetRequest(uint64_t id, bool crc, std::string* out);
 /// Appends a MultiGet request frame for `ids[0..n)` to `*out`.
+void EncodeMultiGetRequest(const uint64_t* ids, size_t n,
+                           const RequestOptions& opts, std::string* out);
+/// As above, v1 shape.
 void EncodeMultiGetRequest(const uint64_t* ids, size_t n, bool crc,
                            std::string* out);
 /// Appends a GetRange request frame to `*out`.
+void EncodeGetRangeRequest(uint64_t id, uint64_t offset, uint64_t length,
+                           const RequestOptions& opts, std::string* out);
+/// As above, v1 shape.
 void EncodeGetRangeRequest(uint64_t id, uint64_t offset, uint64_t length,
                            bool crc, std::string* out);
 /// Appends a Stat request frame to `*out`.
@@ -199,6 +277,15 @@ void EncodeStatRequest(bool crc, std::string* out);
 /// document bytes when `code` is kOk, an error message otherwise.
 void EncodeDocResponse(MessageType type, WireCode code,
                        std::string_view body, bool crc, std::string* out);
+
+/// Appends a load-shed/expiry response frame carrying a retry-after
+/// hint (kFlagRetryAfter): `message` explains the rejection, `code` is
+/// typically kUnavailable or kDeadlineExceeded. Works for any response
+/// type — a shed MultiGet is answered with one whole-request frame whose
+/// payload is the message, not per-element results.
+void EncodeRejectResponse(MessageType type, WireCode code,
+                          uint32_t retry_after_ms, std::string_view message,
+                          bool crc, std::string* out);
 
 /// Input view for one MultiGet response element.
 struct MultiGetOut {

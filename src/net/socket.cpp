@@ -7,6 +7,7 @@
 #include <netinet/tcp.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -30,6 +31,16 @@ Status SetNonBlocking(int fd) {
   if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
   if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
     return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Status SetRecvTimeout(int fd, uint32_t timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)");
   }
   return Status::OK();
 }

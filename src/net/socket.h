@@ -51,6 +51,11 @@ class ScopedFd {
 /// Puts `fd` into non-blocking mode (O_NONBLOCK).
 Status SetNonBlocking(int fd);
 
+/// Sets SO_RCVTIMEO on blocking socket `fd`: a recv() with no data for
+/// `timeout_ms` returns EAGAIN (surfaced as IoResult::kWouldBlock), so a
+/// hung peer bounds the caller's wait. 0 clears the timeout.
+Status SetRecvTimeout(int fd, uint32_t timeout_ms);
+
 /// Creates a non-blocking loopback (127.0.0.1) listen socket on `port`
 /// (0 picks an ephemeral port) with SO_REUSEADDR. On success returns the
 /// socket and stores the actually-bound port in `*bound_port`.

@@ -26,6 +26,12 @@ DocServiceOptions DocServiceOptions::Validated() const {
   if (v.num_threads < 1) v.num_threads = 1;
   if (v.cache_shards < 1) v.cache_shards = 1;
   if (v.queue_depth < 1) v.queue_depth = 1;
+  // Class fractions are shares of queue_depth; the rings floor at one
+  // slot, so clamping to [0, 1] is enough.
+  v.normal_queue_fraction =
+      std::min(1.0, std::max(0.0, v.normal_queue_fraction));
+  v.best_effort_queue_fraction =
+      std::min(1.0, std::max(0.0, v.best_effort_queue_fraction));
   // A capacity that cannot admit even an empty value is a disabled cache.
   if (v.cache_bytes > 0 && v.cache_bytes <= LruCache::kEntryOverheadBytes) {
     v.cache_bytes = 0;
@@ -74,10 +80,18 @@ DocService::DocService(const Archive* archive,
   workers_.reserve(num_threads);
   queues_.reserve(num_threads);
   threads_.reserve(num_threads);
+  // Weighted class capacities (DESIGN.md §14): kHigh owns the full
+  // depth; lower classes get their configured shares, so the gap between
+  // a lower class's cap and the full depth is headroom only higher
+  // classes can use.
+  const size_t depth = static_cast<size_t>(options_.queue_depth);
+  const size_t class_caps[kNumPriorities] = {
+      depth,
+      static_cast<size_t>(depth * options_.normal_queue_fraction),
+      static_cast<size_t>(depth * options_.best_effort_queue_fraction)};
   for (int i = 0; i < num_threads; ++i) {
     workers_.push_back(std::make_unique<Worker>(options_.disk));
-    queues_.push_back(std::make_unique<BoundedRequestQueue>(
-        static_cast<size_t>(options_.queue_depth)));
+    queues_.push_back(std::make_unique<BoundedRequestQueue>(class_caps));
   }
   for (int i = 0; i < num_threads; ++i) {
     threads_.emplace_back(&DocService::WorkerLoop, this, i);
@@ -145,7 +159,7 @@ void DocService::NotifyWorkers() {
   work_cv_.notify_all();
 }
 
-void DocService::PushWithBackpressure(const ServeRequest& request, int dest) {
+bool DocService::PushWithBackpressure(const ServeRequest& request, int dest) {
   const int num_queues = static_cast<int>(queues_.size());
   for (;;) {
     // Preferred queue first, then spill to peers: any worker can serve
@@ -157,22 +171,40 @@ void DocService::PushWithBackpressure(const ServeRequest& request, int dest) {
       if (queues_[w]->TryPush(request)) {
         queued_.fetch_add(1);
         NotifyWorkers();
-        return;
+        return true;
       }
     }
-    // Every queue is full: bounded-memory backpressure. The request was
+    // This class's ring is full on every queue. Best-effort sheds rather
+    // than blocks (DESIGN.md §14): a bulk flood must never stall the
+    // submitting thread — for the network front end that thread is the
+    // batcher serving every connection.
+    if (request.priority == RequestPriority::kBestEffort) return false;
+    // Higher classes: bounded-memory backpressure. The request was
     // already accepted (in_flight_ counts it), so workers stay alive
     // until it is enqueued and served — even mid-Shutdown.
     std::unique_lock<std::mutex> lock(wake_mu_);
     space_waiters_.fetch_add(1);
     space_cv_.wait(lock, [&] {
       for (int w = 0; w < num_queues; ++w) {
-        if (queues_[w]->size() < queues_[w]->capacity()) return true;
+        if (queues_[w]->HasRoom(request.priority)) return true;
       }
       return false;
     });
     space_waiters_.fetch_sub(1);
   }
+}
+
+void DocService::CompleteRejected(const ServeRequest& request, Status status) {
+  if (request.promise != nullptr) {
+    GetResult result;
+    result.status = std::move(status);
+    request.promise->set_value(std::move(result));
+    delete request.promise;
+  } else if (request.out != nullptr) {
+    request.out->status = std::move(status);
+    if (request.batch != nullptr) request.batch->CountDown();
+  }
+  FinishOne();
 }
 
 void DocService::SubmitBatch(const std::vector<size_t>& ids,
@@ -228,13 +260,42 @@ void DocService::SubmitBatchImpl(View view, size_t count, ServeBatch* batch) {
   }
   const uint64_t now_ns = NowNs();
   const int num_workers = static_cast<int>(workers_.size());
+  // Admission (DESIGN.md §14): one watermark reading per submission —
+  // when the estimated queue wait is past the shed bound, every
+  // best-effort item of this batch is shed up front, before any routing
+  // or enqueue work is spent on it.
+  const uint64_t watermark_us = options_.shed_queue_delay_us;
+  const bool overloaded =
+      watermark_us != 0 && EstimatedQueueDelayUs() > watermark_us;
   // One routing snapshot per submission: every id in this batch routes
-  // against the same epoch's boundaries.
+  // against the same epoch's boundaries. kRejectedRoute marks positions
+  // completed at admission (shed or already expired) that must not be
+  // staged.
+  constexpr uint32_t kRejectedRoute = ~uint32_t{0};
   const std::shared_ptr<const ShardRouter> router = RouterSnapshot();
   std::vector<uint32_t>& routes = batch->routes_;
   routes.resize(count);
   for (size_t i = 0; i < count; ++i) {
-    routes[i] = static_cast<uint32_t>(WorkerOf(view[i].id, router.get()));
+    const BatchItem item = view[i];
+    if (item.deadline_ns != 0 && now_ns >= item.deadline_ns) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      batch->results_[i].status =
+          Status::DeadlineExceeded("deadline passed before admission");
+      batch->CountDown();
+      FinishOne();
+      routes[i] = kRejectedRoute;
+      continue;
+    }
+    if (overloaded && item.priority == RequestPriority::kBestEffort) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      batch->results_[i].status =
+          Status::Unavailable("overloaded: best-effort request shed");
+      batch->CountDown();
+      FinishOne();
+      routes[i] = kRejectedRoute;
+      continue;
+    }
+    routes[i] = static_cast<uint32_t>(WorkerOf(item.id, router.get()));
   }
   // One staging pass per destination: the whole per-worker group is
   // enqueued under a single lock acquisition of that worker's queue.
@@ -249,6 +310,8 @@ void DocService::SubmitBatchImpl(View view, size_t count, ServeBatch* batch) {
       request.offset = item.offset;
       request.length = item.length;
       request.is_range = item.is_range;
+      request.priority = item.priority;
+      request.deadline_ns = item.deadline_ns;
       request.enqueue_ns = now_ns;
       request.out = &batch->results_[i];
       request.batch = batch;
@@ -261,7 +324,12 @@ void DocService::SubmitBatchImpl(View view, size_t count, ServeBatch* batch) {
       NotifyWorkers();
     }
     for (size_t i = pushed; i < stage.size(); ++i) {
-      PushWithBackpressure(stage[i], w);
+      if (!PushWithBackpressure(stage[i], w)) {
+        // Best-effort with its class rings full everywhere: shed.
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        CompleteRejected(stage[i],
+                         Status::Unavailable("overloaded: queue full"));
+      }
     }
   }
 }
@@ -353,6 +421,19 @@ bool DocService::NextRequest(int index, ServeRequest* request) {
 }
 
 void DocService::Execute(const ServeRequest& request, Worker* worker) {
+  const uint64_t start_ns = NowNs();
+  if (request.deadline_ns != 0 && start_ns >= request.deadline_ns) {
+    // Expired while queued: the answer is useless, so complete without
+    // decoding a byte (DESIGN.md §14). Counts as a request and a failure
+    // so per-worker accounting stays consistent with delivery.
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    worker->requests.fetch_add(1, std::memory_order_relaxed);
+    worker->failures.fetch_add(1, std::memory_order_relaxed);
+    worker->latency.Record(start_ns - request.enqueue_ns);
+    CompleteRejected(request,
+                     Status::DeadlineExceeded("deadline passed in queue"));
+    return;
+  }
   const double cpu_start = ThreadCpuSeconds();
   GetResult result =
       request.is_range
@@ -374,7 +455,16 @@ void DocService::Execute(const ServeRequest& request, Worker* worker) {
                                      std::memory_order_relaxed);
   worker->published_disk_seeks.store(worker->disk.seeks(),
                                      std::memory_order_relaxed);
-  worker->latency.Record(NowNs() - request.enqueue_ns);
+  const uint64_t end_ns = NowNs();
+  // Feed the admission estimator: EWMA of wall service time. Lost
+  // updates under contention are fine — the watermark needs recency, not
+  // an exact mean.
+  const uint64_t service_ns = end_ns - start_ns;
+  const uint64_t ewma = ewma_service_ns_.load(std::memory_order_relaxed);
+  ewma_service_ns_.store(
+      ewma == 0 ? service_ns : (ewma * 15 + service_ns) / 16,
+      std::memory_order_relaxed);
+  worker->latency.Record(end_ns - request.enqueue_ns);
   if (request.promise != nullptr) {
     request.promise->set_value(std::move(result));
     delete request.promise;
@@ -445,11 +535,25 @@ void DocService::Drain() {
   idle_cv_.wait(lock, [&] { return in_flight_.load() == 0; });
 }
 
+uint64_t DocService::EstimatedQueueDelayUs() const {
+  const uint64_t queued = queued_.load(std::memory_order_relaxed);
+  const uint64_t ewma_ns = ewma_service_ns_.load(std::memory_order_relaxed);
+  return queued * ewma_ns / (1000 * static_cast<uint64_t>(workers_.size()));
+}
+
+uint32_t DocService::SuggestedRetryAfterMs() const {
+  const uint64_t ms = EstimatedQueueDelayUs() / 1000;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(std::max<uint64_t>(ms, 1), 1000));
+}
+
 ServiceStats DocService::Stats() const {
   ServiceStats stats;
   stats.num_threads = static_cast<int>(workers_.size());
   stats.cache = cache_.stats();
   stats.queued = queued_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
   LatencyHistogram::Snapshot latency;
   for (const auto& worker : workers_) {
     stats.requests += worker->requests.load(std::memory_order_relaxed);

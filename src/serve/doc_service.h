@@ -49,7 +49,26 @@ struct DocServiceOptions {
   /// backpressure unit: when every queue is full, submission blocks until
   /// a worker frees a slot, so queued work is bounded by
   /// num_threads * queue_depth regardless of producer count. Floor: 1.
+  /// This is the kHigh class's capacity; lower classes get the fractions
+  /// below, so high-priority traffic always has headroom that bulk
+  /// traffic cannot consume (DESIGN.md §14).
   int queue_depth = 1024;
+  /// kNormal's share of queue_depth (floor: one slot). Defaults just
+  /// under 1 so a normal-priority flood can never take the last slots a
+  /// high-priority burst needs.
+  double normal_queue_fraction = 0.9;
+  /// kBestEffort's share of queue_depth (floor: one slot). Half by
+  /// default: bulk traffic rides along at light load and hits its cap —
+  /// shedding instead of queue-building — under heavy load.
+  double best_effort_queue_fraction = 0.5;
+  /// Queue-latency watermark (microseconds): when the estimated queue
+  /// wait (queued requests × EWMA service time / workers) exceeds this,
+  /// newly submitted kBestEffort requests are shed immediately with
+  /// Unavailable instead of queued (DESIGN.md §14). Higher classes are
+  /// never shed by the watermark. 0 disables watermark shedding (class
+  /// caps still apply). Default 200 ms — several client round-trips, so
+  /// a shed+retry beats waiting it out.
+  uint64_t shed_queue_delay_us = 200'000;
   /// Simulated-disk parameters for each worker's private SimDisk.
   SimDiskOptions disk;
 
@@ -83,6 +102,12 @@ struct ServiceStats {
   uint64_t failures = 0;
   /// Requests a worker popped from another worker's queue.
   uint64_t steals = 0;
+  /// Best-effort requests shed at admission (watermark crossed or class
+  /// rings full); each completed immediately with Unavailable.
+  uint64_t shed = 0;
+  /// Requests whose deadline passed before a worker reached them;
+  /// completed kDeadlineExceeded without decoding (DESIGN.md §14).
+  uint64_t expired = 0;
   /// Requests sitting in worker queues at snapshot time (enqueued, not
   /// yet popped) — the live backlog an operator polls a running server
   /// for; exact at a traffic boundary, racy mid-flight like the rest.
@@ -126,6 +151,12 @@ struct BatchItem {
   size_t length = 0;
   /// False: whole-document Get; true: GetRange.
   bool is_range = false;
+  /// Service class: queue share, pop order, shed eligibility
+  /// (DESIGN.md §14).
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Absolute steady-clock expiry (ns); 0 = none. Expired requests
+  /// complete kDeadlineExceeded without decoding.
+  uint64_t deadline_ns = 0;
 };
 
 /// A reusable completion buffer for batched submission (DESIGN.md §10).
@@ -261,6 +292,18 @@ class DocService {
   /// still valid (only destruction frees it).
   void Shutdown();
 
+  /// Estimated wait (microseconds) a request entering the queues now
+  /// would see: queued requests × EWMA per-request service time / pool
+  /// size. Racy snapshot, cheap (three relaxed loads) — this is the
+  /// admission watermark's input and the overload signal front ends poll
+  /// (DESIGN.md §14).
+  uint64_t EstimatedQueueDelayUs() const;
+
+  /// Retry-after hint (milliseconds) to attach to shed responses: the
+  /// estimated queue delay, clamped to [1 ms, 1 s] so clients neither
+  /// hammer a saturated service nor stall on a transient spike.
+  uint32_t SuggestedRetryAfterMs() const;
+
   /// Aggregated counters (exact once Drain() has returned); never blocks
   /// the workers.
   ServiceStats Stats() const;
@@ -305,8 +348,15 @@ class DocService {
   template <typename View>
   void SubmitBatchImpl(View view, size_t count, ServeBatch* batch);
   /// Enqueues one routed request, spilling to peers when the preferred
-  /// queue is full and blocking when every queue is full.
-  void PushWithBackpressure(const ServeRequest& request, int dest);
+  /// queue is full. Returns true once enqueued. kHigh/kNormal block until
+  /// a slot frees (backpressure); kBestEffort returns false when its
+  /// class ring is full on every queue — the caller sheds (DESIGN.md
+  /// §14), so a bulk flood can never stall a submitting thread.
+  bool PushWithBackpressure(const ServeRequest& request, int dest);
+  /// Completes an admitted-then-rejected request (shed or expired) with
+  /// `status`, off the worker path: delivers to its promise or
+  /// batch slot and runs FinishOne().
+  void CompleteRejected(const ServeRequest& request, Status status);
   /// Wakes sleeping workers if any.
   void NotifyWorkers();
   /// Pops the next request for worker `index` (own queue first, then
@@ -335,6 +385,12 @@ class DocService {
 
   std::atomic<uint64_t> in_flight_{0};  // accepted, not yet completed
   std::atomic<uint64_t> queued_{0};     // enqueued, not yet popped
+  std::atomic<uint64_t> shed_{0};       // best-effort sheds at admission
+  std::atomic<uint64_t> expired_{0};    // deadline passed while queued
+  // EWMA of per-request wall service time (ns), e ← (15e + sample)/16;
+  // racy read-modify-write by design — the estimate needs no precision,
+  // only recency.
+  std::atomic<uint64_t> ewma_service_ns_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<int> sleepers_{0};        // workers blocked in NextRequest
   std::atomic<int> space_waiters_{0};   // producers blocked on full queues

@@ -21,6 +21,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -60,6 +61,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,7 +6,9 @@
 // requests in flight, and the Stat command. The multi-threaded tests run
 // under ThreadSanitizer via the `concurrency` ctest label.
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -94,6 +96,144 @@ TEST(ProtocolTest, RequestRoundTrips) {
   }
 }
 
+TEST(ProtocolTest, PriorityAndDeadlineRoundTrip) {
+  for (const bool crc : {false, true}) {
+    SCOPED_TRACE(crc ? "crc" : "plain");
+    std::string wire;
+    NetRequest req;
+
+    // High priority + deadline on every request kind that carries them.
+    RequestOptions opts;
+    opts.crc = crc;
+    opts.priority = RequestPriority::kHigh;
+    opts.deadline_ms = 750;
+    wire.clear();
+    EncodeGetRequest(42, opts, &wire);
+    ASSERT_TRUE(ParseRequest(wire, &req).ok());
+    EXPECT_EQ(req.priority, RequestPriority::kHigh);
+    EXPECT_EQ(req.deadline_ms, 750u);
+    EXPECT_EQ(req.id, 42u);
+
+    opts.priority = RequestPriority::kBestEffort;
+    opts.deadline_ms = 0;
+    wire.clear();
+    EncodeGetRangeRequest(9, 100, 400, opts, &wire);
+    ASSERT_TRUE(ParseRequest(wire, &req).ok());
+    EXPECT_EQ(req.priority, RequestPriority::kBestEffort);
+    EXPECT_EQ(req.deadline_ms, 0u);
+    EXPECT_EQ(req.offset, 100u);
+
+    const std::vector<uint64_t> ids = {1, 2, 3};
+    opts.priority = RequestPriority::kBestEffort;
+    opts.deadline_ms = 1;
+    wire.clear();
+    EncodeMultiGetRequest(ids.data(), ids.size(), opts, &wire);
+    ASSERT_TRUE(ParseRequest(wire, &req).ok());
+    EXPECT_EQ(req.priority, RequestPriority::kBestEffort);
+    EXPECT_EQ(req.deadline_ms, 1u);
+    EXPECT_EQ(req.ids, ids);
+
+    // The v1 encoders map to normal priority, no deadline — an old
+    // client is indistinguishable from a normal-class one.
+    wire.clear();
+    EncodeGetRequest(7, crc, &wire);
+    ASSERT_TRUE(ParseRequest(wire, &req).ok());
+    EXPECT_EQ(req.priority, RequestPriority::kNormal);
+    EXPECT_EQ(req.deadline_ms, 0u);
+  }
+}
+
+TEST(ProtocolTest, ReservedPriorityAndTruncatedDeadlineAreErrors) {
+  NetRequest req;
+  // Wire priority 3 is reserved: the frame parses (the flags byte is
+  // known) but the body decode rejects it.
+  const uint8_t reserved = static_cast<uint8_t>(3 << kFlagPriorityShift);
+  std::string body(8, '\0');  // a valid Get payload
+  EXPECT_FALSE(
+      DecodeRequestBody(MessageType::kGet, reserved, body, &req).ok());
+  // kFlagDeadline promises a u32 prefix the payload does not carry.
+  EXPECT_FALSE(DecodeRequestBody(MessageType::kGet, kFlagDeadline,
+                                 std::string(2, '\0'), &req)
+                   .ok());
+  // With the prefix present, the same frame decodes.
+  std::string with_deadline;
+  const uint32_t deadline_ms = 250;
+  with_deadline.append(reinterpret_cast<const char*>(&deadline_ms),
+                       sizeof(deadline_ms));
+  with_deadline.append(8, '\0');
+  EXPECT_TRUE(DecodeRequestBody(MessageType::kGet, kFlagDeadline,
+                                with_deadline, &req)
+                  .ok());
+  EXPECT_EQ(req.deadline_ms, 250u);
+}
+
+TEST(ProtocolTest, RejectResponsesCarryRetryAfterOnEveryType) {
+  // A shed/rejected response of any request type round-trips its code,
+  // message, and retry-after hint — including MultiGet and Stat, whose
+  // OK layouts differ completely.
+  for (const MessageType type :
+       {MessageType::kGet, MessageType::kGetRange, MessageType::kMultiGet,
+        MessageType::kStat}) {
+    SCOPED_TRACE(static_cast<int>(type));
+    std::string wire;
+    EncodeRejectResponse(type, WireCode::kUnavailable, 321, "overloaded",
+                         /*crc=*/true, &wire);
+    MessageType parsed_type;
+    uint8_t flags;
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(ParseFrame(wire, &parsed_type, &flags, &body, &consumed,
+                         &error),
+              ParseResult::kFrame);
+    NetResponse resp;
+    ASSERT_TRUE(DecodeResponseBody(parsed_type, flags, body, &resp).ok());
+    EXPECT_EQ(resp.type, type);
+    EXPECT_EQ(resp.code, WireCode::kUnavailable);
+    EXPECT_EQ(resp.retry_after_ms, 321u);
+    EXPECT_EQ(resp.payload, "overloaded");
+  }
+  // kDeadlineExceeded is a legal wire code in both directions.
+  std::string wire;
+  EncodeDocResponse(MessageType::kGet, WireCode::kDeadlineExceeded,
+                    "expired in queue", /*crc=*/false, &wire);
+  MessageType type;
+  uint8_t flags;
+  std::string_view body;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseFrame(wire, &type, &flags, &body, &consumed, &error),
+            ParseResult::kFrame);
+  NetResponse resp;
+  ASSERT_TRUE(DecodeResponseBody(type, flags, body, &resp).ok());
+  EXPECT_EQ(resp.code, WireCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.payload, "expired in queue");
+}
+
+TEST(NetClientTest, RetryBackoffPolicy) {
+  Rng rng(7);
+  // Grows exponentially from base, jittered into [nominal/2, nominal].
+  for (int attempt = 0; attempt < 7; ++attempt) {
+    const uint64_t nominal =
+        std::min<uint64_t>(250, uint64_t{2} << attempt);
+    for (int trial = 0; trial < 32; ++trial) {
+      const uint32_t delay = RetryBackoffMs(attempt, 2, 250, 0, &rng);
+      EXPECT_GE(delay, nominal / 2) << "attempt " << attempt;
+      EXPECT_LE(delay, nominal) << "attempt " << attempt;
+    }
+  }
+  // Saturates at the cap — even for shift-overflowing attempt counts.
+  EXPECT_LE(RetryBackoffMs(31, 2, 250, 0, &rng), 250u);
+  EXPECT_LE(RetryBackoffMs(40, 2, 250, 0, &rng), 250u);
+  EXPECT_GE(RetryBackoffMs(40, 2, 250, 0, &rng), 125u);
+  // The server's retry-after hint is a floor on the jittered value.
+  for (int trial = 0; trial < 16; ++trial) {
+    EXPECT_GE(RetryBackoffMs(0, 2, 250, 100, &rng), 100u);
+  }
+  // A zero-everything call still waits at least a millisecond.
+  EXPECT_GE(RetryBackoffMs(0, 0, 0, 0, &rng), 1u);
+}
+
 TEST(ProtocolTest, BackToBackFramesParseIndividually) {
   std::string wire;
   EncodeGetRequest(1, false, &wire);
@@ -179,6 +319,14 @@ TEST(ProtocolTest, ResponseRoundTrips) {
     stats.num_threads = 8;
     stats.net_frames_received = 77;
     stats.net_reads_paused = 6;
+    stats.shed = 21;
+    stats.expired = 22;
+    stats.net_sheds = 23;
+    stats.net_idle_closed = 24;
+    stats.net_header_timeout_closed = 25;
+    stats.net_write_stall_closed = 26;
+    stats.net_high_priority_frames = 27;
+    stats.net_best_effort_frames = 28;
     EncodeStatResponse(stats, crc, &wire);
     ASSERT_EQ(ParseFrame(wire, &type, &flags, &body, &consumed, &error),
               ParseResult::kFrame);
@@ -196,6 +344,14 @@ TEST(ProtocolTest, ResponseRoundTrips) {
     EXPECT_EQ(resp.stats.num_threads, 8u);
     EXPECT_EQ(resp.stats.net_frames_received, 77u);
     EXPECT_EQ(resp.stats.net_reads_paused, 6u);
+    EXPECT_EQ(resp.stats.shed, 21u);
+    EXPECT_EQ(resp.stats.expired, 22u);
+    EXPECT_EQ(resp.stats.net_sheds, 23u);
+    EXPECT_EQ(resp.stats.net_idle_closed, 24u);
+    EXPECT_EQ(resp.stats.net_header_timeout_closed, 25u);
+    EXPECT_EQ(resp.stats.net_write_stall_closed, 26u);
+    EXPECT_EQ(resp.stats.net_high_priority_frames, 27u);
+    EXPECT_EQ(resp.stats.net_best_effort_frames, 28u);
   }
 }
 
@@ -592,6 +748,170 @@ TEST(DocServerTest, StatCarriesServiceAndNetworkCounters) {
   // The wire stats agree with the in-process service view.
   const ServiceStats direct = harness.service().Stats();
   EXPECT_GE(direct.requests, stats->requests - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection end to end (DESIGN.md §14): wire priorities,
+// parse-time shedding, client deadlines, and slow-client reaping.
+
+TEST(DocServerTest, PriorityAndDeadlineTravelEndToEnd) {
+  ServerHarness harness;
+  NetClientOptions options;
+  options.priority = RequestPriority::kHigh;
+  options.deadline_ms = 5000;  // generous: exercises the wire, not expiry
+  auto client = harness.Connect(options);
+  auto doc = client->Get(3);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(*doc, harness.collection().doc(3));
+  EXPECT_GE(harness.server().stats().high_priority_frames, 1u);
+  // Best-effort under light load is served normally, and counted.
+  options.priority = RequestPriority::kBestEffort;
+  options.deadline_ms = 0;
+  auto bulk = harness.Connect(options);
+  auto bulk_doc = bulk->Get(4);
+  ASSERT_TRUE(bulk_doc.ok()) << bulk_doc.status().ToString();
+  EXPECT_EQ(*bulk_doc, harness.collection().doc(4));
+  EXPECT_GE(harness.server().stats().best_effort_frames, 1u);
+}
+
+TEST(DocServerTest, BestEffortBudgetShedsInOrderWithRetryAfter) {
+  // A per-connection best-effort budget of one: a pipelined burst must
+  // draw sheds (kUnavailable + retry-after) while every response — shed
+  // or served — arrives in request order.
+  DocServerOptions options;
+  options.max_best_effort_per_conn = 1;
+  ServerHarness harness(options);
+  NetClientOptions client_options;
+  client_options.priority = RequestPriority::kBestEffort;
+  auto client = harness.Connect(client_options);
+  constexpr size_t kBurst = 8;
+  for (size_t i = 0; i < kBurst; ++i) client->SendGet(i);
+  ASSERT_TRUE(client->Flush().ok());
+  size_t served = 0;
+  size_t shed = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    auto response = client->Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->ok()) {
+      // Positional pipelining: response i answers request i.
+      EXPECT_EQ(response->payload, harness.collection().doc(i))
+          << "response " << i;
+      ++served;
+    } else {
+      EXPECT_EQ(response->code, WireCode::kUnavailable);
+      EXPECT_GE(response->retry_after_ms, 1u);
+      ++shed;
+    }
+  }
+  EXPECT_GE(served, 1u);  // the budgeted request is always served
+  EXPECT_GE(shed, 1u);    // a burst of 8 against a budget of 1 must shed
+  EXPECT_EQ(served + shed, kBurst);
+  EXPECT_GE(harness.server().stats().sheds, shed);
+  // The connection itself is healthy: a paced request still works.
+  auto doc = client->Get(0);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(*doc, harness.collection().doc(0));
+}
+
+TEST(DocServerTest, IdleConnectionsReapedNewOnesUnaffected) {
+  DocServerOptions options;
+  options.idle_timeout_ms = 50;
+  ServerHarness harness(options);
+  auto idle = harness.Connect();
+  // Long past the idle bound (the sweep tick is a fraction of it).
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // A connection born after the reap serves normally.
+  auto fresh = harness.Connect();
+  auto doc = fresh->Get(1);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(*doc, harness.collection().doc(1));
+  // The idle connection was closed by the server.
+  auto dead = idle->Receive();
+  EXPECT_FALSE(dead.ok());
+  EXPECT_GE(harness.server().stats().idle_closed, 1u);
+}
+
+TEST(DocServerTest, SlowLorisReapedHealthyTrafficUnaffected) {
+  // The attack the idle clock cannot catch: a partial frame trickled a
+  // byte at a time resets activity forever. The header deadline reaps it.
+  DocServerOptions options;
+  options.header_timeout_ms = 60;
+  options.idle_timeout_ms = 10'000;  // armed but far away: must not fire
+  ServerHarness harness(options);
+  auto healthy = harness.Connect();
+  auto loris = harness.Connect();
+  // A legal header promising a 1000-byte body (well under the frame
+  // bound), then the body trickled one byte at a time — the frame never
+  // completes and never turns malformed.
+  loris->SendRaw(FrameWithHeader(1000, /*type=*/1, /*flags=*/0, ""));
+  ASSERT_TRUE(loris->Flush().ok());
+  bool reaped = false;
+  for (int i = 0; i < 30 && !reaped; ++i) {
+    loris->SendRaw("x");
+    (void)loris->Flush();  // fails once the server closes: that's the reap
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    reaped = harness.server().stats().header_timeout_closed > 0;
+    // Healthy traffic flows throughout the flood.
+    auto doc = healthy->Get(i % 4);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  }
+  const NetServerStats stats = harness.server().stats();
+  EXPECT_GE(stats.header_timeout_closed, 1u);
+  EXPECT_EQ(stats.idle_closed, 0u);
+}
+
+TEST(DocServerTest, StalledReaderReapedByWriteStallDeadline) {
+  // A client that requests megabytes and never reads: the kernel buffers
+  // fill, the server's outbound stops advancing, and the write-stall
+  // deadline closes the connection instead of holding the memory forever.
+  DocServerOptions options;
+  options.write_stall_timeout_ms = 100;
+  ServerHarness harness(options);
+  auto client = harness.Connect();
+  std::vector<uint64_t> ids;
+  const size_t num_docs = harness.collection().num_docs();
+  for (uint64_t id = 0; id < std::min<size_t>(num_docs, 16); ++id) {
+    ids.push_back(id);
+  }
+  // 64 MultiGets of 16 docs each: megabytes of response payload, far
+  // beyond loopback socket buffers, while small enough that the first
+  // coalesced batch decodes promptly even on a loaded host (response
+  // bytes must reach the outbound buffer before the stall clock arms).
+  for (int i = 0; i < 64; ++i) client->SendMultiGet(ids);
+  ASSERT_TRUE(client->Flush().ok());
+  // Never read. The server must reap the stalled connection.
+  for (int waited = 0; waited < 300; ++waited) {
+    if (harness.server().stats().write_stall_closed > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(harness.server().stats().write_stall_closed, 1u);
+  // The server is alive and serving new connections.
+  auto fresh = harness.Connect();
+  auto doc = fresh->Get(0);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+}
+
+TEST(NetClientTest, HungServerSurfacesDeadlineExceeded) {
+  // A listener that never answers (connections sit in the accept
+  // backlog): the client's receive deadline must fire instead of
+  // blocking forever.
+  uint16_t port = 0;
+  auto listener = ListenLoopback(0, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  NetClientOptions options;
+  options.deadline_ms = 100;
+  auto client = NetClient::Connect(port, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto start = std::chrono::steady_clock::now();
+  auto doc = (*client)->Get(0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kDeadlineExceeded)
+      << doc.status().ToString();
+  // Fired in deadline time, not TCP-timeout time.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
 }
 
 // ---------------------------------------------------------------------------

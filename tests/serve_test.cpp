@@ -389,6 +389,165 @@ TEST(DocServiceTest, DrainWaitsForSubmittedWork) {
 }
 
 // ---------------------------------------------------------------------------
+// Overload protection (DESIGN.md §14): the priority-class queue, weighted
+// admission, load shedding, and deadline expiry.
+
+TEST(RequestQueueTest, StrictPriorityPopOrder) {
+  BoundedRequestQueue queue(/*capacity=*/8);
+  ServeRequest request;
+  // Enqueue in worst-case order: best-effort first, high last.
+  request.id = 1;
+  request.priority = RequestPriority::kBestEffort;
+  ASSERT_TRUE(queue.TryPush(request));
+  request.id = 2;
+  request.priority = RequestPriority::kNormal;
+  ASSERT_TRUE(queue.TryPush(request));
+  request.id = 3;
+  request.priority = RequestPriority::kHigh;
+  ASSERT_TRUE(queue.TryPush(request));
+  EXPECT_EQ(queue.size(), 3u);
+  // Pops come back high, normal, best-effort regardless of arrival order.
+  ServeRequest out;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out.id, 3u);
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out.id, 2u);
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out.id, 1u);
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(RequestQueueTest, ClassCapsKeepHighHeadroom) {
+  // Per-class rings: filling the best-effort (and normal) share leaves
+  // the high-priority share untouched.
+  const size_t caps[kNumPriorities] = {4, 2, 1};
+  BoundedRequestQueue queue(caps);
+  EXPECT_EQ(queue.capacity(RequestPriority::kHigh), 4u);
+  EXPECT_EQ(queue.capacity(RequestPriority::kNormal), 2u);
+  EXPECT_EQ(queue.capacity(RequestPriority::kBestEffort), 1u);
+  ServeRequest request;
+  request.priority = RequestPriority::kBestEffort;
+  ASSERT_TRUE(queue.TryPush(request));
+  EXPECT_FALSE(queue.HasRoom(RequestPriority::kBestEffort));
+  EXPECT_FALSE(queue.TryPush(request));  // best-effort ring full: rejected
+  request.priority = RequestPriority::kNormal;
+  ASSERT_TRUE(queue.TryPush(request));
+  ASSERT_TRUE(queue.TryPush(request));
+  EXPECT_FALSE(queue.TryPush(request));  // normal ring full too
+  // The high ring is unaffected by the bulk flood below it.
+  EXPECT_TRUE(queue.HasRoom(RequestPriority::kHigh));
+  request.priority = RequestPriority::kHigh;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.TryPush(request));
+  EXPECT_FALSE(queue.TryPush(request));
+  EXPECT_EQ(queue.size(), 7u);
+}
+
+TEST(DocServiceTest, ExpiredDeadlineCompletesWithoutDecoding) {
+  const Collection collection = TestCollection(1 << 18, 87);
+  auto store = ShardedStore::Build(collection, {});
+  DocService service(store.get(), {});
+  // A deadline already in the past: every request must complete
+  // kDeadlineExceeded at admission, with zero decode work charged.
+  std::vector<BatchItem> items(8);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].id = i;
+    items[i].deadline_ns = 1;  // epoch + 1ns: long expired
+  }
+  ServeBatch batch;
+  service.SubmitBatch(items.data(), items.size(), &batch);
+  const std::vector<GetResult>& results = batch.Wait();
+  ASSERT_EQ(results.size(), items.size());
+  for (const GetResult& result : results) {
+    EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.expired, items.size());
+  EXPECT_EQ(stats.disk_bytes, 0u);       // no archive reads
+  EXPECT_EQ(stats.cache.misses, 0u);     // no cache traffic either
+  // The service is not poisoned: a fresh request without a deadline works.
+  GetResult good = service.Get(0).get();
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good.text, collection.doc(0));
+}
+
+TEST(DocServiceTest, RetryAfterHintStaysBounded) {
+  const Collection collection = TestCollection(1 << 18, 88);
+  auto store = ShardedStore::Build(collection, {});
+  DocService service(store.get(), {});
+  // Idle service: no queue, so the estimate is zero and the hint sits at
+  // its floor.
+  EXPECT_EQ(service.EstimatedQueueDelayUs(), 0u);
+  EXPECT_EQ(service.SuggestedRetryAfterMs(), 1u);
+  // After traffic the EWMA is warm but the drained queue keeps the
+  // estimate at zero; the hint stays within its documented [1ms, 1s].
+  for (size_t i = 0; i < collection.num_docs(); ++i) {
+    ASSERT_TRUE(service.Get(i).get().ok());
+  }
+  service.Drain();
+  EXPECT_EQ(service.EstimatedQueueDelayUs(), 0u);
+  const uint32_t hint = service.SuggestedRetryAfterMs();
+  EXPECT_GE(hint, 1u);
+  EXPECT_LE(hint, 1000u);
+}
+
+TEST(ConcurrencyTest, BestEffortShedsUnderSaturationHigherClassesServed) {
+  // One worker, deep normal backlog: best-effort pushed past its class
+  // share must shed (Unavailable, immediately) instead of queueing or
+  // blocking the submitter, while every normal request is still served.
+  const Collection collection = TestCollection(1 << 19, 94);
+  auto store = ShardedStore::Build(collection, {});
+  DocServiceOptions options;
+  options.num_threads = 1;
+  options.queue_depth = 256;  // best-effort share: 128
+  options.cache_bytes = 0;    // every decode pays full price
+  options.shed_queue_delay_us = 0;  // isolate the class-cap shed path
+  DocService service(store.get(), options);
+  const size_t num_docs = collection.num_docs();
+
+  // Fill the normal ring with real work the lone worker must chew
+  // through (strict priority: it drains normal before best-effort, so
+  // the best-effort ring below cannot empty underneath us).
+  std::vector<BatchItem> normal_items(512);
+  for (size_t i = 0; i < normal_items.size(); ++i) {
+    normal_items[i].id = i % num_docs;
+  }
+  ServeBatch normal_batch;
+  service.SubmitBatch(normal_items.data(), normal_items.size(),
+                      &normal_batch);
+
+  // Now a best-effort flood larger than its 128-slot share. SubmitBatch
+  // must return without blocking (sheds complete inline).
+  std::vector<BatchItem> bulk_items(256);
+  for (size_t i = 0; i < bulk_items.size(); ++i) {
+    bulk_items[i].id = i % num_docs;
+    bulk_items[i].priority = RequestPriority::kBestEffort;
+  }
+  ServeBatch bulk_batch;
+  service.SubmitBatch(bulk_items.data(), bulk_items.size(), &bulk_batch);
+
+  const std::vector<GetResult>& normal_results = normal_batch.Wait();
+  const std::vector<GetResult>& bulk_results = bulk_batch.Wait();
+  for (const GetResult& result : normal_results) {
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+  }
+  size_t shed_seen = 0;
+  for (size_t i = 0; i < bulk_results.size(); ++i) {
+    const GetResult& result = bulk_results[i];
+    if (result.ok()) {
+      EXPECT_EQ(*result.text, collection.doc(bulk_items[i].id));
+    } else {
+      ASSERT_EQ(result.status.code(), StatusCode::kUnavailable)
+          << result.status.ToString();
+      ++shed_seen;
+    }
+  }
+  EXPECT_GE(shed_seen, 1u);  // the flood exceeded the class share
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, shed_seen);
+  EXPECT_EQ(stats.expired, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Concurrency regression suite (run under TSan by the `tsan` CI job).
 
 // The historical BlockedArchive bug: Get mutated a single-block decode
